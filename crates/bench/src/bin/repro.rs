@@ -1,0 +1,376 @@
+//! Reproduces every table and figure of "Provenance for the Cloud"
+//! (FAST 2010) on the simulated substrate, printing measured values next
+//! to the paper's reported numbers.
+//!
+//! ```text
+//! repro [table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|all] [--small]
+//! ```
+//!
+//! `--small` runs scaled-down workloads (for smoke tests); the default is
+//! the paper's full scale.
+
+use std::time::Instant;
+
+use cloudprov_bench::experiments::{
+    ablations, micro, props, queries, services, umlcheck, workload_runs,
+};
+use cloudprov_bench::{overhead_pct, Which};
+use cloudprov_cloud::{ClientLocation, Era, Machine, RunContext};
+use cloudprov_workloads::BlastParams;
+
+fn hr(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        " no"
+    }
+}
+
+fn table1() {
+    hr("Table 1: Properties Comparison (paper: coupling no/no/yes; causal yes/yes/yes;\n         efficient query no/yes/yes)");
+    println!(
+        "{:<10} {:>10} {:>16} {:>16} {:>13} {:>10}",
+        "Protocol", "Coupling", "Causal(design)", "Causal(paral.)", "Persistence", "Query"
+    );
+    for row in props::table1() {
+        println!(
+            "{:<10} {:>10} {:>16} {:>16} {:>13} {:>10}",
+            row.which.name(),
+            mark(row.coupling),
+            mark(row.causal_designed),
+            mark(row.causal_parallel),
+            mark(row.persistence),
+            mark(row.efficient_query),
+        );
+    }
+    println!("\nNote: 'Causal(design)' is the protocol as specified (ancestors first /");
+    println!("transactional); 'Causal(paral.)' is the paper's parallel implementation,");
+    println!("which \u{a7}5 notes violates causal ordering for P1 and P2.");
+}
+
+fn table2(small: bool) {
+    let bytes = if small { 2 << 20 } else { 50 << 20 };
+    hr(&format!(
+        "Table 2: Upload {} MB of provenance to each service (paper @50MB: S3 324.7 s,\n         SimpleDB 537.1 s, SQS 36.2 s)",
+        bytes >> 20
+    ));
+    let ctx = RunContext {
+        location: ClientLocation::Ec2,
+        era: Era::Sept2009,
+        machine: Machine::Native,
+    };
+    println!(
+        "{:<10} {:>12} {:>10} {:>12}",
+        "Service", "Time (s)", "Ops", "Connections"
+    );
+    for r in services::table2(bytes, ctx) {
+        println!(
+            "{:<10} {:>12.1} {:>10} {:>12}",
+            r.service,
+            r.elapsed.as_secs_f64(),
+            r.ops,
+            r.connections
+        );
+    }
+    println!("\nConcurrency scaling (SimpleDB should plateau near 40; S3/SQS keep scaling):");
+    let sweep_bytes = if small { 1 << 20 } else { 8 << 20 };
+    for svc in ["S3", "SimpleDB", "SQS"] {
+        let pts = services::sweep(svc, sweep_bytes, &[10, 40, 150], ctx);
+        let line: Vec<String> = pts
+            .iter()
+            .map(|p| format!("{}conn={:.1}s", p.connections, p.elapsed.as_secs_f64()))
+            .collect();
+        println!("  {:<10} {}", svc, line.join("  "));
+    }
+}
+
+fn micro_tables(small: bool) {
+    let params = if small {
+        BlastParams::small()
+    } else {
+        BlastParams::default()
+    };
+    let corpus = micro::capture(params);
+    hr("Figure 3: Microbenchmark elapsed times (paper: P3 lowest overhead 32.6%, P2\n          highest 78.9%, P1 between; UML follows the same pattern)");
+    for (label, ctx) in micro::contexts() {
+        let results = micro::run(&corpus, ctx, 26);
+        let base = results[0].elapsed.as_secs_f64();
+        println!("\n  [{label}]");
+        println!(
+            "  {:<8} {:>12} {:>12}",
+            "Config", "Time (s)", "Overhead"
+        );
+        for r in &results {
+            println!(
+                "  {:<8} {:>12.1} {:>11.1}%",
+                r.which.name(),
+                r.elapsed.as_secs_f64(),
+                overhead_pct(base, r.elapsed.as_secs_f64())
+            );
+        }
+        if label == "EC2" {
+            hr("Table 3: Data transfer and operation overheads (paper: S3fs 713.09 MB/617 ops;\n         P1 +0.31%/+270.7%; P2 +0.42%/+100.2%; P3 +0.45%/+116.7%)");
+            let base_mb = results[0].mb;
+            let base_ops = results[0].client_ops as f64;
+            println!(
+                "{:<8} {:>16} {:>12} {:>12} {:>12}",
+                "Config", "Data (MB)", "MB ovh", "Ops", "Ops ovh"
+            );
+            for r in &results {
+                println!(
+                    "{:<8} {:>16.2} {:>11.2}% {:>12} {:>11.1}%",
+                    r.which.name(),
+                    r.mb,
+                    overhead_pct(base_mb, r.mb),
+                    r.client_ops,
+                    overhead_pct(base_ops, r.client_ops as f64)
+                );
+            }
+        }
+    }
+}
+
+fn fig4(small: bool) {
+    hr("Figure 4: Workload elapsed times (paper: overheads <10% in 29 of 36 results,\n          max 36%; Dec/Jan runs 4-44.5% faster than September)");
+    let results = workload_runs::figure4(!small);
+    let mut within10 = 0;
+    let mut total = 0;
+    let mut max_ovh: f64 = 0.0;
+    for era in [Era::Sept2009, Era::DecJan2010] {
+        for loc in ["EC2", "LOCAL"] {
+            println!(
+                "\n  [{} / {}]",
+                match era {
+                    Era::Sept2009 => "Sept 2009",
+                    Era::DecJan2010 => "Dec/Jan 2010",
+                },
+                loc
+            );
+            println!(
+                "  {:<9} {:>10} {:>10} {:>10} {:>10}   overheads",
+                "Workload", "S3fs", "P1", "P2", "P3"
+            );
+            for wl in workload_runs::Workload::ALL {
+                let cells: Vec<_> = results
+                    .iter()
+                    .filter(|r| {
+                        r.workload == wl
+                            && r.context.era == era
+                            && (r.context.location == ClientLocation::Ec2) == (loc == "EC2")
+                    })
+                    .collect();
+                let base = cells
+                    .iter()
+                    .find(|c| c.which == Which::S3fs)
+                    .map(|c| c.elapsed.as_secs_f64())
+                    .unwrap_or(0.0);
+                let t = |w: Which| {
+                    cells
+                        .iter()
+                        .find(|c| c.which == w)
+                        .map(|c| c.elapsed.as_secs_f64())
+                        .unwrap_or(0.0)
+                };
+                let ovh: Vec<String> = [Which::P1, Which::P2, Which::P3]
+                    .iter()
+                    .map(|w| {
+                        let pct = overhead_pct(base, t(*w));
+                        total += 1;
+                        if pct < 10.0 {
+                            within10 += 1;
+                        }
+                        if pct > max_ovh {
+                            max_ovh = pct;
+                        }
+                        format!("{pct:+.1}%")
+                    })
+                    .collect();
+                println!(
+                    "  {:<9} {:>10.0} {:>10.0} {:>10.0} {:>10.0}   {}",
+                    wl.name(),
+                    base,
+                    t(Which::P1),
+                    t(Which::P2),
+                    t(Which::P3),
+                    ovh.join(" ")
+                );
+            }
+        }
+    }
+    println!(
+        "\n  Summary: {within10}/{total} protocol results within 10% of S3fs (paper: 29/36);\n  max overhead {max_ovh:.1}% (paper: 36%)."
+    );
+}
+
+fn table4(small: bool) {
+    hr("Table 4: Cost per benchmark in USD (paper: Nightly 1.05/1.05/1.05/1.06,\n         Blast 0.37/0.39/0.38/0.40, Challenge 0.27/0.29/0.29/0.30)");
+    let results = workload_runs::table4(!small);
+    println!(
+        "{:<9} {:>8} {:>8} {:>8} {:>8}",
+        "Workload", "S3fs", "P1", "P2", "P3"
+    );
+    for wl in [
+        workload_runs::Workload::Nightly,
+        workload_runs::Workload::Blast,
+        workload_runs::Workload::Challenge,
+    ] {
+        let c = |w: Which| {
+            results
+                .iter()
+                .find(|r| r.workload == wl && r.which == w)
+                .map(|r| r.cost_usd)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:<9} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            wl.name(),
+            c(Which::S3fs),
+            c(Which::P1),
+            c(Which::P2),
+            c(Which::P3)
+        );
+    }
+}
+
+fn table5(small: bool) {
+    hr("Table 5: Query performance on Blast provenance (paper: Q.1 S3 48.57 s seq /\n         7.04 s par / 1671 ops vs SimpleDB 0.83 s / 13 ops; Q.2 comparable;\n         Q.3/Q.4 SimpleDB ~10x faster, 37/87 ops)");
+    let params = if small {
+        BlastParams::small()
+    } else {
+        BlastParams::default()
+    };
+    println!(
+        "{:<5} {:<18} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "Query", "Backend", "Seq (s)", "Par (s)", "MB", "Ops", "Nodes"
+    );
+    for r in queries::table5(params) {
+        println!(
+            "{:<5} {:<18} {:>10.3} {:>10} {:>10.2} {:>8} {:>8}",
+            r.query,
+            r.backend,
+            r.sequential.elapsed.as_secs_f64(),
+            r.parallel
+                .map(|p| format!("{:.3}", p.elapsed.as_secs_f64()))
+                .unwrap_or_else(|| "-".into()),
+            r.sequential.bytes as f64 / 1e6,
+            r.sequential.ops,
+            r.result_nodes
+        );
+    }
+}
+
+fn uml(small: bool) {
+    hr("\u{a7}5.2 UML impact (paper: nightly 419 s -> 528 s, Blast 650 s -> 1322 s)");
+    println!(
+        "{:<9} {:>12} {:>12} {:>8}",
+        "Workload", "Native (s)", "UML (s)", "Factor"
+    );
+    for c in umlcheck::run(!small) {
+        println!(
+            "{:<9} {:>12.0} {:>12.0} {:>7.2}x",
+            c.workload.name(),
+            c.native.as_secs_f64(),
+            c.uml.as_secs_f64(),
+            c.factor()
+        );
+    }
+}
+
+fn ablation_report() {
+    hr("Ablations of \u{a7}4 design choices");
+    let corpus = ablations::small_corpus();
+
+    println!("\nP3 WAL message size (8 KB is the SQS cap the paper works within):");
+    println!("  {:<10} {:>10} {:>12}", "Size (B)", "Sends", "Time (s)");
+    for p in ablations::wal_message_size(&corpus, &[2048, 4096, 8192]) {
+        println!(
+            "  {:<10} {:>10} {:>12.1}",
+            p.value,
+            p.ops,
+            p.elapsed.as_secs_f64()
+        );
+    }
+
+    println!("\nP2 SimpleDB batch size (25 is the service cap):");
+    println!("  {:<10} {:>10} {:>12}", "Items", "DB calls", "Time (s)");
+    for p in ablations::db_batch_size(&corpus, &[1, 5, 25]) {
+        println!(
+            "  {:<10} {:>10} {:>12.1}",
+            p.value,
+            p.ops,
+            p.elapsed.as_secs_f64()
+        );
+    }
+
+    let (strict, parallel) = ablations::ordering_cost(&corpus);
+    println!(
+        "\nP1 ancestor ordering: strict {:.1} s vs parallel {:.1} s ({:+.0}% — the\nlatency the paper's implementation avoided by forfeiting causal ordering)",
+        strict.as_secs_f64(),
+        parallel.as_secs_f64(),
+        overhead_pct(parallel.as_secs_f64(), strict.as_secs_f64())
+    );
+
+    let (separate, metadata) = ablations::provenance_as_metadata();
+    println!(
+        "\nProvenance-as-metadata (rejected in \u{a7}4.3.1): after DELETE, separate object\nsurvives: {}; metadata survives: {} (the persistence violation)",
+        mark(separate),
+        mark(metadata)
+    );
+
+    let versioned = ablations::versioned_corpus();
+    let (eventual_rate, strict_rate) = ablations::consistency_detection_rate(2_000);
+    println!(
+        "\nConsistency models (\u{a7}2.3.1): read-your-write goes stale {:.1}% of the\ntime under AWS-style eventual consistency vs {:.1}% under Azure-style strict\nconsistency (why the protocols carry detection machinery)",
+        eventual_rate * 100.0,
+        strict_rate * 100.0
+    );
+
+    let (per_version, per_object, ambiguous) = ablations::row_per_version_vs_object(&versioned);
+    println!(
+        "\nOne-row-per-version vs per-object (\u{a7}4.3.2): {per_version} version items vs\n{per_object} merged items; {ambiguous} objects would lose version attribution"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let t0 = Instant::now();
+    match cmd.as_str() {
+        "table1" => table1(),
+        "table2" => table2(small),
+        "table3" | "fig3" => micro_tables(small),
+        "table4" => table4(small),
+        "table5" => table5(small),
+        "fig4" => fig4(small),
+        "umlcheck" => uml(small),
+        "ablations" => ablation_report(),
+        "all" => {
+            table1();
+            table2(small);
+            micro_tables(small);
+            fig4(small);
+            table4(small);
+            table5(small);
+            uml(small);
+            ablation_report();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|all [--small]"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("\n[repro completed in {:.1} s wall time]", t0.elapsed().as_secs_f64());
+}

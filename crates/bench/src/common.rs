@@ -1,0 +1,133 @@
+//! Shared harness plumbing: protocol construction, run contexts, and
+//! result formatting helpers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cloudprov_cloud::{AwsProfile, CloudEnv, RunContext};
+use cloudprov_core::{ProtocolConfig, S3fsBaseline, StorageProtocol, P1, P2, P3};
+use cloudprov_sim::Sim;
+
+/// Which storage configuration a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Which {
+    /// Provenance-free baseline.
+    S3fs,
+    /// Protocol 1 (S3 only).
+    P1,
+    /// Protocol 2 (S3 + SimpleDB).
+    P2,
+    /// Protocol 3 (S3 + SimpleDB + SQS WAL).
+    P3,
+}
+
+impl Which {
+    /// All four configurations, baseline first.
+    pub const ALL: [Which; 4] = [Which::S3fs, Which::P1, Which::P2, Which::P3];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Which::S3fs => "S3fs",
+            Which::P1 => "P1",
+            Which::P2 => "P2",
+            Which::P3 => "P3",
+        }
+    }
+}
+
+/// A provisioned run environment: simulation, cloud, protocol, and (for
+/// P3) its daemons.
+pub struct Rig {
+    /// The simulation.
+    pub sim: Sim,
+    /// The cloud environment.
+    pub env: CloudEnv,
+    /// The protocol under test.
+    pub protocol: Arc<dyn StorageProtocol>,
+    /// P3's commit daemon (None otherwise).
+    pub commit_daemon: Option<Arc<cloudprov_core::CommitDaemon>>,
+}
+
+impl Rig {
+    /// Provisions a fresh environment for `which` under `context`.
+    pub fn new(which: Which, context: RunContext, config: ProtocolConfig) -> Rig {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::calibrated(context));
+        Self::over(sim, env, which, config)
+    }
+
+    /// Provisions with an explicit profile (tests use
+    /// [`AwsProfile::instant`]).
+    pub fn with_profile(which: Which, profile: AwsProfile, config: ProtocolConfig) -> Rig {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, profile);
+        Self::over(sim, env, which, config)
+    }
+
+    fn over(sim: Sim, env: CloudEnv, which: Which, config: ProtocolConfig) -> Rig {
+        let (protocol, commit_daemon): (Arc<dyn StorageProtocol>, _) = match which {
+            Which::S3fs => (Arc::new(S3fsBaseline::new(&env, config)) as _, None),
+            Which::P1 => (Arc::new(P1::new(&env, config)) as _, None),
+            Which::P2 => (Arc::new(P2::new(&env, config)) as _, None),
+            Which::P3 => {
+                let p3 = P3::new(&env, config, "wal-bench");
+                let daemon = Arc::new(p3.commit_daemon());
+                (Arc::new(p3) as _, Some(daemon))
+            }
+        };
+        Rig {
+            sim,
+            env,
+            protocol,
+            commit_daemon,
+        }
+    }
+
+    /// Drains P3's WAL (no-op for other protocols). Call before reading
+    /// final state or costs.
+    pub fn drain_commits(&self) {
+        if let Some(d) = &self.commit_daemon {
+            d.run_until_idle().expect("commit daemon drain");
+        }
+    }
+}
+
+/// Formats a duration as seconds with one decimal.
+pub fn secs(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64())
+}
+
+/// Percentage overhead of `value` relative to `base`.
+pub fn overhead_pct(base: f64, value: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (value - base) / base * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_builds_every_protocol() {
+        for which in Which::ALL {
+            let rig = Rig::with_profile(
+                which,
+                AwsProfile::instant(),
+                ProtocolConfig::default(),
+            );
+            assert_eq!(rig.protocol.name(), which.name());
+            assert_eq!(rig.commit_daemon.is_some(), which == Which::P3);
+            rig.drain_commits();
+        }
+    }
+
+    #[test]
+    fn overhead_math() {
+        assert_eq!(overhead_pct(100.0, 150.0), 50.0);
+        assert_eq!(overhead_pct(0.0, 10.0), 0.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per table/figure of the paper's evaluation (§5).
+
+pub mod ablations;
+pub mod micro;
+pub mod props;
+pub mod queries;
+pub mod services;
+pub mod umlcheck;
+pub mod workload_runs;

@@ -1,0 +1,174 @@
+//! Table 5: query performance over the Blast provenance.
+//!
+//! Populates both provenance layouts (P1's S3 objects, P2/P3's SimpleDB
+//! items) with the captured Blast corpus, then runs Q.1–Q.4 sequentially
+//! and in parallel, reporting elapsed virtual time, megabytes transferred
+//! and operation counts — the exact columns of Table 5.
+
+use cloudprov_cloud::{Era, Machine, RunContext};
+use cloudprov_core::ProtocolConfig;
+use cloudprov_query::{Mode, QueryEngine, QueryMetrics};
+use cloudprov_workloads::{blast, collect, BlastParams, OfflineRun};
+
+use crate::common::{Rig, Which};
+use crate::uploader::upload;
+
+/// One Table 5 row-half (one query on one backend).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    /// Query id ("Q.1".."Q.4").
+    pub query: &'static str,
+    /// Backend ("S3 (P1)" or "SimpleDB (P2, P3)").
+    pub backend: &'static str,
+    /// Sequential execution cost.
+    pub sequential: QueryMetrics,
+    /// Parallel execution cost (None where parallelism does not apply).
+    pub parallel: Option<QueryMetrics>,
+    /// Result-set size (nodes).
+    pub result_nodes: usize,
+}
+
+/// The program whose outputs Q.3/Q.4 chase.
+pub const PROGRAM: &str = "blastall";
+
+fn ec2() -> RunContext {
+    RunContext {
+        location: cloudprov_cloud::ClientLocation::Ec2,
+        era: Era::Sept2009,
+        machine: Machine::Native,
+    }
+}
+
+/// Populates both layouts and returns engines `(s3_engine, db_engine)`
+/// with their rigs (kept alive for the environment).
+pub fn seed(corpus: &OfflineRun) -> ((Rig, QueryEngine), (Rig, QueryEngine)) {
+    let quiesce = std::time::Duration::from_secs(15);
+    let rig1 = Rig::new(Which::P1, ec2(), ProtocolConfig::default());
+    upload(&rig1, corpus, 26);
+    // Let eventual consistency converge before measuring queries (readers
+    // otherwise have to "try refreshing the data", §4.3.1).
+    rig1.sim.sleep(quiesce);
+    let store1 = rig1.protocol.provenance_store().expect("p1 store");
+    let engine1 = QueryEngine::new(&rig1.env, store1, "data");
+
+    let rig2 = Rig::new(Which::P2, ec2(), ProtocolConfig::default());
+    upload(&rig2, corpus, 26);
+    rig2.sim.sleep(quiesce);
+    let store2 = rig2.protocol.provenance_store().expect("p2 store");
+    let engine2 = QueryEngine::new(&rig2.env, store2, "data");
+
+    ((rig1, engine1), (rig2, engine2))
+}
+
+/// Runs all four queries on both backends.
+pub fn table5(params: BlastParams) -> Vec<QueryResult> {
+    let corpus = collect(&blast(params));
+    let ((_rig1, s3_engine), (_rig2, db_engine)) = seed(&corpus);
+    let mut out = Vec::new();
+
+    for (backend, engine) in [("S3 (P1)", &s3_engine), ("SimpleDB (P2, P3)", &db_engine)] {
+        // Q.1: dump everything.
+        let seq = engine.q1_all(Mode::Sequential).expect("q1 seq");
+        let par = (backend.starts_with("S3"))
+            .then(|| engine.q1_all(Mode::Parallel).expect("q1 par").metrics);
+        out.push(QueryResult {
+            query: "Q.1",
+            backend,
+            sequential: seq.metrics,
+            parallel: par,
+            result_nodes: seq.nodes.len(),
+        });
+
+        // Q.2: per-object average over a sample of files.
+        let written: Vec<&cloudprov_workloads::OfflineFile> =
+            corpus.files.iter().filter(|f| f.written).collect();
+        let sample: Vec<&cloudprov_workloads::OfflineFile> = written
+            .iter()
+            .step_by((written.len() / 16).max(1))
+            .copied()
+            .collect();
+        let mut total = QueryMetrics::default();
+        let mut count = 0u32;
+        for f in &sample {
+            let key = f.path.trim_start_matches('/');
+            if let Ok(r) = engine.q2_object(key) {
+                total.elapsed += r.metrics.elapsed;
+                total.ops += r.metrics.ops;
+                total.bytes += r.metrics.bytes;
+                count += 1;
+            }
+        }
+        let avg = QueryMetrics {
+            elapsed: total.elapsed / count.max(1),
+            ops: total.ops / u64::from(count.max(1)),
+            bytes: total.bytes / u64::from(count.max(1)),
+        };
+        out.push(QueryResult {
+            query: "Q.2",
+            backend,
+            sequential: avg,
+            parallel: None,
+            result_nodes: count as usize,
+        });
+
+        // Q.3: direct outputs of blastall.
+        let seq = engine.q3_outputs_of(PROGRAM, Mode::Sequential).expect("q3 seq");
+        let par = engine.q3_outputs_of(PROGRAM, Mode::Parallel).expect("q3 par");
+        out.push(QueryResult {
+            query: "Q.3",
+            backend,
+            sequential: seq.metrics,
+            parallel: Some(par.metrics),
+            result_nodes: seq.nodes.len(),
+        });
+
+        // Q.4: all descendants.
+        let seq = engine
+            .q4_descendants_of(PROGRAM, Mode::Sequential)
+            .expect("q4 seq");
+        let par = engine
+            .q4_descendants_of(PROGRAM, Mode::Parallel)
+            .expect("q4 par");
+        out.push(QueryResult {
+            query: "Q.4",
+            backend,
+            sequential: seq.metrics,
+            parallel: Some(par.metrics),
+            result_nodes: seq.nodes.len(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_shape_at_small_scale() {
+        let rows = table5(BlastParams::small());
+        assert_eq!(rows.len(), 8);
+        let q = |query: &str, backend_prefix: &str| {
+            rows.iter()
+                .find(|r| r.query == query && r.backend.starts_with(backend_prefix))
+                .unwrap()
+                .clone()
+        };
+        // Q.1: SimpleDB uses far fewer ops than the S3 scan.
+        assert!(q("Q.1", "SimpleDB").sequential.ops < q("Q.1", "S3").sequential.ops);
+        // Q.3/Q.4: SimpleDB is selective; S3 scans everything.
+        assert!(q("Q.3", "SimpleDB").sequential.ops < q("Q.3", "S3").sequential.ops);
+        assert!(
+            q("Q.3", "SimpleDB").sequential.elapsed < q("Q.3", "S3").sequential.elapsed,
+            "indexed queries are faster"
+        );
+        // Both backends agree on result sizes for Q.3.
+        assert_eq!(
+            q("Q.3", "SimpleDB").result_nodes,
+            q("Q.3", "S3").result_nodes
+        );
+        // Parallelism helps the S3 scan.
+        let s3q1 = q("Q.1", "S3");
+        assert!(s3q1.parallel.unwrap().elapsed < s3q1.sequential.elapsed);
+    }
+}

@@ -1,0 +1,198 @@
+//! Table 2: raw service throughput — "Time taken to upload 50MB of
+//! provenance to each of the services" — plus the concurrency-scaling
+//! observation behind it (S3 and SQS kept scaling to 150 connections,
+//! SimpleDB peaked around 40).
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use cloudprov_cloud::{AwsProfile, CloudEnv, Metadata, PutItem, RunContext};
+use cloudprov_pass::wire;
+use cloudprov_pass::ProvenanceRecord;
+use cloudprov_sim::Sim;
+use cloudprov_workloads::linux_compile_provenance;
+
+/// Outcome of one service upload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceResult {
+    /// Service name ("S3", "SimpleDB", "SQS").
+    pub service: &'static str,
+    /// Elapsed virtual time.
+    pub elapsed: Duration,
+    /// Requests issued.
+    pub ops: u64,
+    /// Connections used.
+    pub connections: usize,
+}
+
+/// Packs records into units of at most `unit` bytes (whole records).
+fn pack(records: &[ProvenanceRecord], unit: usize) -> Vec<Bytes> {
+    wire::chunk(records, unit)
+}
+
+/// Uploads `records` to S3 as ~1 KB provenance objects over `conns`
+/// connections.
+pub fn upload_s3(records: &[ProvenanceRecord], conns: usize, context: RunContext) -> ServiceResult {
+    let sim = Sim::new();
+    let env = CloudEnv::new(&sim, AwsProfile::calibrated(context));
+    let units = pack(records, 1024);
+    let n = units.len() as u64;
+    let t0 = sim.now();
+    let tasks: Vec<_> = units
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let s3 = env.s3().clone();
+            move || {
+                s3.put("prov", &format!("lc/{i:07}"), body.into(), Metadata::new())
+                    .expect("put");
+            }
+        })
+        .collect();
+    sim.run_parallel(conns, tasks);
+    ServiceResult {
+        service: "S3",
+        elapsed: sim.now() - t0,
+        ops: n,
+        connections: conns,
+    }
+}
+
+/// Uploads `records` to SimpleDB as ~1 KB items, 25 per batch call, over
+/// `conns` connections.
+pub fn upload_sdb(records: &[ProvenanceRecord], conns: usize, context: RunContext) -> ServiceResult {
+    let sim = Sim::new();
+    let env = CloudEnv::new(&sim, AwsProfile::calibrated(context));
+    env.sdb().create_domain("lc");
+    let units = pack(records, 1024);
+    let items: Vec<PutItem> = units
+        .iter()
+        .enumerate()
+        .map(|(i, body)| PutItem {
+            name: format!("u{i:07}"),
+            attrs: vec![(
+                "prov".to_string(),
+                String::from_utf8_lossy(&body[..body.len().min(1000)]).into_owned(),
+            )],
+            replace: false,
+        })
+        .collect();
+    let batches: Vec<Vec<PutItem>> = items.chunks(25).map(<[PutItem]>::to_vec).collect();
+    let n = batches.len() as u64;
+    let t0 = sim.now();
+    let tasks: Vec<_> = batches
+        .into_iter()
+        .map(|batch| {
+            let sdb = env.sdb().clone();
+            move || {
+                sdb.batch_put_attributes("lc", batch).expect("batch put");
+            }
+        })
+        .collect();
+    sim.run_parallel(conns, tasks);
+    ServiceResult {
+        service: "SimpleDB",
+        elapsed: sim.now() - t0,
+        ops: n,
+        connections: conns,
+    }
+}
+
+/// Uploads `records` to SQS as 8 KB messages over `conns` connections.
+pub fn upload_sqs(records: &[ProvenanceRecord], conns: usize, context: RunContext) -> ServiceResult {
+    let sim = Sim::new();
+    let env = CloudEnv::new(&sim, AwsProfile::calibrated(context));
+    let url = env.sqs().create_queue("lc");
+    let chunks = pack(records, 8 * 1024);
+    let n = chunks.len() as u64;
+    let t0 = sim.now();
+    let tasks: Vec<_> = chunks
+        .into_iter()
+        .map(|body| {
+            let sqs = env.sqs().clone();
+            let url = url.clone();
+            move || {
+                sqs.send(&url, body).expect("send");
+            }
+        })
+        .collect();
+    sim.run_parallel(conns, tasks);
+    ServiceResult {
+        service: "SQS",
+        elapsed: sim.now() - t0,
+        ops: n,
+        connections: conns,
+    }
+}
+
+/// The Table 2 experiment: `bytes` of Linux-compile provenance to each
+/// service at the paper's connection counts (150/40/150).
+pub fn table2(bytes: usize, context: RunContext) -> Vec<ServiceResult> {
+    let records = linux_compile_provenance(bytes);
+    vec![
+        upload_s3(&records, 150, context),
+        upload_sdb(&records, 40, context),
+        upload_sqs(&records, 150, context),
+    ]
+}
+
+/// Concurrency sweep for one service ("we tried to find the maximum
+/// possible throughput by varying the number of concurrent connections").
+pub fn sweep(
+    service: &str,
+    bytes: usize,
+    conns: &[usize],
+    context: RunContext,
+) -> Vec<ServiceResult> {
+    let records = linux_compile_provenance(bytes);
+    conns
+        .iter()
+        .map(|c| match service {
+            "S3" => upload_s3(&records, *c, context),
+            "SimpleDB" => upload_sdb(&records, *c, context),
+            _ => upload_sqs(&records, *c, context),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> RunContext {
+        RunContext::default()
+    }
+
+    #[test]
+    fn sqs_is_dramatically_faster_and_sdb_slowest() {
+        // Table 2 shape at reduced volume.
+        let results = table2(1 << 20, ctx());
+        let s3 = results[0].elapsed;
+        let sdb = results[1].elapsed;
+        let sqs = results[2].elapsed;
+        assert!(sqs < s3, "SQS must beat S3 (8KB batching)");
+        assert!(s3 < sdb, "S3 must beat SimpleDB");
+        assert!(
+            sqs.as_secs_f64() * 4.0 < s3.as_secs_f64(),
+            "SQS dramatically faster: {sqs:?} vs {s3:?}"
+        );
+    }
+
+    #[test]
+    fn simpledb_plateaus_around_forty_connections() {
+        let results = sweep("SimpleDB", 512 << 10, &[10, 40, 150], ctx());
+        let t10 = results[0].elapsed.as_secs_f64();
+        let t40 = results[1].elapsed.as_secs_f64();
+        let t150 = results[2].elapsed.as_secs_f64();
+        assert!(t40 < t10 * 0.5, "scales up to 40");
+        assert!(t150 > t40 * 0.85, "no real gain beyond 40: {t40} vs {t150}");
+    }
+
+    #[test]
+    fn s3_keeps_scaling_to_150() {
+        let results = sweep("S3", 256 << 10, &[40, 150], ctx());
+        let t40 = results[0].elapsed.as_secs_f64();
+        let t150 = results[1].elapsed.as_secs_f64();
+        assert!(t150 < t40 * 0.5, "S3 scales past 40: {t40} vs {t150}");
+    }
+}

@@ -1,0 +1,63 @@
+//! §5.2's UML-impact check: the paper confirmed the Blast anomaly by
+//! rerunning nightly and Blast on a **native** EC2 instance vs the UML
+//! guest: nightly 419 s → 528 s, Blast 650 s → 1322 s (UML's 512 MB memory
+//! ceiling crushes Blast's page cache).
+
+use std::time::Duration;
+
+use cloudprov_cloud::{Era, RunContext};
+
+use crate::common::Which;
+use crate::experiments::workload_runs::{run_cell, Workload};
+
+/// Native-vs-UML comparison for one workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UmlCheck {
+    /// Workload.
+    pub workload: Workload,
+    /// Elapsed on a native EC2 instance.
+    pub native: Duration,
+    /// Elapsed under UML on the same instance.
+    pub uml: Duration,
+}
+
+impl UmlCheck {
+    /// UML slowdown factor.
+    pub fn factor(&self) -> f64 {
+        self.uml.as_secs_f64() / self.native.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the check for nightly and Blast (baseline file system, as the
+/// paper did).
+pub fn run(full_scale: bool) -> Vec<UmlCheck> {
+    let native = RunContext::ec2_native(Era::Sept2009);
+    let uml = RunContext::ec2(Era::Sept2009);
+    [Workload::Nightly, Workload::Blast]
+        .into_iter()
+        .map(|w| UmlCheck {
+            workload: w,
+            native: run_cell(w, Which::S3fs, native, full_scale).elapsed,
+            uml: run_cell(w, Which::S3fs, uml, full_scale).elapsed,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blast_suffers_more_under_uml_than_nightly() {
+        let checks = run(false);
+        let nightly = checks[0];
+        let blast = checks[1];
+        assert!(nightly.factor() > 1.0, "UML slows nightly");
+        assert!(
+            blast.factor() > nightly.factor(),
+            "Blast's memory pressure amplifies the UML penalty: {:.2} vs {:.2}",
+            blast.factor(),
+            nightly.factor()
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! [`CloudEnv`]: one simulated AWS account bundling the three services, a
+//! shared meter, a shared fault plan and the latency profile.
+
+use cloudprov_sim::Sim;
+
+use crate::fault::FaultHandle;
+use crate::meter::{Meter, Service, UsageReport};
+use crate::pricing::{CostBreakdown, PriceBook};
+use crate::profile::AwsProfile;
+use crate::s3::ObjectStore;
+use crate::sdb::Database;
+use crate::service::ServiceCore;
+use crate::sqs::QueueService;
+
+/// A complete simulated cloud: S3-like store, SimpleDB-like database and
+/// SQS-like queue sharing one profile, meter and fault plan.
+///
+/// # Examples
+///
+/// ```
+/// use cloudprov_cloud::{AwsProfile, Blob, CloudEnv, Metadata};
+/// use cloudprov_sim::Sim;
+///
+/// let sim = Sim::new();
+/// let env = CloudEnv::new(&sim, AwsProfile::instant());
+/// env.s3().put("bucket", "key", Blob::from("data"), Metadata::new())?;
+/// assert_eq!(env.s3().get("bucket", "key")?.blob, Blob::from("data"));
+/// # Ok::<(), cloudprov_cloud::CloudError>(())
+/// ```
+#[derive(Clone)]
+pub struct CloudEnv {
+    sim: Sim,
+    profile: AwsProfile,
+    s3: ObjectStore,
+    sdb: Database,
+    sqs: QueueService,
+    meter: Meter,
+    faults: FaultHandle,
+}
+
+impl std::fmt::Debug for CloudEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudEnv")
+            .field("context", &self.profile.context)
+            .finish()
+    }
+}
+
+impl CloudEnv {
+    /// Provisions a fresh cloud environment on the given simulation.
+    pub fn new(sim: &Sim, profile: AwsProfile) -> CloudEnv {
+        let meter = Meter::new();
+        let faults = FaultHandle::new();
+        let s3 = ObjectStore::new(ServiceCore::new(
+            sim,
+            Service::ObjectStore,
+            &profile,
+            meter.clone(),
+            faults.clone(),
+        ));
+        let sdb = Database::new(ServiceCore::new(
+            sim,
+            Service::Database,
+            &profile,
+            meter.clone(),
+            faults.clone(),
+        ));
+        let sqs = QueueService::new(ServiceCore::new(
+            sim,
+            Service::Queue,
+            &profile,
+            meter.clone(),
+            faults.clone(),
+        ));
+        CloudEnv {
+            sim: sim.clone(),
+            profile,
+            s3,
+            sdb,
+            sqs,
+            meter,
+            faults,
+        }
+    }
+
+    /// The simulation this environment runs on.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The latency/consistency profile in force.
+    pub fn profile(&self) -> &AwsProfile {
+        &self.profile
+    }
+
+    /// Object-store handle (client actor).
+    pub fn s3(&self) -> &ObjectStore {
+        &self.s3
+    }
+
+    /// Database handle (client actor).
+    pub fn sdb(&self) -> &Database {
+        &self.sdb
+    }
+
+    /// Queue handle (client actor).
+    pub fn sqs(&self) -> &QueueService {
+        &self.sqs
+    }
+
+    /// The shared usage meter.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// The shared fault-injection handle.
+    pub fn faults(&self) -> &FaultHandle {
+        &self.faults
+    }
+
+    /// Convenience: current usage report.
+    pub fn usage(&self) -> UsageReport {
+        self.meter.report(self.sim.now())
+    }
+
+    /// Convenience: current cost at 2009 prices.
+    pub fn cost(&self) -> CostBreakdown {
+        PriceBook::aws_2009().cost(&self.usage())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blob::Blob;
+    use crate::meter::{Actor, Op};
+    use crate::s3::Metadata;
+    use bytes::Bytes;
+
+    #[test]
+    fn env_bundles_working_services() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        env.s3()
+            .put("b", "k", Blob::from("x"), Metadata::new())
+            .unwrap();
+        env.sdb().create_domain("d");
+        env.sdb()
+            .put_attributes(
+                "d",
+                crate::sdb::PutItem {
+                    name: "i".into(),
+                    attrs: vec![("a".into(), "1".into())],
+                    replace: false,
+                },
+            )
+            .unwrap();
+        let url = env.sqs().create_queue("q");
+        env.sqs().send(&url, Bytes::from_static(b"m")).unwrap();
+        let usage = env.usage();
+        assert_eq!(usage.get(Actor::Client, Service::ObjectStore, Op::Put).count, 1);
+        assert_eq!(usage.get(Actor::Client, Service::Database, Op::DbPut).count, 1);
+        assert_eq!(usage.get(Actor::Client, Service::Queue, Op::Send).count, 1);
+        assert!(env.cost().total() > 0.0);
+    }
+
+    #[test]
+    fn services_share_one_meter() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        env.s3()
+            .put("b", "k", Blob::synthetic(1 << 20, 0), Metadata::new())
+            .unwrap();
+        let usage = env.usage();
+        assert_eq!(usage.client_ops(), 1);
+        assert!(usage.client_mb_transferred() > 1.0);
+    }
+}

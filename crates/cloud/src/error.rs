@@ -1,0 +1,122 @@
+//! Error type shared by all simulated cloud services.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the simulated cloud services.
+///
+/// These mirror the failure modes of the real 2009-era AWS APIs that the
+/// paper's protocols must handle: missing keys (including *eventually
+/// consistent* reads that do not yet see a fresh PUT), service limits
+/// (SimpleDB's 1 KB attributes, SQS's 8 KB messages, 25-item batches), and
+/// malformed SELECT expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CloudError {
+    /// The requested object does not exist (or is not yet visible to this
+    /// read under eventual consistency).
+    NoSuchKey {
+        /// Bucket that was addressed.
+        bucket: String,
+        /// Key that was addressed.
+        key: String,
+    },
+    /// The addressed SimpleDB domain has not been created.
+    NoSuchDomain(String),
+    /// The addressed queue has not been created.
+    NoSuchQueue(String),
+    /// An SQS message body exceeded the 8 KB limit.
+    MessageTooLarge {
+        /// Actual body size in bytes.
+        size: usize,
+        /// The enforced limit in bytes.
+        limit: usize,
+    },
+    /// A SimpleDB attribute name or value exceeded the 1 KB limit.
+    AttributeTooLarge {
+        /// The item that carried the oversized attribute.
+        item: String,
+        /// Actual size in bytes.
+        size: usize,
+        /// The enforced limit in bytes.
+        limit: usize,
+    },
+    /// A BatchPutAttributes call exceeded the 25-item limit.
+    BatchTooLarge {
+        /// Number of items in the rejected batch.
+        items: usize,
+        /// The enforced limit.
+        limit: usize,
+    },
+    /// A SELECT expression could not be parsed.
+    InvalidQuery(String),
+    /// An SQS receipt handle was stale (message redelivered or deleted).
+    InvalidReceipt(String),
+    /// Transient service failure injected by the fault plan.
+    ServiceUnavailable {
+        /// Which service failed.
+        service: &'static str,
+    },
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::NoSuchKey { bucket, key } => {
+                write!(f, "no such key: s3://{bucket}/{key}")
+            }
+            CloudError::NoSuchDomain(d) => write!(f, "no such domain: {d}"),
+            CloudError::NoSuchQueue(q) => write!(f, "no such queue: {q}"),
+            CloudError::MessageTooLarge { size, limit } => {
+                write!(f, "message of {size} bytes exceeds the {limit} byte limit")
+            }
+            CloudError::AttributeTooLarge { item, size, limit } => write!(
+                f,
+                "attribute of {size} bytes on item '{item}' exceeds the {limit} byte limit"
+            ),
+            CloudError::BatchTooLarge { items, limit } => {
+                write!(f, "batch of {items} items exceeds the {limit} item limit")
+            }
+            CloudError::InvalidQuery(msg) => write!(f, "invalid select expression: {msg}"),
+            CloudError::InvalidReceipt(r) => write!(f, "invalid or expired receipt: {r}"),
+            CloudError::ServiceUnavailable { service } => {
+                write!(f, "{service} temporarily unavailable")
+            }
+        }
+    }
+}
+
+impl Error for CloudError {}
+
+/// Result alias used throughout the cloud crate.
+pub type Result<T> = std::result::Result<T, CloudError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = CloudError::NoSuchKey {
+            bucket: "b".into(),
+            key: "k".into(),
+        };
+        assert_eq!(e.to_string(), "no such key: s3://b/k");
+        let e = CloudError::MessageTooLarge {
+            size: 9000,
+            limit: 8192,
+        };
+        assert!(e.to_string().contains("9000"));
+        let e = CloudError::BatchTooLarge {
+            items: 30,
+            limit: 25,
+        };
+        assert!(e.to_string().contains("25"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CloudError>();
+    }
+}

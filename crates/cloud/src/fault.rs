@@ -1,0 +1,78 @@
+//! Fault injection for the simulated services.
+//!
+//! The protocols' interesting behaviour (detection of coupling violations,
+//! WAL recovery, causal-ordering repair) only shows up under adverse
+//! conditions. A [`FaultPlan`] dials those in at runtime: transient request
+//! failures, duplicate queue deliveries, and amplified staleness.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Mutable fault-injection configuration shared by all services of one
+/// [`CloudEnv`](crate::CloudEnv).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability that any service call fails with `ServiceUnavailable`
+    /// after consuming latency (clients are expected to retry).
+    pub fail_probability: f64,
+    /// Probability that an SQS receive re-delivers a message that is still
+    /// within its visibility timeout (at-least-once amplification).
+    pub sqs_duplicate_probability: f64,
+    /// Extra staleness added on top of the profile's consistency window.
+    pub extra_staleness: Duration,
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+}
+
+/// Shared handle to the fault plan; services read it on every call.
+#[derive(Clone, Debug, Default)]
+pub struct FaultHandle {
+    plan: Arc<Mutex<FaultPlan>>,
+}
+
+impl FaultHandle {
+    /// Creates a handle with no faults.
+    pub fn new() -> FaultHandle {
+        FaultHandle::default()
+    }
+
+    /// Replaces the entire plan.
+    pub fn set(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
+    }
+
+    /// Reads the current plan.
+    pub fn current(&self) -> FaultPlan {
+        self.plan.lock().clone()
+    }
+
+    /// Clears all injected faults.
+    pub fn clear(&self) {
+        *self.plan.lock() = FaultPlan::none();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_updates_are_visible_through_clones() {
+        let h = FaultHandle::new();
+        let h2 = h.clone();
+        h.set(FaultPlan {
+            fail_probability: 0.5,
+            ..FaultPlan::none()
+        });
+        assert_eq!(h2.current().fail_probability, 0.5);
+        h2.clear();
+        assert_eq!(h.current().fail_probability, 0.0);
+    }
+}

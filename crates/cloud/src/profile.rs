@@ -1,0 +1,398 @@
+//! Latency, capacity and consistency model for the simulated services.
+//!
+//! # Calibration
+//!
+//! The free parameters below are fitted to the paper's own measurements and
+//! then held fixed across every experiment (see EXPERIMENTS.md):
+//!
+//! * **Table 2** (upload 50 MB of provenance): S3 324.7 s at 150
+//!   connections, SimpleDB 537.1 s at its ~40-connection plateau, SQS
+//!   36.2 s at 150 connections. With ~1 KB records this pins the *write*
+//!   path: S3 PUT ≈ 0.95 s, SimpleDB PutAttributes ≈ 0.43 s/item (the
+//!   plateau is modelled as a 40-slot server-side admission limit), SQS
+//!   SendMessage ≈ 0.84 s for an 8 KB message.
+//! * **Table 5** (queries): S3 GETs of ~1.8 KB provenance objects complete
+//!   1,671 sequential ops in 48.57 s ⇒ read base ≈ 28 ms; SimpleDB SELECT
+//!   pages ⇒ ≈ 60 ms per page. 2009-era AWS writes were far slower than
+//!   reads (synchronous replication + per-request auth), which these
+//!   asymmetric constants capture.
+//! * **§5.2** (UML): User-Mode Linux roughly doubles compute time and adds
+//!   ~26 % to IO time (nightly native 419 s → UML 528 s; Blast 650 s →
+//!   1322 s).
+//! * **§5** (eras): service performance improved 4–44.5 % between the
+//!   September 2009 and December/January 2010 runs; we model the Dec/Jan
+//!   era as a 0.8× multiplier on service times.
+
+use std::time::Duration;
+
+use crate::meter::{Op, Service};
+
+/// Latency/capacity parameters for one service.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceParams {
+    /// Base latency of read-class ops (GET/HEAD/SELECT/Receive).
+    pub read_base: Duration,
+    /// Base latency of write-class ops (PUT/COPY/DELETE/Send).
+    pub write_base: Duration,
+    /// Additional latency per item in a batched database write.
+    pub per_item: Duration,
+    /// Per-KiB cost of request payload (client → service) within the
+    /// slow-start window.
+    pub per_kb_in: Duration,
+    /// Bytes of request payload charged at `per_kb_in` before the stream
+    /// reaches bulk throughput (TCP slow-start + HTTPS framing; small
+    /// objects never escape this window, which is why 2009 S3 was so slow
+    /// for small PUTs yet fine for large backups).
+    pub bulk_threshold: u64,
+    /// Per-KiB cost of request payload beyond the slow-start window.
+    pub per_kb_in_bulk: Duration,
+    /// Per-KiB cost of response payload (service → client).
+    pub per_kb_out: Duration,
+    /// Server-side admission limit: concurrent requests beyond this queue.
+    pub server_concurrency: usize,
+    /// Multiplicative jitter amplitude (0.1 = ±10 %), seeded.
+    pub jitter_frac: f64,
+}
+
+impl ServiceParams {
+    /// Service time for one call, before jitter and context multipliers.
+    pub fn service_time(&self, op: Op, items: usize, bytes_in: u64, bytes_out: u64) -> Duration {
+        let base = match op {
+            Op::Get | Op::Head | Op::DbGet | Op::DbSelect | Op::Receive | Op::List => {
+                self.read_base
+            }
+            Op::Put | Op::Copy | Op::Delete | Op::DbPut | Op::Send => self.write_base,
+        };
+        let items_cost = self.per_item * (items as u32);
+        let kb_out = bytes_out.div_ceil(1024) as u32;
+        base + items_cost + self.transfer_in_time(bytes_in) + self.per_kb_out * kb_out
+    }
+
+    /// Piecewise request-transfer time: slow-start window then bulk rate.
+    pub fn transfer_in_time(&self, bytes_in: u64) -> Duration {
+        let slow = bytes_in.min(self.bulk_threshold);
+        let bulk = bytes_in.saturating_sub(self.bulk_threshold);
+        self.per_kb_in * slow.div_ceil(1024) as u32
+            + self.per_kb_in_bulk * bulk.div_ceil(1024) as u32
+    }
+}
+
+/// Consistency-model parameters (eventual consistency, §2.3.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConsistencyParams {
+    /// Probability that a read is served by a replica that lags the most
+    /// recent write.
+    pub stale_read_probability: f64,
+    /// Mean staleness of a lagging replica.
+    pub mean_staleness: Duration,
+    /// Upper bound on staleness: after this window all replicas converge
+    /// (this is what makes "eventual" properties provable in tests).
+    pub max_staleness: Duration,
+}
+
+impl ConsistencyParams {
+    /// Strict consistency (the Azure column of §2.3.1): reads always see
+    /// the latest write.
+    pub fn strict() -> ConsistencyParams {
+        ConsistencyParams {
+            stale_read_probability: 0.0,
+            mean_staleness: Duration::ZERO,
+            max_staleness: Duration::ZERO,
+        }
+    }
+
+    /// Eventual consistency with the given maximum window.
+    pub fn eventual(max_staleness: Duration) -> ConsistencyParams {
+        ConsistencyParams {
+            stale_read_probability: 0.3,
+            mean_staleness: max_staleness / 4,
+            max_staleness,
+        }
+    }
+}
+
+/// Where the client runs (Figure 4 distinguishes EC2 from a local machine).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ClientLocation {
+    /// Inside the provider's data centre: low RTT, high bandwidth.
+    #[default]
+    Ec2,
+    /// A machine outside AWS: extra WAN RTT, lower bandwidth.
+    Local,
+}
+
+/// Measurement era (§5: performance improved between runs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Era {
+    /// September 2009 runs (Figure 4a).
+    #[default]
+    Sept2009,
+    /// December 2009 / January 2010 runs (Figure 4b).
+    DecJan2010,
+}
+
+/// Kernel environment of the client machine (§5: EC2 instances could not
+/// run the PASS kernel natively, so workloads ran under User-Mode Linux).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Machine {
+    /// Native kernel.
+    #[default]
+    Native,
+    /// User-Mode Linux guest: slower compute and IO.
+    Uml,
+}
+
+/// The full measurement context for a run: where the client is, when the
+/// run happened, and what kernel environment it used.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunContext {
+    /// Client placement.
+    pub location: ClientLocation,
+    /// Measurement era.
+    pub era: Era,
+    /// Client kernel environment.
+    pub machine: Machine,
+}
+
+impl RunContext {
+    /// The paper's EC2 configuration: UML guest on an EC2 medium instance.
+    pub fn ec2(era: Era) -> RunContext {
+        RunContext {
+            location: ClientLocation::Ec2,
+            era,
+            machine: Machine::Uml,
+        }
+    }
+
+    /// The paper's local-machine configuration: native PASS kernel.
+    pub fn local(era: Era) -> RunContext {
+        RunContext {
+            location: ClientLocation::Local,
+            era,
+            machine: Machine::Native,
+        }
+    }
+
+    /// Native EC2 instance (used only for the §5.2 UML-impact check).
+    pub fn ec2_native(era: Era) -> RunContext {
+        RunContext {
+            location: ClientLocation::Ec2,
+            era,
+            machine: Machine::Native,
+        }
+    }
+
+    /// Multiplier applied to service times (era improvements).
+    pub fn service_time_factor(&self) -> f64 {
+        match self.era {
+            Era::Sept2009 => 1.0,
+            Era::DecJan2010 => 0.80,
+        }
+    }
+
+    /// Extra round-trip latency added to every call (WAN distance).
+    pub fn extra_rtt(&self) -> Duration {
+        match self.location {
+            ClientLocation::Ec2 => Duration::ZERO,
+            ClientLocation::Local => Duration::from_millis(20),
+        }
+    }
+
+    /// Multiplier on per-byte transfer cost (WAN bandwidth).
+    pub fn bandwidth_factor(&self) -> f64 {
+        match self.location {
+            ClientLocation::Ec2 => 1.0,
+            ClientLocation::Local => 1.15,
+        }
+    }
+
+    /// Multiplier on workload compute time (UML overhead).
+    pub fn compute_factor(&self) -> f64 {
+        match self.machine {
+            Machine::Native => 1.0,
+            Machine::Uml => 2.0,
+        }
+    }
+
+    /// Multiplier on local-disk IO time (UML overhead; §5.2 measures the
+    /// nightly workload's IO going 419 s → 528 s under UML).
+    pub fn local_io_factor(&self) -> f64 {
+        match self.machine {
+            Machine::Native => 1.0,
+            Machine::Uml => 1.26,
+        }
+    }
+}
+
+/// Complete environment profile: one [`ServiceParams`] per service plus the
+/// consistency model and RNG seed.
+#[derive(Clone, Debug)]
+pub struct AwsProfile {
+    /// Object-store (S3) parameters.
+    pub s3: ServiceParams,
+    /// Database (SimpleDB) parameters.
+    pub sdb: ServiceParams,
+    /// Queue (SQS) parameters.
+    pub sqs: ServiceParams,
+    /// Consistency model shared by S3 and SimpleDB reads.
+    pub consistency: ConsistencyParams,
+    /// Run context (location/era/machine).
+    pub context: RunContext,
+    /// Seed for all service-side randomness (jitter, staleness draws,
+    /// message reordering). Equal seeds give identical runs.
+    pub seed: u64,
+}
+
+impl AwsProfile {
+    /// The calibrated 2009-era AWS profile (see module docs for the
+    /// derivation of each constant).
+    pub fn calibrated(context: RunContext) -> AwsProfile {
+        AwsProfile {
+            s3: ServiceParams {
+                read_base: Duration::from_millis(26),
+                write_base: Duration::from_millis(700),
+                per_item: Duration::ZERO,
+                per_kb_in: Duration::from_micros(2_500),
+                bulk_threshold: 1 << 20,
+                per_kb_in_bulk: Duration::from_micros(125),
+                per_kb_out: Duration::from_micros(1_200),
+                server_concurrency: 250,
+                jitter_frac: 0.08,
+            },
+            sdb: ServiceParams {
+                read_base: Duration::from_millis(55),
+                write_base: Duration::from_millis(200),
+                per_item: Duration::from_millis(310),
+                per_kb_in: Duration::from_micros(800),
+                bulk_threshold: u64::MAX,
+                per_kb_in_bulk: Duration::ZERO,
+                per_kb_out: Duration::from_micros(450),
+                server_concurrency: 40,
+                jitter_frac: 0.08,
+            },
+            sqs: ServiceParams {
+                read_base: Duration::from_millis(90),
+                write_base: Duration::from_millis(790),
+                per_item: Duration::ZERO,
+                per_kb_in: Duration::from_micros(6_500),
+                bulk_threshold: u64::MAX,
+                per_kb_in_bulk: Duration::ZERO,
+                per_kb_out: Duration::from_micros(2_000),
+                server_concurrency: 400,
+                jitter_frac: 0.08,
+            },
+            consistency: ConsistencyParams::eventual(Duration::from_secs(12)),
+            context,
+            seed: 0x5EED_CAFE,
+        }
+    }
+
+    /// Calibrated profile with strict consistency (for tests isolating
+    /// protocol logic from staleness).
+    pub fn calibrated_strict(context: RunContext) -> AwsProfile {
+        AwsProfile {
+            consistency: ConsistencyParams::strict(),
+            ..AwsProfile::calibrated(context)
+        }
+    }
+
+    /// A fast profile for unit tests: microsecond latencies, strict
+    /// consistency, no jitter. Semantics identical to `calibrated`.
+    pub fn instant() -> AwsProfile {
+        let p = ServiceParams {
+            read_base: Duration::from_micros(10),
+            write_base: Duration::from_micros(20),
+            per_item: Duration::from_micros(2),
+            per_kb_in: Duration::ZERO,
+            bulk_threshold: u64::MAX,
+            per_kb_in_bulk: Duration::ZERO,
+            per_kb_out: Duration::ZERO,
+            server_concurrency: 1_000,
+            jitter_frac: 0.0,
+        };
+        AwsProfile {
+            s3: p,
+            sdb: p,
+            sqs: p,
+            consistency: ConsistencyParams::strict(),
+            context: RunContext::default(),
+            seed: 7,
+        }
+    }
+
+    /// Parameters for a given service.
+    pub fn params(&self, service: Service) -> &ServiceParams {
+        match service {
+            Service::ObjectStore => &self.s3,
+            Service::Database => &self.sdb,
+            Service::Queue => &self.sqs,
+        }
+    }
+
+    /// Returns a copy with a different seed (for variance studies).
+    pub fn with_seed(mut self, seed: u64) -> AwsProfile {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_scales_with_payload() {
+        let p = AwsProfile::calibrated(RunContext::default());
+        let small = p.s3.service_time(Op::Put, 0, 1024, 0);
+        let big = p.s3.service_time(Op::Put, 0, 1024 * 1024, 0);
+        assert!(big > small);
+        // 1 MiB at 3.6 ms/KiB ≈ 3.7 s of transfer on top of base.
+        assert!(big > Duration::from_secs(3));
+    }
+
+    #[test]
+    fn reads_are_cheaper_than_writes() {
+        let p = AwsProfile::calibrated(RunContext::default());
+        for svc in [Service::ObjectStore, Service::Database, Service::Queue] {
+            let params = p.params(svc);
+            assert!(params.read_base < params.write_base, "{svc:?}");
+        }
+    }
+
+    #[test]
+    fn batch_writes_scale_per_item() {
+        let p = AwsProfile::calibrated(RunContext::default());
+        let one = p.sdb.service_time(Op::DbPut, 1, 1024, 0);
+        let twenty_five = p.sdb.service_time(Op::DbPut, 25, 25 * 1024, 0);
+        assert!(twenty_five > one * 10);
+    }
+
+    #[test]
+    fn context_multipliers() {
+        let ec2 = RunContext::ec2(Era::Sept2009);
+        assert_eq!(ec2.machine, Machine::Uml);
+        assert_eq!(ec2.compute_factor(), 2.0);
+        assert_eq!(ec2.extra_rtt(), Duration::ZERO);
+
+        let local = RunContext::local(Era::DecJan2010);
+        assert_eq!(local.machine, Machine::Native);
+        assert!(local.extra_rtt() > Duration::ZERO);
+        assert!(local.service_time_factor() < 1.0);
+    }
+
+    #[test]
+    fn strict_consistency_never_stale() {
+        let c = ConsistencyParams::strict();
+        assert_eq!(c.stale_read_probability, 0.0);
+        assert_eq!(c.max_staleness, Duration::ZERO);
+    }
+
+    #[test]
+    fn simpledb_concurrency_plateau_is_forty() {
+        // Table 2: SimpleDB throughput stops scaling at ~40 connections.
+        let p = AwsProfile::calibrated(RunContext::default());
+        assert_eq!(p.sdb.server_concurrency, 40);
+        assert!(p.s3.server_concurrency >= 150);
+        assert!(p.sqs.server_concurrency >= 150);
+    }
+}

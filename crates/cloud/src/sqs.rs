@@ -1,0 +1,413 @@
+//! The SQS-like messaging service (§2.3 "Messaging Service").
+//!
+//! Semantics reproduced from the 2009 service: 8 KB message limit,
+//! at-least-once delivery with a visibility timeout, best-effort (not
+//! strict) FIFO ordering, and automatic deletion of messages older than
+//! four days — the paper's P3 relies on that retention window as its
+//! garbage collector for unfinished write-ahead-log transactions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use cloudprov_sim::SimTime;
+
+use crate::error::{CloudError, Result};
+use crate::meter::{Actor, Op, Service};
+use crate::service::ServiceCore;
+
+/// SQS's 2009 message-size limit in bytes (§2.3: "Both SQS and Queue
+/// enforce an 8KB limit on messages").
+pub const MESSAGE_LIMIT: usize = 8 * 1024;
+/// Messages older than this are deleted automatically (§4.3.3: "SQS
+/// automatically deletes messages older than four days").
+pub const RETENTION: Duration = Duration::from_secs(4 * 24 * 3600);
+/// Maximum messages returned by one receive call.
+pub const RECEIVE_MAX: usize = 10;
+/// Default visibility timeout applied on receive.
+pub const DEFAULT_VISIBILITY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A message handed to a consumer by [`QueueService::receive`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReceivedMessage {
+    /// Stable message id (same across redeliveries).
+    pub id: u64,
+    /// Receipt handle for deleting *this* delivery.
+    pub receipt: String,
+    /// Message body.
+    pub body: Bytes,
+}
+
+struct QueueMessage {
+    id: u64,
+    body: Bytes,
+    sent_at: SimTime,
+    /// Invisible until this instant (0 = visible).
+    visible_at: SimTime,
+    delivery_count: u32,
+}
+
+#[derive(Default)]
+struct QueueState {
+    messages: Vec<QueueMessage>,
+    next_id: u64,
+}
+
+#[derive(Default)]
+struct SqsState {
+    queues: BTreeMap<String, QueueState>,
+}
+
+/// Handle to the simulated messaging service. Cloning is cheap; see
+/// [`QueueService::with_actor`].
+#[derive(Clone)]
+pub struct QueueService {
+    core: Arc<ServiceCore>,
+    state: Arc<Mutex<SqsState>>,
+    actor: Actor,
+    visibility_timeout: Duration,
+    /// Probability of duplicate delivery injected by the fault plan is read
+    /// from the core's fault handle at receive time.
+    _private: (),
+}
+
+impl std::fmt::Debug for QueueService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueService")
+            .field("actor", &self.actor)
+            .finish()
+    }
+}
+
+impl QueueService {
+    pub(crate) fn new(core: Arc<ServiceCore>) -> QueueService {
+        debug_assert_eq!(core.service(), Service::Queue);
+        QueueService {
+            core,
+            state: Arc::new(Mutex::new(SqsState::default())),
+            actor: Actor::Client,
+            visibility_timeout: DEFAULT_VISIBILITY_TIMEOUT,
+            _private: (),
+        }
+    }
+
+    /// Returns a handle whose calls are metered under `actor`.
+    pub fn with_actor(&self, actor: Actor) -> QueueService {
+        QueueService {
+            actor,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a handle using a different visibility timeout on receives.
+    pub fn with_visibility_timeout(&self, timeout: Duration) -> QueueService {
+        QueueService {
+            visibility_timeout: timeout,
+            ..self.clone()
+        }
+    }
+
+    /// Creates a queue (idempotent) and returns its URL.
+    pub fn create_queue(&self, name: &str) -> String {
+        let url = format!("sqs://{name}");
+        self.state.lock().queues.entry(url.clone()).or_default();
+        url
+    }
+
+    fn expire(q: &mut QueueState, now: SimTime) {
+        q.messages
+            .retain(|m| now.saturating_duration_since(m.sent_at) < RETENTION);
+    }
+
+    /// Sends a message.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::MessageTooLarge`] beyond 8 KB;
+    /// [`CloudError::NoSuchQueue`] for unknown queue URLs.
+    pub fn send(&self, queue_url: &str, body: Bytes) -> Result<u64> {
+        if body.len() > MESSAGE_LIMIT {
+            return Err(CloudError::MessageTooLarge {
+                size: body.len(),
+                limit: MESSAGE_LIMIT,
+            });
+        }
+        let state = self.state.clone();
+        let url = queue_url.to_string();
+        let len = body.len() as u64;
+        self.core.call(self.actor, Op::Send, 0, len, move |now| {
+            let mut st = state.lock();
+            let q = st
+                .queues
+                .get_mut(&url)
+                .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+            Self::expire(q, now);
+            let id = q.next_id;
+            q.next_id += 1;
+            q.messages.push(QueueMessage {
+                id,
+                body,
+                sent_at: now,
+                visible_at: now,
+                delivery_count: 0,
+            });
+            Ok((id, 0))
+        })
+    }
+
+    /// Receives up to `max` visible messages (at most 10 per call, like the
+    /// real API). Received messages become invisible for the visibility
+    /// timeout; consumers must [`QueueService::delete`] them before it
+    /// expires or they redeliver (at-least-once).
+    ///
+    /// Delivery order is best-effort FIFO: the service may pick slightly
+    /// out of order, and the fault plan can inject duplicate deliveries.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchQueue`] for unknown queue URLs.
+    pub fn receive(&self, queue_url: &str, max: usize) -> Result<Vec<ReceivedMessage>> {
+        let state = self.state.clone();
+        let core = self.core.clone();
+        let url = queue_url.to_string();
+        let max = max.min(RECEIVE_MAX);
+        let vis = self.visibility_timeout;
+        self.core.call(self.actor, Op::Receive, 0, 0, move |now| {
+            let mut st = state.lock();
+            let q = st
+                .queues
+                .get_mut(&url)
+                .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+            Self::expire(q, now);
+            let mut out = Vec::new();
+            let mut bytes = 0u64;
+            for _ in 0..max {
+                // Best-effort ordering: pick from a small window at the
+                // head of the visible set instead of strictly the front.
+                let visible: Vec<usize> = q
+                    .messages
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.visible_at <= now)
+                    .map(|(i, _)| i)
+                    .collect();
+                if visible.is_empty() {
+                    break;
+                }
+                let window = visible.len().min(4);
+                let pick = visible[core.rng_range(window)];
+                let duplicate =
+                    core.rng_bool(core_dup_probability(&core));
+                let m = &mut q.messages[pick];
+                if !duplicate {
+                    m.visible_at = now + vis;
+                }
+                m.delivery_count += 1;
+                let receipt = format!("{}#{}", m.id, m.delivery_count);
+                bytes += m.body.len() as u64;
+                out.push(ReceivedMessage {
+                    id: m.id,
+                    receipt,
+                    body: m.body.clone(),
+                });
+            }
+            Ok((out, bytes))
+        })
+    }
+
+    /// Deletes a message by receipt handle. Stale receipts (the message was
+    /// redelivered since) still delete the message, matching SQS's lenient
+    /// behaviour; receipts for already-deleted messages succeed silently.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchQueue`] for unknown queues;
+    /// [`CloudError::InvalidReceipt`] for unparsable receipts.
+    pub fn delete(&self, queue_url: &str, receipt: &str) -> Result<()> {
+        let id: u64 = receipt
+            .split('#')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CloudError::InvalidReceipt(receipt.to_string()))?;
+        let state = self.state.clone();
+        let url = queue_url.to_string();
+        self.core.call(self.actor, Op::Delete, 0, 0, move |_now| {
+            let mut st = state.lock();
+            let q = st
+                .queues
+                .get_mut(&url)
+                .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+            q.messages.retain(|m| m.id != id);
+            Ok(((), 0))
+        })
+    }
+
+    /// Instrumentation: total messages (visible or not) currently stored,
+    /// bypassing the API model. For tests and daemons' idle checks.
+    pub fn peek_depth(&self, queue_url: &str) -> usize {
+        self.state
+            .lock()
+            .queues
+            .get(queue_url)
+            .map(|q| q.messages.len())
+            .unwrap_or(0)
+    }
+}
+
+fn core_dup_probability(core: &ServiceCore) -> f64 {
+    core_faults(core).sqs_duplicate_probability
+}
+
+fn core_faults(core: &ServiceCore) -> crate::fault::FaultPlan {
+    core.faults_snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultHandle, FaultPlan};
+    use crate::meter::Meter;
+    use crate::profile::AwsProfile;
+    use cloudprov_sim::Sim;
+
+    fn sqs_with_faults(profile: AwsProfile, faults: FaultHandle) -> (Sim, QueueService) {
+        let sim = Sim::new();
+        let core = ServiceCore::new(&sim, Service::Queue, &profile, Meter::new(), faults);
+        (sim, QueueService::new(core))
+    }
+
+    fn sqs(profile: AwsProfile) -> (Sim, QueueService) {
+        sqs_with_faults(profile, FaultHandle::new())
+    }
+
+    #[test]
+    fn send_receive_delete_roundtrip() {
+        let (_sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from_static(b"record-1")).unwrap();
+        let msgs = q.receive(&url, 10).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].body.as_ref(), b"record-1");
+        q.delete(&url, &msgs[0].receipt).unwrap();
+        assert_eq!(q.peek_depth(&url), 0);
+    }
+
+    #[test]
+    fn oversized_message_rejected_without_latency() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let err = q.send(&url, Bytes::from(vec![0u8; 8193])).unwrap_err();
+        assert!(matches!(err, CloudError::MessageTooLarge { size: 8193, .. }));
+        assert_eq!(sim.now().as_micros(), 0);
+    }
+
+    #[test]
+    fn exactly_8kb_is_accepted() {
+        let (_sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from(vec![0u8; 8192])).unwrap();
+    }
+
+    #[test]
+    fn unknown_queue_rejected() {
+        let (_sim, q) = sqs(AwsProfile::instant());
+        assert!(matches!(
+            q.send("sqs://nope", Bytes::from_static(b"x")).unwrap_err(),
+            CloudError::NoSuchQueue(_)
+        ));
+        assert!(q.receive("sqs://nope", 1).is_err());
+    }
+
+    #[test]
+    fn invisible_until_timeout_then_redelivered() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let q = q.with_visibility_timeout(Duration::from_secs(30));
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from_static(b"m")).unwrap();
+        let first = q.receive(&url, 10).unwrap();
+        assert_eq!(first.len(), 1);
+        // Within the visibility window: nothing to receive.
+        assert!(q.receive(&url, 10).unwrap().is_empty());
+        // After the window, at-least-once redelivery.
+        sim.sleep(Duration::from_secs(31));
+        let second = q.receive(&url, 10).unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].id, first[0].id);
+        assert_ne!(second[0].receipt, first[0].receipt);
+    }
+
+    #[test]
+    fn retention_expires_old_messages() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from_static(b"old")).unwrap();
+        sim.sleep(RETENTION + Duration::from_secs(1));
+        assert!(q.receive(&url, 10).unwrap().is_empty());
+        assert_eq!(q.peek_depth(&url), 0);
+    }
+
+    #[test]
+    fn receive_caps_at_ten() {
+        let (_sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        for i in 0..20 {
+            q.send(&url, Bytes::from(format!("m{i}"))).unwrap();
+        }
+        let msgs = q.receive(&url, 50).unwrap();
+        assert_eq!(msgs.len(), RECEIVE_MAX);
+    }
+
+    #[test]
+    fn all_messages_eventually_delivered_despite_reordering() {
+        let (_sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        for i in 0..40 {
+            q.send(&url, Bytes::from(format!("m{i:02}"))).unwrap();
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        while let Ok(msgs) = q.receive(&url, 10) {
+            if msgs.is_empty() {
+                break;
+            }
+            for m in msgs {
+                seen.insert(String::from_utf8(m.body.to_vec()).unwrap());
+                q.delete(&url, &m.receipt).unwrap();
+            }
+        }
+        assert_eq!(seen.len(), 40);
+    }
+
+    #[test]
+    fn duplicate_delivery_fault_injection() {
+        let faults = FaultHandle::new();
+        faults.set(FaultPlan {
+            sqs_duplicate_probability: 1.0,
+            ..FaultPlan::none()
+        });
+        let (_sim, q) = sqs_with_faults(AwsProfile::instant(), faults);
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from_static(b"dup")).unwrap();
+        // With duplication forced on, the message stays visible after a
+        // receive and is delivered again immediately.
+        let a = q.receive(&url, 1).unwrap();
+        let b = q.receive(&url, 1).unwrap();
+        assert_eq!(a[0].id, b[0].id);
+    }
+
+    #[test]
+    fn delete_with_stale_receipt_still_removes() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let q = q.with_visibility_timeout(Duration::from_secs(1));
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from_static(b"m")).unwrap();
+        let first = q.receive(&url, 1).unwrap();
+        sim.sleep(Duration::from_secs(2));
+        let _second = q.receive(&url, 1).unwrap();
+        // Delete with the FIRST (now stale) receipt.
+        q.delete(&url, &first[0].receipt).unwrap();
+        assert_eq!(q.peek_depth(&url), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Protocol-level error type.
+
+use std::fmt;
+
+use cloudprov_cloud::CloudError;
+use cloudprov_pass::wire::WireError;
+
+/// Errors surfaced by the storage protocols.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// An underlying cloud-service error (after retries were exhausted).
+    Cloud(CloudError),
+    /// Provenance bytes failed to decode.
+    Wire(WireError),
+    /// The injected crash plan stopped the client mid-protocol. Used by
+    /// the fault-injection tests to cut a flush at a step boundary.
+    Crashed {
+        /// The step at which the client died.
+        step: String,
+    },
+    /// An object was read but its provenance could not be located (a
+    /// data-coupling or persistence violation surfaced to the caller).
+    MissingProvenance {
+        /// The object key whose provenance is missing.
+        key: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A commit-daemon operation could not complete within its retry
+    /// budget (e.g. a temp object never became visible).
+    CommitStalled(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Cloud(e) => write!(f, "cloud service error: {e}"),
+            ProtocolError::Wire(e) => write!(f, "{e}"),
+            ProtocolError::Crashed { step } => write!(f, "client crashed at step '{step}'"),
+            ProtocolError::MissingProvenance { key, reason } => {
+                write!(f, "provenance missing for '{key}': {reason}")
+            }
+            ProtocolError::CommitStalled(msg) => write!(f, "commit stalled: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Cloud(e) => Some(e),
+            ProtocolError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CloudError> for ProtocolError {
+    fn from(e: CloudError) -> Self {
+        ProtocolError::Cloud(e)
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Wire(e)
+    }
+}
+
+/// Result alias for protocol operations.
+pub type Result<T> = std::result::Result<T, ProtocolError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = ProtocolError::MissingProvenance {
+            key: "data/foo".into(),
+            reason: "no provenance object".into(),
+        };
+        assert!(e.to_string().contains("data/foo"));
+        let e = ProtocolError::Crashed { step: "p3:log:2".into() };
+        assert!(e.to_string().contains("p3:log:2"));
+    }
+
+    #[test]
+    fn cloud_errors_convert() {
+        let e: ProtocolError = CloudError::NoSuchDomain("d".into()).into();
+        assert!(matches!(e, ProtocolError::Cloud(_)));
+    }
+}

@@ -1,0 +1,72 @@
+//! # cloudprov-core — the paper's contribution: provenance storage
+//! protocols for the cloud
+//!
+//! Implements the three protocols of *Provenance for the Cloud* (FAST
+//! 2010, §4) over the simulated AWS suite:
+//!
+//! | Protocol | Services | Coupling | Causal ordering | Efficient query |
+//! |----------|----------|----------|-----------------|-----------------|
+//! | [`P1`]   | S3                  | ✗ (detectable) | eventual | ✗ |
+//! | [`P2`]   | S3 + SimpleDB       | ✗ (detectable) | eventual | ✓ |
+//! | [`P3`]   | S3 + SimpleDB + SQS | ✓ (eventual)   | eventual | ✓ |
+//!
+//! plus the provenance-free [`S3fsBaseline`] the paper measures overheads
+//! against, the asynchronous [`CommitDaemon`] and [`CleanerDaemon`] that
+//! complete P3's write-ahead-log design, and executable checkers
+//! ([`properties`]) for the §3 properties.
+//!
+//! # Examples
+//!
+//! ```
+//! use cloudprov_cloud::{AwsProfile, Blob, CloudEnv};
+//! use cloudprov_core::{FlushBatch, FlushObject, ProtocolConfig, StorageProtocol, P3};
+//! use cloudprov_pass::{Observer, Pid, ProcessInfo};
+//! use cloudprov_sim::Sim;
+//!
+//! let sim = Sim::new();
+//! let env = CloudEnv::new(&sim, AwsProfile::instant());
+//! let p3 = P3::new(&env, ProtocolConfig::default(), "wal-demo");
+//!
+//! // Collect provenance with PASS, then flush data + closure through P3.
+//! let mut obs = Observer::new(1);
+//! obs.exec(Pid(1), ProcessInfo { name: "gen".into(), ..Default::default() });
+//! let data = Blob::from("output bytes");
+//! obs.write(Pid(1), "/out", data.content_fingerprint());
+//! let closure = obs.flush_closure("/out");
+//! let objects = closure
+//!     .into_iter()
+//!     .map(|node| {
+//!         if node.kind.is_persistent() {
+//!             FlushObject::file(node, "out", data.clone())
+//!         } else {
+//!             FlushObject::provenance_only(node)
+//!         }
+//!     })
+//!     .collect();
+//! p3.flush(FlushBatch { objects })?;
+//!
+//! // The commit daemon finishes the transaction asynchronously.
+//! p3.commit_daemon().run_until_idle()?;
+//! assert!(p3.read("out")?.coupling.is_coupled());
+//! # Ok::<(), cloudprov_core::ProtocolError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod layout;
+mod p1;
+mod p2;
+mod p3;
+pub mod properties;
+mod protocol;
+
+pub use error::{ProtocolError, Result};
+pub use layout::{object_metadata, parse_object_metadata, Layout, META_UUID, META_VERSION};
+pub use p1::P1;
+pub use p2::P2;
+pub use p3::{CleanerDaemon, CommitDaemon, DaemonHandle, PollOutcome, P3};
+pub use protocol::{
+    item_to_records, CouplingCheck, FlushBatch, FlushObject, ProtocolConfig, ProvenanceStore,
+    ReadResult, S3fsBaseline, StepHook, StorageProtocol,
+};

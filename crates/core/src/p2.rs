@@ -1,0 +1,469 @@
+//! Protocol P2: cloud store + cloud database (§4.3.2).
+//!
+//! Data objects live in S3 exactly as in P1; provenance goes into SimpleDB
+//! with **one item per object version**, named `uuid_version` — so users
+//! can tell which version provenance belongs to. Values above SimpleDB's
+//! 1 KB attribute limit (think process environments) spill into separate
+//! S3 objects referenced from the item.
+//!
+//! On flush: (1) spill oversized values, (2) store items via
+//! `BatchPutAttributes` (≤25 items per call), (3) PUT the data object with
+//! the UUID+version metadata.
+//!
+//! Properties (Table 1): still no data-coupling (detectable, as P1), but
+//! **efficient query** — SimpleDB indexes every attribute, which is what
+//! produces the order-of-magnitude query speedups of Table 5.
+
+use cloudprov_cloud::{CloudEnv, CloudError, PutItem, BATCH_LIMIT};
+use cloudprov_pass::PNodeId;
+
+use crate::error::Result;
+use crate::layout::{object_metadata, parse_object_metadata};
+use crate::protocol::{
+    detect_coupling, item_to_records, records_to_item, retry, CouplingCheck, FlushBatch,
+    ProtocolConfig, ProvenanceStore, ReadResult, StorageProtocol,
+};
+
+/// Protocol P2: data in S3, provenance in SimpleDB.
+#[derive(Clone)]
+pub struct P2 {
+    env: CloudEnv,
+    config: ProtocolConfig,
+}
+
+impl std::fmt::Debug for P2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("P2").finish()
+    }
+}
+
+impl P2 {
+    /// Creates the protocol, provisioning the SimpleDB domain.
+    pub fn new(env: &CloudEnv, config: ProtocolConfig) -> P2 {
+        env.sdb().create_domain(&config.layout.domain);
+        P2 {
+            env: env.clone(),
+            config,
+        }
+    }
+
+    /// Builds the SimpleDB items for a batch, spilling oversized values.
+    fn build_items(&self, batch: &FlushBatch) -> Result<Vec<PutItem>> {
+        let mut items = Vec::with_capacity(batch.objects.len());
+        for obj in &batch.objects {
+            if obj.node.records.is_empty() {
+                continue;
+            }
+            self.config.step(&format!("p2:spill:{}", obj.node.id))?;
+            items.push(records_to_item(
+                self.env.sim(),
+                self.env.s3(),
+                &self.config.layout,
+                self.config.retries,
+                obj.node.id,
+                &obj.node.records,
+            )?);
+        }
+        Ok(items)
+    }
+
+    fn put_data(&self, batch: &FlushBatch) -> Result<()> {
+        let sim = self.env.sim().clone();
+        let files: Vec<_> = batch
+            .objects
+            .iter()
+            .filter_map(|o| {
+                o.key
+                    .clone()
+                    .zip(o.data.clone())
+                    .map(|(k, d)| (k, d, o.node.id))
+            })
+            .collect();
+        if self.config.strict_causal_order {
+            for (key, data, id) in files {
+                self.config.step(&format!("p2:data:{key}"))?;
+                retry(&sim, self.config.retries, || {
+                    self.env
+                        .s3()
+                        .put(&self.config.layout.data_bucket, &key, data.clone(), object_metadata(id))
+                })?;
+            }
+            return Ok(());
+        }
+        let tasks: Vec<_> = files
+            .into_iter()
+            .map(|(key, data, id)| {
+                let this = self.clone();
+                move || -> Result<()> {
+                    this.config.step(&format!("p2:data:{key}"))?;
+                    retry(this.env.sim(), this.config.retries, || {
+                        this.env.s3().put(
+                            &this.config.layout.data_bucket,
+                            &key,
+                            data.clone(),
+                            object_metadata(id),
+                        )
+                    })?;
+                    Ok(())
+                }
+            })
+            .collect();
+        let results = sim.run_parallel(self.config.upload_concurrency, tasks);
+        results.into_iter().collect::<Result<Vec<_>>>()?;
+        Ok(())
+    }
+
+    /// Fetches the provenance records for one exact version.
+    fn version_records(&self, id: PNodeId) -> Result<Vec<cloudprov_pass::ProvenanceRecord>> {
+        let attrs = retry(self.env.sim(), self.config.retries, || {
+            self.env
+                .sdb()
+                .get_attributes(&self.config.layout.domain, &id.to_string())
+        })?;
+        Ok(item_to_records(&id.to_string(), &attrs))
+    }
+}
+
+impl P2 {
+    fn flush_impl(&self, batch: FlushBatch) -> Result<()> {
+        if self.config.strict_causal_order {
+            // One item at a time in ancestor order, then the data.
+            let items = self.build_items(&batch)?;
+            for item in items {
+                self.config.step("p2:dbput")?;
+                retry(self.env.sim(), self.config.retries, || {
+                    self.env
+                        .sdb()
+                        .put_attributes(&self.config.layout.domain, item.clone())
+                })?;
+            }
+            return self.put_data(&batch);
+        }
+        // The paper's evaluated implementation uploads data objects,
+        // provenance and ancestors in parallel (§5): the provenance
+        // pipeline (spill, then batched SimpleDB writes over the small
+        // database pool) runs concurrently with the data PUTs.
+        let sim = self.env.sim().clone();
+        let this = self.clone();
+        let prov_batch = batch.clone();
+        let prov_thread = sim.spawn(move || this.flush_provenance(&prov_batch));
+        let data_result = self.put_data(&batch);
+        let prov_result = prov_thread.join();
+        prov_result?;
+        data_result
+    }
+}
+
+impl P2 {
+    /// The provenance half of a parallel-mode flush: spills over the
+    /// object-store pool, then batched item writes over the database pool.
+    fn flush_provenance(&self, batch: &FlushBatch) -> Result<()> {
+        let sim = self.env.sim().clone();
+        // Phase 1: build items, spilling >1 KB values (parallel per object).
+        let spill_tasks: Vec<_> = batch
+            .objects
+            .iter()
+            .filter(|o| !o.node.records.is_empty())
+            .cloned()
+            .map(|obj| {
+                let this = self.clone();
+                move || -> Result<PutItem> {
+                    this.config.step(&format!("p2:spill:{}", obj.node.id))?;
+                    records_to_item(
+                        this.env.sim(),
+                        this.env.s3(),
+                        &this.config.layout,
+                        this.config.retries,
+                        obj.node.id,
+                        &obj.node.records,
+                    )
+                }
+            })
+            .collect();
+        let items = sim
+            .run_parallel(self.config.upload_concurrency, spill_tasks)
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
+        // Phase 2: batched writes over the database connection pool.
+        let db_batch = self.config.db_batch.clamp(1, BATCH_LIMIT);
+        let batch_tasks: Vec<_> = items
+            .chunks(db_batch)
+            .map(|chunk| {
+                let this = self.clone();
+                let chunk = chunk.to_vec();
+                move || -> Result<()> {
+                    this.config.step("p2:dbput")?;
+                    retry(this.env.sim(), this.config.retries, || {
+                        this.env
+                            .sdb()
+                            .batch_put_attributes(&this.config.layout.domain, chunk.clone())
+                    })?;
+                    Ok(())
+                }
+            })
+            .collect();
+        sim.run_parallel(self.config.db_concurrency, batch_tasks)
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
+        Ok(())
+    }
+}
+
+impl StorageProtocol for P2 {
+    fn name(&self) -> &'static str {
+        "P2"
+    }
+
+    fn flush(&self, batch: FlushBatch) -> Result<()> {
+        self.flush_impl(batch)
+    }
+
+    fn read(&self, key: &str) -> Result<ReadResult> {
+        let obj = retry(self.env.sim(), self.config.retries, || {
+            self.env.s3().get(&self.config.layout.data_bucket, key)
+        })?;
+        let id = parse_object_metadata(&obj.meta);
+        let coupling = match id {
+            None => CouplingCheck::Unlinked,
+            Some(id) => {
+                // §4.3.2: detect mismatches by comparing the S3 version
+                // with the provenance version; one-item-per-version means
+                // we can "request the specific version of the provenance
+                // we need from SimpleDB".
+                match self.version_records(id) {
+                    Ok(records) => detect_coupling(&obj.blob, Some(id), &records),
+                    Err(crate::error::ProtocolError::Cloud(CloudError::NoSuchDomain(_))) => {
+                        CouplingCheck::ProvenanceMissing
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        Ok(ReadResult {
+            data: obj.blob,
+            id,
+            coupling,
+        })
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        retry(self.env.sim(), self.config.retries, || {
+            self.env.s3().delete(&self.config.layout.data_bucket, key)
+        })?;
+        Ok(())
+    }
+
+
+    fn stat(&self, key: &str) -> Result<Option<u64>> {
+        match retry(self.env.sim(), self.config.retries, || {
+            self.env.s3().head(&self.config.layout.data_bucket, key)
+        }) {
+            Ok(h) => Ok(Some(h.len)),
+            Err(CloudError::NoSuchKey { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn provenance_store(&self) -> Option<ProvenanceStore> {
+        Some(ProvenanceStore::Database {
+            domain: self.config.layout.domain.clone(),
+            spill_bucket: self.config.layout.prov_bucket.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudprov_cloud::{AwsProfile, Blob};
+    use cloudprov_pass::{Attr, FlushNode, NodeKind, ProvenanceRecord, Uuid};
+    use cloudprov_sim::Sim;
+    use std::sync::Arc;
+
+    use crate::protocol::FlushObject;
+
+    fn setup() -> (Sim, CloudEnv, P2) {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let p2 = P2::new(&env, ProtocolConfig::default());
+        (sim, env, p2)
+    }
+
+    fn file_obj(uuid: u128, version: u32, key: &str, data: &str) -> FlushObject {
+        let id = PNodeId {
+            uuid: Uuid(uuid),
+            version,
+        };
+        let blob = Blob::from(data);
+        FlushObject::file(
+            FlushNode {
+                id,
+                kind: NodeKind::File,
+                name: Some(key.to_string()),
+                records: vec![
+                    ProvenanceRecord::new(id, Attr::Type, "file"),
+                    ProvenanceRecord::new(id, Attr::Name, key),
+                    ProvenanceRecord::new(
+                        id,
+                        Attr::DataHash,
+                        format!("{:016x}", blob.content_fingerprint()),
+                    ),
+                ],
+                data_hash: Some(blob.content_fingerprint()),
+            },
+            key,
+            blob,
+        )
+    }
+
+    #[test]
+    fn one_item_per_version_layout() {
+        let (_sim, env, p2) = setup();
+        p2.flush(FlushBatch {
+            objects: vec![file_obj(1, 1, "foo", "a")],
+        })
+        .unwrap();
+        p2.flush(FlushBatch {
+            objects: vec![file_obj(1, 2, "foo", "b")],
+        })
+        .unwrap();
+        let v1 = format!("{}_1", Uuid(1));
+        let v2 = format!("{}_2", Uuid(1));
+        assert!(env.sdb().peek_item("provenance", &v1).is_some());
+        assert!(env.sdb().peek_item("provenance", &v2).is_some());
+    }
+
+    #[test]
+    fn flush_then_read_is_coupled() {
+        let (_sim, _env, p2) = setup();
+        p2.flush(FlushBatch {
+            objects: vec![file_obj(2, 1, "out", "payload")],
+        })
+        .unwrap();
+        let r = p2.read("out").unwrap();
+        assert_eq!(r.coupling, CouplingCheck::Coupled);
+    }
+
+    #[test]
+    fn name_attribute_allows_reverse_lookup() {
+        // §4.3.2: "The name attribute allows us to find an object from its
+        // provenance."
+        let (_sim, env, p2) = setup();
+        p2.flush(FlushBatch {
+            objects: vec![file_obj(3, 1, "data/report.csv", "x")],
+        })
+        .unwrap();
+        let hits = env
+            .sdb()
+            .select_all("select * from provenance where name = 'data/report.csv'")
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, format!("{}_1", Uuid(3)));
+    }
+
+    #[test]
+    fn oversized_values_spill_and_are_referenced() {
+        let (_sim, env, p2) = setup();
+        let id = PNodeId::initial(Uuid(4));
+        let env_value = "PATH=/usr/bin\n".repeat(200); // ~2.8 KB
+        let obj = FlushObject::provenance_only(FlushNode {
+            id,
+            kind: NodeKind::Process,
+            name: Some("blast".into()),
+            records: vec![
+                ProvenanceRecord::new(id, Attr::Type, "process"),
+                ProvenanceRecord::new(id, Attr::Env, env_value),
+            ],
+            data_hash: None,
+        });
+        p2.flush(FlushBatch { objects: vec![obj] }).unwrap();
+        let item = env.sdb().peek_item("provenance", &id.to_string()).unwrap();
+        let envattr = item.iter().find(|(k, _)| k == "env").unwrap();
+        assert!(envattr.1.starts_with("@s3:"));
+        assert!(env.s3().peek_count("prov", "xattr/") > 0);
+    }
+
+    #[test]
+    fn batches_chunk_at_twenty_five() {
+        let (_sim, env, p2) = setup();
+        let objects: Vec<_> = (0..60)
+            .map(|i| file_obj(100 + i as u128, 1, &format!("f{i}"), "x"))
+            .collect();
+        p2.flush(FlushBatch { objects }).unwrap();
+        let usage = env.usage();
+        let dbputs = usage.get(
+            cloudprov_cloud::Actor::Client,
+            cloudprov_cloud::Service::Database,
+            cloudprov_cloud::Op::DbPut,
+        );
+        assert_eq!(dbputs.count, 3, "60 items => 25+25+10 => 3 batch calls");
+        assert_eq!(env.sdb().peek_item_count("provenance"), 60);
+    }
+
+    #[test]
+    fn crash_between_provenance_and_data_is_detectable() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let mut cfg = ProtocolConfig::default();
+        cfg.step_hook = Some(Arc::new(|step: &str| !step.starts_with("p2:data:")));
+        let p2 = P2::new(&env, cfg);
+        let err = p2
+            .flush(FlushBatch {
+                objects: vec![file_obj(5, 1, "f", "x")],
+            })
+            .unwrap_err();
+        assert!(matches!(err, crate::error::ProtocolError::Crashed { .. }));
+        // Provenance is in SimpleDB but the data never made it.
+        assert_eq!(env.sdb().peek_item_count("provenance"), 1);
+        assert!(env.s3().peek_committed("data", "f").is_none());
+    }
+
+    #[test]
+    fn stale_provenance_is_flagged_as_missing() {
+        // Crash AFTER data but BEFORE provenance: version 2 data with only
+        // version 1 provenance — the coupling check must catch it.
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let p2 = P2::new(&env, ProtocolConfig::default());
+        p2.flush(FlushBatch {
+            objects: vec![file_obj(6, 1, "f", "v1")],
+        })
+        .unwrap();
+        // Simulate a client that wrote data v2 but died before SimpleDB.
+        env.s3()
+            .put(
+                "data",
+                "f",
+                Blob::from("v2"),
+                crate::layout::object_metadata(PNodeId {
+                    uuid: Uuid(6),
+                    version: 2,
+                }),
+            )
+            .unwrap();
+        let r = p2.read("f").unwrap();
+        assert_eq!(r.coupling, CouplingCheck::ProvenanceMissing);
+    }
+
+    #[test]
+    fn delete_keeps_provenance_items() {
+        let (_sim, env, p2) = setup();
+        p2.flush(FlushBatch {
+            objects: vec![file_obj(7, 1, "f", "x")],
+        })
+        .unwrap();
+        p2.delete("f").unwrap();
+        assert!(env.s3().peek_committed("data", "f").is_none());
+        assert_eq!(env.sdb().peek_item_count("provenance"), 1);
+    }
+
+    #[test]
+    fn provenance_store_is_database_with_efficient_query() {
+        let (_sim, _env, p2) = setup();
+        assert!(matches!(
+            p2.provenance_store(),
+            Some(ProvenanceStore::Database { .. })
+        ));
+        assert!(p2.supports_efficient_query());
+    }
+}

@@ -1,0 +1,905 @@
+//! Protocol P3: cloud store + cloud database + messaging service (§4.3.3).
+//!
+//! P3 is the paper's most robust protocol — the only one providing
+//! (eventual) **provenance data-coupling**. The trick is a write-ahead log
+//! kept *in the cloud*: an SQS queue. A crashed client's partially-logged
+//! transaction is simply ignored; a completely-logged transaction can be
+//! committed by *any* machine, so a crash between logging and committing
+//! loses nothing (using a local log instead would).
+//!
+//! **Log phase** (client, on close/flush): store each file's data under a
+//! temporary S3 name; chunk the provenance of the object *and all its
+//! not-yet-written ancestors* into ≤8 KB WAL messages tagged with a
+//! transaction id, sequence number and total; send them (parallel sends
+//! are safe — ordering is reconstructed from sequence numbers, which is
+//! how P3 keeps causal ordering without careful upload ordering).
+//!
+//! **Commit phase** (commit daemon, asynchronous): assemble complete
+//! transactions; spill >1 KB values to S3; `BatchPutAttributes` the items;
+//! `COPY` each temporary object to its permanent name (stamping the new
+//! version — S3 has no rename, and §4.3.3 notes copies cost $0.01 per
+//! thousand); `DELETE` the temp objects and the WAL messages.
+//!
+//! **Garbage collection**: SQS deletes messages after 4 days on its own;
+//! a cleaner daemon reaps temporary objects older than 4 days that belong
+//! to transactions that never completed.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cloudprov_cloud::{
+    Actor, CloudEnv, CloudError, MetadataDirective, PutItem, BATCH_LIMIT, MESSAGE_LIMIT,
+};
+use cloudprov_pass::wire;
+use cloudprov_pass::{PNodeId, ProvenanceRecord, Uuid};
+use cloudprov_sim::SimHandle;
+
+use crate::error::{ProtocolError, Result};
+use crate::layout::{object_metadata, parse_object_metadata};
+use crate::protocol::{
+    detect_coupling, item_to_records, records_to_item, retry, CouplingCheck, FlushBatch,
+    ProtocolConfig, ProvenanceStore, ReadResult, StorageProtocol,
+};
+
+/// Room reserved in each WAL message for the `TXN` header line.
+const HEADER_ROOM: usize = 80;
+
+/// Protocol P3: S3 + SimpleDB + SQS write-ahead log.
+#[derive(Clone)]
+pub struct P3 {
+    env: CloudEnv,
+    config: ProtocolConfig,
+    wal_url: String,
+    rng: Arc<Mutex<SmallRng>>,
+}
+
+impl std::fmt::Debug for P3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("P3").field("wal", &self.wal_url).finish()
+    }
+}
+
+impl P3 {
+    /// Creates the protocol; `queue_name` names this client's WAL queue
+    /// (each client has its own, §4.3.3).
+    pub fn new(env: &CloudEnv, config: ProtocolConfig, queue_name: &str) -> P3 {
+        env.sdb().create_domain(&config.layout.domain);
+        let wal_url = env.sqs().create_queue(queue_name);
+        // Transaction ids must not collide across clients: seed the id
+        // generator from the (per-client, §4.3.3) queue name.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in queue_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0100_0000_01b3);
+        }
+        P3 {
+            env: env.clone(),
+            config,
+            wal_url,
+            rng: Arc::new(Mutex::new(SmallRng::seed_from_u64(seed))),
+        }
+    }
+
+    /// URL of this client's WAL queue.
+    pub fn wal_url(&self) -> &str {
+        &self.wal_url
+    }
+
+    /// Builds the commit daemon for this WAL (run it with
+    /// [`CommitDaemon::spawn`] or drive it manually in tests).
+    pub fn commit_daemon(&self) -> CommitDaemon {
+        CommitDaemon::new(&self.env, self.config.clone(), &self.wal_url)
+    }
+
+    /// Builds the cleaner daemon reaping orphaned temp objects.
+    pub fn cleaner_daemon(&self) -> CleanerDaemon {
+        CleanerDaemon::new(&self.env, self.config.clone())
+    }
+
+    fn fresh_txn(&self) -> Uuid {
+        Uuid(self.rng.lock().gen())
+    }
+
+    /// Serializes a batch into WAL message bodies.
+    ///
+    /// Lines are either `OBJ\t<temp>\t<final>\t<node>` (one per file) or
+    /// wire-encoded provenance records; they are packed greedily into
+    /// bodies that, with the header, stay within the 8 KB SQS limit.
+    fn build_messages(
+        txn: Uuid,
+        files: &[(String, String, PNodeId)],
+        records: &[ProvenanceRecord],
+        message_limit: usize,
+    ) -> Vec<String> {
+        let limit = message_limit.clamp(HEADER_ROOM + 64, MESSAGE_LIMIT) - HEADER_ROOM;
+        let mut lines: Vec<String> = Vec::new();
+        for (temp, final_key, id) in files {
+            lines.push(format!("OBJ\t{temp}\t{final_key}\t{id}\n"));
+        }
+        for r in records {
+            lines.push(wire::encode_record(r));
+        }
+        let mut bodies: Vec<String> = Vec::new();
+        let mut cur = String::new();
+        for line in lines {
+            assert!(
+                line.len() <= limit,
+                "WAL line of {} bytes exceeds message capacity",
+                line.len()
+            );
+            if !cur.is_empty() && cur.len() + line.len() > limit {
+                bodies.push(std::mem::take(&mut cur));
+            }
+            cur.push_str(&line);
+        }
+        if !cur.is_empty() || bodies.is_empty() {
+            bodies.push(cur);
+        }
+        let total = bodies.len();
+        bodies
+            .into_iter()
+            .enumerate()
+            .map(|(seq, body)| format!("TXN\t{txn}\t{seq}\t{total}\n{body}"))
+            .collect()
+    }
+}
+
+impl StorageProtocol for P3 {
+    fn name(&self) -> &'static str {
+        "P3"
+    }
+
+    /// The **log phase**. Returns once everything is durably in the WAL —
+    /// the commit daemon finishes asynchronously, which is why P3's
+    /// client-side elapsed times exclude it (§5).
+    fn flush(&self, batch: FlushBatch) -> Result<()> {
+        let sim = self.env.sim().clone();
+        let txn = self.fresh_txn();
+        let layout = &self.config.layout;
+
+        // 1. Store file data under temporary names (parallel).
+        let files: Vec<(String, String, PNodeId, cloudprov_cloud::Blob)> = batch
+            .objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| {
+                o.key.clone().zip(o.data.clone()).map(|(key, data)| {
+                    (layout.temp_key(txn, i), key, o.node.id, data)
+                })
+            })
+            .collect();
+        // 2. Build the WAL messages up front (temp keys are known before
+        //    the temp PUTs complete), then run temp PUTs and WAL sends in
+        //    ONE task pool: the paper's implementation sends packets in
+        //    parallel — safe because ordering is reconstructed from
+        //    sequence numbers and the commit daemon retries until temp
+        //    objects become visible.
+        let file_meta: Vec<(String, String, PNodeId)> = files
+            .iter()
+            .map(|(t, f, id, _)| (t.clone(), f.clone(), *id))
+            .collect();
+        let records: Vec<ProvenanceRecord> = batch
+            .objects
+            .iter()
+            .flat_map(|o| o.node.records.iter().cloned())
+            .collect();
+        let messages =
+            Self::build_messages(txn, &file_meta, &records, self.config.wal_message_limit);
+        let mut tasks: Vec<Box<dyn FnOnce() -> Result<()> + Send>> = Vec::new();
+        for (temp, _, _, data) in files.iter().cloned() {
+            let this = self.clone();
+            tasks.push(Box::new(move || -> Result<()> {
+                this.config.step(&format!("p3:temp:{temp}"))?;
+                retry(this.env.sim(), this.config.retries, || {
+                    this.env.s3().put(
+                        &this.config.layout.data_bucket,
+                        &temp,
+                        data.clone(),
+                        cloudprov_cloud::Metadata::new(),
+                    )
+                })?;
+                Ok(())
+            }));
+        }
+        for (seq, body) in messages.into_iter().enumerate() {
+            let this = self.clone();
+            tasks.push(Box::new(move || -> Result<()> {
+                this.config.step(&format!("p3:wal:{seq}"))?;
+                retry(this.env.sim(), this.config.retries, || {
+                    this.env.sqs().send(&this.wal_url, Bytes::from(body.clone()))
+                })?;
+                Ok(())
+            }));
+        }
+        sim.run_parallel(self.config.upload_concurrency, tasks)
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
+        Ok(())
+    }
+
+    fn read(&self, key: &str) -> Result<ReadResult> {
+        let obj = retry(self.env.sim(), self.config.retries, || {
+            self.env.s3().get(&self.config.layout.data_bucket, key)
+        })?;
+        let id = parse_object_metadata(&obj.meta);
+        let coupling = match id {
+            None => CouplingCheck::Unlinked,
+            Some(id) => {
+                let attrs = retry(self.env.sim(), self.config.retries, || {
+                    self.env
+                        .sdb()
+                        .get_attributes(&self.config.layout.domain, &id.to_string())
+                })?;
+                let records = item_to_records(&id.to_string(), &attrs);
+                detect_coupling(&obj.blob, Some(id), &records)
+            }
+        };
+        Ok(ReadResult {
+            data: obj.blob,
+            id,
+            coupling,
+        })
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        retry(self.env.sim(), self.config.retries, || {
+            self.env.s3().delete(&self.config.layout.data_bucket, key)
+        })?;
+        Ok(())
+    }
+
+
+    fn stat(&self, key: &str) -> Result<Option<u64>> {
+        match retry(self.env.sim(), self.config.retries, || {
+            self.env.s3().head(&self.config.layout.data_bucket, key)
+        }) {
+            Ok(h) => Ok(Some(h.len)),
+            Err(CloudError::NoSuchKey { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn provenance_store(&self) -> Option<ProvenanceStore> {
+        Some(ProvenanceStore::Database {
+            domain: self.config.layout.domain.clone(),
+            spill_bucket: self.config.layout.prov_bucket.clone(),
+        })
+    }
+}
+
+struct TxnBuf {
+    total: Option<usize>,
+    parts: BTreeMap<usize, String>,
+    receipts: Vec<String>,
+}
+
+/// Outcome of one commit-daemon poll.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PollOutcome {
+    /// WAL messages received this poll.
+    pub messages: usize,
+    /// Transactions committed this poll.
+    pub committed: usize,
+}
+
+/// The asynchronous commit daemon (§4.3.3 commit phase).
+pub struct CommitDaemon {
+    env: CloudEnv,
+    config: ProtocolConfig,
+    wal_url: String,
+    buf: Mutex<BTreeMap<Uuid, TxnBuf>>,
+    committed: Mutex<BTreeSet<Uuid>>,
+    committed_count: AtomicU64,
+}
+
+impl std::fmt::Debug for CommitDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitDaemon")
+            .field("wal", &self.wal_url)
+            .field("committed", &self.committed_count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl CommitDaemon {
+    /// Creates a daemon reading `wal_url`. Any machine can run one — that
+    /// is the crash-tolerance argument for putting the WAL in SQS rather
+    /// than on the client's disk.
+    pub fn new(env: &CloudEnv, config: ProtocolConfig, wal_url: &str) -> CommitDaemon {
+        CommitDaemon {
+            env: env.clone(),
+            config,
+            wal_url: wal_url.to_string(),
+            buf: Mutex::new(BTreeMap::new()),
+            committed: Mutex::new(BTreeSet::new()),
+            committed_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Transactions committed over this daemon's lifetime.
+    pub fn committed_transactions(&self) -> u64 {
+        self.committed_count.load(Ordering::Relaxed)
+    }
+
+    /// Receives one round of WAL messages and commits any transactions
+    /// that became complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud errors that survive retries. Incomplete
+    /// transactions are never an error — they are ignored until their
+    /// messages expire (crashed clients, §4.3.3).
+    pub fn poll_once(&self) -> Result<PollOutcome> {
+        let sqs = self.env.sqs().with_actor(Actor::CommitDaemon);
+        let msgs = retry(self.env.sim(), self.config.retries, || {
+            sqs.receive(&self.wal_url, 10)
+        })?;
+        let mut outcome = PollOutcome {
+            messages: msgs.len(),
+            ..PollOutcome::default()
+        };
+        let mut ready = Vec::new();
+        {
+            let mut buf = self.buf.lock();
+            for m in msgs {
+                let body = String::from_utf8_lossy(&m.body).to_string();
+                let Some((txn, seq, total, rest)) = parse_header(&body) else {
+                    // Garbage message: drop it.
+                    let _ = sqs.delete(&self.wal_url, &m.receipt);
+                    continue;
+                };
+                if self.committed.lock().contains(&txn) {
+                    // Late redelivery of an already-committed transaction.
+                    let _ = sqs.delete(&self.wal_url, &m.receipt);
+                    continue;
+                }
+                let entry = buf.entry(txn).or_insert_with(|| TxnBuf {
+                    total: None,
+                    parts: BTreeMap::new(),
+                    receipts: Vec::new(),
+                });
+                entry.total = Some(total);
+                entry.parts.insert(seq, rest);
+                entry.receipts.push(m.receipt);
+                if entry.parts.len() == total {
+                    ready.push(txn);
+                }
+            }
+        }
+        for txn in ready {
+            let Some(entry) = self.buf.lock().remove(&txn) else {
+                continue;
+            };
+            self.commit_txn(txn, entry)?;
+            outcome.committed += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Commits one fully-assembled transaction.
+    fn commit_txn(&self, txn: Uuid, entry: TxnBuf) -> Result<()> {
+        let sim = self.env.sim();
+        let s3 = self.env.s3().with_actor(Actor::CommitDaemon);
+        let sdb = self.env.sdb().with_actor(Actor::CommitDaemon);
+        let sqs = self.env.sqs().with_actor(Actor::CommitDaemon);
+        let layout = &self.config.layout;
+
+        // Reassemble in sequence order and parse.
+        let mut files: Vec<(String, String, PNodeId)> = Vec::new();
+        let mut record_text = String::new();
+        for (_seq, body) in &entry.parts {
+            for line in body.lines() {
+                if let Some(rest) = line.strip_prefix("OBJ\t") {
+                    let mut it = rest.split('\t');
+                    let (Some(temp), Some(final_key), Some(id)) =
+                        (it.next(), it.next(), it.next())
+                    else {
+                        continue;
+                    };
+                    if let Ok(id) = id.parse::<PNodeId>() {
+                        files.push((temp.to_string(), final_key.to_string(), id));
+                    }
+                } else {
+                    record_text.push_str(line);
+                    record_text.push('\n');
+                }
+            }
+        }
+        let records = wire::decode(record_text.as_bytes())?;
+
+        // 1 + 2. Spill oversized values, then BatchPutAttributes.
+        let mut by_subject: BTreeMap<PNodeId, Vec<ProvenanceRecord>> = BTreeMap::new();
+        for r in records {
+            by_subject.entry(r.subject).or_default().push(r);
+        }
+        let items: Vec<PutItem> = by_subject
+            .iter()
+            .map(|(id, recs)| {
+                records_to_item(sim, &s3, layout, self.config.retries, *id, recs)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let batch = self.config.db_batch.clamp(1, BATCH_LIMIT);
+        for chunk in items.chunks(batch) {
+            retry(sim, self.config.retries, || {
+                sdb.batch_put_attributes(&layout.domain, chunk.to_vec())
+            })?;
+        }
+
+        // 3. COPY temp -> permanent, stamping uuid+version metadata.
+        for (temp, final_key, id) in &files {
+            let mut committed = false;
+            for _ in 0..self.config.retries.max(1) + 8 {
+                match retry(sim, self.config.retries, || {
+                    s3.copy(
+                        &layout.data_bucket,
+                        temp,
+                        &layout.data_bucket,
+                        final_key,
+                        MetadataDirective::Replace(object_metadata(*id)),
+                    )
+                }) {
+                    Ok(()) => {
+                        committed = true;
+                        break;
+                    }
+                    Err(CloudError::NoSuchKey { .. }) => {
+                        // Either the temp PUT is not yet visible, or another
+                        // daemon already committed and deleted it.
+                        if let Ok(head) = s3.head(&layout.data_bucket, final_key) {
+                            if parse_object_metadata(&head.meta) == Some(*id) {
+                                committed = true;
+                                break;
+                            }
+                        }
+                        sim.sleep(Duration::from_secs(1));
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if !committed {
+                return Err(ProtocolError::CommitStalled(format!(
+                    "temp object {temp} for txn {txn} never became copyable"
+                )));
+            }
+        }
+
+        // 4. Delete temp objects and WAL messages.
+        for (temp, _, _) in &files {
+            retry(sim, self.config.retries, || {
+                s3.delete(&layout.data_bucket, temp)
+            })?;
+        }
+        for receipt in &entry.receipts {
+            let _ = sqs.delete(&self.wal_url, receipt);
+        }
+        self.committed.lock().insert(txn);
+        self.committed_count.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Polls until a round yields no messages. Useful for deterministic
+    /// tests and for benchmarks that want the daemon cost measured.
+    pub fn run_until_idle(&self) -> Result<u64> {
+        let mut committed = 0;
+        loop {
+            let o = self.poll_once()?;
+            committed += o.committed as u64;
+            if o.messages == 0 {
+                return Ok(committed);
+            }
+        }
+    }
+
+    /// Runs the daemon on a background simulated thread until stopped.
+    pub fn spawn(self: Arc<Self>, poll_interval: Duration) -> DaemonHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let sim = self.env.sim().clone();
+        let handle = sim.clone().spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match self.poll_once() {
+                    Ok(o) if o.messages == 0 => sim.sleep(poll_interval),
+                    Ok(_) => {}
+                    Err(_) => sim.sleep(poll_interval),
+                }
+            }
+        });
+        DaemonHandle { stop, handle }
+    }
+}
+
+fn parse_header(body: &str) -> Option<(Uuid, usize, usize, String)> {
+    let (header, rest) = body.split_once('\n')?;
+    let mut it = header.split('\t');
+    if it.next()? != "TXN" {
+        return None;
+    }
+    let txn: Uuid = it.next()?.parse().ok()?;
+    let seq: usize = it.next()?.parse().ok()?;
+    let total: usize = it.next()?.parse().ok()?;
+    Some((txn, seq, total, rest.to_string()))
+}
+
+/// Handle to a running background daemon.
+#[derive(Debug)]
+pub struct DaemonHandle {
+    stop: Arc<AtomicBool>,
+    handle: SimHandle<()>,
+}
+
+impl DaemonHandle {
+    /// Signals the daemon and waits (in virtual time) for it to exit.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join();
+    }
+}
+
+/// The cleaner daemon: removes temporary objects older than the retention
+/// window — the garbage left by transactions whose client crashed before
+/// logging every packet (§4.3.3: "We use a cleaner daemon to remove
+/// temporary objects that have not been accessed for 4 days").
+pub struct CleanerDaemon {
+    env: CloudEnv,
+    config: ProtocolConfig,
+    max_age: Duration,
+}
+
+impl std::fmt::Debug for CleanerDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CleanerDaemon")
+            .field("max_age", &self.max_age)
+            .finish()
+    }
+}
+
+impl CleanerDaemon {
+    /// Creates a cleaner with the paper's 4-day window.
+    pub fn new(env: &CloudEnv, config: ProtocolConfig) -> CleanerDaemon {
+        CleanerDaemon {
+            env: env.clone(),
+            config,
+            max_age: cloudprov_cloud::RETENTION,
+        }
+    }
+
+    /// Overrides the reclamation age (tests).
+    pub fn with_max_age(mut self, max_age: Duration) -> CleanerDaemon {
+        self.max_age = max_age;
+        self
+    }
+
+    /// One sweep: lists the temp prefix and deletes expired objects.
+    /// Returns how many were reclaimed.
+    pub fn clean_once(&self) -> Result<usize> {
+        let s3 = self.env.s3().with_actor(Actor::CleanerDaemon);
+        let layout = &self.config.layout;
+        let keys = retry(self.env.sim(), self.config.retries, || {
+            s3.list_all(&layout.data_bucket, &layout.temp_prefix)
+        })?;
+        let now = self.env.sim().now();
+        let mut reclaimed = 0;
+        for k in keys {
+            if now.saturating_duration_since(k.last_modified) > self.max_age {
+                retry(self.env.sim(), self.config.retries, || {
+                    s3.delete(&layout.data_bucket, &k.key)
+                })?;
+                reclaimed += 1;
+            }
+        }
+        Ok(reclaimed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudprov_cloud::{AwsProfile, Blob};
+    use cloudprov_pass::{Attr, FlushNode, NodeKind};
+    use cloudprov_sim::Sim;
+
+    use crate::protocol::FlushObject;
+
+    fn setup() -> (Sim, CloudEnv, P3) {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let p3 = P3::new(&env, ProtocolConfig::default(), "wal-client1");
+        (sim, env, p3)
+    }
+
+    fn file_obj(uuid: u128, version: u32, key: &str, data: &str) -> FlushObject {
+        let id = PNodeId {
+            uuid: Uuid(uuid),
+            version,
+        };
+        let blob = Blob::from(data);
+        FlushObject::file(
+            FlushNode {
+                id,
+                kind: NodeKind::File,
+                name: Some(key.to_string()),
+                records: vec![
+                    ProvenanceRecord::new(id, Attr::Type, "file"),
+                    ProvenanceRecord::new(id, Attr::Name, key),
+                    ProvenanceRecord::new(
+                        id,
+                        Attr::DataHash,
+                        format!("{:016x}", blob.content_fingerprint()),
+                    ),
+                ],
+                data_hash: Some(blob.content_fingerprint()),
+            },
+            key,
+            blob,
+        )
+    }
+
+    #[test]
+    fn log_phase_leaves_data_in_temp_until_commit() {
+        let (_sim, env, p3) = setup();
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(1, 1, "out", "payload")],
+        })
+        .unwrap();
+        // Before the daemon runs: temp object exists, final does not.
+        assert!(env.s3().peek_count("data", "tmp/") > 0);
+        assert!(env.s3().peek_committed("data", "out").is_none());
+        assert!(env.sqs().peek_depth(p3.wal_url()) > 0);
+
+        let daemon = p3.commit_daemon();
+        let committed = daemon.run_until_idle().unwrap();
+        assert_eq!(committed, 1);
+        // After commit: final object exists with metadata, temp gone, WAL empty.
+        let final_obj = env.s3().peek_committed("data", "out").unwrap();
+        assert_eq!(final_obj.blob, Blob::from("payload"));
+        assert_eq!(env.s3().peek_count("data", "tmp/"), 0);
+        assert_eq!(env.sqs().peek_depth(p3.wal_url()), 0);
+        // And provenance is in SimpleDB.
+        assert!(env
+            .sdb()
+            .peek_item(
+                "provenance",
+                &PNodeId {
+                    uuid: Uuid(1),
+                    version: 1
+                }
+                .to_string()
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn read_after_commit_is_coupled() {
+        let (_sim, _env, p3) = setup();
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(2, 1, "out", "data!")],
+        })
+        .unwrap();
+        p3.commit_daemon().run_until_idle().unwrap();
+        let r = p3.read("out").unwrap();
+        assert_eq!(r.coupling, CouplingCheck::Coupled);
+        assert_eq!(r.data, Blob::from("data!"));
+    }
+
+    #[test]
+    fn incomplete_transaction_is_ignored() {
+        // Client crashes after sending only some WAL packets: the daemon
+        // must never commit the partial transaction (§4.3.3).
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let mut cfg = ProtocolConfig::default();
+        // Many records so the WAL needs >1 message; crash on message 1.
+        cfg.step_hook = Some(Arc::new(|step: &str| step != "p3:wal:1"));
+        let p3 = P3::new(&env, cfg, "wal");
+        let id = PNodeId::initial(Uuid(3));
+        let records: Vec<_> = (0..500)
+            .map(|i| ProvenanceRecord::new(id, Attr::Custom(format!("a{i}")), "v".repeat(40)))
+            .collect();
+        let obj = FlushObject::file(
+            FlushNode {
+                id,
+                kind: NodeKind::File,
+                name: Some("big".into()),
+                records,
+                data_hash: Some(1),
+            },
+            "big",
+            Blob::from("x"),
+        );
+        let err = p3.flush(FlushBatch { objects: vec![obj] }).unwrap_err();
+        assert!(matches!(err, ProtocolError::Crashed { .. }));
+
+        let daemon = p3.commit_daemon();
+        daemon.run_until_idle().unwrap();
+        assert_eq!(daemon.committed_transactions(), 0);
+        assert!(env.s3().peek_committed("data", "big").is_none());
+        assert_eq!(env.sdb().peek_item_count("provenance"), 0);
+    }
+
+    #[test]
+    fn another_machine_can_commit_after_client_logged_everything() {
+        // The WAL-in-the-cloud argument: client finishes the log phase and
+        // dies; a daemon on a DIFFERENT machine commits the transaction.
+        let (_sim, env, p3) = setup();
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(4, 1, "out", "survives")],
+        })
+        .unwrap();
+        drop(p3); // client is gone
+        let other_machine =
+            CommitDaemon::new(&env, ProtocolConfig::default(), "sqs://wal-client1");
+        let committed = other_machine.run_until_idle().unwrap();
+        assert_eq!(committed, 1);
+        assert_eq!(
+            env.s3().peek_committed("data", "out").unwrap().blob,
+            Blob::from("survives")
+        );
+    }
+
+    #[test]
+    fn multi_message_transactions_reassemble() {
+        let (_sim, env, p3) = setup();
+        let id = PNodeId::initial(Uuid(5));
+        // 240 records of ~140 bytes: several 8 KB messages, but within
+        // SimpleDB's 256-attributes-per-item limit.
+        let records: Vec<_> = (0..240)
+            .map(|i| ProvenanceRecord::new(id, Attr::Custom(format!("k{i}")), "v".repeat(100)))
+            .collect();
+        let n_records = records.len();
+        let obj = FlushObject::file(
+            FlushNode {
+                id,
+                kind: NodeKind::File,
+                name: Some("big".into()),
+                records,
+                data_hash: Some(2),
+            },
+            "big",
+            Blob::from("content"),
+        );
+        p3.flush(FlushBatch { objects: vec![obj] }).unwrap();
+        assert!(
+            env.sqs().peek_depth(p3.wal_url()) > 3,
+            "expected several 8KB chunks"
+        );
+        p3.commit_daemon().run_until_idle().unwrap();
+        let item = env.sdb().peek_item("provenance", &id.to_string()).unwrap();
+        assert_eq!(item.len(), n_records);
+    }
+
+    #[test]
+    fn ancestors_ride_in_the_same_transaction() {
+        // "We include all not-yet-written ancestors of an object in the
+        // object's transaction" — so causal ordering holds even with
+        // parallel sends.
+        let (_sim, env, p3) = setup();
+        let proc_id = PNodeId::initial(Uuid(6));
+        let proc = FlushObject::provenance_only(FlushNode {
+            id: proc_id,
+            kind: NodeKind::Process,
+            name: Some("gen".into()),
+            records: vec![
+                ProvenanceRecord::new(proc_id, Attr::Type, "process"),
+                ProvenanceRecord::new(proc_id, Attr::Name, "gen"),
+            ],
+            data_hash: None,
+        });
+        let mut file = file_obj(7, 1, "out", "x");
+        file.node.records.push(ProvenanceRecord::new(
+            file.node.id,
+            Attr::Input,
+            proc_id,
+        ));
+        p3.flush(FlushBatch {
+            objects: vec![proc, file],
+        })
+        .unwrap();
+        p3.commit_daemon().run_until_idle().unwrap();
+        // Both the process and the file item exist; no dangling input.
+        assert!(env
+            .sdb()
+            .peek_item("provenance", &proc_id.to_string())
+            .is_some());
+        let file_item = env
+            .sdb()
+            .peek_item("provenance", &format!("{}_1", Uuid(7)))
+            .unwrap();
+        assert!(file_item
+            .iter()
+            .any(|(k, v)| k == "input" && *v == proc_id.to_string()));
+    }
+
+    #[test]
+    fn duplicate_deliveries_commit_once() {
+        let (_sim, env, p3) = setup();
+        env.faults().set(cloudprov_cloud::FaultPlan {
+            sqs_duplicate_probability: 0.5,
+            ..cloudprov_cloud::FaultPlan::none()
+        });
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(8, 1, "out", "once")],
+        })
+        .unwrap();
+        let daemon = p3.commit_daemon();
+        // Poll repeatedly; duplicates must not double-commit.
+        for _ in 0..20 {
+            daemon.poll_once().unwrap();
+        }
+        env.faults().clear();
+        daemon.run_until_idle().unwrap();
+        assert_eq!(daemon.committed_transactions(), 1);
+        assert_eq!(
+            env.s3().peek_committed("data", "out").unwrap().blob,
+            Blob::from("once")
+        );
+    }
+
+    #[test]
+    fn cleaner_reaps_only_expired_orphans() {
+        let (sim, env, p3) = setup();
+        // Orphan a temp object by crashing before any WAL send.
+        let mut cfg = ProtocolConfig::default();
+        cfg.step_hook = Some(Arc::new(|step: &str| !step.starts_with("p3:wal:")));
+        let crasher = P3::new(&env, cfg, "wal-crasher");
+        let _ = crasher.flush(FlushBatch {
+            objects: vec![file_obj(9, 1, "orphaned", "lost")],
+        });
+        assert_eq!(env.s3().peek_count("data", "tmp/"), 1);
+
+        let cleaner = p3.cleaner_daemon();
+        // Too young: nothing reclaimed.
+        assert_eq!(cleaner.clean_once().unwrap(), 0);
+        // After 4 days it goes.
+        sim.sleep(Duration::from_secs(4 * 24 * 3600 + 60));
+        assert_eq!(cleaner.clean_once().unwrap(), 1);
+        assert_eq!(env.s3().peek_count("data", "tmp/"), 0);
+    }
+
+    #[test]
+    fn background_daemon_commits_while_client_works() {
+        let (sim, env, p3) = setup();
+        let daemon = Arc::new(p3.commit_daemon());
+        let handle = daemon.clone().spawn(Duration::from_secs(5));
+        for i in 0..5u128 {
+            p3.flush(FlushBatch {
+                objects: vec![file_obj(20 + i, 1, &format!("f{i}"), "d")],
+            })
+            .unwrap();
+        }
+        // Give the daemon virtual time to drain.
+        sim.sleep(Duration::from_secs(120));
+        handle.stop();
+        assert_eq!(daemon.committed_transactions(), 5);
+        for i in 0..5 {
+            assert!(env.s3().peek_committed("data", &format!("f{i}")).is_some());
+        }
+    }
+
+    #[test]
+    fn wal_messages_respect_sqs_limit() {
+        let id = PNodeId::initial(Uuid(11));
+        let records: Vec<_> = (0..2000)
+            .map(|i| ProvenanceRecord::new(id, Attr::Custom(format!("a{i}")), "z".repeat(50)))
+            .collect();
+        let msgs = P3::build_messages(Uuid(1), &[], &records, MESSAGE_LIMIT);
+        assert!(msgs.len() > 10);
+        for m in &msgs {
+            assert!(m.len() <= MESSAGE_LIMIT, "message of {} bytes", m.len());
+        }
+    }
+
+    #[test]
+    fn empty_flush_sends_header_only_transaction() {
+        let (_sim, _env, p3) = setup();
+        p3.flush(FlushBatch::default()).unwrap();
+        let daemon = p3.commit_daemon();
+        assert_eq!(daemon.run_until_idle().unwrap(), 1);
+    }
+}

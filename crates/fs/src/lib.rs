@@ -1,0 +1,39 @@
+//! # cloudprov-fs — the user-level file-system layer
+//!
+//! The client side of the paper's architecture (§4.2, Figure 1): a local
+//! write-back cache ([`Vfs`]) standing in for the FUSE temporary
+//! directory, and [`PaS3fs`], the provenance-aware S3 file system that
+//! forwards data + provenance bundles to a pluggable storage protocol on
+//! `close`/`flush`. The provenance-free S3fs baseline is
+//! [`PaS3fs::plain`].
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cloudprov_cloud::{AwsProfile, CloudEnv, RunContext};
+//! use cloudprov_core::{ProtocolConfig, P2};
+//! use cloudprov_fs::{LocalIoParams, PaS3fs};
+//! use cloudprov_pass::{Pid, ProcessInfo};
+//! use cloudprov_sim::Sim;
+//!
+//! let sim = Sim::new();
+//! let env = CloudEnv::new(&sim, AwsProfile::instant());
+//! let p2 = Arc::new(P2::new(&env, ProtocolConfig::default()));
+//! let fs = PaS3fs::new(&sim, p2, RunContext::default(), LocalIoParams::instant(), 1);
+//!
+//! fs.exec(Pid(1), ProcessInfo { name: "convert".into(), ..Default::default() });
+//! fs.read(Pid(1), "/raw.img", 1 << 20);
+//! fs.write(Pid(1), "/atlas.gif", 1 << 18);
+//! fs.close(Pid(1), "/atlas.gif")?;
+//! assert!(fs.read_back("/atlas.gif")?.coupling.is_coupled());
+//! # Ok::<(), cloudprov_core::ProtocolError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod pafs;
+mod vfs;
+
+pub use pafs::{key_of_path, PaS3fs};
+pub use vfs::{CachedFile, LocalIoParams, Vfs};

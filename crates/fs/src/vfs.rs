@@ -1,0 +1,285 @@
+//! The client-side file cache under PA-S3fs.
+//!
+//! PA-S3fs "caches data in a local temporary directory and the provenance
+//! in memory" (§4.2); uploads happen on close/flush. This module models
+//! the *local* side: a table of cached files with sizes, content
+//! fingerprints and dirty bits, charging local-disk time for reads and
+//! writes on the virtual clock (scaled by the UML factor when the paper's
+//! EC2/UML context is simulated).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use cloudprov_cloud::RunContext;
+use cloudprov_sim::Sim;
+
+/// Local-disk latency model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LocalIoParams {
+    /// Fixed cost per VFS operation (syscall + FUSE crossing).
+    pub op_base: Duration,
+    /// Per-KiB transfer cost of the local disk (2009 commodity disk ≈
+    /// 50 MB/s ⇒ ~20 µs/KiB).
+    pub per_kb: Duration,
+}
+
+impl Default for LocalIoParams {
+    fn default() -> Self {
+        LocalIoParams {
+            op_base: Duration::from_micros(120),
+            per_kb: Duration::from_micros(20),
+        }
+    }
+}
+
+impl LocalIoParams {
+    /// An effectively free local disk, for tests that isolate cloud time.
+    pub fn instant() -> LocalIoParams {
+        LocalIoParams {
+            op_base: Duration::ZERO,
+            per_kb: Duration::ZERO,
+        }
+    }
+}
+
+/// State of one cached file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CachedFile {
+    /// Current size in bytes.
+    pub size: u64,
+    /// Content fingerprint; evolves on every write.
+    pub fingerprint: u64,
+    /// True if the cache holds bytes not yet uploaded.
+    pub dirty: bool,
+}
+
+/// The local write-back cache.
+pub struct Vfs {
+    sim: Sim,
+    params: LocalIoParams,
+    io_factor: f64,
+    files: Mutex<BTreeMap<String, CachedFile>>,
+}
+
+impl std::fmt::Debug for Vfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vfs")
+            .field("files", &self.files.lock().len())
+            .finish()
+    }
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x
+}
+
+impl Vfs {
+    /// Creates a cache charging IO on `sim`, scaled by the context's UML
+    /// IO factor.
+    pub fn new(sim: &Sim, params: LocalIoParams, context: RunContext) -> Vfs {
+        Vfs {
+            sim: sim.clone(),
+            params,
+            io_factor: context.local_io_factor(),
+            files: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn charge(&self, bytes: u64) {
+        let kb = bytes.div_ceil(1024) as u32;
+        let t = self.params.op_base + self.params.per_kb * kb;
+        let t = t.mul_f64(self.io_factor);
+        if t > Duration::ZERO {
+            self.sim.sleep(t);
+        }
+    }
+
+    /// Appends `bytes` to `path` (creating it if absent), returning the
+    /// new fingerprint. Charges local-disk write time.
+    pub fn write(&self, path: &str, bytes: u64) -> u64 {
+        self.charge(bytes);
+        let mut files = self.files.lock();
+        let f = files.entry(path.to_string()).or_insert(CachedFile {
+            size: 0,
+            fingerprint: mix(0xF11E, path.len() as u64),
+            dirty: false,
+        });
+        f.size += bytes;
+        f.fingerprint = mix(f.fingerprint, bytes ^ f.size);
+        f.dirty = true;
+        f.fingerprint
+    }
+
+    /// Truncates `path` to zero length (O_TRUNC open).
+    pub fn truncate(&self, path: &str) {
+        self.charge(0);
+        let mut files = self.files.lock();
+        let f = files.entry(path.to_string()).or_insert(CachedFile {
+            size: 0,
+            fingerprint: mix(0xF11E, path.len() as u64),
+            dirty: false,
+        });
+        f.size = 0;
+        f.fingerprint = mix(f.fingerprint, 0xDEAD);
+        f.dirty = true;
+    }
+
+    /// Reads `bytes` from `path`, charging local-disk read time. Reading
+    /// an uncached path is allowed (pre-existing local inputs) and creates
+    /// a clean cache entry sized to the read.
+    pub fn read(&self, path: &str, bytes: u64) {
+        self.charge(bytes);
+        let mut files = self.files.lock();
+        files.entry(path.to_string()).or_insert(CachedFile {
+            size: bytes,
+            fingerprint: mix(0x5EED, path.len() as u64),
+            dirty: false,
+        });
+    }
+
+    /// Current cache entry for a path.
+    pub fn stat(&self, path: &str) -> Option<CachedFile> {
+        self.files.lock().get(path).copied()
+    }
+
+    /// Clears the dirty bit after a successful upload.
+    pub fn mark_clean(&self, path: &str) {
+        if let Some(f) = self.files.lock().get_mut(path) {
+            f.dirty = false;
+        }
+    }
+
+    /// Removes a path from the cache.
+    pub fn unlink(&self, path: &str) {
+        self.charge(0);
+        self.files.lock().remove(path);
+    }
+
+    /// Renames a cache entry.
+    pub fn rename(&self, from: &str, to: &str) {
+        self.charge(0);
+        let mut files = self.files.lock();
+        if let Some(f) = files.remove(from) {
+            files.insert(to.to_string(), f);
+        }
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vfs() -> (Sim, Vfs) {
+        let sim = Sim::new();
+        let v = Vfs::new(&sim, LocalIoParams::default(), RunContext::default());
+        (sim, v)
+    }
+
+    #[test]
+    fn writes_accumulate_size_and_dirty() {
+        let (_sim, v) = vfs();
+        v.write("/f", 1000);
+        v.write("/f", 500);
+        let f = v.stat("/f").unwrap();
+        assert_eq!(f.size, 1500);
+        assert!(f.dirty);
+    }
+
+    #[test]
+    fn fingerprint_changes_on_write() {
+        let (_sim, v) = vfs();
+        let a = v.write("/f", 10);
+        let b = v.write("/f", 10);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn io_charges_virtual_time_proportional_to_bytes() {
+        let (sim, v) = vfs();
+        let t0 = sim.now();
+        v.write("/f", 10 << 20); // 10 MiB
+        let big = sim.now() - t0;
+        let t1 = sim.now();
+        v.write("/g", 1024);
+        let small = sim.now() - t1;
+        assert!(big > small * 100);
+        // 10 MiB at 20 µs/KiB ≈ 0.2 s.
+        assert!(big >= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn uml_context_slows_io() {
+        let sim = Sim::new();
+        let native = Vfs::new(&sim, LocalIoParams::default(), RunContext::default());
+        let t0 = sim.now();
+        native.write("/f", 1 << 20);
+        let native_t = sim.now() - t0;
+
+        let uml = Vfs::new(
+            &sim,
+            LocalIoParams::default(),
+            RunContext::ec2(cloudprov_cloud::Era::Sept2009),
+        );
+        let t1 = sim.now();
+        uml.write("/f", 1 << 20);
+        let uml_t = sim.now() - t1;
+        assert!(uml_t > native_t, "UML adds IO overhead (§5.2)");
+    }
+
+    #[test]
+    fn truncate_resets_size_and_dirties() {
+        let (_sim, v) = vfs();
+        v.write("/f", 100);
+        v.mark_clean("/f");
+        v.truncate("/f");
+        let f = v.stat("/f").unwrap();
+        assert_eq!(f.size, 0);
+        assert!(f.dirty);
+    }
+
+    #[test]
+    fn mark_clean_then_rewrite_redirties() {
+        let (_sim, v) = vfs();
+        v.write("/f", 100);
+        v.mark_clean("/f");
+        assert!(!v.stat("/f").unwrap().dirty);
+        v.write("/f", 1);
+        assert!(v.stat("/f").unwrap().dirty);
+    }
+
+    #[test]
+    fn rename_and_unlink() {
+        let (_sim, v) = vfs();
+        v.write("/a", 10);
+        v.rename("/a", "/b");
+        assert!(v.stat("/a").is_none());
+        assert_eq!(v.stat("/b").unwrap().size, 10);
+        v.unlink("/b");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn read_of_unknown_path_creates_clean_entry() {
+        let (_sim, v) = vfs();
+        v.read("/existing-input", 4096);
+        let f = v.stat("/existing-input").unwrap();
+        assert!(!f.dirty);
+        assert_eq!(f.size, 4096);
+    }
+}

@@ -1,0 +1,281 @@
+//! Diluted provenance (§7 "Transparent Provenance Collection").
+//!
+//! The paper asks: without user cooperation, the cloud can only infer
+//! "provenance minus process information. In this provenance graph, all
+//! the processes from a single host will be represented by a single node
+//! representing the host. What subset of the provenance applications can
+//! be driven by this diluted graph?"
+//!
+//! [`dilute`] performs exactly that transformation — it collapses every
+//! process (and pipe) node into one node per host — and
+//! [`DilutionReport`] quantifies what survives: file-to-file reachability
+//! mostly does; attribution to a *program* does not.
+
+use std::collections::BTreeMap;
+
+use crate::graph::ProvGraph;
+use crate::id::{PNodeId, Uuid};
+use crate::model::{Attr, AttrValue, NodeKind, ProvenanceRecord};
+
+/// Assigns processes to hosts. The identity map (everything on one host)
+/// models the paper's single-client deployment.
+pub trait HostAssignment {
+    /// Host label for a process node.
+    fn host_of(&self, process: PNodeId) -> String;
+}
+
+/// Every process on one host (the paper's base case).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SingleHost;
+
+impl HostAssignment for SingleHost {
+    fn host_of(&self, _process: PNodeId) -> String {
+        "host0".to_string()
+    }
+}
+
+/// Host assignment from an explicit map (multi-tenant scenarios); unknown
+/// processes fall back to a default host.
+#[derive(Clone, Debug, Default)]
+pub struct HostMap {
+    /// Explicit process→host assignments.
+    pub map: BTreeMap<PNodeId, String>,
+    /// Host used for unmapped processes.
+    pub default: String,
+}
+
+impl HostAssignment for HostMap {
+    fn host_of(&self, process: PNodeId) -> String {
+        self.map
+            .get(&process)
+            .cloned()
+            .unwrap_or_else(|| {
+                if self.default.is_empty() {
+                    "host0".to_string()
+                } else {
+                    self.default.clone()
+                }
+            })
+    }
+}
+
+/// What dilution kept and lost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DilutionReport {
+    /// Nodes before dilution.
+    pub nodes_before: usize,
+    /// Nodes after dilution.
+    pub nodes_after: usize,
+    /// Process/pipe nodes collapsed away.
+    pub collapsed: usize,
+    /// Process attributes (name, argv, env, pid…) dropped — the
+    /// information §7 says the cloud cannot infer on its own.
+    pub attrs_dropped: usize,
+}
+
+/// Result of diluting a provenance graph.
+#[derive(Clone, Debug)]
+pub struct Diluted {
+    /// The diluted graph: file nodes plus one node per host.
+    pub graph: ProvGraph,
+    /// Mapping from host label to its synthetic node.
+    pub host_nodes: BTreeMap<String, PNodeId>,
+    /// Loss accounting.
+    pub report: DilutionReport,
+}
+
+fn host_uuid(label: &str) -> Uuid {
+    // Stable synthetic id per host label.
+    let mut h: u128 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    Uuid(h | (1 << 127)) // high bit marks synthetic host nodes
+}
+
+/// Collapses all process and pipe nodes of `graph` into per-host nodes.
+///
+/// File-to-file dependencies are *flattened through* the collapsed nodes:
+/// if file B depended on process P which depended on file A, the diluted
+/// graph has a direct edge B → A, plus an attribution edge B → host(P).
+/// Host nodes are leaves (no outgoing edges) — a naive B → host → A
+/// routing would create cycles the moment one host both produces and
+/// consumes a file, which is every host. Process attributes are dropped;
+/// that is the dilution.
+pub fn dilute(graph: &ProvGraph, hosts: &dyn HostAssignment) -> Diluted {
+    let mut records: Vec<ProvenanceRecord> = Vec::new();
+    let mut host_nodes: BTreeMap<String, PNodeId> = BTreeMap::new();
+    let mut report = DilutionReport {
+        nodes_before: graph.node_count(),
+        ..DilutionReport::default()
+    };
+
+    let is_file = |id: PNodeId| {
+        graph
+            .node(id)
+            .and_then(|d| d.kind)
+            .map_or(true, |k| k == NodeKind::File)
+    };
+    let node_for = |label: String,
+                        records: &mut Vec<ProvenanceRecord>,
+                        host_nodes: &mut BTreeMap<String, PNodeId>| {
+        *host_nodes.entry(label.clone()).or_insert_with(|| {
+            let id = PNodeId::initial(host_uuid(&label));
+            records.push(ProvenanceRecord::new(id, Attr::Custom("host".into()), label));
+            id
+        })
+    };
+
+    // File-level inputs of a node: DFS through non-file dependencies.
+    let file_inputs = |start: PNodeId| {
+        let mut out = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack: Vec<PNodeId> = graph.deps(start).to_vec();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if is_file(n) {
+                out.push(n);
+            } else {
+                stack.extend(graph.deps(n).iter().copied());
+            }
+        }
+        out
+    };
+
+    for id in graph.node_ids() {
+        let Some(data) = graph.node(id) else { continue };
+        if is_file(id) {
+            // Keep file nodes and their attributes verbatim.
+            for (attr, value) in &data.attrs {
+                records.push(ProvenanceRecord::new(
+                    id,
+                    attr.clone(),
+                    AttrValue::Text(value.clone()),
+                ));
+            }
+            // Flattened file-to-file edges.
+            for dep in file_inputs(id) {
+                records.push(ProvenanceRecord::new(id, Attr::Input, dep));
+            }
+            // Attribution edges to the hosts whose processes fed this file.
+            let mut hosts_seen = std::collections::BTreeSet::new();
+            for dep in graph.deps(id) {
+                if !is_file(*dep) {
+                    hosts_seen.insert(hosts.host_of(*dep));
+                }
+            }
+            for label in hosts_seen {
+                let host = node_for(label, &mut records, &mut host_nodes);
+                records.push(ProvenanceRecord::new(id, Attr::Input, host));
+            }
+        } else {
+            report.collapsed += 1;
+            report.attrs_dropped += data.attrs.len();
+            // Ensure the host node exists even for processes that never
+            // wrote a file.
+            let _ = node_for(hosts.host_of(id), &mut records, &mut host_nodes);
+        }
+    }
+    let diluted = ProvGraph::from_records(&records);
+    report.nodes_after = diluted.node_count();
+    Diluted {
+        graph: diluted,
+        host_nodes,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{Observer, Pid, ProcessInfo};
+
+    fn pipeline() -> Observer {
+        let mut obs = Observer::new(5);
+        obs.exec(Pid(1), ProcessInfo { name: "stage1".into(), ..Default::default() });
+        obs.read(Pid(1), "/in");
+        obs.write(Pid(1), "/mid", 1);
+        obs.exec(Pid(2), ProcessInfo { name: "stage2".into(), ..Default::default() });
+        obs.read(Pid(2), "/mid");
+        obs.write(Pid(2), "/out", 2);
+        obs
+    }
+
+    #[test]
+    fn file_reachability_survives_dilution() {
+        let obs = pipeline();
+        let g = obs.graph();
+        let diluted = dilute(g, &SingleHost);
+        let out = obs.file_node("/out").unwrap();
+        let input = obs.file_node("/in").unwrap();
+        assert!(
+            diluted.graph.reaches(out, input),
+            "faulty-data propagation queries still work on diluted provenance"
+        );
+    }
+
+    #[test]
+    fn process_attribution_is_lost() {
+        let obs = pipeline();
+        let diluted = dilute(obs.graph(), &SingleHost);
+        // No node carries a program name anymore.
+        let any_program = diluted.graph.node_ids().any(|id| {
+            diluted
+                .graph
+                .node(id)
+                .and_then(|d| d.name())
+                .map_or(false, |n| n == "stage1" || n == "stage2")
+        });
+        assert!(!any_program, "program names must be diluted away");
+        assert!(diluted.report.attrs_dropped > 0);
+    }
+
+    #[test]
+    fn single_host_collapses_all_processes_to_one_node() {
+        let obs = pipeline();
+        let g = obs.graph();
+        let diluted = dilute(g, &SingleHost);
+        assert_eq!(diluted.host_nodes.len(), 1);
+        assert_eq!(diluted.report.collapsed, 2, "two process nodes");
+        assert!(diluted.report.nodes_after < diluted.report.nodes_before);
+        assert!(diluted.graph.find_cycle().is_none());
+    }
+
+    #[test]
+    fn multi_host_assignment_keeps_hosts_separate() {
+        let obs = pipeline();
+        let g = obs.graph();
+        let p1 = g
+            .find_nodes(|_, d| d.name() == Some("stage1"))
+            .next()
+            .unwrap();
+        let p2 = g
+            .find_nodes(|_, d| d.name() == Some("stage2"))
+            .next()
+            .unwrap();
+        let hosts = HostMap {
+            map: BTreeMap::from([(p1, "hostA".into()), (p2, "hostB".into())]),
+            default: "host0".into(),
+        };
+        let diluted = dilute(g, &hosts);
+        assert_eq!(diluted.host_nodes.len(), 2);
+        // Cross-host flow still visible: /out on hostB depends on /mid
+        // produced via hostA.
+        let out = obs.file_node("/out").unwrap();
+        let input = obs.file_node("/in").unwrap();
+        assert!(diluted.graph.reaches(out, input));
+    }
+
+    #[test]
+    fn dilution_is_idempotent_on_file_only_graphs() {
+        let obs = pipeline();
+        let once = dilute(obs.graph(), &SingleHost);
+        let twice = dilute(&once.graph, &SingleHost);
+        // Host nodes have no kind => treated as files; second dilution
+        // changes nothing structurally.
+        assert_eq!(once.graph.node_count(), twice.graph.node_count());
+    }
+}

@@ -1,0 +1,266 @@
+//! The Disclosed Provenance API (DPAPI).
+//!
+//! §4.2: "PASS internally uses the Disclosed Provenance API (DPAPI) to
+//! satisfy the properties specified in Section 3 and eventually stores the
+//! provenance on a backend that exports the DPAPI. Hence, extending S3fs
+//! to PA-S3fs translates to extending S3fs and FUSE to export the DPAPI."
+//!
+//! Beyond the kernel-observed records, the DPAPI lets *provenance-aware
+//! applications* disclose semantics the kernel cannot see: a workflow
+//! engine can assert which abstract task produced an output, a browser can
+//! record the URL a download came from (the "layering" of
+//! Muniswamy-Reddy et al., USENIX ATC '09). Disclosed records ride the
+//! same flush path — and the same §3 guarantees — as observed ones.
+
+use crate::id::PNodeId;
+use crate::model::{Attr, AttrValue, ProvenanceRecord};
+use crate::observer::{Observer, Pid};
+
+/// An application-disclosed annotation to attach to an object's next
+/// flushed version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Disclosure {
+    /// Attribute name (namespaced by convention, e.g. `app.url`).
+    pub attr: String,
+    /// Attribute value: free text or a reference to another object.
+    pub value: DisclosedValue,
+}
+
+/// Value of a disclosure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DisclosedValue {
+    /// Free-text annotation.
+    Text(String),
+    /// A dependency on another tracked file (by path): becomes a real
+    /// `input` edge, subject to the same cycle-avoidance versioning as
+    /// kernel-observed edges.
+    DependsOnFile(String),
+}
+
+/// Errors from disclosure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiscloseError {
+    /// The target path is not tracked (never read or written).
+    UnknownFile(String),
+    /// The disclosing process is not tracked (no exec observed).
+    UnknownProcess(Pid),
+}
+
+impl std::fmt::Display for DiscloseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscloseError::UnknownFile(p) => write!(f, "cannot disclose about untracked file {p}"),
+            DiscloseError::UnknownProcess(p) => {
+                write!(f, "cannot disclose from untracked process {p:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscloseError {}
+
+impl Observer {
+    /// DPAPI: attach application-disclosed provenance to `path`'s current
+    /// version. Text disclosures become custom attributes; file
+    /// dependencies become `input` edges (with cycle avoidance).
+    ///
+    /// # Errors
+    ///
+    /// [`DiscloseError::UnknownFile`] if `path` (or a depended-on path) is
+    /// untracked.
+    pub fn disclose_file(
+        &mut self,
+        path: &str,
+        disclosures: Vec<Disclosure>,
+    ) -> Result<Vec<ProvenanceRecord>, DiscloseError> {
+        let subject = self
+            .file_node(path)
+            .ok_or_else(|| DiscloseError::UnknownFile(path.to_string()))?;
+        let mut emitted = Vec::new();
+        for d in disclosures {
+            let value = match d.value {
+                DisclosedValue::Text(t) => AttrValue::Text(t),
+                DisclosedValue::DependsOnFile(dep_path) => {
+                    let dep = self
+                        .file_node(&dep_path)
+                        .ok_or(DiscloseError::UnknownFile(dep_path))?;
+                    // Route through the versioning machinery so disclosed
+                    // edges cannot create cycles either.
+                    let new_subject = self.disclose_edge(subject, dep);
+                    let rec = ProvenanceRecord::new(new_subject, Attr::Input, dep);
+                    emitted.push(rec);
+                    continue;
+                }
+            };
+            let rec = self.record_disclosed(subject, Attr::Custom(d.attr), value);
+            emitted.push(rec);
+        }
+        Ok(emitted)
+    }
+
+    /// DPAPI: attach disclosures to the current version of a process (e.g.
+    /// a workflow engine naming the abstract task).
+    ///
+    /// # Errors
+    ///
+    /// [`DiscloseError::UnknownProcess`] if no exec was observed for `pid`.
+    pub fn disclose_process(
+        &mut self,
+        pid: Pid,
+        disclosures: Vec<Disclosure>,
+    ) -> Result<Vec<ProvenanceRecord>, DiscloseError> {
+        let subject = self
+            .proc_node(pid)
+            .ok_or(DiscloseError::UnknownProcess(pid))?;
+        let mut emitted = Vec::new();
+        for d in disclosures {
+            let value = match d.value {
+                DisclosedValue::Text(t) => AttrValue::Text(t),
+                DisclosedValue::DependsOnFile(dep_path) => {
+                    let dep = self
+                        .file_node(&dep_path)
+                        .ok_or(DiscloseError::UnknownFile(dep_path))?;
+                    let new_subject = self.disclose_edge(subject, dep);
+                    let rec = ProvenanceRecord::new(new_subject, Attr::Input, dep);
+                    emitted.push(rec);
+                    continue;
+                }
+            };
+            let rec = self.record_disclosed(subject, Attr::Custom(d.attr), value);
+            emitted.push(rec);
+        }
+        Ok(emitted)
+    }
+}
+
+/// Convenience constructors.
+impl Disclosure {
+    /// A free-text annotation.
+    pub fn text(attr: impl Into<String>, value: impl Into<String>) -> Disclosure {
+        Disclosure {
+            attr: attr.into(),
+            value: DisclosedValue::Text(value.into()),
+        }
+    }
+
+    /// A disclosed dependency on another tracked file.
+    pub fn depends_on(attr: impl Into<String>, path: impl Into<String>) -> Disclosure {
+        Disclosure {
+            attr: attr.into(),
+            value: DisclosedValue::DependsOnFile(path.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::ProcessInfo;
+
+    fn obs() -> Observer {
+        let mut o = Observer::new(21);
+        o.exec(Pid(1), ProcessInfo { name: "wget".into(), ..Default::default() });
+        o.write(Pid(1), "/downloads/data.tar", 1);
+        o
+    }
+
+    #[test]
+    fn text_disclosures_become_custom_attributes() {
+        let mut o = obs();
+        let recs = o
+            .disclose_file(
+                "/downloads/data.tar",
+                vec![Disclosure::text("app.url", "https://example.org/data.tar")],
+            )
+            .unwrap();
+        assert_eq!(recs.len(), 1);
+        let node = o.file_node("/downloads/data.tar").unwrap();
+        let data = o.graph().node(node).unwrap();
+        assert_eq!(
+            data.attr(&Attr::Custom("app.url".into())),
+            Some("https://example.org/data.tar")
+        );
+    }
+
+    #[test]
+    fn disclosed_dependencies_are_real_edges() {
+        let mut o = obs();
+        o.exec(Pid(2), ProcessInfo { name: "analyze".into(), ..Default::default() });
+        o.write(Pid(2), "/results/out.csv", 2);
+        o.disclose_file(
+            "/results/out.csv",
+            vec![Disclosure::depends_on("app.derived-from", "/downloads/data.tar")],
+        )
+        .unwrap();
+        let out = o.file_node("/results/out.csv").unwrap();
+        let dep = o.file_node("/downloads/data.tar").unwrap();
+        assert!(o.graph().reaches(out, dep));
+        assert!(o.graph().find_cycle().is_none());
+    }
+
+    #[test]
+    fn disclosed_cycles_are_prevented_by_versioning() {
+        let mut o = obs();
+        o.exec(Pid(2), ProcessInfo { name: "p".into(), ..Default::default() });
+        o.write(Pid(2), "/a", 1);
+        o.exec(Pid(3), ProcessInfo { name: "q".into(), ..Default::default() });
+        o.read(Pid(3), "/a");
+        o.write(Pid(3), "/b", 2);
+        // /b already (transitively) depends on /a. Disclosing the REVERSE
+        // dependency must version /a rather than create a cycle.
+        o.disclose_file("/a", vec![Disclosure::depends_on("app.loop", "/b")])
+            .unwrap();
+        assert!(o.graph().find_cycle().is_none());
+        let a = o.file_node("/a").unwrap();
+        assert!(a.version >= 2, "cycle avoided by versioning /a");
+    }
+
+    #[test]
+    fn unknown_targets_are_rejected() {
+        let mut o = obs();
+        assert!(matches!(
+            o.disclose_file("/nope", vec![Disclosure::text("a", "b")]),
+            Err(DiscloseError::UnknownFile(_))
+        ));
+        assert!(matches!(
+            o.disclose_process(Pid(99), vec![Disclosure::text("a", "b")]),
+            Err(DiscloseError::UnknownProcess(_))
+        ));
+        assert!(matches!(
+            o.disclose_file(
+                "/downloads/data.tar",
+                vec![Disclosure::depends_on("x", "/missing")]
+            ),
+            Err(DiscloseError::UnknownFile(_))
+        ));
+    }
+
+    #[test]
+    fn process_disclosures_attach_to_the_process_node() {
+        let mut o = obs();
+        o.disclose_process(Pid(1), vec![Disclosure::text("workflow.task", "fetch-inputs")])
+            .unwrap();
+        let p = o.proc_node(Pid(1)).unwrap();
+        assert_eq!(
+            o.graph().node(p).unwrap().attr(&Attr::Custom("workflow.task".into())),
+            Some("fetch-inputs")
+        );
+    }
+
+    #[test]
+    fn disclosures_ride_the_flush_path() {
+        let mut o = obs();
+        o.disclose_file(
+            "/downloads/data.tar",
+            vec![Disclosure::text("app.url", "https://example.org/x")],
+        )
+        .unwrap();
+        let closure = o.flush_closure("/downloads/data.tar");
+        let has_disclosure = closure.iter().any(|n| {
+            n.records
+                .iter()
+                .any(|r| r.attr == Attr::Custom("app.url".into()))
+        });
+        assert!(has_disclosure, "disclosed records flush with the object");
+    }
+}

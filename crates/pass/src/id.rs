@@ -1,0 +1,142 @@
+//! Object identities: UUIDs and versioned node ids.
+//!
+//! Every PASS object (file, process, pipe) gets a UUID at creation; each
+//! *version* of an object is a distinct node in the provenance DAG,
+//! identified by `uuid_version` — the exact item-name scheme the paper's
+//! P2/P3 use in SimpleDB (§4.3.2: `ItemName=uuid1_2`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A 128-bit object identifier.
+///
+/// Generated from the observer's seeded RNG so runs are reproducible; the
+/// textual form is 32 hex digits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Uuid(pub u128);
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Uuid({:032x})", self.0)
+    }
+}
+
+impl FromStr for Uuid {
+    type Err = ParseIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 {
+            return Err(ParseIdError(format!("uuid must be 32 hex digits, got '{s}'")));
+        }
+        u128::from_str_radix(s, 16)
+            .map(Uuid)
+            .map_err(|_| ParseIdError(format!("invalid uuid '{s}'")))
+    }
+}
+
+/// A specific version of an object: one node of the provenance DAG.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct PNodeId {
+    /// The object's UUID.
+    pub uuid: Uuid,
+    /// The version, starting at 1.
+    pub version: u32,
+}
+
+impl PNodeId {
+    /// First version of an object.
+    pub fn initial(uuid: Uuid) -> PNodeId {
+        PNodeId { uuid, version: 1 }
+    }
+
+    /// The next version of the same object.
+    pub fn next(self) -> PNodeId {
+        PNodeId {
+            uuid: self.uuid,
+            version: self.version + 1,
+        }
+    }
+}
+
+impl fmt::Display for PNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.uuid, self.version)
+    }
+}
+
+impl FromStr for PNodeId {
+    type Err = ParseIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (u, v) = s
+            .rsplit_once('_')
+            .ok_or_else(|| ParseIdError(format!("missing '_' in node id '{s}'")))?;
+        Ok(PNodeId {
+            uuid: u.parse()?,
+            version: v
+                .parse()
+                .map_err(|_| ParseIdError(format!("bad version in '{s}'")))?,
+        })
+    }
+}
+
+/// Error parsing a [`Uuid`] or [`PNodeId`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIdError(String);
+
+impl fmt::Display for ParseIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseIdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_item_name_scheme() {
+        let id = PNodeId {
+            uuid: Uuid(0xabc),
+            version: 2,
+        };
+        assert_eq!(id.to_string(), "00000000000000000000000000000abc_2");
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let id = PNodeId {
+            uuid: Uuid(u128::MAX - 5),
+            version: 17,
+        };
+        let parsed: PNodeId = id.to_string().parse().unwrap();
+        assert_eq!(parsed, id);
+    }
+
+    #[test]
+    fn next_increments_version_only() {
+        let id = PNodeId::initial(Uuid(9));
+        let n = id.next();
+        assert_eq!(n.uuid, id.uuid);
+        assert_eq!(n.version, 2);
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!("nounderscorehere".parse::<PNodeId>().is_err());
+        assert!("zz_1".parse::<PNodeId>().is_err());
+        assert!(Uuid::from_str("short").is_err());
+    }
+}

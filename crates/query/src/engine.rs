@@ -1,0 +1,686 @@
+//! The provenance query engine (§5.3).
+//!
+//! Executes the paper's four queries against either provenance layout:
+//!
+//! * **Q.1** Retrieve all the provenance ever recorded.
+//! * **Q.2** Given an object, retrieve the provenance of all its versions.
+//! * **Q.3** Find all files directly output by a named program.
+//! * **Q.4** Find all descendants of files derived from a named program.
+//!
+//! Against the **S3 layout** (P1) every query except Q.2 degenerates to a
+//! full scan — list the provenance objects, GET each, filter client-side —
+//! parallelizable but wasteful. Against the **SimpleDB layout** (P2/P3)
+//! the service indexes every attribute, so Q.3/Q.4 become selective
+//! SELECTs: the order-of-magnitude gap of Table 5.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use cloudprov_cloud::{Actor, CloudEnv, UsageReport};
+use cloudprov_core::{item_to_records, parse_object_metadata, ProtocolError, ProvenanceStore};
+use cloudprov_pass::{wire, Attr, NodeKind, PNodeId, ProvenanceRecord};
+
+type Result<T> = std::result::Result<T, ProtocolError>;
+
+/// Cost of one query execution (the Table 5 columns).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryMetrics {
+    /// Elapsed virtual time.
+    pub elapsed: Duration,
+    /// Cloud operations issued.
+    pub ops: u64,
+    /// Bytes transferred (request + response payloads).
+    pub bytes: u64,
+}
+
+/// Result of a query: matching records plus execution cost.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutput {
+    /// Provenance records in the result set.
+    pub records: Vec<ProvenanceRecord>,
+    /// Node versions the query identified (for Q.3/Q.4).
+    pub nodes: Vec<PNodeId>,
+    /// Execution cost.
+    pub metrics: QueryMetrics,
+}
+
+/// Execution strategy (Table 5 reports both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// One request at a time.
+    Sequential,
+    /// Independent requests fan out over parallel connections.
+    Parallel,
+}
+
+/// The query engine over a provenance store.
+pub struct QueryEngine {
+    env: CloudEnv,
+    store: ProvenanceStore,
+    data_bucket: String,
+    /// Parallel connections for [`Mode::Parallel`] (the paper's query tool
+    /// achieved ≈7× on Q.1 over S3).
+    pub parallelism: usize,
+    /// IDs per IN-list when batching frontier expansions (Q.4 over
+    /// SimpleDB).
+    pub in_batch: usize,
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+fn usage_totals(u: &UsageReport) -> (u64, u64) {
+    (
+        u.total_ops(|a, _, _| a == Actor::Query),
+        u.total_bytes(|a, _, _| a == Actor::Query),
+    )
+}
+
+impl QueryEngine {
+    /// Creates an engine for a store; `data_bucket` is where primary data
+    /// objects live (Q.2 starts from an object HEAD).
+    pub fn new(env: &CloudEnv, store: ProvenanceStore, data_bucket: &str) -> QueryEngine {
+        QueryEngine {
+            env: env.clone(),
+            store,
+            data_bucket: data_bucket.to_string(),
+            parallelism: 8,
+            in_batch: 20,
+        }
+    }
+
+    fn measure<R>(&self, f: impl FnOnce() -> Result<R>) -> Result<(R, QueryMetrics)> {
+        let t0 = self.env.sim().now();
+        let (ops0, bytes0) = usage_totals(&self.env.usage());
+        let r = f()?;
+        let (ops1, bytes1) = usage_totals(&self.env.usage());
+        Ok((
+            r,
+            QueryMetrics {
+                elapsed: self.env.sim().now() - t0,
+                ops: ops1 - ops0,
+                bytes: bytes1 - bytes0,
+            },
+        ))
+    }
+
+    /// Full scan of the S3 provenance layout: LIST pages + one GET per
+    /// provenance object (sequential or parallel).
+    fn s3_scan(&self, bucket: &str, prefix: &str, mode: Mode) -> Result<Vec<ProvenanceRecord>> {
+        let s3 = self.env.s3().with_actor(Actor::Query);
+        let keys = s3.list_all(bucket, prefix)?;
+        match mode {
+            Mode::Sequential => {
+                let mut out = Vec::new();
+                for k in keys {
+                    let obj = s3.get(bucket, &k.key)?;
+                    out.extend(wire::decode(
+                        obj.blob.as_inline().expect("inline provenance"),
+                    )?);
+                }
+                Ok(out)
+            }
+            Mode::Parallel => {
+                let sim = self.env.sim().clone();
+                let tasks: Vec<_> = keys
+                    .into_iter()
+                    .map(|k| {
+                        let s3 = s3.clone();
+                        let bucket = bucket.to_string();
+                        move || -> Result<Vec<ProvenanceRecord>> {
+                            let obj = s3.get(&bucket, &k.key)?;
+                            Ok(wire::decode(
+                                obj.blob.as_inline().expect("inline provenance"),
+                            )?)
+                        }
+                    })
+                    .collect();
+                let results = sim.run_parallel(self.parallelism, tasks);
+                let mut out = Vec::new();
+                for r in results {
+                    out.extend(r?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Q.1: retrieve all provenance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud errors.
+    pub fn q1_all(&self, mode: Mode) -> Result<QueryOutput> {
+        match &self.store {
+            ProvenanceStore::S3Objects { bucket, prefix } => {
+                let (records, metrics) =
+                    self.measure(|| self.s3_scan(bucket, prefix, mode))?;
+                Ok(QueryOutput {
+                    nodes: subjects(&records),
+                    records,
+                    metrics,
+                })
+            }
+            ProvenanceStore::Database { domain, .. } => {
+                // SELECT * pages chain through next-tokens: inherently
+                // sequential (§5.3), whatever the requested mode.
+                let sdb = self.env.sdb().with_actor(Actor::Query);
+                let query = format!("select * from {domain}");
+                let (records, metrics) = self.measure(|| {
+                    let items = sdb.select_all(&query)?;
+                    Ok(items
+                        .iter()
+                        .flat_map(|i| item_to_records(&i.name, &i.attrs))
+                        .collect::<Vec<_>>())
+                })?;
+                Ok(QueryOutput {
+                    nodes: subjects(&records),
+                    records,
+                    metrics,
+                })
+            }
+        }
+    }
+
+    /// Q.2: provenance of all versions of the object stored at `key`.
+    /// Starts with a HEAD on the data object to learn its UUID (both
+    /// layouts), then one targeted fetch — which is why the two layouts
+    /// perform comparably on this query (§5.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud errors; `MissingProvenance` if the object carries
+    /// no provenance link.
+    pub fn q2_object(&self, key: &str) -> Result<QueryOutput> {
+        let s3 = self.env.s3().with_actor(Actor::Query);
+        let (records, metrics) = self.measure(|| {
+            let head = s3.head(&self.data_bucket, key)?;
+            let id = parse_object_metadata(&head.meta).ok_or_else(|| {
+                ProtocolError::MissingProvenance {
+                    key: key.to_string(),
+                    reason: "object carries no provenance link".into(),
+                }
+            })?;
+            match &self.store {
+                ProvenanceStore::S3Objects { bucket, prefix } => {
+                    let prov_key = format!("{prefix}{}", id.uuid);
+                    let obj = s3.get(bucket, &prov_key)?;
+                    Ok(wire::decode(
+                        obj.blob.as_inline().expect("inline provenance"),
+                    )?)
+                }
+                ProvenanceStore::Database { domain, .. } => {
+                    let sdb = self.env.sdb().with_actor(Actor::Query);
+                    let items = sdb.select_all(&format!(
+                        "select * from {domain} where itemName() like '{}_%'",
+                        id.uuid
+                    ))?;
+                    Ok(items
+                        .iter()
+                        .flat_map(|i| item_to_records(&i.name, &i.attrs))
+                        .collect())
+                }
+            }
+        })?;
+        Ok(QueryOutput {
+            nodes: subjects(&records),
+            records,
+            metrics,
+        })
+    }
+
+    /// Q.3: files directly output by processes named `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud errors.
+    pub fn q3_outputs_of(&self, program: &str, mode: Mode) -> Result<QueryOutput> {
+        match &self.store {
+            ProvenanceStore::S3Objects { bucket, prefix } => {
+                // No indexes: scan everything, filter locally (§5.3: "In
+                // S3, this requires a scan of all provenance objects").
+                let (out, metrics) = self.measure(|| {
+                    let records = self.s3_scan(bucket, prefix, mode)?;
+                    Ok(find_direct_outputs(&records, program))
+                })?;
+                Ok(QueryOutput {
+                    records: out.1,
+                    nodes: out.0,
+                    metrics,
+                })
+            }
+            ProvenanceStore::Database { domain, .. } => {
+                let sdb = self.env.sdb().with_actor(Actor::Query);
+                let parallelism = self.parallelism;
+                let sim = self.env.sim().clone();
+                let (out, metrics) = self.measure(|| {
+                    // First find the program's process items...
+                    let procs = sdb.select_all(&format!(
+                        "select itemName() from {domain} where type = 'process' and name = '{program}'"
+                    ))?;
+                    // ...then one SELECT per process for its direct
+                    // dependents (parallelizable).
+                    let queries: Vec<String> = procs
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "select * from {domain} where type = 'file' and input = '{}'",
+                                p.name
+                            )
+                        })
+                        .collect();
+                    let pages: Vec<Result<Vec<ProvenanceRecord>>> = match mode {
+                        Mode::Sequential => queries
+                            .iter()
+                            .map(|q| {
+                                Ok(sdb
+                                    .select_all(q)?
+                                    .iter()
+                                    .flat_map(|i| item_to_records(&i.name, &i.attrs))
+                                    .collect())
+                            })
+                            .collect(),
+                        Mode::Parallel => {
+                            let tasks: Vec<_> = queries
+                                .into_iter()
+                                .map(|q| {
+                                    let sdb = sdb.clone();
+                                    move || -> Result<Vec<ProvenanceRecord>> {
+                                        Ok(sdb
+                                            .select_all(&q)?
+                                            .iter()
+                                            .flat_map(|i| item_to_records(&i.name, &i.attrs))
+                                            .collect())
+                                    }
+                                })
+                                .collect();
+                            sim.run_parallel(parallelism, tasks)
+                        }
+                    };
+                    let mut records = Vec::new();
+                    for p in pages {
+                        records.extend(p?);
+                    }
+                    Ok(records)
+                })?;
+                Ok(QueryOutput {
+                    nodes: subjects(&out),
+                    records: out,
+                    metrics,
+                })
+            }
+        }
+    }
+
+    /// Q.4: all transitive descendants of the files derived from
+    /// `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud errors.
+    pub fn q4_descendants_of(&self, program: &str, mode: Mode) -> Result<QueryOutput> {
+        match &self.store {
+            ProvenanceStore::S3Objects { bucket, prefix } => {
+                // One scan, then the traversal is local.
+                let (out, metrics) = self.measure(|| {
+                    let records = self.s3_scan(bucket, prefix, mode)?;
+                    Ok(descendants_local(&records, program))
+                })?;
+                Ok(QueryOutput {
+                    records: Vec::new(),
+                    nodes: out,
+                    metrics,
+                })
+            }
+            ProvenanceStore::Database { domain, .. } => {
+                let sdb = self.env.sdb().with_actor(Actor::Query);
+                let parallelism = self.parallelism;
+                let in_batch = self.in_batch.max(1);
+                let sim = self.env.sim().clone();
+                let (nodes, metrics) = self.measure(|| {
+                    // Seed: the program's direct outputs (Q.3 logic).
+                    let procs = sdb.select_all(&format!(
+                        "select itemName() from {domain} where type = 'process' and name = '{program}'"
+                    ))?;
+                    let mut frontier: BTreeSet<String> =
+                        procs.iter().map(|p| p.name.clone()).collect();
+                    let mut seen: BTreeSet<String> = frontier.clone();
+                    let mut result: BTreeSet<String> = BTreeSet::new();
+                    // Repeat the reference-finding SELECT recursively until
+                    // all descendants are located (§5.3), batching frontier
+                    // ids into IN lists.
+                    while !frontier.is_empty() {
+                        let ids: Vec<String> = frontier.iter().cloned().collect();
+                        let queries: Vec<String> = ids
+                            .chunks(in_batch)
+                            .map(|chunk| {
+                                let list = chunk
+                                    .iter()
+                                    .map(|i| format!("'{i}'"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!(
+                                    "select itemName() from {domain} where input in ({list})"
+                                )
+                            })
+                            .collect();
+                        let pages: Vec<Result<Vec<String>>> = match mode {
+                            Mode::Sequential => queries
+                                .iter()
+                                .map(|q| {
+                                    Ok(sdb
+                                        .select_all(q)?
+                                        .into_iter()
+                                        .map(|i| i.name)
+                                        .collect())
+                                })
+                                .collect(),
+                            Mode::Parallel => {
+                                let tasks: Vec<_> = queries
+                                    .into_iter()
+                                    .map(|q| {
+                                        let sdb = sdb.clone();
+                                        move || -> Result<Vec<String>> {
+                                            Ok(sdb
+                                                .select_all(&q)?
+                                                .into_iter()
+                                                .map(|i| i.name)
+                                                .collect())
+                                        }
+                                    })
+                                    .collect();
+                                sim.run_parallel(parallelism, tasks)
+                            }
+                        };
+                        let mut next = BTreeSet::new();
+                        for page in pages {
+                            for name in page? {
+                                if seen.insert(name.clone()) {
+                                    result.insert(name.clone());
+                                    next.insert(name);
+                                }
+                            }
+                        }
+                        frontier = next;
+                    }
+                    Ok(result
+                        .into_iter()
+                        .filter_map(|n| n.parse::<PNodeId>().ok())
+                        .collect::<Vec<_>>())
+                })?;
+                Ok(QueryOutput {
+                    records: Vec::new(),
+                    nodes,
+                    metrics,
+                })
+            }
+        }
+    }
+
+    /// Resolves a spilled attribute value (a `@s3:` pointer) to its bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud errors; `MissingProvenance` for dangling pointers.
+    pub fn resolve_spill(&self, pointer: &str) -> Result<Vec<u8>> {
+        let (bucket, key) =
+            cloudprov_core::Layout::parse_spill_pointer(pointer).ok_or_else(|| {
+                ProtocolError::MissingProvenance {
+                    key: pointer.to_string(),
+                    reason: "not a spill pointer".into(),
+                }
+            })?;
+        let s3 = self.env.s3().with_actor(Actor::Query);
+        let obj = s3.get(bucket, key)?;
+        Ok(obj
+            .blob
+            .as_inline()
+            .map(|b| b.to_vec())
+            .unwrap_or_default())
+    }
+}
+
+fn subjects(records: &[ProvenanceRecord]) -> Vec<PNodeId> {
+    let set: BTreeSet<PNodeId> = records.iter().map(|r| r.subject).collect();
+    set.into_iter().collect()
+}
+
+/// Local Q.3 evaluation over a full record set.
+fn find_direct_outputs(
+    records: &[ProvenanceRecord],
+    program: &str,
+) -> (Vec<PNodeId>, Vec<ProvenanceRecord>) {
+    let mut proc_nodes: BTreeSet<PNodeId> = BTreeSet::new();
+    let mut kinds: std::collections::BTreeMap<PNodeId, NodeKind> = Default::default();
+    for r in records {
+        match (&r.attr, &r.value) {
+            (Attr::Type, v) => {
+                let k = match v.to_text().as_str() {
+                    "process" => NodeKind::Process,
+                    "pipe" => NodeKind::Pipe,
+                    _ => NodeKind::File,
+                };
+                kinds.insert(r.subject, k);
+            }
+            (Attr::Name, v) if v.to_text() == program => {
+                proc_nodes.insert(r.subject);
+            }
+            _ => {}
+        }
+    }
+    proc_nodes.retain(|n| kinds.get(n) == Some(&NodeKind::Process));
+    let mut out_nodes = BTreeSet::new();
+    for r in records {
+        if let (Attr::Input, Some(to)) = (&r.attr, r.value.as_xref()) {
+            if proc_nodes.contains(&to) && kinds.get(&r.subject) == Some(&NodeKind::File) {
+                out_nodes.insert(r.subject);
+            }
+        }
+    }
+    let records_out = records
+        .iter()
+        .filter(|r| out_nodes.contains(&r.subject))
+        .cloned()
+        .collect();
+    (out_nodes.into_iter().collect(), records_out)
+}
+
+/// Local Q.4 evaluation: BFS over reverse edges.
+fn descendants_local(records: &[ProvenanceRecord], program: &str) -> Vec<PNodeId> {
+    let (seeds, _) = find_direct_outputs(records, program);
+    let mut rdeps: std::collections::BTreeMap<PNodeId, Vec<PNodeId>> = Default::default();
+    for r in records {
+        if let Some((from, to)) = r.edge() {
+            rdeps.entry(to).or_default().push(from);
+        }
+    }
+    let mut seen: BTreeSet<PNodeId> = seeds.iter().copied().collect();
+    let mut queue: Vec<PNodeId> = seeds.clone();
+    let mut out: BTreeSet<PNodeId> = seeds.into_iter().collect();
+    while let Some(n) = queue.pop() {
+        for m in rdeps.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+            if seen.insert(*m) {
+                out.insert(*m);
+                queue.push(*m);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudprov_cloud::AwsProfile;
+    use cloudprov_core::{ProtocolConfig, StorageProtocol, P1, P2};
+    use cloudprov_fs::{LocalIoParams, PaS3fs};
+    use cloudprov_pass::{Pid, ProcessInfo};
+    use cloudprov_sim::Sim;
+    use std::sync::Arc;
+
+    /// Builds a small provenance corpus through a protocol and returns the
+    /// engine over its store.
+    fn seeded(protocol: &str) -> (Sim, CloudEnv, QueryEngine) {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let proto: Arc<dyn StorageProtocol> = match protocol {
+            "P1" => Arc::new(P1::new(&env, ProtocolConfig::default())),
+            _ => Arc::new(P2::new(&env, ProtocolConfig::default())),
+        };
+        let store = proto.provenance_store().unwrap();
+        let fs = PaS3fs::new(
+            &sim,
+            proto,
+            cloudprov_cloud::RunContext::default(),
+            LocalIoParams::instant(),
+            9,
+        );
+        // blast-like mini pipeline: blast writes 2 outputs; parser derives
+        // one downstream file from each.
+        fs.exec(Pid(1), ProcessInfo { name: "blast".into(), ..Default::default() });
+        fs.read(Pid(1), "/db", 100);
+        fs.write(Pid(1), "/hits-0", 10);
+        fs.close(Pid(1), "/hits-0").unwrap();
+        fs.write(Pid(1), "/hits-1", 10);
+        fs.close(Pid(1), "/hits-1").unwrap();
+        for i in 0..2 {
+            let pid = Pid(10 + i);
+            fs.exec(pid, ProcessInfo { name: "parser".into(), ..Default::default() });
+            fs.read(pid, &format!("/hits-{i}"), 10);
+            fs.write(pid, &format!("/parsed-{i}"), 10);
+            fs.close(pid, &format!("/parsed-{i}")).unwrap();
+        }
+        let engine = QueryEngine::new(&env, store, "data");
+        (sim, env, engine)
+    }
+
+    #[test]
+    fn q1_returns_everything_both_layouts() {
+        for proto in ["P1", "P2"] {
+            let (_sim, _env, engine) = seeded(proto);
+            let out = engine.q1_all(Mode::Sequential).unwrap();
+            assert!(
+                out.records.len() > 10,
+                "{proto}: got {}",
+                out.records.len()
+            );
+            assert!(out.metrics.ops > 0);
+            assert!(out.metrics.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn q1_parallel_is_faster_on_s3() {
+        let (_sim, _env, engine) = seeded("P1");
+        let seq = engine.q1_all(Mode::Sequential).unwrap();
+        let par = engine.q1_all(Mode::Parallel).unwrap();
+        assert_eq!(seq.records.len(), par.records.len());
+        assert!(par.metrics.elapsed <= seq.metrics.elapsed);
+        assert_eq!(seq.metrics.ops, par.metrics.ops, "same op count (Table 5)");
+    }
+
+    #[test]
+    fn q2_fetches_all_versions_of_one_object() {
+        for proto in ["P1", "P2"] {
+            let (_sim, _env, engine) = seeded(proto);
+            let out = engine.q2_object("hits-0").unwrap();
+            assert!(!out.records.is_empty(), "{proto}");
+            // Everything returned belongs to one uuid.
+            let uuids: BTreeSet<_> = out.records.iter().map(|r| r.subject.uuid).collect();
+            assert_eq!(uuids.len(), 1, "{proto}");
+            // Cheap: HEAD + one fetch (a couple of ops).
+            assert!(out.metrics.ops <= 3, "{proto}: {} ops", out.metrics.ops);
+        }
+    }
+
+    #[test]
+    fn q3_finds_direct_outputs_identically_across_layouts() {
+        let (_s1, _e1, s3_engine) = seeded("P1");
+        let (_s2, _e2, db_engine) = seeded("P2");
+        let a = s3_engine.q3_outputs_of("blast", Mode::Sequential).unwrap();
+        let b = db_engine.q3_outputs_of("blast", Mode::Sequential).unwrap();
+        // Both find the two hits files (names differ in uuid, count must
+        // match).
+        assert_eq!(a.nodes.len(), 2, "s3 layout");
+        assert_eq!(b.nodes.len(), 2, "db layout");
+        // The DB layout is far more selective in ops.
+        assert!(b.metrics.ops < a.metrics.ops);
+    }
+
+    #[test]
+    fn q4_finds_transitive_descendants() {
+        for proto in ["P1", "P2"] {
+            let (_sim, _env, engine) = seeded(proto);
+            let out = engine.q4_descendants_of("blast", Mode::Sequential).unwrap();
+            // hits-0, hits-1 + parser procs + parsed-0, parsed-1 ≥ 6.
+            assert!(out.nodes.len() >= 6, "{proto}: got {}", out.nodes.len());
+        }
+    }
+
+    #[test]
+    fn q4_db_parallel_matches_sequential() {
+        let (_sim, _env, engine) = seeded("P2");
+        let seq = engine.q4_descendants_of("blast", Mode::Sequential).unwrap();
+        let par = engine.q4_descendants_of("blast", Mode::Parallel).unwrap();
+        let a: BTreeSet<_> = seq.nodes.iter().collect();
+        let b: BTreeSet<_> = par.nodes.iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn q2_missing_provenance_link_is_an_error() {
+        let (_sim, env, engine) = seeded("P2");
+        env.s3()
+            .put(
+                "data",
+                "rogue",
+                cloudprov_cloud::Blob::from("x"),
+                cloudprov_cloud::Metadata::new(),
+            )
+            .unwrap();
+        let err = engine.q2_object("rogue").unwrap_err();
+        assert!(matches!(err, ProtocolError::MissingProvenance { .. }));
+    }
+
+    #[test]
+    fn spill_resolution_roundtrips() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let p2 = Arc::new(P2::new(&env, ProtocolConfig::default()));
+        let store = p2.provenance_store().unwrap();
+        let fs = PaS3fs::new(
+            &sim,
+            p2,
+            cloudprov_cloud::RunContext::default(),
+            LocalIoParams::instant(),
+            1,
+        );
+        // Big env forces a spill.
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "bigenv".into(),
+                env: cloudprov_workloads::synthetic_env(4000, 1),
+                ..Default::default()
+            },
+        );
+        fs.write(Pid(1), "/f", 1);
+        fs.close(Pid(1), "/f").unwrap();
+        let engine = QueryEngine::new(&env, store, "data");
+        let out = engine.q1_all(Mode::Sequential).unwrap();
+        let pointer = out
+            .records
+            .iter()
+            .find(|r| r.value.to_text().starts_with("@s3:"))
+            .expect("spilled value present")
+            .value
+            .to_text();
+        let bytes = engine.resolve_spill(&pointer).unwrap();
+        assert!(bytes.len() > 1024);
+    }
+}

@@ -1,0 +1,144 @@
+//! Provider-side provenance exploitation (§7): "the graph structure in
+//! provenance can provide service providers with hints for object
+//! replication".
+//!
+//! The heuristic: objects whose provenance subtree fans out widely are the
+//! ones whose loss or slowness hurts the most downstream derivations — so
+//! replicate (or cache) the ancestors that the most descendants depend on,
+//! and co-locate objects that share lineage.
+
+use std::collections::BTreeMap;
+
+use cloudprov_pass::{Attr, NodeKind, PNodeId, ProvGraph};
+
+/// A replication recommendation for one object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicationHint {
+    /// The object version.
+    pub node: PNodeId,
+    /// Its name, if recorded.
+    pub name: Option<String>,
+    /// Number of distinct transitive descendants (derivations that would
+    /// be affected if this object were slow or lost).
+    pub dependents: usize,
+    /// Suggested replica count (log-scaled from the dependent count).
+    pub replicas: u32,
+}
+
+/// Ranks file objects by how many derivations transitively depend on them
+/// and suggests replica counts; returns the top `k`.
+pub fn replication_candidates(graph: &ProvGraph, k: usize) -> Vec<ReplicationHint> {
+    let mut hints: Vec<ReplicationHint> = graph
+        .node_ids()
+        .filter(|id| {
+            graph
+                .node(*id)
+                .and_then(|d| d.kind)
+                .map_or(false, |kind| kind == NodeKind::File)
+        })
+        .map(|id| {
+            let dependents = graph.descendants(id).len();
+            ReplicationHint {
+                node: id,
+                name: graph
+                    .node(id)
+                    .and_then(|d| d.attr(&Attr::Name))
+                    .map(str::to_string),
+                dependents,
+                replicas: 1 + (dependents as f64 + 1.0).log2().floor() as u32,
+            }
+        })
+        .collect();
+    hints.sort_by(|a, b| b.dependents.cmp(&a.dependents).then(a.node.cmp(&b.node)));
+    hints.truncate(k);
+    hints
+}
+
+/// Groups objects into co-location clusters: files sharing a lineage root
+/// benefit from living on the same replica set (provenance-guided
+/// placement).
+pub fn colocation_groups(graph: &ProvGraph) -> BTreeMap<PNodeId, Vec<PNodeId>> {
+    let mut groups: BTreeMap<PNodeId, Vec<PNodeId>> = BTreeMap::new();
+    for id in graph.node_ids() {
+        let is_file = graph
+            .node(id)
+            .and_then(|d| d.kind)
+            .map_or(false, |k| k == NodeKind::File);
+        if !is_file {
+            continue;
+        }
+        // Root = the oldest ancestor file (or self for sources).
+        let root = graph
+            .ancestors(id)
+            .into_iter()
+            .filter(|a| {
+                graph
+                    .node(*a)
+                    .and_then(|d| d.kind)
+                    .map_or(false, |k| k == NodeKind::File)
+            })
+            .last()
+            .unwrap_or(id);
+        groups.entry(root).or_default().push(id);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudprov_pass::{Observer, Pid, ProcessInfo};
+
+    fn fan_out() -> Observer {
+        let mut obs = Observer::new(13);
+        // One shared database read by 5 jobs, each producing an output;
+        // one isolated file.
+        for i in 0..5u64 {
+            obs.exec(Pid(i), ProcessInfo { name: format!("job{i}"), ..Default::default() });
+            obs.read(Pid(i), "/shared/db");
+            obs.write(Pid(i), &format!("/out/{i}"), i);
+        }
+        obs.exec(Pid(99), ProcessInfo { name: "loner".into(), ..Default::default() });
+        obs.write(Pid(99), "/isolated", 99);
+        obs
+    }
+
+    #[test]
+    fn widely_depended_objects_rank_first() {
+        let obs = fan_out();
+        let hints = replication_candidates(obs.graph(), 3);
+        assert_eq!(hints[0].name.as_deref(), Some("/shared/db"));
+        assert!(hints[0].dependents >= 10, "5 jobs + 5 outputs");
+        assert!(hints[0].replicas > 1);
+    }
+
+    #[test]
+    fn isolated_objects_get_single_replica() {
+        let obs = fan_out();
+        let hints = replication_candidates(obs.graph(), 10);
+        let isolated = hints
+            .iter()
+            .find(|h| h.name.as_deref() == Some("/isolated"))
+            .unwrap();
+        assert_eq!(isolated.dependents, 0);
+        assert_eq!(isolated.replicas, 1);
+    }
+
+    #[test]
+    fn colocation_groups_cluster_shared_lineage() {
+        let obs = fan_out();
+        let groups = colocation_groups(obs.graph());
+        let db = obs.file_node("/shared/db").unwrap();
+        let db_group = groups.get(&db).expect("db roots its lineage cluster");
+        assert!(db_group.len() >= 6, "db + 5 outputs cluster together");
+        // The isolated file roots its own group.
+        let isolated = obs.file_node("/isolated").unwrap();
+        assert!(groups.get(&isolated).map_or(false, |g| g.contains(&isolated)));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let obs = fan_out();
+        assert_eq!(replication_candidates(obs.graph(), 2).len(), 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! # cloudprov-query — provenance queries over cloud stores (§5.3)
+//!
+//! Implements the paper's four evaluation queries (Q.1–Q.4) against both
+//! provenance layouts — P1's S3 objects (scan-based) and P2/P3's SimpleDB
+//! items (index-based) — with sequential and parallel execution plans and
+//! per-query cost metrics (elapsed virtual time, operations, bytes): the
+//! exact columns of Table 5.
+//!
+//! Also implements two of the paper's §7 research-challenge directions as
+//! library features: [`regen`] (store vs regenerate-on-demand economics)
+//! and [`hints`] (provenance-guided replication/placement hints).
+
+#![warn(missing_docs)]
+
+mod engine;
+pub mod hints;
+pub mod regen;
+
+pub use engine::{Mode, QueryEngine, QueryMetrics, QueryOutput};

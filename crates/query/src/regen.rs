@@ -1,0 +1,230 @@
+//! Store-vs-regenerate economics (§7): "Cloud providers could also allow
+//! users to choose between storing data and regenerating data on demand,
+//! if the provenance of data were available to them" (citing Adams et al.,
+//! "Maximizing efficiency by trading storage for computation").
+//!
+//! Given the provenance DAG, per-node sizes and recorded compute times,
+//! [`advise`] compares, for each derived file, the cost of *keeping* it
+//! (storage over a billing horizon) against the cost of *regenerating* it
+//! on demand (re-running its ancestor processes and re-reading its source
+//! inputs), and recommends which objects the provider could drop.
+
+use std::collections::BTreeMap;
+
+use cloudprov_pass::{Attr, NodeKind, PNodeId, ProvGraph};
+
+/// Pricing for the trade-off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegenPolicy {
+    /// Storage price, USD per GB-month (2009 S3: $0.15).
+    pub storage_usd_per_gb_month: f64,
+    /// Compute price, USD per instance-hour (2009 EC2 medium: $0.17).
+    pub compute_usd_per_hour: f64,
+    /// Billing horizon in months over which storage would accrue.
+    pub horizon_months: f64,
+    /// Expected number of times the object will actually be read over the
+    /// horizon (regeneration pays per access; storage pays regardless).
+    pub expected_reads: f64,
+}
+
+impl Default for RegenPolicy {
+    fn default() -> Self {
+        RegenPolicy {
+            storage_usd_per_gb_month: 0.15,
+            compute_usd_per_hour: 0.17,
+            horizon_months: 12.0,
+            expected_reads: 1.0,
+        }
+    }
+}
+
+/// Advice for one derived object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegenAdvice {
+    /// The object version.
+    pub node: PNodeId,
+    /// Its name, if recorded.
+    pub name: Option<String>,
+    /// Cost of storing it over the horizon, USD.
+    pub storage_usd: f64,
+    /// Cost of regenerating it once, USD (ancestor compute time).
+    pub regen_once_usd: f64,
+    /// True if dropping + regenerating on demand is cheaper.
+    pub drop_and_regen: bool,
+    /// Whether the object is regenerable at all (every source ancestor
+    /// still stored; processes have recorded compute times).
+    pub regenerable: bool,
+}
+
+/// Computes per-object advice.
+///
+/// `sizes` maps file versions to byte sizes (from object-store listings);
+/// `compute_micros` maps process versions to their recorded runtimes
+/// (PASS's `exectime` deltas or measured durations). Files without any
+/// process ancestor are sources — never dropped.
+pub fn advise(
+    graph: &ProvGraph,
+    sizes: &BTreeMap<PNodeId, u64>,
+    compute_micros: &BTreeMap<PNodeId, u64>,
+    policy: RegenPolicy,
+) -> Vec<RegenAdvice> {
+    let mut out = Vec::new();
+    for node in graph.node_ids() {
+        let Some(data) = graph.node(node) else { continue };
+        if data.kind != Some(NodeKind::File) {
+            continue;
+        }
+        let Some(size) = sizes.get(&node) else { continue };
+        let ancestors = graph.ancestors(node);
+        let process_ancestors: Vec<PNodeId> = ancestors
+            .iter()
+            .copied()
+            .filter(|a| {
+                graph
+                    .node(*a)
+                    .and_then(|d| d.kind)
+                    .map_or(false, |k| k == NodeKind::Process)
+            })
+            .collect();
+        if process_ancestors.is_empty() {
+            // A source object: nothing to regenerate it from.
+            continue;
+        }
+        let regenerable = process_ancestors
+            .iter()
+            .all(|p| compute_micros.contains_key(p));
+        let regen_secs: f64 = process_ancestors
+            .iter()
+            .filter_map(|p| compute_micros.get(p))
+            .map(|m| *m as f64 / 1e6)
+            .sum();
+        let storage_usd = (*size as f64 / 1e9)
+            * policy.storage_usd_per_gb_month
+            * policy.horizon_months;
+        let regen_once_usd = regen_secs / 3600.0 * policy.compute_usd_per_hour;
+        let drop_and_regen =
+            regenerable && regen_once_usd * policy.expected_reads < storage_usd;
+        out.push(RegenAdvice {
+            node,
+            name: data.attr(&Attr::Name).map(str::to_string),
+            storage_usd,
+            regen_once_usd,
+            drop_and_regen,
+            regenerable,
+        });
+    }
+    out
+}
+
+/// Total storage savings (USD over the horizon) if all `drop_and_regen`
+/// advice is followed and each dropped object is regenerated
+/// `policy.expected_reads` times.
+pub fn projected_savings(advice: &[RegenAdvice], policy: RegenPolicy) -> f64 {
+    advice
+        .iter()
+        .filter(|a| a.drop_and_regen)
+        .map(|a| a.storage_usd - a.regen_once_usd * policy.expected_reads)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudprov_pass::{Observer, Pid, ProcessInfo};
+
+    /// Pipeline: cheap-to-recompute big file + expensive-to-recompute
+    /// small file.
+    fn setup() -> (ProvGraph, BTreeMap<PNodeId, u64>, BTreeMap<PNodeId, u64>) {
+        let mut obs = Observer::new(8);
+        obs.exec(Pid(1), ProcessInfo { name: "cheap-filter".into(), ..Default::default() });
+        obs.read(Pid(1), "/src/raw");
+        obs.write(Pid(1), "/derived/big.dat", 1);
+        obs.exec(Pid(2), ProcessInfo { name: "year-long-sim".into(), ..Default::default() });
+        obs.read(Pid(2), "/src/raw");
+        obs.write(Pid(2), "/derived/tiny-but-precious.dat", 2);
+
+        let g = obs.graph().clone();
+        let mut sizes = BTreeMap::new();
+        sizes.insert(obs.file_node("/derived/big.dat").unwrap(), 50_000_000_000); // 50 GB
+        sizes.insert(
+            obs.file_node("/derived/tiny-but-precious.dat").unwrap(),
+            1_000_000, // 1 MB
+        );
+        sizes.insert(obs.file_node("/src/raw").unwrap(), 10_000_000_000);
+        let mut compute = BTreeMap::new();
+        let p1 = g.find_nodes(|_, d| d.name() == Some("cheap-filter")).next().unwrap();
+        let p2 = g.find_nodes(|_, d| d.name() == Some("year-long-sim")).next().unwrap();
+        compute.insert(p1, 60_000_000); // 1 minute
+        compute.insert(p2, 2_600_000_000_000); // ~30 days
+        (g, sizes, compute)
+    }
+
+    #[test]
+    fn big_cheap_derivations_should_be_dropped() {
+        let (g, sizes, compute) = setup();
+        let advice = advise(&g, &sizes, &compute, RegenPolicy::default());
+        let big = advice
+            .iter()
+            .find(|a| a.name.as_deref() == Some("/derived/big.dat"))
+            .unwrap();
+        // 50 GB × $0.15 × 12 = $90 storage vs one minute of EC2.
+        assert!(big.storage_usd > 80.0);
+        assert!(big.regen_once_usd < 0.01);
+        assert!(big.drop_and_regen);
+    }
+
+    #[test]
+    fn small_expensive_derivations_should_be_kept() {
+        let (g, sizes, compute) = setup();
+        let advice = advise(&g, &sizes, &compute, RegenPolicy::default());
+        let tiny = advice
+            .iter()
+            .find(|a| a.name.as_deref() == Some("/derived/tiny-but-precious.dat"))
+            .unwrap();
+        assert!(!tiny.drop_and_regen, "a month of compute beats 1 MB stored");
+    }
+
+    #[test]
+    fn source_objects_are_never_advised() {
+        let (g, sizes, compute) = setup();
+        let advice = advise(&g, &sizes, &compute, RegenPolicy::default());
+        assert!(
+            !advice.iter().any(|a| a.name.as_deref() == Some("/src/raw")),
+            "sources cannot be regenerated"
+        );
+    }
+
+    #[test]
+    fn missing_compute_times_block_regeneration() {
+        let (g, sizes, _) = setup();
+        let advice = advise(&g, &sizes, &BTreeMap::new(), RegenPolicy::default());
+        assert!(advice.iter().all(|a| !a.regenerable));
+        assert!(advice.iter().all(|a| !a.drop_and_regen));
+    }
+
+    #[test]
+    fn expected_reads_flip_the_decision() {
+        let (g, sizes, compute) = setup();
+        // Read the big file constantly: regeneration per read adds up.
+        let policy = RegenPolicy {
+            expected_reads: 10_000_000.0,
+            ..RegenPolicy::default()
+        };
+        let advice = advise(&g, &sizes, &compute, policy);
+        let big = advice
+            .iter()
+            .find(|a| a.name.as_deref() == Some("/derived/big.dat"))
+            .unwrap();
+        assert!(!big.drop_and_regen, "hot objects stay stored");
+        assert!(projected_savings(&advice, policy) >= 0.0);
+    }
+
+    #[test]
+    fn savings_sum_only_dropped_objects() {
+        let (g, sizes, compute) = setup();
+        let policy = RegenPolicy::default();
+        let advice = advise(&g, &sizes, &compute, policy);
+        let s = projected_savings(&advice, policy);
+        assert!(s > 80.0, "dropping the 50 GB derivation saves most of $90");
+    }
+}

@@ -1,0 +1,145 @@
+//! Virtual time: instants on the simulated clock.
+//!
+//! A [`SimTime`] is an absolute instant measured in microseconds since the
+//! start of the simulation. Durations are ordinary [`std::time::Duration`]s;
+//! only the *clock* is virtual.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the virtual clock, in microseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use cloudprov_sim::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(250);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_millis(250));
+/// assert_eq!(t.as_micros(), 250_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime {
+    micros: u64,
+}
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime { micros: 0 };
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> SimTime {
+        SimTime { micros }
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Duration elapsed from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> Duration {
+        assert!(
+            earlier.micros <= self.micros,
+            "duration_since: earlier ({earlier}) is after self ({self})"
+        );
+        Duration::from_micros(self.micros - earlier.micros)
+    }
+
+    /// Saturating version of [`SimTime::duration_since`]: returns zero
+    /// instead of panicking when `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_micros(self.micros.saturating_sub(earlier.micros))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime {
+            micros: self
+                .micros
+                .checked_add(rhs.as_micros() as u64)
+                .expect("virtual clock overflow"),
+        }
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn add_duration_advances() {
+        let t = SimTime::ZERO + Duration::from_secs(3);
+        assert_eq!(t.as_micros(), 3_000_000);
+        assert_eq!(t.as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn subtraction_yields_duration() {
+        let a = SimTime::from_micros(500);
+        let b = SimTime::from_micros(1_700);
+        assert_eq!(b - a, Duration::from_micros(1_200));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_when_reversed() {
+        let _ = SimTime::ZERO.duration_since(SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let d = SimTime::ZERO.saturating_duration_since(SimTime::from_micros(9));
+        assert_eq!(d, Duration::ZERO);
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        let t = SimTime::from_micros(1_500_000);
+        assert_eq!(t.to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn ordering_follows_micros() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+    }
+}

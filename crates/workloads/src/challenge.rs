@@ -1,0 +1,258 @@
+//! The provenance-challenge workload (§5).
+//!
+//! "This is the workload used in the first and second provenance
+//! challenge. The workload simulates an experiment in fMRI imaging. The
+//! inputs to the workload are a set of new brain images and a single
+//! reference brain image. First, the workload normalizes the images with
+//! respect to the reference image. Second, it transforms the image into a
+//! new image. Third, it averages all the transformed images into one
+//! single image. Fourth, it slices the average image in each of three
+//! dimensions [...]. Last, it converts the atlas data set into a graphical
+//! atlas image. The challenge workload graph is the deepest with maximum
+//! path length of eleven."
+//!
+//! Pipeline per run: `align_warp` ×4 → `reslice` ×4 → `softmean` →
+//! `slicer` ×3 → `convert` ×3, over `.img`/`.hdr` image pairs.
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Tuning knobs for the challenge workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChallengeParams {
+    /// Number of pipeline runs (image sets processed).
+    pub runs: usize,
+    /// Brain-image size (.img payload).
+    pub img_bytes: u64,
+    /// Lookup getattrs per run (s3fs chatter).
+    pub stats_per_run: usize,
+    /// Native CPU time per stage, microseconds.
+    pub compute_micros_per_stage: u64,
+}
+
+impl Default for ChallengeParams {
+    fn default() -> Self {
+        ChallengeParams {
+            runs: 25,
+            img_bytes: 2_400_000,
+            stats_per_run: 207,
+            compute_micros_per_stage: 900_000,
+        }
+    }
+}
+
+impl ChallengeParams {
+    /// A scaled-down variant for fast tests.
+    pub fn small() -> ChallengeParams {
+        ChallengeParams {
+            runs: 1,
+            img_bytes: 100_000,
+            stats_per_run: 10,
+            compute_micros_per_stage: 1_000,
+        }
+    }
+}
+
+/// Generates the fMRI challenge trace.
+pub fn challenge(p: ChallengeParams) -> Trace {
+    let mut t = Trace::new("challenge");
+    for r in 0..p.runs {
+        let base = format!("/fmri/run{r:02}");
+        let pid0 = 10_000 + (r as u64) * 100;
+        let mut stats_left = p.stats_per_run;
+        let mut stat = |t: &mut Trace, pid: u64, tag: &str| {
+            if stats_left > 0 {
+                stats_left -= 1;
+                t.push(TraceEvent::Stat {
+                    pid,
+                    path: format!("{base}/.lk/{tag}"),
+                });
+            }
+        };
+
+        // Stage 1: align_warp ×4 — anatomy vs reference -> warp params.
+        for i in 0..4 {
+            let pid = pid0 + i;
+            t.push(TraceEvent::Exec {
+                pid,
+                name: "align_warp".into(),
+                argv: vec![
+                    "align_warp".into(),
+                    format!("{base}/anatomy{i}.img"),
+                    "/fmri/reference.img".into(),
+                    format!("{base}/warp{i}.warp"),
+                    "-m".into(),
+                    "12".into(),
+                ],
+                env_bytes: 2_000,
+                exe: Some("/usr/bin/align_warp".into()),
+            });
+            for tag in ["a", "b", "c", "d", "e", "f"] {
+                stat(&mut t, pid, &format!("aw{i}{tag}"));
+            }
+            t.push(TraceEvent::Read { pid, path: format!("{base}/anatomy{i}.img"), bytes: p.img_bytes });
+            t.push(TraceEvent::Read { pid, path: format!("{base}/anatomy{i}.hdr"), bytes: 1_024 });
+            t.push(TraceEvent::Read { pid, path: "/fmri/reference.img".into(), bytes: p.img_bytes });
+            t.push(TraceEvent::Read { pid, path: "/fmri/reference.hdr".into(), bytes: 1_024 });
+            t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage });
+            let warp = format!("{base}/warp{i}.warp");
+            t.push(TraceEvent::Open { pid, path: warp.clone() });
+            t.push(TraceEvent::Write { pid, path: warp.clone(), bytes: 100_000 });
+            t.push(TraceEvent::Close { pid, path: warp });
+            t.push(TraceEvent::Exit { pid });
+        }
+
+        // Stage 2: reslice ×4 — warp params -> resliced image pairs.
+        for i in 0..4 {
+            let pid = pid0 + 10 + i;
+            t.push(TraceEvent::Exec {
+                pid,
+                name: "reslice".into(),
+                argv: vec![
+                    "reslice".into(),
+                    format!("{base}/warp{i}.warp"),
+                    format!("{base}/resliced{i}"),
+                ],
+                env_bytes: 1_800,
+                exe: Some("/usr/bin/reslice".into()),
+            });
+            for tag in ["a", "b", "c", "d", "e", "f"] {
+                stat(&mut t, pid, &format!("rs{i}{tag}"));
+            }
+            t.push(TraceEvent::Read { pid, path: format!("{base}/warp{i}.warp"), bytes: 100_000 });
+            t.push(TraceEvent::Read { pid, path: format!("{base}/anatomy{i}.img"), bytes: p.img_bytes });
+            t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage });
+            for (ext, bytes) in [("img", p.img_bytes), ("hdr", 1_024)] {
+                let path = format!("{base}/resliced{i}.{ext}");
+                t.push(TraceEvent::Open { pid, path: path.clone() });
+                t.push(TraceEvent::Write { pid, path: path.clone(), bytes });
+                t.push(TraceEvent::Close { pid, path });
+            }
+            t.push(TraceEvent::Exit { pid });
+        }
+
+        // Stage 3: softmean — average the four resliced images.
+        let mean_pid = pid0 + 20;
+        t.push(TraceEvent::Exec {
+            pid: mean_pid,
+            name: "softmean".into(),
+            argv: vec![
+                "softmean".into(),
+                format!("{base}/atlas"),
+                "y".into(),
+                "null".into(),
+            ],
+            env_bytes: 1_700,
+            exe: Some("/usr/bin/softmean".into()),
+        });
+        for i in 0..4 {
+            t.push(TraceEvent::Read {
+                pid: mean_pid,
+                path: format!("{base}/resliced{i}.img"),
+                bytes: p.img_bytes,
+            });
+            stat(&mut t, mean_pid, &format!("sm{i}"));
+        }
+        t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage });
+        for (ext, bytes) in [("img", p.img_bytes), ("hdr", 1_024)] {
+            let path = format!("{base}/atlas.{ext}");
+            t.push(TraceEvent::Open { pid: mean_pid, path: path.clone() });
+            t.push(TraceEvent::Write { pid: mean_pid, path: path.clone(), bytes });
+            t.push(TraceEvent::Close { pid: mean_pid, path });
+        }
+        t.push(TraceEvent::Exit { pid: mean_pid });
+
+        // Stages 4+5: slicer + convert along three axes.
+        for (d, axis) in ["x", "y", "z"].iter().enumerate() {
+            let slicer_pid = pid0 + 30 + d as u64;
+            let slice = format!("{base}/atlas-{axis}.pgm");
+            t.push(TraceEvent::Exec {
+                pid: slicer_pid,
+                name: "slicer".into(),
+                argv: vec![
+                    "slicer".into(),
+                    format!("{base}/atlas.img"),
+                    format!("-{axis}"),
+                    ".5".into(),
+                    slice.clone(),
+                ],
+                env_bytes: 1_600,
+                exe: Some("/usr/bin/slicer".into()),
+            });
+            for tag in ["a", "b", "c"] {
+                stat(&mut t, slicer_pid, &format!("sl{axis}{tag}"));
+            }
+            t.push(TraceEvent::Read { pid: slicer_pid, path: format!("{base}/atlas.img"), bytes: p.img_bytes });
+            t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage / 3 });
+            t.push(TraceEvent::Open { pid: slicer_pid, path: slice.clone() });
+            t.push(TraceEvent::Write { pid: slicer_pid, path: slice.clone(), bytes: 400_000 });
+            t.push(TraceEvent::Close { pid: slicer_pid, path: slice.clone() });
+            t.push(TraceEvent::Exit { pid: slicer_pid });
+
+            let convert_pid = pid0 + 40 + d as u64;
+            let gif = format!("{base}/atlas-{axis}.gif");
+            t.push(TraceEvent::Exec {
+                pid: convert_pid,
+                name: "convert".into(),
+                argv: vec!["convert".into(), slice.clone(), gif.clone()],
+                env_bytes: 1_500,
+                exe: Some("/usr/bin/convert".into()),
+            });
+            for tag in ["a", "b", "c"] {
+                stat(&mut t, convert_pid, &format!("cv{axis}{tag}"));
+            }
+            t.push(TraceEvent::Read { pid: convert_pid, path: slice.clone(), bytes: 400_000 });
+            t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage / 6 });
+            t.push(TraceEvent::Open { pid: convert_pid, path: gif.clone() });
+            t.push(TraceEvent::Write { pid: convert_pid, path: gif.clone(), bytes: 150_000 });
+            t.push(TraceEvent::Close { pid: convert_pid, path: gif });
+            t.push(TraceEvent::Exit { pid: convert_pid });
+        }
+
+        // Remaining lookup chatter attributed to the pipeline driver.
+        while stats_left > 0 {
+            stats_left -= 1;
+            t.push(TraceEvent::Stat {
+                pid: pid0,
+                path: format!("{base}/.lk/tail{stats_left}"),
+            });
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_characteristics() {
+        let t = challenge(ChallengeParams::default());
+        let s = t.stats();
+        // 20 written files per run (4 warps + 8 resliced + 2 atlas + 3
+        // slices + 3 gifs).
+        assert_eq!(s.files_written, 25 * 20);
+        // Baseline ops near the paper's 6,179.
+        let baseline = s.lookups + s.closes;
+        assert!((5_800..6_600).contains(&baseline), "got {baseline}");
+        // ≈350 MB of uploads: Table 4's ≈$0.27-0.30 at 2009 prices.
+        let mb = s.bytes_written as f64 / 1e6;
+        assert!((300.0..420.0).contains(&mb), "got {mb} MB");
+    }
+
+    #[test]
+    fn deepest_workload_path_length_eleven() {
+        let run = crate::offline::collect(&challenge(ChallengeParams::small()));
+        let g = &run.graph;
+        let gif = run
+            .nodes
+            .iter()
+            .find(|n| n.name.as_deref().map_or(false, |n| n.ends_with(".gif")))
+            .unwrap();
+        let depth = g.depth_from(gif.id);
+        assert!(
+            (10..=13).contains(&depth),
+            "expected max path ≈11 (paper), got {depth}"
+        );
+        assert!(g.find_cycle().is_none());
+    }
+}

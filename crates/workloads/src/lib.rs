@@ -1,0 +1,29 @@
+//! # cloudprov-workloads — the paper's evaluation workloads
+//!
+//! Generators for the three workloads of §5 — the CVSROOT
+//! [`nightly`](nightly::nightly) backup (flat provenance, IO-bound), the
+//! NIH-style [`blast`](blast::blast) job (depth-5 provenance, mixed
+//! compute/IO, the microbenchmark's upload set), and the fMRI provenance
+//! [`challenge`](challenge::challenge) (depth-11 pipeline) — plus the
+//! Linux-compile provenance stream for the Table 2 service throughput
+//! test, a trace [`driver`] that replays workloads through PA-S3fs, and an
+//! [`offline`] collector reproducing the paper's capture-then-upload
+//! microbenchmark methodology.
+
+#![warn(missing_docs)]
+
+pub mod blast;
+pub mod challenge;
+pub mod driver;
+pub mod linux_compile;
+pub mod nightly;
+pub mod offline;
+pub mod trace;
+
+pub use blast::{blast, BlastParams};
+pub use challenge::{challenge, ChallengeParams};
+pub use driver::{replay, ReplaySummary};
+pub use linux_compile::linux_compile_provenance;
+pub use nightly::{nightly, NightlyParams};
+pub use offline::{collect, OfflineFile, OfflineRun};
+pub use trace::{synthetic_env, Trace, TraceEvent, TraceStats};

@@ -1,0 +1,119 @@
+//! The CVSROOT nightly-backup workload (§5).
+//!
+//! "This workload simulates nightly backups of a CVS repository by
+//! extracting nightly snapshots from 30 days of our own repository,
+//! creating a tarball for each night, and uploading the 30 snapshots to
+//! AWS. The provenance tree for this workload is nearly flat with just the
+//! program cp as the ancestor of the stored archives. The workload is IO
+//! intensive, has negligible compute time, and S3fs performs 240
+//! operations under this workload."
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Tuning knobs for the nightly workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NightlyParams {
+    /// Number of nightly snapshots (paper: 30 days).
+    pub snapshots: usize,
+    /// Tarball size per snapshot. 350 MB × 30 ≈ 10.5 GB total, which at
+    /// 2009's $0.10/GB transfer-in reproduces Table 4's ≈$1.05.
+    pub snapshot_bytes: u64,
+    /// Directory-scan `getattr`s per snapshot; 6 + open + close lands the
+    /// baseline at the paper's 240 S3 operations.
+    pub stats_per_snapshot: usize,
+}
+
+impl Default for NightlyParams {
+    fn default() -> Self {
+        NightlyParams {
+            snapshots: 30,
+            snapshot_bytes: 350 << 20,
+            stats_per_snapshot: 6,
+        }
+    }
+}
+
+impl NightlyParams {
+    /// A scaled-down variant for fast tests (3 × 2 MB).
+    pub fn small() -> NightlyParams {
+        NightlyParams {
+            snapshots: 3,
+            snapshot_bytes: 2 << 20,
+            stats_per_snapshot: 6,
+        }
+    }
+}
+
+/// Generates the nightly-backup trace.
+pub fn nightly(params: NightlyParams) -> Trace {
+    let mut t = Trace::new("nightly");
+    for day in 0..params.snapshots {
+        let pid = 1_000 + day as u64;
+        let tarball = format!("/backup/cvsroot-day{day:02}.tar");
+        t.push(TraceEvent::Exec {
+            pid,
+            name: "cp".into(),
+            argv: vec![
+                "cp".into(),
+                "-a".into(),
+                "/cvsroot".into(),
+                tarball.clone(),
+            ],
+            env_bytes: 700,
+            exe: Some("/bin/cp".into()),
+        });
+        for s in 0..params.stats_per_snapshot {
+            t.push(TraceEvent::Stat {
+                pid,
+                path: format!("/backup/.scan{s}"),
+            });
+        }
+        // cp reads the repository (flat ancestry: one source node).
+        t.push(TraceEvent::Read {
+            pid,
+            path: "/cvsroot/repo".into(),
+            bytes: params.snapshot_bytes,
+        });
+        t.push(TraceEvent::Open {
+            pid,
+            path: tarball.clone(),
+        });
+        t.push(TraceEvent::Write {
+            pid,
+            path: tarball.clone(),
+            bytes: params.snapshot_bytes,
+        });
+        t.push(TraceEvent::Close { pid, path: tarball });
+        t.push(TraceEvent::Exit { pid });
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_characteristics() {
+        let t = nightly(NightlyParams::default());
+        let s = t.stats();
+        assert_eq!(s.files_written, 30);
+        assert_eq!(s.bytes_written, 30 * (350 << 20));
+        // Baseline ops = opens + closes-as-PUT + stats = 30 + 30 + 180.
+        assert_eq!(s.lookups + s.closes, 240);
+        assert_eq!(s.compute_micros, 0, "negligible compute time");
+    }
+
+    #[test]
+    fn flat_provenance_single_ancestor() {
+        let run = crate::offline::collect(&nightly(NightlyParams::small()));
+        // Each tarball's ancestry: cp process + the one source node.
+        let g = &run.graph;
+        let tarball = run
+            .nodes
+            .iter()
+            .find(|n| n.name.as_deref() == Some("/backup/cvsroot-day00.tar"))
+            .unwrap();
+        assert!(g.depth_from(tarball.id) <= 3, "nearly flat tree");
+    }
+}

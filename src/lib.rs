@@ -1,0 +1,12 @@
+//! # cloudprov — Provenance for the Cloud, reproduced in Rust
+//!
+//! Facade crate re-exporting the public API of the `cloudprov` workspace.
+//! See the README for an overview and `DESIGN.md` for the system inventory.
+
+pub use cloudprov_cloud as cloud;
+pub use cloudprov_core as protocols;
+pub use cloudprov_fs as fs;
+pub use cloudprov_pass as pass;
+pub use cloudprov_query as query;
+pub use cloudprov_sim as sim;
+pub use cloudprov_workloads as workloads;

@@ -1,0 +1,333 @@
+//! Property-based tests on the core invariants, with `proptest`.
+//!
+//! * The PASS observer keeps the provenance graph acyclic for ARBITRARY
+//!   interleavings of exec/read/write/pipe events (causality-based
+//!   versioning's contract).
+//! * Flush closures are always ancestors-first and never resend clean
+//!   nodes.
+//! * The wire format round-trips arbitrary records and chunkings.
+//! * The SQS model never loses or invents messages.
+//! * Protocol round-trips: whatever is flushed can be read back coupled
+//!   once the system quiesces.
+
+use proptest::prelude::*;
+
+use cloudprov::pass::{wire, Attr, Observer, Pid, PipeId, ProcessInfo, ProvenanceRecord};
+
+/// A random syscall script over a small set of processes/files/pipes.
+#[derive(Clone, Debug)]
+enum Ev {
+    Exec(u8),
+    Read(u8, u8),
+    Write(u8, u8),
+    PipeWrite(u8, u8),
+    PipeRead(u8, u8),
+    Flush(u8),
+    Rename(u8, u8),
+    Unlink(u8),
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u8..6).prop_map(Ev::Exec),
+        ((0u8..6), (0u8..8)).prop_map(|(p, f)| Ev::Read(p, f)),
+        ((0u8..6), (0u8..8)).prop_map(|(p, f)| Ev::Write(p, f)),
+        ((0u8..6), (0u8..3)).prop_map(|(p, q)| Ev::PipeWrite(p, q)),
+        ((0u8..6), (0u8..3)).prop_map(|(p, q)| Ev::PipeRead(p, q)),
+        (0u8..8).prop_map(Ev::Flush),
+        ((0u8..8), (0u8..8)).prop_map(|(a, b)| Ev::Rename(a, b)),
+        (0u8..8).prop_map(Ev::Unlink),
+    ]
+}
+
+fn apply_script(events: &[Ev]) -> (Observer, usize) {
+    let mut obs = Observer::new(99);
+    let mut flushed_nodes = 0;
+    let mut live_pipes = std::collections::BTreeSet::new();
+    let mut execed = std::collections::BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Ev::Exec(p) => {
+                obs.exec(
+                    Pid(*p as u64),
+                    ProcessInfo {
+                        name: format!("proc{p}"),
+                        exec_time_micros: i as u64,
+                        ..Default::default()
+                    },
+                );
+                execed.insert(*p);
+            }
+            Ev::Read(p, f) => {
+                if execed.contains(p) {
+                    obs.read(Pid(*p as u64), &format!("/f{f}"));
+                }
+            }
+            Ev::Write(p, f) => {
+                if execed.contains(p) {
+                    obs.write(Pid(*p as u64), &format!("/f{f}"), i as u64);
+                }
+            }
+            Ev::PipeWrite(p, q) => {
+                if execed.contains(p) {
+                    if live_pipes.insert(*q) {
+                        obs.pipe_create(PipeId(*q as u64));
+                    }
+                    obs.pipe_write(Pid(*p as u64), PipeId(*q as u64));
+                }
+            }
+            Ev::PipeRead(p, q) => {
+                if execed.contains(p) && live_pipes.contains(q) {
+                    obs.pipe_read(Pid(*p as u64), PipeId(*q as u64));
+                }
+            }
+            Ev::Flush(f) => {
+                flushed_nodes += obs.flush_closure(&format!("/f{f}")).len();
+            }
+            Ev::Rename(a, b) => {
+                if a != b {
+                    obs.rename(&format!("/f{a}"), &format!("/f{b}"));
+                }
+            }
+            Ev::Unlink(f) => obs.unlink(&format!("/f{f}")),
+        }
+    }
+    (obs, flushed_nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn observer_graph_is_always_acyclic(events in proptest::collection::vec(ev_strategy(), 0..120)) {
+        let (obs, _) = apply_script(&events);
+        prop_assert!(obs.graph().find_cycle().is_none(),
+            "cycle found: {:?}", obs.graph().find_cycle());
+    }
+
+    #[test]
+    fn flush_closures_are_ancestors_first(events in proptest::collection::vec(ev_strategy(), 0..80)) {
+        let (mut obs, _) = apply_script(&events);
+        // Flush everything that remains, file by file; each closure must
+        // list dependencies before dependents.
+        for f in 0..8u8 {
+            let closure = obs.flush_closure(&format!("/f{f}"));
+            let ids: Vec<_> = closure.iter().map(|n| n.id).collect();
+            for (i, n) in ids.iter().enumerate() {
+                for d in obs.graph().deps(*n) {
+                    if let Some(j) = ids.iter().position(|x| x == d) {
+                        prop_assert!(j < i, "dependency {d} after {n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn second_flush_is_empty_without_new_activity(events in proptest::collection::vec(ev_strategy(), 0..80)) {
+        let (mut obs, _) = apply_script(&events);
+        for f in 0..8u8 {
+            let _ = obs.flush_closure(&format!("/f{f}"));
+        }
+        for f in 0..8u8 {
+            let again = obs.flush_closure(&format!("/f{f}"));
+            prop_assert!(again.is_empty(), "clean file /f{f} re-flushed {} nodes", again.len());
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_arbitrary_text(
+        subjects in proptest::collection::vec((any::<u128>(), 1u32..50), 1..40),
+        values in proptest::collection::vec(".*", 1..40),
+    ) {
+        let records: Vec<ProvenanceRecord> = subjects
+            .iter()
+            .zip(values.iter().cycle())
+            .map(|((u, v), text)| {
+                ProvenanceRecord::new(
+                    cloudprov::pass::PNodeId { uuid: cloudprov::pass::Uuid(*u), version: *v },
+                    Attr::Custom("k".into()),
+                    text.as_str(),
+                )
+            })
+            .collect();
+        let decoded = wire::decode(&wire::encode(&records)).unwrap();
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn wire_chunking_preserves_records(
+        n in 1usize..120,
+        limit in 256usize..4096,
+    ) {
+        let records: Vec<ProvenanceRecord> = (0..n)
+            .map(|i| ProvenanceRecord::new(
+                cloudprov::pass::PNodeId { uuid: cloudprov::pass::Uuid(i as u128), version: 1 },
+                Attr::Name,
+                format!("/file/{i}"),
+            ))
+            .collect();
+        let chunks = wire::chunk(&records, limit);
+        let mut reassembled = Vec::new();
+        for c in &chunks {
+            prop_assert!(c.len() <= limit);
+            reassembled.extend(wire::decode(c).unwrap());
+        }
+        prop_assert_eq!(reassembled, records);
+    }
+}
+
+mod queue_properties {
+    use super::*;
+    use bytes::Bytes;
+    use cloudprov::cloud::{AwsProfile, CloudEnv};
+    use cloudprov::sim::Sim;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// At-least-once, no-invention: every sent message is received at
+        /// least once before deletion; nothing never-sent appears.
+        #[test]
+        fn queue_delivers_all_messages_exactly(
+            bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 1..60),
+        ) {
+            let sim = Sim::new();
+            let env = CloudEnv::new(&sim, AwsProfile::instant());
+            let url = env.sqs().create_queue("prop");
+            let mut sent = std::collections::BTreeMap::new();
+            for (i, b) in bodies.iter().enumerate() {
+                let mut tagged = i.to_le_bytes().to_vec();
+                tagged.extend_from_slice(b);
+                env.sqs().send(&url, Bytes::from(tagged.clone())).unwrap();
+                sent.insert(tagged, false);
+            }
+            loop {
+                let msgs = env.sqs().receive(&url, 10).unwrap();
+                if msgs.is_empty() { break; }
+                for m in msgs {
+                    let body = m.body.to_vec();
+                    let entry = sent.get_mut(&body);
+                    prop_assert!(entry.is_some(), "received a never-sent message");
+                    *entry.unwrap() = true;
+                    env.sqs().delete(&url, &m.receipt).unwrap();
+                }
+            }
+            prop_assert!(sent.values().all(|v| *v), "some messages were lost");
+        }
+    }
+}
+
+mod consistency_properties {
+    use super::*;
+    use cloudprov::cloud::{AwsProfile, Blob, CloudEnv, ConsistencyParams, Metadata};
+    use cloudprov::sim::Sim;
+    use std::time::Duration;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Reads under eventual consistency return SOME historical version
+        /// (never garbage), and converge to the latest after quiescence.
+        #[test]
+        fn eventual_reads_return_real_versions_and_converge(
+            writes in proptest::collection::vec(0u64..1_000_000, 1..12),
+        ) {
+            let sim = Sim::new();
+            let mut profile = AwsProfile::instant();
+            profile.consistency = ConsistencyParams::eventual(Duration::from_secs(8));
+            let env = CloudEnv::new(&sim, profile);
+            let mut history = Vec::new();
+            for w in &writes {
+                let blob = Blob::synthetic(64, *w);
+                env.s3().put("b", "k", blob.clone(), Metadata::new()).unwrap();
+                history.push(blob);
+                // A read now must be one of the versions written so far.
+                if let Ok(got) = env.s3().get("b", "k") {
+                    prop_assert!(history.contains(&got.blob), "phantom version");
+                }
+            }
+            sim.sleep(Duration::from_secs(9));
+            let got = env.s3().get("b", "k").unwrap();
+            prop_assert_eq!(&got.blob, history.last().unwrap(), "must converge to last write");
+        }
+    }
+}
+
+mod protocol_roundtrip {
+    use super::*;
+    use cloudprov::cloud::{AwsProfile, Blob, CloudEnv};
+    use cloudprov::protocols::{
+        CouplingCheck, FlushBatch, FlushObject, ProtocolConfig, StorageProtocol, P1, P2, P3,
+    };
+    use cloudprov::pass::{FlushNode, NodeKind, PNodeId, Uuid};
+    use cloudprov::sim::Sim;
+    use std::sync::Arc;
+
+    fn obj(uuid: u128, key: String, payload: Vec<u8>) -> FlushObject {
+        let id = PNodeId::initial(Uuid(uuid));
+        let blob = Blob::from(payload);
+        FlushObject::file(
+            FlushNode {
+                id,
+                kind: NodeKind::File,
+                name: Some(format!("/{key}")),
+                records: vec![
+                    cloudprov::pass::ProvenanceRecord::new(id, Attr::Type, "file"),
+                    cloudprov::pass::ProvenanceRecord::new(id, Attr::Name, key.as_str()),
+                    cloudprov::pass::ProvenanceRecord::new(
+                        id,
+                        Attr::DataHash,
+                        format!("{:016x}", blob.content_fingerprint()),
+                    ),
+                ],
+                data_hash: Some(blob.content_fingerprint()),
+            },
+            key,
+            blob,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Arbitrary file sets round-trip through every protocol: after the
+        /// flush (plus P3 commit + quiescence), every file reads back with
+        /// its exact bytes and a coupled verdict.
+        #[test]
+        fn flush_then_read_roundtrips(
+            files in proptest::collection::btree_map("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..512), 1..8),
+        ) {
+            for which in ["P1", "P2", "P3"] {
+                let sim = Sim::new();
+                let env = CloudEnv::new(&sim, AwsProfile::instant());
+                let protocol: Arc<dyn StorageProtocol> = match which {
+                    "P1" => Arc::new(P1::new(&env, ProtocolConfig::default())),
+                    "P2" => Arc::new(P2::new(&env, ProtocolConfig::default())),
+                    _ => Arc::new(P3::new(&env, ProtocolConfig::default(), "wal-prop")),
+                };
+                let objects: Vec<FlushObject> = files
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (k, v))| obj(i as u128 + 1, k.clone(), v.clone()))
+                    .collect();
+                protocol.flush(FlushBatch { objects: objects.clone() }).unwrap();
+                if which == "P3" {
+                    cloudprov::protocols::CommitDaemon::new(
+                        &env,
+                        ProtocolConfig::default(),
+                        "sqs://wal-prop",
+                    )
+                    .run_until_idle()
+                    .unwrap();
+                }
+                sim.sleep(std::time::Duration::from_secs(1));
+                for (key, bytes) in &files {
+                    let r = protocol.read(key).unwrap();
+                    prop_assert_eq!(r.data.as_inline().unwrap().as_ref(), &bytes[..], "{}", which);
+                    prop_assert_eq!(&r.coupling, &CouplingCheck::Coupled, "{}", which);
+                }
+            }
+        }
+    }
+}
