@@ -41,9 +41,7 @@ fn bench_service_upload(c: &mut Criterion) {
     group.sample_size(10);
     let ctx = RunContext::default();
     let records = cloudprov_workloads::linux_compile_provenance(256 << 10);
-    group.bench_function("s3", |b| {
-        b.iter(|| services::upload_s3(&records, 150, ctx))
-    });
+    group.bench_function("s3", |b| b.iter(|| services::upload_s3(&records, 150, ctx)));
     group.bench_function("simpledb", |b| {
         b.iter(|| services::upload_sdb(&records, 40, ctx))
     });
@@ -68,9 +66,7 @@ fn bench_workload(c: &mut Criterion) {
     let ctx = RunContext::ec2(Era::Sept2009);
     for which in Which::ALL {
         group.bench_function(format!("nightly_small_{}", which.name()), |b| {
-            b.iter(|| {
-                workload_runs::run_cell(workload_runs::Workload::Nightly, which, ctx, false)
-            })
+            b.iter(|| workload_runs::run_cell(workload_runs::Workload::Nightly, which, ctx, false))
         });
     }
     group.finish();

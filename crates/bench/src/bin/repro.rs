@@ -102,10 +102,7 @@ fn micro_tables(small: bool) {
         let results = micro::run(&corpus, ctx, 26);
         let base = results[0].elapsed.as_secs_f64();
         println!("\n  [{label}]");
-        println!(
-            "  {:<8} {:>12} {:>12}",
-            "Config", "Time (s)", "Overhead"
-        );
+        println!("  {:<8} {:>12} {:>12}", "Config", "Time (s)", "Overhead");
         for r in &results {
             println!(
                 "  {:<8} {:>12.1} {:>11.1}%",
@@ -335,6 +332,22 @@ fn ablation_report() {
     println!(
         "\nOne-row-per-version vs per-object (\u{a7}4.3.2): {per_version} version items vs\n{per_object} merged items; {ambiguous} objects would lose version attribution"
     );
+
+    println!("\nPipelined vs blocking flush (Blast, client-perceived seconds):");
+    println!(
+        "  {:<6} {:>12} {:>12} {:>8}",
+        "Proto", "Blocking", "Pipelined", "Win"
+    );
+    for which in [cloudprov_bench::Which::P1, cloudprov_bench::Which::P3] {
+        let (blocking, pipelined) = ablations::flush_pipelining(which);
+        println!(
+            "  {:<6} {:>12.1} {:>12.1} {:>7.0}%",
+            which.name(),
+            blocking.as_secs_f64(),
+            pipelined.as_secs_f64(),
+            -overhead_pct(blocking.as_secs_f64(), pipelined.as_secs_f64())
+        );
+    }
 }
 
 fn main() {
@@ -372,5 +385,8 @@ fn main() {
             std::process::exit(2);
         }
     }
-    eprintln!("\n[repro completed in {:.1} s wall time]", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[repro completed in {:.1} s wall time]",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -5,48 +5,27 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cloudprov_cloud::{AwsProfile, CloudEnv, RunContext};
-use cloudprov_core::{ProtocolConfig, S3fsBaseline, StorageProtocol, P1, P2, P3};
+use cloudprov_core::{FlushMode, ProtocolConfig, ProvenanceClient};
+use cloudprov_fs::{LocalIoParams, PaS3fs};
 use cloudprov_sim::Sim;
 
-/// Which storage configuration a run uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Which {
-    /// Provenance-free baseline.
-    S3fs,
-    /// Protocol 1 (S3 only).
-    P1,
-    /// Protocol 2 (S3 + SimpleDB).
-    P2,
-    /// Protocol 3 (S3 + SimpleDB + SQS WAL).
-    P3,
-}
+/// Which storage configuration a run uses — the facade's [`Protocol`]
+/// under the harness's historical name.
+///
+/// [`Protocol`]: cloudprov_core::Protocol
+pub use cloudprov_core::Protocol as Which;
 
-impl Which {
-    /// All four configurations, baseline first.
-    pub const ALL: [Which; 4] = [Which::S3fs, Which::P1, Which::P2, Which::P3];
-
-    /// Display name matching the paper.
-    pub fn name(self) -> &'static str {
-        match self {
-            Which::S3fs => "S3fs",
-            Which::P1 => "P1",
-            Which::P2 => "P2",
-            Which::P3 => "P3",
-        }
-    }
-}
-
-/// A provisioned run environment: simulation, cloud, protocol, and (for
-/// P3) its daemons.
+/// A provisioned run environment: simulation, cloud, and a
+/// [`ProvenanceClient`] session (with its commit daemon for P3).
 pub struct Rig {
     /// The simulation.
     pub sim: Sim,
     /// The cloud environment.
     pub env: CloudEnv,
-    /// The protocol under test.
-    pub protocol: Arc<dyn StorageProtocol>,
-    /// P3's commit daemon (None otherwise).
-    pub commit_daemon: Option<Arc<cloudprov_core::CommitDaemon>>,
+    /// The session under test (implements `StorageProtocol`, so it is
+    /// also what uploaders and file systems consume). P3's daemons are
+    /// reachable through it (`client.commit_daemon()`).
+    pub client: Arc<ProvenanceClient>,
 }
 
 impl Rig {
@@ -54,7 +33,7 @@ impl Rig {
     pub fn new(which: Which, context: RunContext, config: ProtocolConfig) -> Rig {
         let sim = Sim::new();
         let env = CloudEnv::new(&sim, AwsProfile::calibrated(context));
-        Self::over(sim, env, which, config)
+        Self::over(sim, env, which, config, FlushMode::Blocking)
     }
 
     /// Provisions with an explicit profile (tests use
@@ -62,34 +41,37 @@ impl Rig {
     pub fn with_profile(which: Which, profile: AwsProfile, config: ProtocolConfig) -> Rig {
         let sim = Sim::new();
         let env = CloudEnv::new(&sim, profile);
-        Self::over(sim, env, which, config)
+        Self::over(sim, env, which, config, FlushMode::Blocking)
     }
 
-    fn over(sim: Sim, env: CloudEnv, which: Which, config: ProtocolConfig) -> Rig {
-        let (protocol, commit_daemon): (Arc<dyn StorageProtocol>, _) = match which {
-            Which::S3fs => (Arc::new(S3fsBaseline::new(&env, config)) as _, None),
-            Which::P1 => (Arc::new(P1::new(&env, config)) as _, None),
-            Which::P2 => (Arc::new(P2::new(&env, config)) as _, None),
-            Which::P3 => {
-                let p3 = P3::new(&env, config, "wal-bench");
-                let daemon = Arc::new(p3.commit_daemon());
-                (Arc::new(p3) as _, Some(daemon))
-            }
-        };
-        Rig {
-            sim,
-            env,
-            protocol,
-            commit_daemon,
-        }
+    /// Provisions with the non-blocking pipelined flush path (the
+    /// pipelining ablation measures this against the blocking default).
+    pub fn pipelined(which: Which, context: RunContext, config: ProtocolConfig) -> Rig {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::calibrated(context));
+        Self::over(sim, env, which, config, FlushMode::Pipelined)
     }
 
-    /// Drains P3's WAL (no-op for other protocols). Call before reading
-    /// final state or costs.
+    fn over(sim: Sim, env: CloudEnv, which: Which, config: ProtocolConfig, mode: FlushMode) -> Rig {
+        let client = Arc::new(
+            ProvenanceClient::builder(which)
+                .config(config)
+                .queue("wal-bench")
+                .flush_mode(mode)
+                .build(&env),
+        );
+        Rig { sim, env, client }
+    }
+
+    /// Mounts a PA-S3fs over this rig's session.
+    pub fn fs(&self, io: LocalIoParams, seed: u64) -> PaS3fs {
+        PaS3fs::attach(self.client.clone(), io, seed)
+    }
+
+    /// Drains the flush pipeline and P3's WAL (no-op for blocking
+    /// non-P3 rigs). Call before reading final state or costs.
     pub fn drain_commits(&self) {
-        if let Some(d) = &self.commit_daemon {
-            d.run_until_idle().expect("commit daemon drain");
-        }
+        self.client.drain().expect("session drain");
     }
 }
 
@@ -110,17 +92,14 @@ pub fn overhead_pct(base: f64, value: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cloudprov_core::StorageProtocol;
 
     #[test]
     fn rig_builds_every_protocol() {
         for which in Which::ALL {
-            let rig = Rig::with_profile(
-                which,
-                AwsProfile::instant(),
-                ProtocolConfig::default(),
-            );
-            assert_eq!(rig.protocol.name(), which.name());
-            assert_eq!(rig.commit_daemon.is_some(), which == Which::P3);
+            let rig = Rig::with_profile(which, AwsProfile::instant(), ProtocolConfig::default());
+            assert_eq!(rig.client.name(), which.name());
+            assert_eq!(rig.client.commit_daemon().is_some(), which == Which::P3);
             rig.drain_commits();
         }
     }

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use cloudprov_cloud::{Actor, AwsProfile, Blob, Era, Metadata, Op, RunContext, Service};
-use cloudprov_core::{FlushBatch, FlushObject, ProtocolConfig};
+use cloudprov_core::{FlushBatch, FlushObject, ProtocolConfig, StorageProtocol};
 use cloudprov_pass::wire;
 use cloudprov_sim::Sim;
 use cloudprov_workloads::{blast, collect, BlastParams, OfflineRun};
@@ -56,7 +56,7 @@ pub fn wal_message_size(corpus: &OfflineRun, sizes: &[usize]) -> Vec<SweepPoint>
             };
             let rig = Rig::new(Which::P3, ec2(), cfg);
             let t0 = rig.sim.now();
-            rig.protocol
+            rig.client
                 .flush(FlushBatch {
                     objects: corpus_objects(corpus, false),
                 })
@@ -94,7 +94,7 @@ pub fn db_batch_size(corpus: &OfflineRun, batches: &[usize]) -> Vec<SweepPoint> 
             // there), provenance-only so the database path is what is
             // measured.
             let t0 = rig.sim.now();
-            rig.protocol
+            rig.client
                 .flush(FlushBatch {
                     objects: corpus_objects(corpus, false),
                 })
@@ -126,7 +126,7 @@ pub fn ordering_cost(corpus: &OfflineRun) -> (Duration, Duration) {
         };
         let rig = Rig::new(Which::P1, ec2(), cfg);
         let t0 = rig.sim.now();
-        rig.protocol
+        rig.client
             .flush(FlushBatch {
                 objects: corpus_objects(corpus, true),
             })
@@ -155,11 +155,18 @@ pub fn provenance_as_metadata() -> (bool, bool) {
         "provenance".into(),
         String::from_utf8_lossy(&wire::encode(&records)).into_owned(),
     );
-    env.s3().put("data", "f-meta", Blob::from("x"), meta).unwrap();
+    env.s3()
+        .put("data", "f-meta", Blob::from("x"), meta)
+        .unwrap();
 
     // The paper's design: separate provenance object.
     env.s3()
-        .put("prov", "p/1", wire::encode(&records).into(), Metadata::new())
+        .put(
+            "prov",
+            "p/1",
+            wire::encode(&records).into(),
+            Metadata::new(),
+        )
         .unwrap();
     env.s3()
         .put("data", "f-sep", Blob::from("x"), Metadata::new())
@@ -219,8 +226,15 @@ pub fn versioned_corpus() -> OfflineRun {
         exe: Some("/usr/local/bin/recalibrate".into()),
     });
     for r in &reports {
-        trace.push(TraceEvent::Write { pid: 99_000, path: r.clone(), bytes: 10_000 });
-        trace.push(TraceEvent::Close { pid: 99_000, path: r.clone() });
+        trace.push(TraceEvent::Write {
+            pid: 99_000,
+            path: r.clone(),
+            bytes: 10_000,
+        });
+        trace.push(TraceEvent::Close {
+            pid: 99_000,
+            path: r.clone(),
+        });
     }
     collect(&trace)
 }
@@ -268,6 +282,30 @@ fn corpus_objects(corpus: &OfflineRun, with_data: bool) -> Vec<FlushObject> {
         .collect()
 }
 
+/// The facade's pipelined flush path vs the paper's blocking client:
+/// replays the Blast workload through PA-S3fs twice — once over a
+/// blocking session (every `close` waits for the upload) and once over a
+/// pipelined session (`close` enqueues; the background flusher coalesces
+/// and uploads while the client computes) — and returns the
+/// client-perceived elapsed times `(blocking, pipelined)`. `drain` runs
+/// after the measurement so both sessions end in the same cloud state.
+pub fn flush_pipelining(which: Which) -> (Duration, Duration) {
+    use cloudprov_fs::LocalIoParams;
+    use cloudprov_workloads::replay;
+
+    let run = |rig: Rig| {
+        let fs = rig.fs(LocalIoParams::default(), 0xF10);
+        let t0 = rig.sim.now();
+        replay(&rig.sim, &fs, &blast(BlastParams::small())).expect("replay");
+        let elapsed = rig.sim.now() - t0;
+        rig.drain_commits();
+        elapsed
+    };
+    let blocking = run(Rig::new(which, ec2(), ProtocolConfig::default()));
+    let pipelined = run(Rig::pipelined(which, ec2(), ProtocolConfig::default()));
+    (blocking, pipelined)
+}
+
 /// §2.3.1's consistency spectrum: AWS was eventually consistent, Azure
 /// strict. Measures how often a read-your-write immediately after a flush
 /// hits a stale view under each model (the detection burden the paper's
@@ -293,8 +331,7 @@ pub fn consistency_detection_rate(reads: usize) -> (f64, f64) {
         stale as f64 / reads as f64
     };
     let mut eventual = AwsProfile::instant();
-    eventual.consistency =
-        cloudprov_cloud::ConsistencyParams::eventual(Duration::from_secs(10));
+    eventual.consistency = cloudprov_cloud::ConsistencyParams::eventual(Duration::from_secs(10));
     let strict = AwsProfile::instant();
     (rate(eventual), rate(strict))
 }
@@ -341,6 +378,17 @@ mod tests {
         let (eventual, strict) = consistency_detection_rate(400);
         assert!(eventual > 0.05, "AWS-style reads go stale: {eventual}");
         assert_eq!(strict, 0.0, "Azure-style reads never do");
+    }
+
+    #[test]
+    fn pipelined_flush_beats_blocking_on_blast() {
+        for which in [Which::P1, Which::P3] {
+            let (blocking, pipelined) = flush_pipelining(which);
+            assert!(
+                pipelined < blocking,
+                "{which}: pipelined {pipelined:?} must beat blocking {blocking:?}"
+            );
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use cloudprov_cloud::{AwsProfile, Blob};
 use cloudprov_core::properties::{causal_report, load_all_records};
-use cloudprov_core::{FlushBatch, FlushObject, ProtocolConfig, StepHook};
+use cloudprov_core::{FlushBatch, FlushObject, ProtocolConfig, StepHook, StorageProtocol};
 use cloudprov_pass::{Attr, FlushNode, NodeKind, PNodeId, ProvenanceRecord, Uuid};
 
 use crate::common::{Rig, Which};
@@ -100,7 +100,7 @@ fn hook(kill_prefixes: &'static [&'static str]) -> StepHook {
 /// the newest stored provenance version must not exceed the data version.
 fn coupling_survives(which: Which) -> bool {
     let rig = Rig::with_profile(which, AwsProfile::instant(), ProtocolConfig::default());
-    rig.protocol
+    rig.client
         .flush(FlushBatch {
             objects: vec![file_object(1, 1, "f", "version-one")],
         })
@@ -120,12 +120,10 @@ fn coupling_survives(which: Which) -> bool {
         step_hook: Some(hook(kill)),
         ..ProtocolConfig::default()
     };
-    let crasher: Arc<dyn cloudprov_core::StorageProtocol> = match which {
-        Which::P1 => Arc::new(cloudprov_core::P1::new(&rig.env, crash_cfg)),
-        Which::P2 => Arc::new(cloudprov_core::P2::new(&rig.env, crash_cfg)),
-        Which::P3 => Arc::new(cloudprov_core::P3::new(&rig.env, crash_cfg, "wal-crash")),
-        Which::S3fs => Arc::new(cloudprov_core::S3fsBaseline::new(&rig.env, crash_cfg)),
-    };
+    let crasher = cloudprov_core::ProvenanceClient::builder(which)
+        .config(crash_cfg)
+        .queue("wal-crash")
+        .build(&rig.env);
     let _ = crasher.flush(FlushBatch {
         objects: vec![file_object(1, 2, "f", "version-two")],
     });
@@ -136,28 +134,24 @@ fn coupling_survives(which: Which) -> bool {
             .expect("recovery drain");
         rig.drain_commits();
     }
-    let data_side = match rig.protocol.read("f") {
+    let data_side = match rig.client.read("f") {
         Ok(r) => r.coupling.is_coupled(),
         Err(_) => false,
     };
     let prov_side = {
-        let Some(store) = rig.protocol.provenance_store() else {
+        let Some(store) = rig.client.provenance_store() else {
             return false;
         };
         let data_version = rig
-            .protocol
+            .client
             .read("f")
             .ok()
             .and_then(|r| r.id)
             .map(|id| id.version)
             .unwrap_or(0);
-        let stored = cloudprov_core::properties::latest_stored_version(
-            &rig.env,
-            &store,
-            Uuid(1),
-        )
-        .expect("scan")
-        .unwrap_or(0);
+        let stored = cloudprov_core::properties::latest_stored_version(&rig.env, &store, Uuid(1))
+            .expect("scan")
+            .unwrap_or(0);
         stored <= data_version
     };
     data_side && prov_side
@@ -194,11 +188,11 @@ fn causal_holds(which: Which, strict: bool) -> bool {
         Attr::Input,
         ancestor.node.id,
     ));
-    let _ = rig.protocol.flush(FlushBatch {
+    let _ = rig.client.flush(FlushBatch {
         objects: vec![ancestor, descendant],
     });
     rig.drain_commits();
-    let Some(store) = rig.protocol.provenance_store() else {
+    let Some(store) = rig.client.provenance_store() else {
         return true;
     };
     let records = load_all_records(&rig.env, &store).expect("scan");
@@ -209,11 +203,7 @@ fn causal_holds(which: Which, strict: bool) -> bool {
 /// between batches; model the parallel-mode hazard by flushing the
 /// descendant's batch while killing the ancestor's (split flushes).
 fn p2_parallel_causal() -> bool {
-    let rig = Rig::with_profile(
-        Which::P2,
-        AwsProfile::instant(),
-        ProtocolConfig::default(),
-    );
+    let rig = Rig::with_profile(Which::P2, AwsProfile::instant(), ProtocolConfig::default());
     let ancestor = proc_object(2);
     let mut descendant = file_object(3, 1, "out", "data");
     descendant.node.records.push(ProvenanceRecord::new(
@@ -223,13 +213,13 @@ fn p2_parallel_causal() -> bool {
     ));
     // The client uploads descendant first (parallel scheduling), crashes
     // before the ancestor's flush.
-    rig.protocol
+    rig.client
         .flush(FlushBatch {
             objects: vec![descendant],
         })
         .expect("descendant flush");
     // Crash: ancestor batch never issued.
-    let store = rig.protocol.provenance_store().unwrap();
+    let store = rig.client.provenance_store().unwrap();
     let records = load_all_records(&rig.env, &store).expect("scan");
     causal_report(&records).holds()
 }
@@ -237,7 +227,7 @@ fn p2_parallel_causal() -> bool {
 /// Persistence experiment: delete the data, check provenance remains.
 fn persistence_holds(which: Which) -> bool {
     let rig = Rig::with_profile(which, AwsProfile::instant(), ProtocolConfig::default());
-    rig.protocol
+    rig.client
         .flush(FlushBatch {
             objects: vec![file_object(9, 1, "doomed", "bytes")],
         })
@@ -247,7 +237,7 @@ fn persistence_holds(which: Which) -> bool {
         uuid: Uuid(9),
         version: 1,
     };
-    cloudprov_core::properties::check_persistence(&rig.env, rig.protocol.as_ref(), "doomed", id)
+    cloudprov_core::properties::check_persistence(&rig.env, rig.client.as_ref(), "doomed", id)
         .expect("persistence check")
 }
 
@@ -265,12 +255,9 @@ pub fn table1() -> Vec<PropertyRow> {
             },
             persistence: persistence_holds(which),
             efficient_query: {
-                let rig = Rig::with_profile(
-                    which,
-                    AwsProfile::instant(),
-                    ProtocolConfig::default(),
-                );
-                rig.protocol.supports_efficient_query()
+                let rig =
+                    Rig::with_profile(which, AwsProfile::instant(), ProtocolConfig::default());
+                rig.client.supports_efficient_query()
             },
         })
         .collect()

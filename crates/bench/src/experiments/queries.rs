@@ -7,6 +7,7 @@
 
 use cloudprov_cloud::{Era, Machine, RunContext};
 use cloudprov_core::ProtocolConfig;
+use cloudprov_core::StorageProtocol;
 use cloudprov_query::{Mode, QueryEngine, QueryMetrics};
 use cloudprov_workloads::{blast, collect, BlastParams, OfflineRun};
 
@@ -48,13 +49,13 @@ pub fn seed(corpus: &OfflineRun) -> ((Rig, QueryEngine), (Rig, QueryEngine)) {
     // Let eventual consistency converge before measuring queries (readers
     // otherwise have to "try refreshing the data", §4.3.1).
     rig1.sim.sleep(quiesce);
-    let store1 = rig1.protocol.provenance_store().expect("p1 store");
+    let store1 = rig1.client.provenance_store().expect("p1 store");
     let engine1 = QueryEngine::new(&rig1.env, store1, "data");
 
     let rig2 = Rig::new(Which::P2, ec2(), ProtocolConfig::default());
     upload(&rig2, corpus, 26);
     rig2.sim.sleep(quiesce);
-    let store2 = rig2.protocol.provenance_store().expect("p2 store");
+    let store2 = rig2.client.provenance_store().expect("p2 store");
     let engine2 = QueryEngine::new(&rig2.env, store2, "data");
 
     ((rig1, engine1), (rig2, engine2))
@@ -112,8 +113,12 @@ pub fn table5(params: BlastParams) -> Vec<QueryResult> {
         });
 
         // Q.3: direct outputs of blastall.
-        let seq = engine.q3_outputs_of(PROGRAM, Mode::Sequential).expect("q3 seq");
-        let par = engine.q3_outputs_of(PROGRAM, Mode::Parallel).expect("q3 par");
+        let seq = engine
+            .q3_outputs_of(PROGRAM, Mode::Sequential)
+            .expect("q3 seq");
+        let par = engine
+            .q3_outputs_of(PROGRAM, Mode::Parallel)
+            .expect("q3 par");
         out.push(QueryResult {
             query: "Q.3",
             backend,

@@ -60,7 +60,11 @@ pub fn upload_s3(records: &[ProvenanceRecord], conns: usize, context: RunContext
 
 /// Uploads `records` to SimpleDB as ~1 KB items, 25 per batch call, over
 /// `conns` connections.
-pub fn upload_sdb(records: &[ProvenanceRecord], conns: usize, context: RunContext) -> ServiceResult {
+pub fn upload_sdb(
+    records: &[ProvenanceRecord],
+    conns: usize,
+    context: RunContext,
+) -> ServiceResult {
     let sim = Sim::new();
     let env = CloudEnv::new(&sim, AwsProfile::calibrated(context));
     env.sdb().create_domain("lc");
@@ -99,7 +103,11 @@ pub fn upload_sdb(records: &[ProvenanceRecord], conns: usize, context: RunContex
 }
 
 /// Uploads `records` to SQS as 8 KB messages over `conns` connections.
-pub fn upload_sqs(records: &[ProvenanceRecord], conns: usize, context: RunContext) -> ServiceResult {
+pub fn upload_sqs(
+    records: &[ProvenanceRecord],
+    conns: usize,
+    context: RunContext,
+) -> ServiceResult {
     let sim = Sim::new();
     let env = CloudEnv::new(&sim, AwsProfile::calibrated(context));
     let url = env.sqs().create_queue("lc");

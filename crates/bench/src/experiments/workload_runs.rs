@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use cloudprov_cloud::{Era, RunContext};
 use cloudprov_core::ProtocolConfig;
-use cloudprov_fs::{LocalIoParams, PaS3fs};
+use cloudprov_fs::LocalIoParams;
 use cloudprov_workloads::{
     blast, challenge, nightly, replay, BlastParams, ChallengeParams, NightlyParams, Trace,
 };
@@ -73,29 +73,20 @@ pub struct WorkloadResult {
 }
 
 /// Runs one workload × protocol × context cell.
-pub fn run_cell(workload: Workload, which: Which, context: RunContext, full_scale: bool) -> WorkloadResult {
+pub fn run_cell(
+    workload: Workload,
+    which: Which,
+    context: RunContext,
+    full_scale: bool,
+) -> WorkloadResult {
     let trace = workload.trace(full_scale);
     let rig = Rig::new(which, context, ProtocolConfig::default());
     // P3's commit daemon runs concurrently with the workload.
     let daemon_handle = rig
-        .commit_daemon
-        .as_ref()
+        .client
+        .commit_daemon()
         .map(|d| d.clone().spawn(Duration::from_secs(2)));
-    let fs = match which {
-        Which::S3fs => PaS3fs::plain(
-            &rig.sim,
-            rig.protocol.clone(),
-            context,
-            LocalIoParams::default(),
-        ),
-        _ => PaS3fs::new(
-            &rig.sim,
-            rig.protocol.clone(),
-            context,
-            LocalIoParams::default(),
-            0xB10B,
-        ),
-    };
+    let fs = rig.fs(LocalIoParams::default(), 0xB10B);
     let summary = replay(&rig.sim, &fs, &trace).expect("workload replay");
     if let Some(h) = daemon_handle {
         h.stop();
@@ -106,9 +97,7 @@ pub fn run_cell(workload: Workload, which: Which, context: RunContext, full_scal
     // The paper's costs cover the whole experiment bill; EC2-hosted runs
     // also pay the medium instance ($0.17/hour in 2009) for the client.
     let instance_usd = match context.location {
-        cloudprov_cloud::ClientLocation::Ec2 => {
-            summary.elapsed.as_secs_f64() / 3600.0 * 0.17
-        }
+        cloudprov_cloud::ClientLocation::Ec2 => summary.elapsed.as_secs_f64() / 3600.0 * 0.17,
         cloudprov_cloud::ClientLocation::Local => 0.0,
     };
     WorkloadResult {

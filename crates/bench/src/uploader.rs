@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use cloudprov_cloud::{Actor, Blob, Metadata, Op, Service};
-use cloudprov_core::{object_metadata, FlushBatch, FlushObject};
+use cloudprov_core::{object_metadata, FlushBatch, FlushObject, StorageProtocol};
 use cloudprov_pass::wire;
 use cloudprov_pass::Uuid;
 use cloudprov_workloads::OfflineRun;
@@ -36,12 +36,7 @@ pub struct UploadReport {
 /// paper's bulk tool. Returns the client-side report; P3's commit daemon
 /// is drained afterwards (asynchronous, not in the elapsed time).
 pub fn upload(rig: &Rig, run: &OfflineRun, concurrency: usize) -> UploadReport {
-    let which = match rig.protocol.name() {
-        "S3fs" => Which::S3fs,
-        "P1" => Which::P1,
-        "P2" => Which::P2,
-        _ => Which::P3,
-    };
+    let which = rig.client.protocol();
     let sim = rig.sim.clone();
     let t0 = sim.now();
     match which {
@@ -85,30 +80,27 @@ pub fn upload(rig: &Rig, run: &OfflineRun, concurrency: usize) -> UploadReport {
                 .filter(|n| n.kind.is_persistent())
                 .filter_map(|n| n.name.clone().map(|p| (p, n.id)))
                 .collect();
+            // A provenance chunk plus, for the node closing a file, that
+            // file's upload info: (key, size, fingerprint, id).
+            type FileUpload = (String, u64, u64, cloudprov_pass::PNodeId);
             let tasks: Vec<_> = by_uuid
                 .into_iter()
                 .map(|(uuid, nodes)| {
                     let s3 = rig.env.s3().clone();
                     let prov_key = format!("p/{uuid}");
-                    let chunks: Vec<(Vec<u8>, Option<(String, u64, u64, cloudprov_pass::PNodeId)>)> =
-                        nodes
-                            .iter()
-                            .map(|n| {
-                                let bytes = wire::encode(&n.records).to_vec();
-                                let file = n.name.as_ref().and_then(|name| {
-                                    let is_last = last_node_of.get(name) == Some(&n.id);
-                                    files.get(name).filter(|_| is_last).map(|(size, fp)| {
-                                        (
-                                            name.trim_start_matches('/').to_string(),
-                                            *size,
-                                            *fp,
-                                            n.id,
-                                        )
-                                    })
-                                });
-                                (bytes, file)
-                            })
-                            .collect();
+                    let chunks: Vec<(Vec<u8>, Option<FileUpload>)> = nodes
+                        .iter()
+                        .map(|n| {
+                            let bytes = wire::encode(&n.records).to_vec();
+                            let file = n.name.as_ref().and_then(|name| {
+                                let is_last = last_node_of.get(name) == Some(&n.id);
+                                files.get(name).filter(|_| is_last).map(|(size, fp)| {
+                                    (name.trim_start_matches('/').to_string(), *size, *fp, n.id)
+                                })
+                            });
+                            (bytes, file)
+                        })
+                        .collect();
                     move || {
                         let mut first = true;
                         // The tool is this object's only writer, so it can
@@ -122,10 +114,8 @@ pub fn upload(rig: &Rig, run: &OfflineRun, concurrency: usize) -> UploadReport {
                                 // back to the local copy on a stale read.
                                 match s3.get("prov", &prov_key) {
                                     Ok(existing) => {
-                                        let remote = existing
-                                            .blob
-                                            .as_inline()
-                                            .expect("inline provenance");
+                                        let remote =
+                                            existing.blob.as_inline().expect("inline provenance");
                                         if remote.len() > accumulated.len() {
                                             accumulated = remote.to_vec();
                                         }
@@ -191,7 +181,7 @@ pub fn upload(rig: &Rig, run: &OfflineRun, concurrency: usize) -> UploadReport {
                     }
                 })
                 .collect();
-            rig.protocol
+            rig.client
                 .flush(FlushBatch { objects })
                 .expect("bulk flush");
         }
@@ -240,7 +230,11 @@ mod tests {
     #[test]
     fn baseline_uploads_each_file_once() {
         let run = small_run();
-        let rig = Rig::with_profile(Which::S3fs, AwsProfile::instant(), ProtocolConfig::default());
+        let rig = Rig::with_profile(
+            Which::S3fs,
+            AwsProfile::instant(),
+            ProtocolConfig::default(),
+        );
         let report = upload(&rig, &run, 8);
         let written = run.files.iter().filter(|f| f.written).count();
         assert_eq!(report.client_ops as usize, written);
@@ -256,8 +250,7 @@ mod tests {
         let run = small_run();
         let rig = Rig::with_profile(Which::P1, AwsProfile::instant(), ProtocolConfig::default());
         let report = upload(&rig, &run, 8);
-        let uuids: std::collections::BTreeSet<_> =
-            run.nodes.iter().map(|n| n.id.uuid).collect();
+        let uuids: std::collections::BTreeSet<_> = run.nodes.iter().map(|n| n.id.uuid).collect();
         assert_eq!(rig.env.s3().peek_count("prov", "p/"), uuids.len());
         assert!(report.client_ops > run.files.len() as u64 * 2);
     }
@@ -298,17 +291,22 @@ mod tests {
     fn protocols_transfer_slightly_more_than_baseline() {
         let run = small_run();
         let base = {
-            let rig =
-                Rig::with_profile(Which::S3fs, AwsProfile::instant(), ProtocolConfig::default());
+            let rig = Rig::with_profile(
+                Which::S3fs,
+                AwsProfile::instant(),
+                ProtocolConfig::default(),
+            );
             upload(&rig, &run, 8).mb_transferred
         };
         for which in [Which::P1, Which::P2, Which::P3] {
-            let rig =
-                Rig::with_profile(which, AwsProfile::instant(), ProtocolConfig::default());
+            let rig = Rig::with_profile(which, AwsProfile::instant(), ProtocolConfig::default());
             let mb = upload(&rig, &run, 8).mb_transferred;
             let pct = crate::common::overhead_pct(base, mb);
             assert!(pct > 0.0, "{which:?} adds provenance bytes");
-            assert!(pct < 15.0, "{which:?} data overhead small (Table 3), got {pct:.2}%");
+            assert!(
+                pct < 15.0,
+                "{which:?} data overhead small (Table 3), got {pct:.2}%"
+            );
         }
     }
 }

@@ -158,8 +158,16 @@ mod tests {
         let url = env.sqs().create_queue("q");
         env.sqs().send(&url, Bytes::from_static(b"m")).unwrap();
         let usage = env.usage();
-        assert_eq!(usage.get(Actor::Client, Service::ObjectStore, Op::Put).count, 1);
-        assert_eq!(usage.get(Actor::Client, Service::Database, Op::DbPut).count, 1);
+        assert_eq!(
+            usage
+                .get(Actor::Client, Service::ObjectStore, Op::Put)
+                .count,
+            1
+        );
+        assert_eq!(
+            usage.get(Actor::Client, Service::Database, Op::DbPut).count,
+            1
+        );
         assert_eq!(usage.get(Actor::Client, Service::Queue, Op::Send).count, 1);
         assert!(env.cost().total() > 0.0);
     }

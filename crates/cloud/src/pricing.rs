@@ -63,8 +63,8 @@ impl PriceBook {
         let gb = |bytes: u64| bytes as f64 / 1e9;
         let mut c = CostBreakdown::default();
         for ((_, service, op), st) in &usage.ops {
-            c.transfer_usd += gb(st.bytes_in) * self.transfer_in_gb
-                + gb(st.bytes_out) * self.transfer_out_gb;
+            c.transfer_usd +=
+                gb(st.bytes_in) * self.transfer_in_gb + gb(st.bytes_out) * self.transfer_out_gb;
             match service {
                 Service::ObjectStore => match op {
                     Op::Put | Op::Copy | Op::List => {

@@ -192,8 +192,11 @@ impl ObjectStore {
                     .saturating_sub(core.max_staleness().as_micros() as u64),
             );
             hist.prune(horizon);
-            core.meter()
-                .record_storage_delta(Service::ObjectStore, now, len as i64 - old_len as i64);
+            core.meter().record_storage_delta(
+                Service::ObjectStore,
+                now,
+                len as i64 - old_len as i64,
+            );
             Ok(((), 0))
         })
     }
@@ -209,9 +212,8 @@ impl ObjectStore {
         let state = self.state.clone();
         let (b, k) = (bucket.to_string(), key.to_string());
         self.core.call(self.actor, Op::Get, 0, 0, move |now| {
-            let horizon = SimTime::from_micros(
-                now.as_micros().saturating_sub(staleness.as_micros() as u64),
-            );
+            let horizon =
+                SimTime::from_micros(now.as_micros().saturating_sub(staleness.as_micros() as u64));
             let st = state.lock();
             let visible = st
                 .objects
@@ -247,9 +249,8 @@ impl ObjectStore {
         let state = self.state.clone();
         let (b, k) = (bucket.to_string(), key.to_string());
         self.core.call(self.actor, Op::Head, 0, 0, move |now| {
-            let horizon = SimTime::from_micros(
-                now.as_micros().saturating_sub(staleness.as_micros() as u64),
-            );
+            let horizon =
+                SimTime::from_micros(now.as_micros().saturating_sub(staleness.as_micros() as u64));
             let st = state.lock();
             match st
                 .objects
@@ -317,8 +318,11 @@ impl ObjectStore {
                 published: now,
                 object: Some((blob, meta)),
             });
-            core.meter()
-                .record_storage_delta(Service::ObjectStore, now, len as i64 - old_len as i64);
+            core.meter().record_storage_delta(
+                Service::ObjectStore,
+                now,
+                len as i64 - old_len as i64,
+            );
             Ok(((), 0))
         })
     }
@@ -336,16 +340,13 @@ impl ObjectStore {
                     .latest()
                     .and_then(|v| v.object.as_ref())
                     .map_or(0, |(blob, _)| blob.len());
-                if old_len > 0 || hist.latest().map_or(false, |v| v.object.is_some()) {
+                if old_len > 0 || hist.latest().is_some_and(|v| v.object.is_some()) {
                     hist.versions.push(StoredVersion {
                         published: now,
                         object: None,
                     });
-                    core.meter().record_storage_delta(
-                        Service::ObjectStore,
-                        now,
-                        -(old_len as i64),
-                    );
+                    core.meter()
+                        .record_storage_delta(Service::ObjectStore, now, -(old_len as i64));
                 }
             }
             Ok(((), 0))
@@ -368,9 +369,8 @@ impl ObjectStore {
         let marker = marker.map(str::to_string);
         let max_keys = max_keys.min(LIST_MAX_KEYS);
         self.core.call(self.actor, Op::List, 0, 0, move |now| {
-            let horizon = SimTime::from_micros(
-                now.as_micros().saturating_sub(staleness.as_micros() as u64),
-            );
+            let horizon =
+                SimTime::from_micros(now.as_micros().saturating_sub(staleness.as_micros() as u64));
             let st = state.lock();
             let mut keys = Vec::new();
             let mut next_marker = None;
@@ -444,7 +444,7 @@ impl ObjectStore {
             .filter(|((b, k), h)| {
                 b == bucket
                     && k.starts_with(prefix)
-                    && h.latest().map_or(false, |v| v.object.is_some())
+                    && h.latest().is_some_and(|v| v.object.is_some())
             })
             .count()
     }
@@ -497,8 +497,10 @@ mod tests {
     #[test]
     fn put_overwrites_atomically() {
         let (_sim, s3) = store(AwsProfile::instant());
-        s3.put("b", "k", Blob::from("v1"), meta(&[("uuid", "a")])).unwrap();
-        s3.put("b", "k", Blob::from("v2"), meta(&[("uuid", "b")])).unwrap();
+        s3.put("b", "k", Blob::from("v1"), meta(&[("uuid", "a")]))
+            .unwrap();
+        s3.put("b", "k", Blob::from("v2"), meta(&[("uuid", "b")]))
+            .unwrap();
         let got = s3.get("b", "k").unwrap();
         assert_eq!(got.blob, Blob::from("v2"));
         assert_eq!(got.meta["uuid"], "b");
@@ -557,7 +559,8 @@ mod tests {
             s3.put("b", &format!("p/{i:02}"), Blob::from("x"), Metadata::new())
                 .unwrap();
         }
-        s3.put("b", "other", Blob::from("x"), Metadata::new()).unwrap();
+        s3.put("b", "other", Blob::from("x"), Metadata::new())
+            .unwrap();
         let page1 = s3.list("b", "p/", None, 10).unwrap();
         assert_eq!(page1.keys.len(), 10);
         assert_eq!(page1.keys[0].key, "p/00");
@@ -571,11 +574,11 @@ mod tests {
     #[test]
     fn eventual_consistency_can_miss_fresh_put_then_converges() {
         let mut profile = AwsProfile::instant();
-        profile.consistency = crate::profile::ConsistencyParams::eventual(
-            std::time::Duration::from_secs(10),
-        );
+        profile.consistency =
+            crate::profile::ConsistencyParams::eventual(std::time::Duration::from_secs(10));
         let (sim, s3) = store(profile);
-        s3.put("b", "k", Blob::from("new"), Metadata::new()).unwrap();
+        s3.put("b", "k", Blob::from("new"), Metadata::new())
+            .unwrap();
         let mut missed = false;
         for _ in 0..200 {
             if s3.get("b", "k").is_err() {
@@ -597,9 +600,11 @@ mod tests {
         profile.consistency =
             crate::profile::ConsistencyParams::eventual(std::time::Duration::from_secs(10));
         let (sim, s3) = store(profile);
-        s3.put("b", "k", Blob::from("old"), Metadata::new()).unwrap();
+        s3.put("b", "k", Blob::from("old"), Metadata::new())
+            .unwrap();
         sim.sleep(std::time::Duration::from_secs(60));
-        s3.put("b", "k", Blob::from("new"), Metadata::new()).unwrap();
+        s3.put("b", "k", Blob::from("new"), Metadata::new())
+            .unwrap();
         for _ in 0..200 {
             let got = s3.get("b", "k").unwrap();
             assert!(

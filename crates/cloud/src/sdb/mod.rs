@@ -125,7 +125,9 @@ pub struct Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Database").field("actor", &self.actor).finish()
+        f.debug_struct("Database")
+            .field("actor", &self.actor)
+            .finish()
     }
 }
 
@@ -270,9 +272,8 @@ impl Database {
         let domain = domain.to_string();
         let item_name = item_name.to_string();
         self.core.call(self.actor, Op::DbGet, 0, 0, move |now| {
-            let horizon = SimTime::from_micros(
-                now.as_micros().saturating_sub(staleness.as_micros() as u64),
-            );
+            let horizon =
+                SimTime::from_micros(now.as_micros().saturating_sub(staleness.as_micros() as u64));
             let st = state.lock();
             let dom = st
                 .domains
@@ -352,7 +353,7 @@ impl Database {
                     let matches = query
                         .predicate
                         .as_ref()
-                        .map_or(true, |p| p.matches(name, attrs));
+                        .is_none_or(|p| p.matches(name, attrs));
                     if !matches {
                         continue;
                     }
@@ -372,8 +373,7 @@ impl Database {
                         } else {
                             0
                         };
-                    if items.len() >= SELECT_PAGE_ITEMS || bytes + item_bytes > SELECT_PAGE_BYTES
-                    {
+                    if items.len() >= SELECT_PAGE_ITEMS || bytes + item_bytes > SELECT_PAGE_BYTES {
                         next = Some(matched - 1); // resume before this item
                         break;
                     }
@@ -486,8 +486,10 @@ mod tests {
     #[test]
     fn multi_valued_attributes_accumulate() {
         let (_sim, db) = db(AwsProfile::instant());
-        db.put_attributes("prov", item("i", &[("input", "a_1")])).unwrap();
-        db.put_attributes("prov", item("i", &[("input", "b_3")])).unwrap();
+        db.put_attributes("prov", item("i", &[("input", "a_1")]))
+            .unwrap();
+        db.put_attributes("prov", item("i", &[("input", "b_3")]))
+            .unwrap();
         let attrs = db.get_attributes("prov", "i").unwrap();
         assert_eq!(
             attrs,
@@ -501,7 +503,8 @@ mod tests {
     #[test]
     fn replace_overwrites_only_named_attributes() {
         let (_sim, db) = db(AwsProfile::instant());
-        db.put_attributes("prov", item("i", &[("a", "1"), ("b", "2")])).unwrap();
+        db.put_attributes("prov", item("i", &[("a", "1"), ("b", "2")]))
+            .unwrap();
         db.put_attributes(
             "prov",
             PutItem {
@@ -520,9 +523,17 @@ mod tests {
     #[test]
     fn batch_limit_enforced() {
         let (_sim, db) = db(AwsProfile::instant());
-        let items: Vec<PutItem> = (0..26).map(|i| item(&format!("i{i}"), &[("a", "1")])).collect();
+        let items: Vec<PutItem> = (0..26)
+            .map(|i| item(&format!("i{i}"), &[("a", "1")]))
+            .collect();
         let err = db.batch_put_attributes("prov", items).unwrap_err();
-        assert!(matches!(err, CloudError::BatchTooLarge { items: 26, limit: 25 }));
+        assert!(matches!(
+            err,
+            CloudError::BatchTooLarge {
+                items: 26,
+                limit: 25
+            }
+        ));
     }
 
     #[test]
@@ -538,15 +549,20 @@ mod tests {
     #[test]
     fn unknown_domain_rejected() {
         let (_sim, db) = db(AwsProfile::instant());
-        let err = db.put_attributes("nope", item("i", &[("a", "1")])).unwrap_err();
+        let err = db
+            .put_attributes("nope", item("i", &[("a", "1")]))
+            .unwrap_err();
         assert!(matches!(err, CloudError::NoSuchDomain(_)));
     }
 
     #[test]
     fn select_filters_and_projects() {
         let (_sim, db) = db(AwsProfile::instant());
-        db.put_attributes("prov", item("p1", &[("type", "process"), ("name", "blast")]))
-            .unwrap();
+        db.put_attributes(
+            "prov",
+            item("p1", &[("type", "process"), ("name", "blast")]),
+        )
+        .unwrap();
         db.put_attributes("prov", item("f1", &[("type", "file"), ("input", "p1")]))
             .unwrap();
         let got = db
@@ -567,7 +583,8 @@ mod tests {
     fn select_count() {
         let (_sim, db) = db(AwsProfile::instant());
         for i in 0..7 {
-            db.put_attributes("prov", item(&format!("i{i}"), &[("t", "x")])).unwrap();
+            db.put_attributes("prov", item(&format!("i{i}"), &[("t", "x")]))
+                .unwrap();
         }
         let page = db.select("select count(*) from prov", None).unwrap();
         assert_eq!(page.count, Some(7));
@@ -578,7 +595,8 @@ mod tests {
     fn select_paginates_at_item_limit() {
         let (_sim, db) = db(AwsProfile::instant());
         for i in 0..600 {
-            db.put_attributes("prov", item(&format!("i{i:04}"), &[("a", "1")])).unwrap();
+            db.put_attributes("prov", item(&format!("i{i:04}"), &[("a", "1")]))
+                .unwrap();
         }
         let p1 = db.select("select * from prov", None).unwrap();
         assert_eq!(p1.items.len(), SELECT_PAGE_ITEMS);
@@ -610,9 +628,7 @@ mod tests {
         let mut token: Option<String> = None;
         let mut total = 0;
         loop {
-            let page = db
-                .select("select * from prov", token.as_deref())
-                .unwrap();
+            let page = db.select("select * from prov", token.as_deref()).unwrap();
             pages += 1;
             total += page.items.len();
             match page.next_token {
@@ -628,7 +644,8 @@ mod tests {
     fn select_limit_clause() {
         let (_sim, db) = db(AwsProfile::instant());
         for i in 0..10 {
-            db.put_attributes("prov", item(&format!("i{i}"), &[("a", "1")])).unwrap();
+            db.put_attributes("prov", item(&format!("i{i}"), &[("a", "1")]))
+                .unwrap();
         }
         let page = db.select("select * from prov limit 3", None).unwrap();
         assert_eq!(page.items.len(), 3);

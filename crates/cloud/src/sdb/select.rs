@@ -120,8 +120,9 @@ impl Expr {
             Expr::Cmp { operand, op, value } => {
                 operand_values(operand, item_name, attrs).any(|v| cmp_holds(*op, v, value))
             }
-            Expr::In { operand, values } => operand_values(operand, item_name, attrs)
-                .any(|v| values.iter().any(|w| w == v)),
+            Expr::In { operand, values } => {
+                operand_values(operand, item_name, attrs).any(|v| values.iter().any(|w| w == v))
+            }
             Expr::IsNull { operand, negated } => {
                 let exists = operand_values(operand, item_name, attrs).next().is_some();
                 exists == *negated
@@ -303,15 +304,16 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
             c if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':' => {
                 let mut s = String::new();
                 while i < chars.len()
-                    && (chars[i].is_alphanumeric()
-                        || matches!(chars[i], '_' | '-' | '.' | ':'))
+                    && (chars[i].is_alphanumeric() || matches!(chars[i], '_' | '-' | '.' | ':'))
                 {
                     s.push(chars[i]);
                     i += 1;
                 }
                 // Function forms: itemName() and count(*).
                 let lower = s.to_ascii_lowercase();
-                if lower == "itemname" && chars.get(i) == Some(&'(') && chars.get(i + 1) == Some(&')')
+                if lower == "itemname"
+                    && chars.get(i) == Some(&'(')
+                    && chars.get(i + 1) == Some(&')')
                 {
                     toks.push(Tok::ItemNameFn);
                     i += 2;
@@ -550,8 +552,14 @@ mod tests {
 
     #[test]
     fn parses_projection_forms() {
-        assert_eq!(parse("select itemName() from d").unwrap().output, Output::ItemName);
-        assert_eq!(parse("select count(*) from d").unwrap().output, Output::Count);
+        assert_eq!(
+            parse("select itemName() from d").unwrap().output,
+            Output::ItemName
+        );
+        assert_eq!(
+            parse("select count(*) from d").unwrap().output,
+            Output::Count
+        );
     }
 
     #[test]

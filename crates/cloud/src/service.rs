@@ -202,16 +202,18 @@ mod tests {
     fn call_charges_latency_and_meters() {
         let profile = AwsProfile::calibrated_strict(RunContext::default());
         let (sim, c) = core(&profile);
-        let r = c
-            .call(Actor::Client, Op::Put, 0, 2048, |_| Ok(((), 0)))
+        c.call(Actor::Client, Op::Put, 0, 2048, |_| Ok(((), 0)))
             .unwrap();
-        assert_eq!(r, ());
         // At least the 700 ms write base (jitter can shave up to 8%).
         assert!(sim.now().as_secs_f64() > 0.6, "t={}", sim.now());
         let rep = c.meter().report(sim.now());
-        assert_eq!(rep.get(Actor::Client, Service::ObjectStore, Op::Put).count, 1);
         assert_eq!(
-            rep.get(Actor::Client, Service::ObjectStore, Op::Put).bytes_in,
+            rep.get(Actor::Client, Service::ObjectStore, Op::Put).count,
+            1
+        );
+        assert_eq!(
+            rep.get(Actor::Client, Service::ObjectStore, Op::Put)
+                .bytes_in,
             2048
         );
     }
@@ -226,7 +228,8 @@ mod tests {
             .map(|_| {
                 let c = c.clone();
                 move || {
-                    c.call(Actor::Client, Op::Put, 0, 0, |_| Ok(((), 0))).unwrap();
+                    c.call(Actor::Client, Op::Put, 0, 0, |_| Ok(((), 0)))
+                        .unwrap();
                 }
             })
             .collect();

@@ -199,8 +199,7 @@ impl QueueService {
                 }
                 let window = visible.len().min(4);
                 let pick = visible[core.rng_range(window)];
-                let duplicate =
-                    core.rng_bool(core_dup_probability(&core));
+                let duplicate = core.rng_bool(core_dup_probability(&core));
                 let m = &mut q.messages[pick];
                 if !duplicate {
                     m.visible_at = now + vis;
@@ -300,7 +299,10 @@ mod tests {
         let (sim, q) = sqs(AwsProfile::instant());
         let url = q.create_queue("wal");
         let err = q.send(&url, Bytes::from(vec![0u8; 8193])).unwrap_err();
-        assert!(matches!(err, CloudError::MessageTooLarge { size: 8193, .. }));
+        assert!(matches!(
+            err,
+            CloudError::MessageTooLarge { size: 8193, .. }
+        ));
         assert_eq!(sim.now().as_micros(), 0);
     }
 

@@ -15,19 +15,30 @@
 //! complete P3's write-ahead-log design, and executable checkers
 //! ([`properties`]) for the §3 properties.
 //!
+//! The public entry point is the [`ProvenanceClient`] session facade:
+//! callers pick a [`Protocol`], tune it through the typed
+//! [`ClientBuilder`], and get one handle bundling the protocol, P3's
+//! commit daemon and the optional non-blocking pipelined flush path.
+//! The concrete protocol types remain exported for harnesses that need
+//! to reach under the facade, but every consumer crate (workloads,
+//! benches, examples, integration tests) constructs protocols through
+//! the builder only.
+//!
 //! # Examples
 //!
 //! ```
 //! use cloudprov_cloud::{AwsProfile, Blob, CloudEnv};
-//! use cloudprov_core::{FlushBatch, FlushObject, ProtocolConfig, StorageProtocol, P3};
+//! use cloudprov_core::{FlushBatch, FlushObject, Protocol, ProvenanceClient, StorageProtocol};
 //! use cloudprov_pass::{Observer, Pid, ProcessInfo};
 //! use cloudprov_sim::Sim;
 //!
 //! let sim = Sim::new();
 //! let env = CloudEnv::new(&sim, AwsProfile::instant());
-//! let p3 = P3::new(&env, ProtocolConfig::default(), "wal-demo");
+//! let client = ProvenanceClient::builder(Protocol::P3)
+//!     .queue("wal-demo")
+//!     .build(&env);
 //!
-//! // Collect provenance with PASS, then flush data + closure through P3.
+//! // Collect provenance with PASS, then flush data + closure.
 //! let mut obs = Observer::new(1);
 //! obs.exec(Pid(1), ProcessInfo { name: "gen".into(), ..Default::default() });
 //! let data = Blob::from("output bytes");
@@ -43,16 +54,17 @@
 //!         }
 //!     })
 //!     .collect();
-//! p3.flush(FlushBatch { objects })?;
+//! client.flush(FlushBatch { objects })?;
 //!
-//! // The commit daemon finishes the transaction asynchronously.
-//! p3.commit_daemon().run_until_idle()?;
-//! assert!(p3.read("out")?.coupling.is_coupled());
-//! # Ok::<(), cloudprov_core::ProtocolError>(())
+//! // `drain` runs the commit daemon to quiescence.
+//! client.drain()?;
+//! assert!(client.read("out")?.coupling.is_coupled());
+//! # Ok::<(), cloudprov_core::ClientError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+mod client;
 mod error;
 mod layout;
 mod p1;
@@ -61,7 +73,10 @@ mod p3;
 pub mod properties;
 mod protocol;
 
-pub use error::{ProtocolError, Result};
+pub use client::{
+    ClientBuilder, FlushMode, FlushTicket, PipelineStats, Protocol, ProvenanceClient,
+};
+pub use error::{ClientError, ClientResult, ProtocolError, Result};
 pub use layout::{object_metadata, parse_object_metadata, Layout, META_UUID, META_VERSION};
 pub use p1::P1;
 pub use p2::P2;

@@ -228,16 +228,15 @@ impl StorageProtocol for P1 {
             None => CouplingCheck::Unlinked,
             Some(id) => {
                 match retry(self.env.sim(), self.config.retries, || {
-                    self.env.s3().get(&layout.prov_bucket, &layout.prov_key(id.uuid))
+                    self.env
+                        .s3()
+                        .get(&layout.prov_bucket, &layout.prov_key(id.uuid))
                 }) {
                     Ok(prov) => {
-                        let records = wire::decode(
-                            prov.blob.as_inline().expect("inline provenance"),
-                        )?;
-                        let version_records: Vec<_> = records
-                            .into_iter()
-                            .filter(|r| r.subject == id)
-                            .collect();
+                        let records =
+                            wire::decode(prov.blob.as_inline().expect("inline provenance"))?;
+                        let version_records: Vec<_> =
+                            records.into_iter().filter(|r| r.subject == id).collect();
                         detect_coupling(&obj.blob, Some(id), &version_records)
                     }
                     Err(CloudError::NoSuchKey { .. }) => CouplingCheck::ProvenanceMissing,
@@ -261,7 +260,6 @@ impl StorageProtocol for P1 {
         })?;
         Ok(())
     }
-
 
     fn stat(&self, key: &str) -> Result<Option<u64>> {
         match retry(self.env.sim(), self.config.retries, || {
@@ -401,8 +399,10 @@ mod tests {
         let records = wire::decode(prov.blob.as_inline().unwrap()).unwrap();
         let versions: std::collections::BTreeSet<u32> =
             records.iter().map(|r| r.subject.version).collect();
-        assert!(versions.contains(&1) && versions.contains(&2),
-            "both versions' provenance must be in the object");
+        assert!(
+            versions.contains(&1) && versions.contains(&2),
+            "both versions' provenance must be in the object"
+        );
     }
 
     #[test]
@@ -420,8 +420,10 @@ mod tests {
     #[test]
     fn crash_between_prov_and_data_leaves_detectable_decoupling() {
         let (sim, env, _) = setup();
-        let mut cfg = ProtocolConfig::default();
-        cfg.step_hook = Some(Arc::new(|step: &str| !step.starts_with("p1:data:")));
+        let cfg = ProtocolConfig {
+            step_hook: Some(Arc::new(|step: &str| !step.starts_with("p1:data:"))),
+            ..ProtocolConfig::default()
+        };
         let p1 = P1::new(&env, cfg);
         let err = p1
             .flush(FlushBatch {

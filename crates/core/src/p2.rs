@@ -83,9 +83,12 @@ impl P2 {
             for (key, data, id) in files {
                 self.config.step(&format!("p2:data:{key}"))?;
                 retry(&sim, self.config.retries, || {
-                    self.env
-                        .s3()
-                        .put(&self.config.layout.data_bucket, &key, data.clone(), object_metadata(id))
+                    self.env.s3().put(
+                        &self.config.layout.data_bucket,
+                        &key,
+                        data.clone(),
+                        object_metadata(id),
+                    )
                 })?;
             }
             return Ok(());
@@ -253,7 +256,6 @@ impl StorageProtocol for P2 {
         Ok(())
     }
 
-
     fn stat(&self, key: &str) -> Result<Option<u64>> {
         match retry(self.env.sim(), self.config.retries, || {
             self.env.s3().head(&self.config.layout.data_bucket, key)
@@ -404,8 +406,10 @@ mod tests {
     fn crash_between_provenance_and_data_is_detectable() {
         let sim = Sim::new();
         let env = CloudEnv::new(&sim, AwsProfile::instant());
-        let mut cfg = ProtocolConfig::default();
-        cfg.step_hook = Some(Arc::new(|step: &str| !step.starts_with("p2:data:")));
+        let cfg = ProtocolConfig {
+            step_hook: Some(Arc::new(|step: &str| !step.starts_with("p2:data:"))),
+            ..ProtocolConfig::default()
+        };
         let p2 = P2::new(&env, cfg);
         let err = p2
             .flush(FlushBatch {

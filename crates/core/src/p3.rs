@@ -170,9 +170,10 @@ impl StorageProtocol for P3 {
             .iter()
             .enumerate()
             .filter_map(|(i, o)| {
-                o.key.clone().zip(o.data.clone()).map(|(key, data)| {
-                    (layout.temp_key(txn, i), key, o.node.id, data)
-                })
+                o.key
+                    .clone()
+                    .zip(o.data.clone())
+                    .map(|(key, data)| (layout.temp_key(txn, i), key, o.node.id, data))
             })
             .collect();
         // 2. Build the WAL messages up front (temp keys are known before
@@ -193,7 +194,8 @@ impl StorageProtocol for P3 {
         let messages =
             Self::build_messages(txn, &file_meta, &records, self.config.wal_message_limit);
         let mut tasks: Vec<Box<dyn FnOnce() -> Result<()> + Send>> = Vec::new();
-        for (temp, _, _, data) in files.iter().cloned() {
+        for (temp, _, _, data) in &files {
+            let (temp, data) = (temp.clone(), data.clone());
             let this = self.clone();
             tasks.push(Box::new(move || -> Result<()> {
                 this.config.step(&format!("p3:temp:{temp}"))?;
@@ -213,7 +215,9 @@ impl StorageProtocol for P3 {
             tasks.push(Box::new(move || -> Result<()> {
                 this.config.step(&format!("p3:wal:{seq}"))?;
                 retry(this.env.sim(), this.config.retries, || {
-                    this.env.sqs().send(&this.wal_url, Bytes::from(body.clone()))
+                    this.env
+                        .sqs()
+                        .send(&this.wal_url, Bytes::from(body.clone()))
                 })?;
                 Ok(())
             }));
@@ -254,7 +258,6 @@ impl StorageProtocol for P3 {
         })?;
         Ok(())
     }
-
 
     fn stat(&self, key: &str) -> Result<Option<u64>> {
         match retry(self.env.sim(), self.config.retries, || {
@@ -394,12 +397,11 @@ impl CommitDaemon {
         // Reassemble in sequence order and parse.
         let mut files: Vec<(String, String, PNodeId)> = Vec::new();
         let mut record_text = String::new();
-        for (_seq, body) in &entry.parts {
+        for body in entry.parts.values() {
             for line in body.lines() {
                 if let Some(rest) = line.strip_prefix("OBJ\t") {
                     let mut it = rest.split('\t');
-                    let (Some(temp), Some(final_key), Some(id)) =
-                        (it.next(), it.next(), it.next())
+                    let (Some(temp), Some(final_key), Some(id)) = (it.next(), it.next(), it.next())
                     else {
                         continue;
                     };
@@ -421,9 +423,7 @@ impl CommitDaemon {
         }
         let items: Vec<PutItem> = by_subject
             .iter()
-            .map(|(id, recs)| {
-                records_to_item(sim, &s3, layout, self.config.retries, *id, recs)
-            })
+            .map(|(id, recs)| records_to_item(sim, &s3, layout, self.config.retries, *id, recs))
             .collect::<Result<Vec<_>>>()?;
         let batch = self.config.db_batch.clamp(1, BATCH_LIMIT);
         for chunk in items.chunks(batch) {
@@ -694,9 +694,11 @@ mod tests {
         // must never commit the partial transaction (§4.3.3).
         let sim = Sim::new();
         let env = CloudEnv::new(&sim, AwsProfile::instant());
-        let mut cfg = ProtocolConfig::default();
         // Many records so the WAL needs >1 message; crash on message 1.
-        cfg.step_hook = Some(Arc::new(|step: &str| step != "p3:wal:1"));
+        let cfg = ProtocolConfig {
+            step_hook: Some(Arc::new(|step: &str| step != "p3:wal:1")),
+            ..ProtocolConfig::default()
+        };
         let p3 = P3::new(&env, cfg, "wal");
         let id = PNodeId::initial(Uuid(3));
         let records: Vec<_> = (0..500)
@@ -733,8 +735,7 @@ mod tests {
         })
         .unwrap();
         drop(p3); // client is gone
-        let other_machine =
-            CommitDaemon::new(&env, ProtocolConfig::default(), "sqs://wal-client1");
+        let other_machine = CommitDaemon::new(&env, ProtocolConfig::default(), "sqs://wal-client1");
         let committed = other_machine.run_until_idle().unwrap();
         assert_eq!(committed, 1);
         assert_eq!(
@@ -792,11 +793,9 @@ mod tests {
             data_hash: None,
         });
         let mut file = file_obj(7, 1, "out", "x");
-        file.node.records.push(ProvenanceRecord::new(
-            file.node.id,
-            Attr::Input,
-            proc_id,
-        ));
+        file.node
+            .records
+            .push(ProvenanceRecord::new(file.node.id, Attr::Input, proc_id));
         p3.flush(FlushBatch {
             objects: vec![proc, file],
         })
@@ -845,8 +844,10 @@ mod tests {
     fn cleaner_reaps_only_expired_orphans() {
         let (sim, env, p3) = setup();
         // Orphan a temp object by crashing before any WAL send.
-        let mut cfg = ProtocolConfig::default();
-        cfg.step_hook = Some(Arc::new(|step: &str| !step.starts_with("p3:wal:")));
+        let cfg = ProtocolConfig {
+            step_hook: Some(Arc::new(|step: &str| !step.starts_with("p3:wal:"))),
+            ..ProtocolConfig::default()
+        };
         let crasher = P3::new(&env, cfg, "wal-crasher");
         let _ = crasher.flush(FlushBatch {
             objects: vec![file_obj(9, 1, "orphaned", "lost")],

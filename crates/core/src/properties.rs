@@ -48,9 +48,7 @@ pub fn load_all_records(env: &CloudEnv, store: &ProvenanceStore) -> Result<Vec<P
             Ok(out)
         }
         ProvenanceStore::Database { domain, .. } => {
-            let items = env
-                .sdb()
-                .select_all(&format!("select * from {domain}"))?;
+            let items = env.sdb().select_all(&format!("select * from {domain}"))?;
             Ok(items
                 .iter()
                 .flat_map(|i| item_to_records(&i.name, &i.attrs))

@@ -5,9 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use cloudprov_cloud::{
-    Attributes, Blob, CloudEnv, CloudError, Metadata, ObjectStore, PutItem,
-};
+use cloudprov_cloud::{Attributes, Blob, CloudEnv, CloudError, Metadata, ObjectStore, PutItem};
 use cloudprov_pass::{Attr, AttrValue, FlushNode, PNodeId, ProvenanceRecord};
 use cloudprov_sim::Sim;
 
@@ -167,9 +165,20 @@ pub struct ProtocolConfig {
 
 impl std::fmt::Debug for ProtocolConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual only because `StepHook` is an opaque closure; every
+        // other field prints in full.
         f.debug_struct("ProtocolConfig")
+            .field("layout", &self.layout)
             .field("upload_concurrency", &self.upload_concurrency)
             .field("strict_causal_order", &self.strict_causal_order)
+            .field("retries", &self.retries)
+            .field(
+                "step_hook",
+                &self.step_hook.as_ref().map(|_| "<crash hook>"),
+            )
+            .field("wal_message_limit", &self.wal_message_limit)
+            .field("db_batch", &self.db_batch)
+            .field("db_concurrency", &self.db_concurrency)
             .finish()
     }
 }
@@ -354,13 +363,11 @@ pub(crate) fn detect_coupling(
     if version_records.is_empty() {
         return CouplingCheck::ProvenanceMissing;
     }
-    let recorded_hash = version_records.iter().find_map(|r| {
-        (r.attr == Attr::DataHash).then(|| r.value.to_text())
-    });
+    let recorded_hash = version_records
+        .iter()
+        .find_map(|r| (r.attr == Attr::DataHash).then(|| r.value.to_text()));
     match recorded_hash {
-        Some(h) if h == format!("{:016x}", data.content_fingerprint()) => {
-            CouplingCheck::Coupled
-        }
+        Some(h) if h == format!("{:016x}", data.content_fingerprint()) => CouplingCheck::Coupled,
         Some(_) => CouplingCheck::HashMismatch,
         // No hash recorded (e.g. never-written pre-existing input): having
         // version records at all is the best evidence available.
@@ -409,7 +416,11 @@ impl StorageProtocol for S3fsBaseline {
                 let s3 = self.env.s3().clone();
                 let bucket = bucket.clone();
                 let sim = sim.clone();
-                move || retry(&sim, retries, || s3.put(&bucket, &key, data.clone(), Metadata::new()))
+                move || {
+                    retry(&sim, retries, || {
+                        s3.put(&bucket, &key, data.clone(), Metadata::new())
+                    })
+                }
             })
             .collect();
         let results = sim.run_parallel(self.config.upload_concurrency, tasks);
@@ -436,7 +447,6 @@ impl StorageProtocol for S3fsBaseline {
         })?;
         Ok(())
     }
-
 
     fn stat(&self, key: &str) -> Result<Option<u64>> {
         match retry(self.env.sim(), self.config.retries, || {
@@ -539,9 +549,16 @@ mod tests {
         let data = Blob::from("x");
         let good_hash = format!("{:016x}", data.content_fingerprint());
         let recs = vec![ProvenanceRecord::new(id, Attr::DataHash, good_hash)];
-        assert_eq!(detect_coupling(&data, Some(id), &recs), CouplingCheck::Coupled);
+        assert_eq!(
+            detect_coupling(&data, Some(id), &recs),
+            CouplingCheck::Coupled
+        );
 
-        let bad = vec![ProvenanceRecord::new(id, Attr::DataHash, "0000000000000000")];
+        let bad = vec![ProvenanceRecord::new(
+            id,
+            Attr::DataHash,
+            "0000000000000000",
+        )];
         assert_eq!(
             detect_coupling(&data, Some(id), &bad),
             CouplingCheck::HashMismatch
@@ -563,15 +580,7 @@ mod tests {
         ];
         let sim = Sim::new();
         let env = CloudEnv::new(&sim, AwsProfile::instant());
-        let item = records_to_item(
-            &sim,
-            env.s3(),
-            &Layout::default(),
-            3,
-            id,
-            &records,
-        )
-        .unwrap();
+        let item = records_to_item(&sim, env.s3(), &Layout::default(), 3, id, &records).unwrap();
         assert_eq!(item.name, id.to_string());
         let back = item_to_records(&item.name, &item.attrs);
         assert_eq!(back, records);
@@ -591,13 +600,39 @@ mod tests {
         assert!(value.starts_with("@s3:"), "value must be a spill pointer");
         let (bucket, key) = Layout::parse_spill_pointer(value).unwrap();
         let spilled = env.s3().get(bucket, key).unwrap();
-        assert_eq!(spilled.blob.as_inline().unwrap().as_ref(), big_env.as_bytes());
+        assert_eq!(
+            spilled.blob.as_inline().unwrap().as_ref(),
+            big_env.as_bytes()
+        );
+    }
+
+    #[test]
+    fn config_debug_prints_every_field() {
+        let cfg = ProtocolConfig {
+            step_hook: Some(Arc::new(|_| true)),
+            ..ProtocolConfig::default()
+        };
+        let dbg = format!("{cfg:?}");
+        for field in [
+            "layout",
+            "upload_concurrency",
+            "strict_causal_order",
+            "retries",
+            "step_hook",
+            "wal_message_limit",
+            "db_batch",
+            "db_concurrency",
+        ] {
+            assert!(dbg.contains(field), "Debug output drops '{field}': {dbg}");
+        }
     }
 
     #[test]
     fn crash_hook_aborts_at_step() {
-        let mut cfg = ProtocolConfig::default();
-        cfg.step_hook = Some(Arc::new(|step: &str| step != "die-here"));
+        let cfg = ProtocolConfig {
+            step_hook: Some(Arc::new(|step: &str| step != "die-here")),
+            ..ProtocolConfig::default()
+        };
         assert!(cfg.step("fine").is_ok());
         assert!(matches!(
             cfg.step("die-here"),

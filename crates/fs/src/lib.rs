@@ -11,16 +11,16 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use cloudprov_cloud::{AwsProfile, CloudEnv, RunContext};
-//! use cloudprov_core::{ProtocolConfig, P2};
+//! use cloudprov_cloud::{AwsProfile, CloudEnv};
+//! use cloudprov_core::{Protocol, ProvenanceClient};
 //! use cloudprov_fs::{LocalIoParams, PaS3fs};
 //! use cloudprov_pass::{Pid, ProcessInfo};
 //! use cloudprov_sim::Sim;
 //!
 //! let sim = Sim::new();
 //! let env = CloudEnv::new(&sim, AwsProfile::instant());
-//! let p2 = Arc::new(P2::new(&env, ProtocolConfig::default()));
-//! let fs = PaS3fs::new(&sim, p2, RunContext::default(), LocalIoParams::instant(), 1);
+//! let client = Arc::new(ProvenanceClient::builder(Protocol::P2).build(&env));
+//! let fs = PaS3fs::attach(client, LocalIoParams::instant(), 1);
 //!
 //! fs.exec(Pid(1), ProcessInfo { name: "convert".into(), ..Default::default() });
 //! fs.read(Pid(1), "/raw.img", 1 << 20);

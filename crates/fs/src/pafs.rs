@@ -66,6 +66,27 @@ impl PaS3fs {
         }
     }
 
+    /// Mounts the file system over a [`ProvenanceClient`] session: the
+    /// S3fs baseline gets the plain (no-PASS) cache, every other
+    /// protocol gets provenance collection. The run context comes from
+    /// the client's cloud profile, so workloads built through the
+    /// facade need no separate context plumbing.
+    ///
+    /// [`ProvenanceClient`]: cloudprov_core::ProvenanceClient
+    pub fn attach(
+        client: Arc<cloudprov_core::ProvenanceClient>,
+        io: LocalIoParams,
+        seed: u64,
+    ) -> PaS3fs {
+        let sim = client.env().sim().clone();
+        let context = client.env().profile().context;
+        if client.protocol() == cloudprov_core::Protocol::S3fs {
+            PaS3fs::plain(&sim, client, context, io)
+        } else {
+            PaS3fs::new(&sim, client, context, io, seed)
+        }
+    }
+
     /// The plain S3fs baseline: same cache and upload path, no provenance.
     pub fn plain(
         sim: &Sim,
@@ -238,7 +259,12 @@ impl PaS3fs {
         self.close(pid, path)
     }
 
-    fn flush_object(&self, node: FlushNode, closing_path: &str, closing_data: &Blob) -> FlushObject {
+    fn flush_object(
+        &self,
+        node: FlushNode,
+        closing_path: &str,
+        closing_data: &Blob,
+    ) -> FlushObject {
         if !node.kind.is_persistent() {
             return FlushObject::provenance_only(node);
         }
@@ -318,11 +344,7 @@ impl PaS3fs {
     ///
     /// Propagates protocol/cloud errors (missing objects are errors;
     /// uncoupled reads are not).
-    pub fn read_verified(
-        &self,
-        path: &str,
-        attempts: usize,
-    ) -> Result<cloudprov_core::ReadResult> {
+    pub fn read_verified(&self, path: &str, attempts: usize) -> Result<cloudprov_core::ReadResult> {
         let mut delay = Duration::from_millis(500);
         let mut last = self.read_back(path)?;
         for _ in 1..attempts.max(1) {
@@ -360,7 +382,7 @@ fn baseline_node(path: &str) -> FlushNode {
 mod tests {
     use super::*;
     use cloudprov_cloud::{AwsProfile, CloudEnv};
-    use cloudprov_core::{CouplingCheck, ProtocolConfig, S3fsBaseline, P1, P2, P3};
+    use cloudprov_core::{CouplingCheck, Protocol, ProvenanceClient};
 
     fn env() -> (Sim, CloudEnv) {
         let sim = Sim::new();
@@ -368,22 +390,25 @@ mod tests {
         (sim, env)
     }
 
-    fn pa(sim: &Sim, protocol: Arc<dyn StorageProtocol>) -> PaS3fs {
-        PaS3fs::new(
-            sim,
-            protocol,
-            RunContext::default(),
-            LocalIoParams::instant(),
-            42,
-        )
+    fn client(env: &CloudEnv, protocol: Protocol) -> Arc<ProvenanceClient> {
+        Arc::new(ProvenanceClient::builder(protocol).build(env))
+    }
+
+    fn pa(env: &CloudEnv, protocol: Protocol) -> PaS3fs {
+        PaS3fs::attach(client(env, protocol), LocalIoParams::instant(), 42)
     }
 
     #[test]
     fn close_uploads_dirty_file_with_provenance_closure() {
-        let (sim, cloud) = env();
-        let p1 = Arc::new(P1::new(&cloud, ProtocolConfig::default()));
-        let fs = pa(&sim, p1);
-        fs.exec(Pid(1), ProcessInfo { name: "gen".into(), ..Default::default() });
+        let (_sim, cloud) = env();
+        let fs = pa(&cloud, Protocol::P1);
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "gen".into(),
+                ..Default::default()
+            },
+        );
         fs.read(Pid(1), "/input", 1024);
         fs.write(Pid(1), "/output", 2048);
         fs.close(Pid(1), "/output").unwrap();
@@ -395,10 +420,15 @@ mod tests {
 
     #[test]
     fn close_of_clean_file_is_a_noop() {
-        let (sim, cloud) = env();
-        let p2 = Arc::new(P2::new(&cloud, ProtocolConfig::default()));
-        let fs = pa(&sim, p2);
-        fs.exec(Pid(1), ProcessInfo { name: "gen".into(), ..Default::default() });
+        let (_sim, cloud) = env();
+        let fs = pa(&cloud, Protocol::P2);
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "gen".into(),
+                ..Default::default()
+            },
+        );
         fs.write(Pid(1), "/f", 10);
         fs.close(Pid(1), "/f").unwrap();
         let ops_after_first = cloud.usage().client_ops();
@@ -408,14 +438,8 @@ mod tests {
 
     #[test]
     fn baseline_uploads_data_only() {
-        let (sim, cloud) = env();
-        let base = Arc::new(S3fsBaseline::new(&cloud, ProtocolConfig::default()));
-        let fs = PaS3fs::plain(
-            &sim,
-            base,
-            RunContext::default(),
-            LocalIoParams::instant(),
-        );
+        let (_sim, cloud) = env();
+        let fs = pa(&cloud, Protocol::S3fs);
         fs.write(Pid(1), "/f", 100);
         fs.close(Pid(1), "/f").unwrap();
         assert!(cloud.s3().peek_committed("data", "f").is_some());
@@ -425,11 +449,17 @@ mod tests {
 
     #[test]
     fn full_p3_pipeline_end_to_end_via_fs() {
-        let (sim, cloud) = env();
-        let p3 = P3::new(&cloud, ProtocolConfig::default(), "wal");
-        let daemon = p3.commit_daemon();
-        let fs = pa(&sim, Arc::new(p3));
-        fs.exec(Pid(1), ProcessInfo { name: "pipeline".into(), ..Default::default() });
+        let (_sim, cloud) = env();
+        let p3 = client(&cloud, Protocol::P3);
+        let daemon = p3.commit_daemon().unwrap().clone();
+        let fs = PaS3fs::attach(p3, LocalIoParams::instant(), 42);
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "pipeline".into(),
+                ..Default::default()
+            },
+        );
         fs.read(Pid(1), "/in", 4096);
         fs.write(Pid(1), "/out", 8192);
         fs.close(Pid(1), "/out").unwrap();
@@ -441,10 +471,15 @@ mod tests {
 
     #[test]
     fn rewrite_after_close_creates_new_version_in_cloud() {
-        let (sim, cloud) = env();
-        let p2 = Arc::new(P2::new(&cloud, ProtocolConfig::default()));
-        let fs = pa(&sim, p2);
-        fs.exec(Pid(1), ProcessInfo { name: "w".into(), ..Default::default() });
+        let (_sim, cloud) = env();
+        let fs = pa(&cloud, Protocol::P2);
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "w".into(),
+                ..Default::default()
+            },
+        );
         fs.write(Pid(1), "/f", 10);
         fs.close(Pid(1), "/f").unwrap();
         fs.write(Pid(1), "/f", 10);
@@ -457,10 +492,15 @@ mod tests {
 
     #[test]
     fn unlink_deletes_data_keeps_provenance() {
-        let (sim, cloud) = env();
-        let p2 = Arc::new(P2::new(&cloud, ProtocolConfig::default()));
-        let fs = pa(&sim, p2);
-        fs.exec(Pid(1), ProcessInfo { name: "w".into(), ..Default::default() });
+        let (_sim, cloud) = env();
+        let fs = pa(&cloud, Protocol::P2);
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "w".into(),
+                ..Default::default()
+            },
+        );
         fs.write(Pid(1), "/f", 10);
         fs.close(Pid(1), "/f").unwrap();
         fs.unlink(Pid(1), "/f").unwrap();
@@ -473,12 +513,23 @@ mod tests {
         // A pipeline writes an intermediate file and never closes it; the
         // final output's close must carry the intermediate along (causal
         // ordering needs ancestors present).
-        let (sim, cloud) = env();
-        let p1 = Arc::new(P1::new(&cloud, ProtocolConfig::default()));
-        let fs = pa(&sim, p1);
-        fs.exec(Pid(1), ProcessInfo { name: "stage1".into(), ..Default::default() });
+        let (_sim, cloud) = env();
+        let fs = pa(&cloud, Protocol::P1);
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "stage1".into(),
+                ..Default::default()
+            },
+        );
         fs.write(Pid(1), "/intermediate", 100);
-        fs.exec(Pid(2), ProcessInfo { name: "stage2".into(), ..Default::default() });
+        fs.exec(
+            Pid(2),
+            ProcessInfo {
+                name: "stage2".into(),
+                ..Default::default()
+            },
+        );
         fs.read(Pid(2), "/intermediate", 100);
         fs.write(Pid(2), "/final", 100);
         fs.close(Pid(2), "/final").unwrap();
@@ -493,12 +544,16 @@ mod tests {
     fn read_verified_waits_out_eventual_consistency() {
         let sim = Sim::new();
         let mut profile = AwsProfile::instant();
-        profile.consistency =
-            cloudprov_cloud::ConsistencyParams::eventual(Duration::from_secs(10));
+        profile.consistency = cloudprov_cloud::ConsistencyParams::eventual(Duration::from_secs(10));
         let cloud = CloudEnv::new(&sim, profile);
-        let p2 = Arc::new(P2::new(&cloud, ProtocolConfig::default()));
-        let fs = pa(&sim, p2);
-        fs.exec(Pid(1), ProcessInfo { name: "w".into(), ..Default::default() });
+        let fs = pa(&cloud, Protocol::P2);
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "w".into(),
+                ..Default::default()
+            },
+        );
         fs.write(Pid(1), "/f", 64);
         fs.close(Pid(1), "/f").unwrap();
         // Immediately after the flush, reads may be uncoupled (stale
@@ -510,10 +565,15 @@ mod tests {
 
     #[test]
     fn read_verified_reports_residual_verdict_when_budget_exhausted() {
-        let (sim, cloud) = env();
-        let p2 = Arc::new(P2::new(&cloud, ProtocolConfig::default()));
-        let fs = pa(&sim, p2);
-        fs.exec(Pid(1), ProcessInfo { name: "w".into(), ..Default::default() });
+        let (_sim, cloud) = env();
+        let fs = pa(&cloud, Protocol::P2);
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "w".into(),
+                ..Default::default()
+            },
+        );
         fs.write(Pid(1), "/f", 64);
         fs.close(Pid(1), "/f").unwrap();
         // Tamper: overwrite the data without provenance (permanent
@@ -524,30 +584,26 @@ mod tests {
             .put("data", "f", cloudprov_cloud::Blob::from("tampered"), meta)
             .unwrap();
         let r = fs.read_verified("/f", 3).unwrap();
-        assert_ne!(r.coupling, CouplingCheck::Coupled, "retry cannot fix tampering");
+        assert_ne!(
+            r.coupling,
+            CouplingCheck::Coupled,
+            "retry cannot fix tampering"
+        );
     }
 
     #[test]
     fn compute_scales_with_uml_factor() {
         let sim = Sim::new();
         let cloud = CloudEnv::new(&sim, AwsProfile::instant());
-        let base = Arc::new(S3fsBaseline::new(&cloud, ProtocolConfig::default()));
-        let fs_native = PaS3fs::plain(
-            &sim,
-            base.clone(),
-            RunContext::default(),
-            LocalIoParams::instant(),
-        );
+        let fs_native = pa(&cloud, Protocol::S3fs);
         let t0 = sim.now();
         fs_native.compute(Duration::from_secs(10));
         assert_eq!((sim.now() - t0).as_secs(), 10);
 
-        let fs_uml = PaS3fs::plain(
-            &sim,
-            base,
-            RunContext::ec2(cloudprov_cloud::Era::Sept2009),
-            LocalIoParams::instant(),
-        );
+        let mut uml_profile = AwsProfile::instant();
+        uml_profile.context = RunContext::ec2(cloudprov_cloud::Era::Sept2009);
+        let uml_cloud = CloudEnv::new(&sim, uml_profile);
+        let fs_uml = pa(&uml_cloud, Protocol::S3fs);
         let t1 = sim.now();
         fs_uml.compute(Duration::from_secs(10));
         assert_eq!((sim.now() - t1).as_secs(), 20, "UML doubles compute");

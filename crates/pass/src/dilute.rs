@@ -46,16 +46,13 @@ pub struct HostMap {
 
 impl HostAssignment for HostMap {
     fn host_of(&self, process: PNodeId) -> String {
-        self.map
-            .get(&process)
-            .cloned()
-            .unwrap_or_else(|| {
-                if self.default.is_empty() {
-                    "host0".to_string()
-                } else {
-                    self.default.clone()
-                }
-            })
+        self.map.get(&process).cloned().unwrap_or_else(|| {
+            if self.default.is_empty() {
+                "host0".to_string()
+            } else {
+                self.default.clone()
+            }
+        })
     }
 }
 
@@ -115,14 +112,18 @@ pub fn dilute(graph: &ProvGraph, hosts: &dyn HostAssignment) -> Diluted {
         graph
             .node(id)
             .and_then(|d| d.kind)
-            .map_or(true, |k| k == NodeKind::File)
+            .is_none_or(|k| k == NodeKind::File)
     };
     let node_for = |label: String,
-                        records: &mut Vec<ProvenanceRecord>,
-                        host_nodes: &mut BTreeMap<String, PNodeId>| {
+                    records: &mut Vec<ProvenanceRecord>,
+                    host_nodes: &mut BTreeMap<String, PNodeId>| {
         *host_nodes.entry(label.clone()).or_insert_with(|| {
             let id = PNodeId::initial(host_uuid(&label));
-            records.push(ProvenanceRecord::new(id, Attr::Custom("host".into()), label));
+            records.push(ProvenanceRecord::new(
+                id,
+                Attr::Custom("host".into()),
+                label,
+            ));
             id
         })
     };
@@ -195,10 +196,22 @@ mod tests {
 
     fn pipeline() -> Observer {
         let mut obs = Observer::new(5);
-        obs.exec(Pid(1), ProcessInfo { name: "stage1".into(), ..Default::default() });
+        obs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "stage1".into(),
+                ..Default::default()
+            },
+        );
         obs.read(Pid(1), "/in");
         obs.write(Pid(1), "/mid", 1);
-        obs.exec(Pid(2), ProcessInfo { name: "stage2".into(), ..Default::default() });
+        obs.exec(
+            Pid(2),
+            ProcessInfo {
+                name: "stage2".into(),
+                ..Default::default()
+            },
+        );
         obs.read(Pid(2), "/mid");
         obs.write(Pid(2), "/out", 2);
         obs
@@ -227,7 +240,7 @@ mod tests {
                 .graph
                 .node(id)
                 .and_then(|d| d.name())
-                .map_or(false, |n| n == "stage1" || n == "stage2")
+                .is_some_and(|n| n == "stage1" || n == "stage2")
         });
         assert!(!any_program, "program names must be diluted away");
         assert!(diluted.report.attrs_dropped > 0);

@@ -12,7 +12,6 @@
 //! Muniswamy-Reddy et al., USENIX ATC '09). Disclosed records ride the
 //! same flush path — and the same §3 guarantees — as observed ones.
 
-use crate::id::PNodeId;
 use crate::model::{Attr, AttrValue, ProvenanceRecord};
 use crate::observer::{Observer, Pid};
 
@@ -159,7 +158,13 @@ mod tests {
 
     fn obs() -> Observer {
         let mut o = Observer::new(21);
-        o.exec(Pid(1), ProcessInfo { name: "wget".into(), ..Default::default() });
+        o.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "wget".into(),
+                ..Default::default()
+            },
+        );
         o.write(Pid(1), "/downloads/data.tar", 1);
         o
     }
@@ -185,11 +190,20 @@ mod tests {
     #[test]
     fn disclosed_dependencies_are_real_edges() {
         let mut o = obs();
-        o.exec(Pid(2), ProcessInfo { name: "analyze".into(), ..Default::default() });
+        o.exec(
+            Pid(2),
+            ProcessInfo {
+                name: "analyze".into(),
+                ..Default::default()
+            },
+        );
         o.write(Pid(2), "/results/out.csv", 2);
         o.disclose_file(
             "/results/out.csv",
-            vec![Disclosure::depends_on("app.derived-from", "/downloads/data.tar")],
+            vec![Disclosure::depends_on(
+                "app.derived-from",
+                "/downloads/data.tar",
+            )],
         )
         .unwrap();
         let out = o.file_node("/results/out.csv").unwrap();
@@ -201,9 +215,21 @@ mod tests {
     #[test]
     fn disclosed_cycles_are_prevented_by_versioning() {
         let mut o = obs();
-        o.exec(Pid(2), ProcessInfo { name: "p".into(), ..Default::default() });
+        o.exec(
+            Pid(2),
+            ProcessInfo {
+                name: "p".into(),
+                ..Default::default()
+            },
+        );
         o.write(Pid(2), "/a", 1);
-        o.exec(Pid(3), ProcessInfo { name: "q".into(), ..Default::default() });
+        o.exec(
+            Pid(3),
+            ProcessInfo {
+                name: "q".into(),
+                ..Default::default()
+            },
+        );
         o.read(Pid(3), "/a");
         o.write(Pid(3), "/b", 2);
         // /b already (transitively) depends on /a. Disclosing the REVERSE
@@ -238,11 +264,17 @@ mod tests {
     #[test]
     fn process_disclosures_attach_to_the_process_node() {
         let mut o = obs();
-        o.disclose_process(Pid(1), vec![Disclosure::text("workflow.task", "fetch-inputs")])
-            .unwrap();
+        o.disclose_process(
+            Pid(1),
+            vec![Disclosure::text("workflow.task", "fetch-inputs")],
+        )
+        .unwrap();
         let p = o.proc_node(Pid(1)).unwrap();
         assert_eq!(
-            o.graph().node(p).unwrap().attr(&Attr::Custom("workflow.task".into())),
+            o.graph()
+                .node(p)
+                .unwrap()
+                .attr(&Attr::Custom("workflow.task".into())),
             Some("fetch-inputs")
         );
     }

@@ -173,11 +173,7 @@ impl ProvGraph {
     /// edges). The paper characterizes its workloads this way: nightly ≈
     /// flat, Blast depth 5, challenge depth 11.
     pub fn depth_from(&self, id: PNodeId) -> usize {
-        fn go(
-            g: &ProvGraph,
-            n: PNodeId,
-            memo: &mut BTreeMap<PNodeId, usize>,
-        ) -> usize {
+        fn go(g: &ProvGraph, n: PNodeId, memo: &mut BTreeMap<PNodeId, usize>) -> usize {
             if let Some(d) = memo.get(&n) {
                 return *d;
             }

@@ -8,13 +8,11 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// A 128-bit object identifier.
 ///
 /// Generated from the observer's seeded RNG so runs are reproducible; the
 /// textual form is 32 hex digits.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Uuid(pub u128);
 
 impl fmt::Display for Uuid {
@@ -34,7 +32,9 @@ impl FromStr for Uuid {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         if s.len() != 32 {
-            return Err(ParseIdError(format!("uuid must be 32 hex digits, got '{s}'")));
+            return Err(ParseIdError(format!(
+                "uuid must be 32 hex digits, got '{s}'"
+            )));
         }
         u128::from_str_radix(s, 16)
             .map(Uuid)
@@ -43,9 +43,7 @@ impl FromStr for Uuid {
 }
 
 /// A specific version of an object: one node of the provenance DAG.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PNodeId {
     /// The object's UUID.
     pub uuid: Uuid,

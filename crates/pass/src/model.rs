@@ -8,12 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::PNodeId;
 
 /// What kind of object a provenance node describes.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum NodeKind {
     /// A regular file (persistent: has a data object in the cloud).
     File,
@@ -47,7 +45,7 @@ impl fmt::Display for NodeKind {
 }
 
 /// Attribute names attached to provenance nodes (§2.1).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Attr {
     /// Object kind (`type`).
     Type,
@@ -122,7 +120,7 @@ impl fmt::Display for Attr {
 }
 
 /// An attribute value: free text or a cross-reference edge.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum AttrValue {
     /// Free-text value.
     Text(String),
@@ -180,7 +178,7 @@ impl From<PNodeId> for AttrValue {
 ///
 /// The stream of records emitted by the observer is the unit every storage
 /// protocol moves to the cloud.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ProvenanceRecord {
     /// The node this record describes.
     pub subject: PNodeId,

@@ -526,8 +526,7 @@ impl Observer {
             }
             let mut records = pend.records;
             if let Some(h) = pend.data_hash {
-                let rec =
-                    ProvenanceRecord::new(id, Attr::DataHash, format!("{h:016x}"));
+                let rec = ProvenanceRecord::new(id, Attr::DataHash, format!("{h:016x}"));
                 self.graph.apply(&rec);
                 records.push(rec);
             }
@@ -775,8 +774,10 @@ mod tests {
         let second = obs.flush_closure("/out");
         let ids: Vec<_> = second.iter().map(|n| n.id).collect();
         assert!(ids.contains(&v));
-        assert!(!ids.iter().any(|i| first.iter().any(|f| f.id == *i)),
-            "already-flushed nodes must not repeat unless re-dirtied");
+        assert!(
+            !ids.iter().any(|i| first.iter().any(|f| f.id == *i)),
+            "already-flushed nodes must not repeat unless re-dirtied"
+        );
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Query access through the [`ProvenanceClient`] facade.
+//!
+//! The query engine lives above `cloudprov-core` in the crate graph, so
+//! `client.query()` is provided here as an extension trait rather than
+//! an inherent method. Importing [`ProvenanceQueries`] (re-exported by
+//! the `cloudprov` facade crate) makes [`ProvenanceStore`] an internal
+//! detail: callers never extract the store or pick an engine
+//! constructor themselves.
+//!
+//! [`ProvenanceStore`]: cloudprov_core::ProvenanceStore
+
+use cloudprov_core::{ClientError, ClientResult, ProvenanceClient, StorageProtocol};
+
+use crate::engine::QueryEngine;
+
+/// Builds the right [`QueryEngine`] for a client's provenance store.
+pub trait ProvenanceQueries {
+    /// A query engine over this session's provenance.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NoProvenanceStore`] for the S3fs baseline, which
+    /// records no provenance to query.
+    fn query(&self) -> ClientResult<QueryEngine>;
+}
+
+impl ProvenanceQueries for ProvenanceClient {
+    fn query(&self) -> ClientResult<QueryEngine> {
+        let store = self
+            .provenance_store()
+            .ok_or(ClientError::NoProvenanceStore {
+                protocol: self.name(),
+            })?;
+        Ok(QueryEngine::new(self.env(), store, self.data_bucket()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudprov_cloud::{AwsProfile, CloudEnv};
+    use cloudprov_core::Protocol;
+    use cloudprov_sim::Sim;
+
+    #[test]
+    fn query_builds_an_engine_per_layout() {
+        for protocol in [Protocol::P1, Protocol::P2, Protocol::P3] {
+            let sim = Sim::new();
+            let env = CloudEnv::new(&sim, AwsProfile::instant());
+            let client = ProvenanceClient::builder(protocol).build(&env);
+            let engine = client.query().expect("provenance-recording protocol");
+            let out = engine.q1_all(crate::Mode::Sequential).unwrap();
+            assert!(out.records.is_empty(), "{protocol}: fresh store is empty");
+        }
+    }
+
+    #[test]
+    fn baseline_has_no_queryable_store() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let client = ProvenanceClient::builder(Protocol::S3fs).build(&env);
+        assert!(matches!(
+            client.query(),
+            Err(ClientError::NoProvenanceStore { protocol: "S3fs" })
+        ));
+    }
+}

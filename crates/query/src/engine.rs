@@ -158,8 +158,7 @@ impl QueryEngine {
     pub fn q1_all(&self, mode: Mode) -> Result<QueryOutput> {
         match &self.store {
             ProvenanceStore::S3Objects { bucket, prefix } => {
-                let (records, metrics) =
-                    self.measure(|| self.s3_scan(bucket, prefix, mode))?;
+                let (records, metrics) = self.measure(|| self.s3_scan(bucket, prefix, mode))?;
                 Ok(QueryOutput {
                     nodes: subjects(&records),
                     records,
@@ -437,11 +436,7 @@ impl QueryEngine {
             })?;
         let s3 = self.env.s3().with_actor(Actor::Query);
         let obj = s3.get(bucket, key)?;
-        Ok(obj
-            .blob
-            .as_inline()
-            .map(|b| b.to_vec())
-            .unwrap_or_default())
+        Ok(obj.blob.as_inline().map(|b| b.to_vec()).unwrap_or_default())
     }
 }
 
@@ -516,8 +511,9 @@ fn descendants_local(records: &[ProvenanceRecord], program: &str) -> Vec<PNodeId
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::ProvenanceQueries;
     use cloudprov_cloud::AwsProfile;
-    use cloudprov_core::{ProtocolConfig, StorageProtocol, P1, P2};
+    use cloudprov_core::{Protocol, ProvenanceClient};
     use cloudprov_fs::{LocalIoParams, PaS3fs};
     use cloudprov_pass::{Pid, ProcessInfo};
     use cloudprov_sim::Sim;
@@ -528,21 +524,18 @@ mod tests {
     fn seeded(protocol: &str) -> (Sim, CloudEnv, QueryEngine) {
         let sim = Sim::new();
         let env = CloudEnv::new(&sim, AwsProfile::instant());
-        let proto: Arc<dyn StorageProtocol> = match protocol {
-            "P1" => Arc::new(P1::new(&env, ProtocolConfig::default())),
-            _ => Arc::new(P2::new(&env, ProtocolConfig::default())),
-        };
-        let store = proto.provenance_store().unwrap();
-        let fs = PaS3fs::new(
-            &sim,
-            proto,
-            cloudprov_cloud::RunContext::default(),
-            LocalIoParams::instant(),
-            9,
-        );
+        let protocol: Protocol = protocol.parse().expect("protocol name");
+        let client = Arc::new(ProvenanceClient::builder(protocol).build(&env));
+        let fs = PaS3fs::attach(client.clone(), LocalIoParams::instant(), 9);
         // blast-like mini pipeline: blast writes 2 outputs; parser derives
         // one downstream file from each.
-        fs.exec(Pid(1), ProcessInfo { name: "blast".into(), ..Default::default() });
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "blast".into(),
+                ..Default::default()
+            },
+        );
         fs.read(Pid(1), "/db", 100);
         fs.write(Pid(1), "/hits-0", 10);
         fs.close(Pid(1), "/hits-0").unwrap();
@@ -550,12 +543,18 @@ mod tests {
         fs.close(Pid(1), "/hits-1").unwrap();
         for i in 0..2 {
             let pid = Pid(10 + i);
-            fs.exec(pid, ProcessInfo { name: "parser".into(), ..Default::default() });
+            fs.exec(
+                pid,
+                ProcessInfo {
+                    name: "parser".into(),
+                    ..Default::default()
+                },
+            );
             fs.read(pid, &format!("/hits-{i}"), 10);
             fs.write(pid, &format!("/parsed-{i}"), 10);
             fs.close(pid, &format!("/parsed-{i}")).unwrap();
         }
-        let engine = QueryEngine::new(&env, store, "data");
+        let engine = client.query().expect("provenance store");
         (sim, env, engine)
     }
 
@@ -564,11 +563,7 @@ mod tests {
         for proto in ["P1", "P2"] {
             let (_sim, _env, engine) = seeded(proto);
             let out = engine.q1_all(Mode::Sequential).unwrap();
-            assert!(
-                out.records.len() > 10,
-                "{proto}: got {}",
-                out.records.len()
-            );
+            assert!(out.records.len() > 10, "{proto}: got {}", out.records.len());
             assert!(out.metrics.ops > 0);
             assert!(out.metrics.bytes > 0);
         }
@@ -651,15 +646,8 @@ mod tests {
     fn spill_resolution_roundtrips() {
         let sim = Sim::new();
         let env = CloudEnv::new(&sim, AwsProfile::instant());
-        let p2 = Arc::new(P2::new(&env, ProtocolConfig::default()));
-        let store = p2.provenance_store().unwrap();
-        let fs = PaS3fs::new(
-            &sim,
-            p2,
-            cloudprov_cloud::RunContext::default(),
-            LocalIoParams::instant(),
-            1,
-        );
+        let client = Arc::new(ProvenanceClient::builder(Protocol::P2).build(&env));
+        let fs = PaS3fs::attach(client.clone(), LocalIoParams::instant(), 1);
         // Big env forces a spill.
         fs.exec(
             Pid(1),
@@ -671,7 +659,7 @@ mod tests {
         );
         fs.write(Pid(1), "/f", 1);
         fs.close(Pid(1), "/f").unwrap();
-        let engine = QueryEngine::new(&env, store, "data");
+        let engine = client.query().expect("provenance store");
         let out = engine.q1_all(Mode::Sequential).unwrap();
         let pointer = out
             .records

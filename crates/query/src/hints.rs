@@ -30,12 +30,7 @@ pub struct ReplicationHint {
 pub fn replication_candidates(graph: &ProvGraph, k: usize) -> Vec<ReplicationHint> {
     let mut hints: Vec<ReplicationHint> = graph
         .node_ids()
-        .filter(|id| {
-            graph
-                .node(*id)
-                .and_then(|d| d.kind)
-                .map_or(false, |kind| kind == NodeKind::File)
-        })
+        .filter(|id| graph.node(*id).and_then(|d| d.kind) == Some(NodeKind::File))
         .map(|id| {
             let dependents = graph.descendants(id).len();
             ReplicationHint {
@@ -60,10 +55,7 @@ pub fn replication_candidates(graph: &ProvGraph, k: usize) -> Vec<ReplicationHin
 pub fn colocation_groups(graph: &ProvGraph) -> BTreeMap<PNodeId, Vec<PNodeId>> {
     let mut groups: BTreeMap<PNodeId, Vec<PNodeId>> = BTreeMap::new();
     for id in graph.node_ids() {
-        let is_file = graph
-            .node(id)
-            .and_then(|d| d.kind)
-            .map_or(false, |k| k == NodeKind::File);
+        let is_file = graph.node(id).and_then(|d| d.kind) == Some(NodeKind::File);
         if !is_file {
             continue;
         }
@@ -71,13 +63,7 @@ pub fn colocation_groups(graph: &ProvGraph) -> BTreeMap<PNodeId, Vec<PNodeId>> {
         let root = graph
             .ancestors(id)
             .into_iter()
-            .filter(|a| {
-                graph
-                    .node(*a)
-                    .and_then(|d| d.kind)
-                    .map_or(false, |k| k == NodeKind::File)
-            })
-            .last()
+            .rfind(|a| graph.node(*a).and_then(|d| d.kind) == Some(NodeKind::File))
             .unwrap_or(id);
         groups.entry(root).or_default().push(id);
     }
@@ -94,11 +80,23 @@ mod tests {
         // One shared database read by 5 jobs, each producing an output;
         // one isolated file.
         for i in 0..5u64 {
-            obs.exec(Pid(i), ProcessInfo { name: format!("job{i}"), ..Default::default() });
+            obs.exec(
+                Pid(i),
+                ProcessInfo {
+                    name: format!("job{i}"),
+                    ..Default::default()
+                },
+            );
             obs.read(Pid(i), "/shared/db");
             obs.write(Pid(i), &format!("/out/{i}"), i);
         }
-        obs.exec(Pid(99), ProcessInfo { name: "loner".into(), ..Default::default() });
+        obs.exec(
+            Pid(99),
+            ProcessInfo {
+                name: "loner".into(),
+                ..Default::default()
+            },
+        );
         obs.write(Pid(99), "/isolated", 99);
         obs
     }
@@ -133,7 +131,7 @@ mod tests {
         assert!(db_group.len() >= 6, "db + 5 outputs cluster together");
         // The isolated file roots its own group.
         let isolated = obs.file_node("/isolated").unwrap();
-        assert!(groups.get(&isolated).map_or(false, |g| g.contains(&isolated)));
+        assert!(groups.get(&isolated).is_some_and(|g| g.contains(&isolated)));
     }
 
     #[test]

@@ -12,8 +12,10 @@
 
 #![warn(missing_docs)]
 
+mod client;
 mod engine;
 pub mod hints;
 pub mod regen;
 
+pub use client::ProvenanceQueries;
 pub use engine::{Mode, QueryEngine, QueryMetrics, QueryOutput};

@@ -70,21 +70,20 @@ pub fn advise(
 ) -> Vec<RegenAdvice> {
     let mut out = Vec::new();
     for node in graph.node_ids() {
-        let Some(data) = graph.node(node) else { continue };
+        let Some(data) = graph.node(node) else {
+            continue;
+        };
         if data.kind != Some(NodeKind::File) {
             continue;
         }
-        let Some(size) = sizes.get(&node) else { continue };
+        let Some(size) = sizes.get(&node) else {
+            continue;
+        };
         let ancestors = graph.ancestors(node);
         let process_ancestors: Vec<PNodeId> = ancestors
             .iter()
             .copied()
-            .filter(|a| {
-                graph
-                    .node(*a)
-                    .and_then(|d| d.kind)
-                    .map_or(false, |k| k == NodeKind::Process)
-            })
+            .filter(|a| graph.node(*a).and_then(|d| d.kind) == Some(NodeKind::Process))
             .collect();
         if process_ancestors.is_empty() {
             // A source object: nothing to regenerate it from.
@@ -98,12 +97,10 @@ pub fn advise(
             .filter_map(|p| compute_micros.get(p))
             .map(|m| *m as f64 / 1e6)
             .sum();
-        let storage_usd = (*size as f64 / 1e9)
-            * policy.storage_usd_per_gb_month
-            * policy.horizon_months;
+        let storage_usd =
+            (*size as f64 / 1e9) * policy.storage_usd_per_gb_month * policy.horizon_months;
         let regen_once_usd = regen_secs / 3600.0 * policy.compute_usd_per_hour;
-        let drop_and_regen =
-            regenerable && regen_once_usd * policy.expected_reads < storage_usd;
+        let drop_and_regen = regenerable && regen_once_usd * policy.expected_reads < storage_usd;
         out.push(RegenAdvice {
             node,
             name: data.attr(&Attr::Name).map(str::to_string),
@@ -136,10 +133,22 @@ mod tests {
     /// small file.
     fn setup() -> (ProvGraph, BTreeMap<PNodeId, u64>, BTreeMap<PNodeId, u64>) {
         let mut obs = Observer::new(8);
-        obs.exec(Pid(1), ProcessInfo { name: "cheap-filter".into(), ..Default::default() });
+        obs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "cheap-filter".into(),
+                ..Default::default()
+            },
+        );
         obs.read(Pid(1), "/src/raw");
         obs.write(Pid(1), "/derived/big.dat", 1);
-        obs.exec(Pid(2), ProcessInfo { name: "year-long-sim".into(), ..Default::default() });
+        obs.exec(
+            Pid(2),
+            ProcessInfo {
+                name: "year-long-sim".into(),
+                ..Default::default()
+            },
+        );
         obs.read(Pid(2), "/src/raw");
         obs.write(Pid(2), "/derived/tiny-but-precious.dat", 2);
 
@@ -152,8 +161,14 @@ mod tests {
         );
         sizes.insert(obs.file_node("/src/raw").unwrap(), 10_000_000_000);
         let mut compute = BTreeMap::new();
-        let p1 = g.find_nodes(|_, d| d.name() == Some("cheap-filter")).next().unwrap();
-        let p2 = g.find_nodes(|_, d| d.name() == Some("year-long-sim")).next().unwrap();
+        let p1 = g
+            .find_nodes(|_, d| d.name() == Some("cheap-filter"))
+            .next()
+            .unwrap();
+        let p2 = g
+            .find_nodes(|_, d| d.name() == Some("year-long-sim"))
+            .next()
+            .unwrap();
         compute.insert(p1, 60_000_000); // 1 minute
         compute.insert(p2, 2_600_000_000_000); // ~30 days
         (g, sizes, compute)

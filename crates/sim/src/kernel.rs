@@ -96,6 +96,8 @@ pub(crate) struct SimState {
     events: BinaryHeap<Reverse<Event>>,
     joins: Vec<JoinState>,
     pub(crate) sems: Vec<SemState>,
+    /// Slots in `sems` whose semaphore was dropped, available for reuse.
+    pub(crate) free_sems: Vec<usize>,
 }
 
 impl SimState {
@@ -205,6 +207,7 @@ impl Sim {
                     events: BinaryHeap::new(),
                     joins: Vec::new(),
                     sems: Vec::new(),
+                    free_sems: Vec::new(),
                 }),
             }),
         }
@@ -356,7 +359,9 @@ pub struct SimHandle<T> {
 
 impl<T> std::fmt::Debug for SimHandle<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimHandle").field("slot", &self.slot).finish()
+        f.debug_struct("SimHandle")
+            .field("slot", &self.slot)
+            .finish()
     }
 }
 
@@ -388,10 +393,7 @@ impl<T: Send + 'static> SimHandle<T> {
 
     /// Returns true if the thread has finished (without blocking).
     pub fn is_finished(&self) -> bool {
-        !matches!(
-            self.sim.lock().joins[self.slot],
-            JoinState::Running { .. }
-        )
+        !matches!(self.sim.lock().joins[self.slot], JoinState::Running { .. })
     }
 }
 

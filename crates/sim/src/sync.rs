@@ -7,6 +7,7 @@
 //! order and wake in virtual time as permits free up.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::kernel::{SemState, Sim, SimState, Waiter};
 
@@ -38,14 +39,36 @@ use crate::kernel::{SemState, Sim, SimState, Waiter};
 /// ```
 #[derive(Clone)]
 pub struct SimSemaphore {
+    slot: Arc<SemSlot>,
+}
+
+/// Owns one slot in the kernel's semaphore table; when the last handle
+/// drops, the slot returns to a free list for reuse, so short-lived
+/// semaphores (per-operation signals, barriers) don't grow the table
+/// for the simulation's lifetime.
+struct SemSlot {
     sim: Sim,
     idx: usize,
+}
+
+impl Drop for SemSlot {
+    fn drop(&mut self) {
+        let mut guard = self.sim.lock();
+        let state = &mut guard.sems[self.idx];
+        debug_assert!(
+            state.queue.is_empty(),
+            "semaphore dropped with parked waiters"
+        );
+        state.permits = 0;
+        state.queue.clear();
+        guard.free_sems.push(self.idx);
+    }
 }
 
 impl std::fmt::Debug for SimSemaphore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimSemaphore")
-            .field("idx", &self.idx)
+            .field("idx", &self.slot.idx)
             .field("available", &self.available())
             .finish()
     }
@@ -55,27 +78,40 @@ impl SimSemaphore {
     /// Creates a semaphore with `permits` initial permits.
     pub fn new(sim: &Sim, permits: usize) -> SimSemaphore {
         let mut guard = sim.lock();
-        let idx = guard.sems.len();
-        guard.sems.push(SemState {
-            permits,
-            queue: VecDeque::new(),
-        });
+        let idx = match guard.free_sems.pop() {
+            Some(idx) => {
+                guard.sems[idx] = SemState {
+                    permits,
+                    queue: VecDeque::new(),
+                };
+                idx
+            }
+            None => {
+                guard.sems.push(SemState {
+                    permits,
+                    queue: VecDeque::new(),
+                });
+                guard.sems.len() - 1
+            }
+        };
+        drop(guard);
         SimSemaphore {
-            sim: sim.clone(),
-            idx,
+            slot: Arc::new(SemSlot {
+                sim: sim.clone(),
+                idx,
+            }),
         }
     }
 
     /// Acquires one permit, blocking in virtual time until one is free.
     /// The permit is released when the returned guard drops.
     pub fn acquire(&self) -> SemPermit<'_> {
-        let guard = self.sim.lock();
-        let mut guard = guard;
-        if guard.sems[self.idx].permits > 0 {
-            guard.sems[self.idx].permits -= 1;
+        let mut guard = self.slot.sim.lock();
+        if guard.sems[self.slot.idx].permits > 0 {
+            guard.sems[self.slot.idx].permits -= 1;
         } else {
             let w = Waiter::new();
-            guard.sems[self.idx].queue.push_back(w.clone());
+            guard.sems[self.slot.idx].queue.push_back(w.clone());
             SimState::park(guard, &w);
         }
         SemPermit { sem: self }
@@ -83,18 +119,26 @@ impl SimSemaphore {
 
     /// Number of currently available permits (0 while waiters queue).
     pub fn available(&self) -> usize {
-        self.sim.lock().sems[self.idx].permits
+        self.slot.sim.lock().sems[self.slot.idx].permits
+    }
+
+    /// Adds one permit without having acquired one first, waking the
+    /// longest waiter if any. Together with [`SemPermit::forget`] this
+    /// turns the semaphore into a producer/consumer signal: producers
+    /// `release()`, consumers `acquire().forget()`.
+    pub fn release(&self) {
+        self.release_one();
     }
 
     fn release_one(&self) {
-        let mut guard = self.sim.lock();
-        if let Some(w) = guard.sems[self.idx].queue.pop_front() {
+        let mut guard = self.slot.sim.lock();
+        if let Some(w) = guard.sems[self.slot.idx].queue.pop_front() {
             // Hand the permit straight to the longest waiter; it wakes via
             // the event queue so execution stays serialized.
             let at = guard.now;
             guard.schedule(at, w);
         } else {
-            guard.sems[self.idx].permits += 1;
+            guard.sems[self.slot.idx].permits += 1;
         }
     }
 }
@@ -103,6 +147,15 @@ impl SimSemaphore {
 #[derive(Debug)]
 pub struct SemPermit<'a> {
     sem: &'a SimSemaphore,
+}
+
+impl SemPermit<'_> {
+    /// Consumes the permit without returning it to the semaphore. This
+    /// is how a consumer *takes* one signal produced by
+    /// [`SimSemaphore::release`].
+    pub fn forget(self) {
+        std::mem::forget(self);
+    }
 }
 
 impl Drop for SemPermit<'_> {
@@ -173,6 +226,47 @@ mod tests {
             .collect();
         sim.run_parallel(120, tasks);
         assert_eq!(sim.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn dropped_semaphores_recycle_their_slot() {
+        let sim = Sim::new();
+        let baseline = {
+            let s = SimSemaphore::new(&sim, 1);
+            s.slot.idx
+        };
+        // Thousands of short-lived semaphores must not grow the table.
+        for _ in 0..5_000 {
+            let s = SimSemaphore::new(&sim, 0);
+            s.release();
+            s.acquire().forget();
+        }
+        let s = SimSemaphore::new(&sim, 1);
+        assert!(
+            s.slot.idx <= baseline + 1,
+            "slot {} not recycled (baseline {baseline})",
+            s.slot.idx
+        );
+    }
+
+    #[test]
+    fn release_and_forget_make_a_signal() {
+        let sim = Sim::new();
+        let signal = SimSemaphore::new(&sim, 0);
+        let consumer = {
+            let signal = signal.clone();
+            sim.spawn(move || {
+                for _ in 0..3 {
+                    signal.acquire().forget();
+                }
+            })
+        };
+        for _ in 0..3 {
+            signal.release();
+            sim.sleep(Duration::from_millis(1));
+        }
+        consumer.join();
+        assert_eq!(signal.available(), 0, "forget must not return permits");
     }
 
     #[test]

@@ -109,13 +109,19 @@ pub fn blast(p: BlastParams) -> Trace {
     });
     for ext in ["phr", "pin", "psq"] {
         let path = format!("/blast/db/nr.{ext}");
-        t.push(TraceEvent::Open { pid: formatdb_pid, path: path.clone() });
+        t.push(TraceEvent::Open {
+            pid: formatdb_pid,
+            path: path.clone(),
+        });
         t.push(TraceEvent::Write {
             pid: formatdb_pid,
             path: path.clone(),
             bytes: 10 << 20,
         });
-        t.push(TraceEvent::Close { pid: formatdb_pid, path });
+        t.push(TraceEvent::Close {
+            pid: formatdb_pid,
+            path,
+        });
     }
     t.push(TraceEvent::Exit { pid: formatdb_pid });
 
@@ -128,13 +134,19 @@ pub fn blast(p: BlastParams) -> Trace {
         env_bytes: 800,
         exe: Some("/usr/bin/fastacmd".into()),
     });
-    t.push(TraceEvent::Open { pid: qgen_pid, path: "/blast/queries.fa".into() });
+    t.push(TraceEvent::Open {
+        pid: qgen_pid,
+        path: "/blast/queries.fa".into(),
+    });
     t.push(TraceEvent::Write {
         pid: qgen_pid,
         path: "/blast/queries.fa".into(),
         bytes: 2 << 20,
     });
-    t.push(TraceEvent::Close { pid: qgen_pid, path: "/blast/queries.fa".into() });
+    t.push(TraceEvent::Close {
+        pid: qgen_pid,
+        path: "/blast/queries.fa".into(),
+    });
     t.push(TraceEvent::Exit { pid: qgen_pid });
 
     // --- blastall invocations, each handling a slice of queries ---
@@ -191,7 +203,10 @@ pub fn blast(p: BlastParams) -> Trace {
         // Status pipe blastall -> parsers.
         let pipe = b as u64;
         t.push(TraceEvent::PipeCreate { id: pipe });
-        t.push(TraceEvent::PipeWrite { pid: blast_pid, id: pipe });
+        t.push(TraceEvent::PipeWrite {
+            pid: blast_pid,
+            id: pipe,
+        });
 
         for _ in 0..batch_queries {
             let hits = format!("/blast/out/hits-{q:04}.txt");
@@ -204,13 +219,19 @@ pub fn blast(p: BlastParams) -> Trace {
             t.push(TraceEvent::Compute {
                 micros: p.compute_micros_per_query,
             });
-            t.push(TraceEvent::Open { pid: blast_pid, path: hits.clone() });
+            t.push(TraceEvent::Open {
+                pid: blast_pid,
+                path: hits.clone(),
+            });
             t.push(TraceEvent::Write {
                 pid: blast_pid,
                 path: hits.clone(),
                 bytes: p.hit_bytes,
             });
-            t.push(TraceEvent::Close { pid: blast_pid, path: hits.clone() });
+            t.push(TraceEvent::Close {
+                pid: blast_pid,
+                path: hits.clone(),
+            });
 
             t.push(TraceEvent::Exec {
                 pid: parse_pid,
@@ -225,19 +246,28 @@ pub fn blast(p: BlastParams) -> Trace {
                     path: format!("/blast/out/.plookup{}", st % 5),
                 });
             }
-            t.push(TraceEvent::PipeRead { pid: parse_pid, id: pipe });
+            t.push(TraceEvent::PipeRead {
+                pid: parse_pid,
+                id: pipe,
+            });
             t.push(TraceEvent::Read {
                 pid: parse_pid,
                 path: hits.clone(),
                 bytes: p.hit_bytes,
             });
-            t.push(TraceEvent::Open { pid: parse_pid, path: parsed.clone() });
+            t.push(TraceEvent::Open {
+                pid: parse_pid,
+                path: parsed.clone(),
+            });
             t.push(TraceEvent::Write {
                 pid: parse_pid,
                 path: parsed.clone(),
                 bytes: p.parsed_bytes,
             });
-            t.push(TraceEvent::Close { pid: parse_pid, path: parsed.clone() });
+            t.push(TraceEvent::Close {
+                pid: parse_pid,
+                path: parsed.clone(),
+            });
             t.push(TraceEvent::Exit { pid: parse_pid });
 
             // A formatting stage summarizes each parsed file into a status
@@ -259,7 +289,10 @@ pub fn blast(p: BlastParams) -> Trace {
                 bytes: 32_768,
             });
             t.push(TraceEvent::PipeCreate { id: fmt_pipe });
-            t.push(TraceEvent::PipeWrite { pid: fmt_pid, id: fmt_pipe });
+            t.push(TraceEvent::PipeWrite {
+                pid: fmt_pid,
+                id: fmt_pipe,
+            });
             t.push(TraceEvent::Exit { pid: fmt_pid });
 
             report_buf.push(q);
@@ -286,13 +319,19 @@ pub fn blast(p: BlastParams) -> Trace {
                         id: 1_000 + qq as u64,
                     });
                 }
-                t.push(TraceEvent::Open { pid: agg_pid, path: report.clone() });
+                t.push(TraceEvent::Open {
+                    pid: agg_pid,
+                    path: report.clone(),
+                });
                 t.push(TraceEvent::Write {
                     pid: agg_pid,
                     path: report.clone(),
                     bytes: 96_000,
                 });
-                t.push(TraceEvent::Close { pid: agg_pid, path: report });
+                t.push(TraceEvent::Close {
+                    pid: agg_pid,
+                    path: report,
+                });
                 t.push(TraceEvent::Exit { pid: agg_pid });
                 report_idx += 1;
             }
@@ -338,7 +377,7 @@ mod tests {
             .nodes
             .iter()
             .rev()
-            .find(|n| n.name.as_deref().map_or(false, |n| n.contains("report")))
+            .find(|n| n.name.as_deref().is_some_and(|n| n.contains("report")))
             .unwrap();
         let depth = diluted.graph.depth_from(report.id);
         assert!(

@@ -89,14 +89,39 @@ pub fn challenge(p: ChallengeParams) -> Trace {
             for tag in ["a", "b", "c", "d", "e", "f"] {
                 stat(&mut t, pid, &format!("aw{i}{tag}"));
             }
-            t.push(TraceEvent::Read { pid, path: format!("{base}/anatomy{i}.img"), bytes: p.img_bytes });
-            t.push(TraceEvent::Read { pid, path: format!("{base}/anatomy{i}.hdr"), bytes: 1_024 });
-            t.push(TraceEvent::Read { pid, path: "/fmri/reference.img".into(), bytes: p.img_bytes });
-            t.push(TraceEvent::Read { pid, path: "/fmri/reference.hdr".into(), bytes: 1_024 });
-            t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage });
+            t.push(TraceEvent::Read {
+                pid,
+                path: format!("{base}/anatomy{i}.img"),
+                bytes: p.img_bytes,
+            });
+            t.push(TraceEvent::Read {
+                pid,
+                path: format!("{base}/anatomy{i}.hdr"),
+                bytes: 1_024,
+            });
+            t.push(TraceEvent::Read {
+                pid,
+                path: "/fmri/reference.img".into(),
+                bytes: p.img_bytes,
+            });
+            t.push(TraceEvent::Read {
+                pid,
+                path: "/fmri/reference.hdr".into(),
+                bytes: 1_024,
+            });
+            t.push(TraceEvent::Compute {
+                micros: p.compute_micros_per_stage,
+            });
             let warp = format!("{base}/warp{i}.warp");
-            t.push(TraceEvent::Open { pid, path: warp.clone() });
-            t.push(TraceEvent::Write { pid, path: warp.clone(), bytes: 100_000 });
+            t.push(TraceEvent::Open {
+                pid,
+                path: warp.clone(),
+            });
+            t.push(TraceEvent::Write {
+                pid,
+                path: warp.clone(),
+                bytes: 100_000,
+            });
             t.push(TraceEvent::Close { pid, path: warp });
             t.push(TraceEvent::Exit { pid });
         }
@@ -118,13 +143,30 @@ pub fn challenge(p: ChallengeParams) -> Trace {
             for tag in ["a", "b", "c", "d", "e", "f"] {
                 stat(&mut t, pid, &format!("rs{i}{tag}"));
             }
-            t.push(TraceEvent::Read { pid, path: format!("{base}/warp{i}.warp"), bytes: 100_000 });
-            t.push(TraceEvent::Read { pid, path: format!("{base}/anatomy{i}.img"), bytes: p.img_bytes });
-            t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage });
+            t.push(TraceEvent::Read {
+                pid,
+                path: format!("{base}/warp{i}.warp"),
+                bytes: 100_000,
+            });
+            t.push(TraceEvent::Read {
+                pid,
+                path: format!("{base}/anatomy{i}.img"),
+                bytes: p.img_bytes,
+            });
+            t.push(TraceEvent::Compute {
+                micros: p.compute_micros_per_stage,
+            });
             for (ext, bytes) in [("img", p.img_bytes), ("hdr", 1_024)] {
                 let path = format!("{base}/resliced{i}.{ext}");
-                t.push(TraceEvent::Open { pid, path: path.clone() });
-                t.push(TraceEvent::Write { pid, path: path.clone(), bytes });
+                t.push(TraceEvent::Open {
+                    pid,
+                    path: path.clone(),
+                });
+                t.push(TraceEvent::Write {
+                    pid,
+                    path: path.clone(),
+                    bytes,
+                });
                 t.push(TraceEvent::Close { pid, path });
             }
             t.push(TraceEvent::Exit { pid });
@@ -152,12 +194,24 @@ pub fn challenge(p: ChallengeParams) -> Trace {
             });
             stat(&mut t, mean_pid, &format!("sm{i}"));
         }
-        t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage });
+        t.push(TraceEvent::Compute {
+            micros: p.compute_micros_per_stage,
+        });
         for (ext, bytes) in [("img", p.img_bytes), ("hdr", 1_024)] {
             let path = format!("{base}/atlas.{ext}");
-            t.push(TraceEvent::Open { pid: mean_pid, path: path.clone() });
-            t.push(TraceEvent::Write { pid: mean_pid, path: path.clone(), bytes });
-            t.push(TraceEvent::Close { pid: mean_pid, path });
+            t.push(TraceEvent::Open {
+                pid: mean_pid,
+                path: path.clone(),
+            });
+            t.push(TraceEvent::Write {
+                pid: mean_pid,
+                path: path.clone(),
+                bytes,
+            });
+            t.push(TraceEvent::Close {
+                pid: mean_pid,
+                path,
+            });
         }
         t.push(TraceEvent::Exit { pid: mean_pid });
 
@@ -181,11 +235,27 @@ pub fn challenge(p: ChallengeParams) -> Trace {
             for tag in ["a", "b", "c"] {
                 stat(&mut t, slicer_pid, &format!("sl{axis}{tag}"));
             }
-            t.push(TraceEvent::Read { pid: slicer_pid, path: format!("{base}/atlas.img"), bytes: p.img_bytes });
-            t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage / 3 });
-            t.push(TraceEvent::Open { pid: slicer_pid, path: slice.clone() });
-            t.push(TraceEvent::Write { pid: slicer_pid, path: slice.clone(), bytes: 400_000 });
-            t.push(TraceEvent::Close { pid: slicer_pid, path: slice.clone() });
+            t.push(TraceEvent::Read {
+                pid: slicer_pid,
+                path: format!("{base}/atlas.img"),
+                bytes: p.img_bytes,
+            });
+            t.push(TraceEvent::Compute {
+                micros: p.compute_micros_per_stage / 3,
+            });
+            t.push(TraceEvent::Open {
+                pid: slicer_pid,
+                path: slice.clone(),
+            });
+            t.push(TraceEvent::Write {
+                pid: slicer_pid,
+                path: slice.clone(),
+                bytes: 400_000,
+            });
+            t.push(TraceEvent::Close {
+                pid: slicer_pid,
+                path: slice.clone(),
+            });
             t.push(TraceEvent::Exit { pid: slicer_pid });
 
             let convert_pid = pid0 + 40 + d as u64;
@@ -200,11 +270,27 @@ pub fn challenge(p: ChallengeParams) -> Trace {
             for tag in ["a", "b", "c"] {
                 stat(&mut t, convert_pid, &format!("cv{axis}{tag}"));
             }
-            t.push(TraceEvent::Read { pid: convert_pid, path: slice.clone(), bytes: 400_000 });
-            t.push(TraceEvent::Compute { micros: p.compute_micros_per_stage / 6 });
-            t.push(TraceEvent::Open { pid: convert_pid, path: gif.clone() });
-            t.push(TraceEvent::Write { pid: convert_pid, path: gif.clone(), bytes: 150_000 });
-            t.push(TraceEvent::Close { pid: convert_pid, path: gif });
+            t.push(TraceEvent::Read {
+                pid: convert_pid,
+                path: slice.clone(),
+                bytes: 400_000,
+            });
+            t.push(TraceEvent::Compute {
+                micros: p.compute_micros_per_stage / 6,
+            });
+            t.push(TraceEvent::Open {
+                pid: convert_pid,
+                path: gif.clone(),
+            });
+            t.push(TraceEvent::Write {
+                pid: convert_pid,
+                path: gif.clone(),
+                bytes: 150_000,
+            });
+            t.push(TraceEvent::Close {
+                pid: convert_pid,
+                path: gif,
+            });
             t.push(TraceEvent::Exit { pid: convert_pid });
         }
 
@@ -246,7 +332,7 @@ mod tests {
         let gif = run
             .nodes
             .iter()
-            .find(|n| n.name.as_deref().map_or(false, |n| n.ends_with(".gif")))
+            .find(|n| n.name.as_deref().is_some_and(|n| n.ends_with(".gif")))
             .unwrap();
         let depth = g.depth_from(gif.id);
         assert!(

@@ -77,30 +77,23 @@ pub fn replay(sim: &Sim, fs: &PaS3fs, trace: &Trace) -> Result<ReplaySummary> {
 mod tests {
     use super::*;
     use crate::nightly::{nightly, NightlyParams};
-    use cloudprov_cloud::{AwsProfile, CloudEnv, RunContext};
-    use cloudprov_core::{ProtocolConfig, S3fsBaseline, StorageProtocol, P1};
+    use cloudprov_cloud::{AwsProfile, CloudEnv};
+    use cloudprov_core::{Protocol, ProvenanceClient};
     use cloudprov_fs::LocalIoParams;
     use std::sync::Arc;
 
-    fn run(protocol_name: &str) -> (CloudEnv, ReplaySummary) {
+    fn run(protocol: Protocol) -> (CloudEnv, ReplaySummary) {
         let sim = Sim::new();
         let env = CloudEnv::new(&sim, AwsProfile::instant());
-        let protocol: Arc<dyn StorageProtocol> = match protocol_name {
-            "S3fs" => Arc::new(S3fsBaseline::new(&env, ProtocolConfig::default())),
-            _ => Arc::new(P1::new(&env, ProtocolConfig::default())),
-        };
-        let fs = if protocol_name == "S3fs" {
-            PaS3fs::plain(&sim, protocol, RunContext::default(), LocalIoParams::instant())
-        } else {
-            PaS3fs::new(&sim, protocol, RunContext::default(), LocalIoParams::instant(), 1)
-        };
+        let client = Arc::new(ProvenanceClient::builder(protocol).build(&env));
+        let fs = PaS3fs::attach(client, LocalIoParams::instant(), 1);
         let summary = replay(&sim, &fs, &nightly(NightlyParams::small())).unwrap();
         (env, summary)
     }
 
     #[test]
     fn baseline_replay_uploads_every_snapshot() {
-        let (env, summary) = run("S3fs");
+        let (env, summary) = run(Protocol::S3fs);
         assert!(summary.events > 0);
         assert_eq!(env.s3().peek_count("data", "backup/"), 3);
         // No provenance anywhere.
@@ -109,15 +102,15 @@ mod tests {
 
     #[test]
     fn p1_replay_also_stores_provenance() {
-        let (env, _) = run("P1");
+        let (env, _) = run(Protocol::P1);
         assert_eq!(env.s3().peek_count("data", "backup/"), 3);
         assert!(env.s3().peek_count("prov", "p/") > 3);
     }
 
     #[test]
     fn provenance_op_overhead_is_positive_but_bounded() {
-        let (base_env, _) = run("S3fs");
-        let (p1_env, _) = run("P1");
+        let (base_env, _) = run(Protocol::S3fs);
+        let (p1_env, _) = run(Protocol::P1);
         let base_ops = base_env.usage().client_ops();
         let p1_ops = p1_env.usage().client_ops();
         assert!(p1_ops > base_ops);

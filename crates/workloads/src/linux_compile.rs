@@ -24,12 +24,24 @@ pub fn linux_compile_provenance(target_bytes: usize) -> Vec<ProvenanceRecord> {
     };
     // Shared toolchain/header nodes.
     let cc_bin = PNodeId::initial(Uuid(0xCC));
-    push(&mut records, &mut bytes, ProvenanceRecord::new(cc_bin, Attr::Type, "file"));
-    push(&mut records, &mut bytes, ProvenanceRecord::new(cc_bin, Attr::Name, "/usr/bin/cc"));
+    push(
+        &mut records,
+        &mut bytes,
+        ProvenanceRecord::new(cc_bin, Attr::Type, "file"),
+    );
+    push(
+        &mut records,
+        &mut bytes,
+        ProvenanceRecord::new(cc_bin, Attr::Name, "/usr/bin/cc"),
+    );
     let headers: Vec<PNodeId> = (0..32u128)
         .map(|h| {
             let id = PNodeId::initial(Uuid(0x4EAD_0000 + h));
-            push(&mut records, &mut bytes, ProvenanceRecord::new(id, Attr::Type, "file"));
+            push(
+                &mut records,
+                &mut bytes,
+                ProvenanceRecord::new(id, Attr::Type, "file"),
+            );
             push(
                 &mut records,
                 &mut bytes,
@@ -43,14 +55,38 @@ pub fn linux_compile_provenance(target_bytes: usize) -> Vec<ProvenanceRecord> {
         let src = PNodeId::initial(Uuid(0x5000_0000 + unit * 4));
         let proc_ = PNodeId::initial(Uuid(0x5000_0001 + unit * 4));
         let obj = PNodeId::initial(Uuid(0x5000_0002 + unit * 4));
-        let dir = format!("/usr/src/linux/{}/{}", ["kernel", "fs", "mm", "net", "drivers"][unit as usize % 5], unit);
+        let dir = format!(
+            "/usr/src/linux/{}/{}",
+            ["kernel", "fs", "mm", "net", "drivers"][unit as usize % 5],
+            unit
+        );
 
-        push(&mut records, &mut bytes, ProvenanceRecord::new(src, Attr::Type, "file"));
-        push(&mut records, &mut bytes, ProvenanceRecord::new(src, Attr::Name, format!("{dir}/unit{unit}.c")));
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(src, Attr::Type, "file"),
+        );
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(src, Attr::Name, format!("{dir}/unit{unit}.c")),
+        );
 
-        push(&mut records, &mut bytes, ProvenanceRecord::new(proc_, Attr::Type, "process"));
-        push(&mut records, &mut bytes, ProvenanceRecord::new(proc_, Attr::Name, "cc1"));
-        push(&mut records, &mut bytes, ProvenanceRecord::new(proc_, Attr::Pid, format!("{}", 2_000 + unit)));
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(proc_, Attr::Type, "process"),
+        );
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(proc_, Attr::Name, "cc1"),
+        );
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(proc_, Attr::Pid, format!("{}", 2_000 + unit)),
+        );
         push(
             &mut records,
             &mut bytes,
@@ -77,21 +113,53 @@ pub fn linux_compile_provenance(target_bytes: usize) -> Vec<ProvenanceRecord> {
                 ),
             );
         }
-        push(&mut records, &mut bytes, ProvenanceRecord::new(proc_, Attr::ExecTime, format!("{}", unit * 250_000)));
-        push(&mut records, &mut bytes, ProvenanceRecord::new(proc_, Attr::Input, cc_bin));
-        push(&mut records, &mut bytes, ProvenanceRecord::new(proc_, Attr::Input, src));
-        for h in 0..4 {
-            let header = headers[(unit as usize * 7 + h) % headers.len()];
-            push(&mut records, &mut bytes, ProvenanceRecord::new(proc_, Attr::Input, header));
-        }
-
-        push(&mut records, &mut bytes, ProvenanceRecord::new(obj, Attr::Type, "file"));
-        push(&mut records, &mut bytes, ProvenanceRecord::new(obj, Attr::Name, format!("{dir}/unit{unit}.o")));
-        push(&mut records, &mut bytes, ProvenanceRecord::new(obj, Attr::Input, proc_));
         push(
             &mut records,
             &mut bytes,
-            ProvenanceRecord::new(obj, Attr::DataHash, format!("{:016x}", unit.wrapping_mul(0x9E37))),
+            ProvenanceRecord::new(proc_, Attr::ExecTime, format!("{}", unit * 250_000)),
+        );
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(proc_, Attr::Input, cc_bin),
+        );
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(proc_, Attr::Input, src),
+        );
+        for h in 0..4 {
+            let header = headers[(unit as usize * 7 + h) % headers.len()];
+            push(
+                &mut records,
+                &mut bytes,
+                ProvenanceRecord::new(proc_, Attr::Input, header),
+            );
+        }
+
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(obj, Attr::Type, "file"),
+        );
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(obj, Attr::Name, format!("{dir}/unit{unit}.o")),
+        );
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(obj, Attr::Input, proc_),
+        );
+        push(
+            &mut records,
+            &mut bytes,
+            ProvenanceRecord::new(
+                obj,
+                Attr::DataHash,
+                format!("{:016x}", unit.wrapping_mul(0x9E37)),
+            ),
         );
         unit += 1;
     }

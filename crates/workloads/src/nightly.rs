@@ -53,12 +53,7 @@ pub fn nightly(params: NightlyParams) -> Trace {
         t.push(TraceEvent::Exec {
             pid,
             name: "cp".into(),
-            argv: vec![
-                "cp".into(),
-                "-a".into(),
-                "/cvsroot".into(),
-                tarball.clone(),
-            ],
+            argv: vec!["cp".into(), "-a".into(), "/cvsroot".into(), tarball.clone()],
             env_bytes: 700,
             exe: Some("/bin/cp".into()),
         });

@@ -71,9 +71,8 @@ pub fn collect(trace: &Trace) -> OfflineRun {
     // size, fp, dirty, ever-written
     let mut files: BTreeMap<String, (u64, u64, bool, bool)> = BTreeMap::new();
     let mut nodes: Vec<FlushNode> = Vec::new();
-    let mut clock: u64 = 0;
-    for event in &trace.events {
-        clock += 1;
+    for (tick, event) in trace.events.iter().enumerate() {
+        let clock = tick as u64 + 1;
         match event {
             TraceEvent::Exec {
                 pid,
@@ -97,15 +96,21 @@ pub fn collect(trace: &Trace) -> OfflineRun {
                 obs.fork(Pid(*parent), Pid(*child));
             }
             TraceEvent::Read { pid, path, bytes } => {
-                files
-                    .entry(path.clone())
-                    .or_insert((*bytes, mix(0x5EED, path.len() as u64), false, false));
+                files.entry(path.clone()).or_insert((
+                    *bytes,
+                    mix(0x5EED, path.len() as u64),
+                    false,
+                    false,
+                ));
                 obs.read(Pid(*pid), path);
             }
             TraceEvent::Write { pid, path, bytes } => {
-                let entry = files
-                    .entry(path.clone())
-                    .or_insert((0, mix(0xF11E, path.len() as u64), false, false));
+                let entry = files.entry(path.clone()).or_insert((
+                    0,
+                    mix(0xF11E, path.len() as u64),
+                    false,
+                    false,
+                ));
                 entry.0 += bytes;
                 entry.1 = mix(entry.1, bytes ^ entry.0);
                 entry.2 = true;
@@ -114,7 +119,7 @@ pub fn collect(trace: &Trace) -> OfflineRun {
             }
             TraceEvent::Close { pid, path } => {
                 let _ = pid;
-                if files.get(path).map_or(false, |f| f.2) {
+                if files.get(path).is_some_and(|f| f.2) {
                     nodes.extend(obs.flush_closure(path));
                     if let Some(f) = files.get_mut(path) {
                         f.2 = false;

@@ -225,12 +225,33 @@ mod tests {
             env_bytes: 0,
             exe: None,
         });
-        t.push(TraceEvent::Open { pid: 1, path: "/a".into() });
-        t.push(TraceEvent::Write { pid: 1, path: "/a".into(), bytes: 100 });
-        t.push(TraceEvent::Write { pid: 1, path: "/a".into(), bytes: 50 });
-        t.push(TraceEvent::Read { pid: 1, path: "/b".into(), bytes: 10 });
-        t.push(TraceEvent::Close { pid: 1, path: "/a".into() });
-        t.push(TraceEvent::Stat { pid: 1, path: "/a".into() });
+        t.push(TraceEvent::Open {
+            pid: 1,
+            path: "/a".into(),
+        });
+        t.push(TraceEvent::Write {
+            pid: 1,
+            path: "/a".into(),
+            bytes: 100,
+        });
+        t.push(TraceEvent::Write {
+            pid: 1,
+            path: "/a".into(),
+            bytes: 50,
+        });
+        t.push(TraceEvent::Read {
+            pid: 1,
+            path: "/b".into(),
+            bytes: 10,
+        });
+        t.push(TraceEvent::Close {
+            pid: 1,
+            path: "/a".into(),
+        });
+        t.push(TraceEvent::Stat {
+            pid: 1,
+            path: "/a".into(),
+        });
         t.push(TraceEvent::Compute { micros: 500 });
         let s = t.stats();
         assert_eq!(s.events, 8);

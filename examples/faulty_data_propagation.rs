@@ -12,21 +12,15 @@ use std::sync::Arc;
 use cloudprov::cloud::{AwsProfile, CloudEnv, RunContext};
 use cloudprov::fs::{LocalIoParams, PaS3fs};
 use cloudprov::pass::{Pid, ProcessInfo};
-use cloudprov::protocols::{ProtocolConfig, StorageProtocol, P2};
-use cloudprov::query::{Mode, QueryEngine};
+use cloudprov::query::Mode;
 use cloudprov::sim::Sim;
+use cloudprov::{Protocol, ProvenanceClient, ProvenanceQueries};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = Sim::new();
     let env = CloudEnv::new(&sim, AwsProfile::calibrated(RunContext::default()));
-    let p2 = Arc::new(P2::new(&env, ProtocolConfig::default()));
-    let fs = PaS3fs::new(
-        &sim,
-        p2.clone(),
-        RunContext::default(),
-        LocalIoParams::default(),
-        11,
-    );
+    let client = Arc::new(ProvenanceClient::builder(Protocol::P2).build(&env));
+    let fs = PaS3fs::attach(client.clone(), LocalIoParams::default(), 11);
 
     // Stage 0: a calibration tool writes the (as it turns out, faulty)
     // calibration table.
@@ -34,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Pid(1),
         ProcessInfo {
             name: "calibrate".into(),
-            argv: vec!["calibrate".into(), "-o".into(), "/lab/calibration.tbl".into()],
+            argv: vec![
+                "calibrate".into(),
+                "-o".into(),
+                "/lab/calibration.tbl".into(),
+            ],
             ..Default::default()
         },
     );
@@ -87,8 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //     through the CLOUD provenance store (Q.4 machinery). Let the
     //     eventually consistent services converge first. ---
     sim.sleep(std::time::Duration::from_secs(15));
-    let store = p2.provenance_store().expect("P2 stores provenance");
-    let engine = QueryEngine::new(&env, store, "data");
+    let engine = client.query()?;
     let tainted = engine.q4_descendants_of("calibrate", Mode::Parallel)?;
 
     println!(

@@ -7,9 +7,13 @@
 //! Run with: `cargo run --example provenance_search`
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
+use cloudprov::cloud::{AwsProfile, CloudEnv};
+use cloudprov::fs::{LocalIoParams, PaS3fs};
 use cloudprov::pass::{PNodeId, Pid, ProcessInfo, ProvGraph};
-use cloudprov::pass::Observer;
+use cloudprov::sim::Sim;
+use cloudprov::{Protocol, ProvenanceClient};
 
 /// Provenance bonus after `rounds` traversal steps: every node reachable
 /// within `rounds` hops of a content hit (over provenance edges in either
@@ -47,26 +51,66 @@ fn provenance_bonus(
 }
 
 fn main() {
-    // A small document workspace with provenance: a report derives from
-    // experiment notes; slides derive from the report; an unrelated
-    // shopping list happens to share the search keyword.
-    let mut obs = Observer::new(3);
-    obs.exec(Pid(1), ProcessInfo { name: "latex".into(), ..Default::default() });
-    obs.read(Pid(1), "/docs/experiment-notes.txt");
-    obs.write(Pid(1), "/docs/quarterly-report.pdf", 1);
+    // A small document workspace with provenance, captured through the
+    // facade: a report derives from experiment notes; slides derive from
+    // the report; an unrelated shopping list happens to share the search
+    // keyword. A pipelined P2 session stores it all in the cloud while
+    // the clients keep working.
+    let sim = Sim::new();
+    let env = CloudEnv::new(&sim, AwsProfile::instant());
+    let client = Arc::new(
+        ProvenanceClient::builder(Protocol::P2)
+            .pipelined()
+            .build(&env),
+    );
+    let fs = PaS3fs::attach(client.clone(), LocalIoParams::instant(), 3);
 
-    obs.exec(Pid(2), ProcessInfo { name: "pandoc".into(), ..Default::default() });
-    obs.read(Pid(2), "/docs/quarterly-report.pdf");
-    obs.write(Pid(2), "/docs/review-slides.pdf", 2);
+    fs.exec(
+        Pid(1),
+        ProcessInfo {
+            name: "latex".into(),
+            ..Default::default()
+        },
+    );
+    fs.read(Pid(1), "/docs/experiment-notes.txt", 8 << 10);
+    fs.write(Pid(1), "/docs/quarterly-report.pdf", 64 << 10);
+    fs.close(Pid(1), "/docs/quarterly-report.pdf")
+        .expect("close");
 
-    obs.exec(Pid(3), ProcessInfo { name: "editor".into(), ..Default::default() });
-    obs.write(Pid(3), "/docs/shopping-list.txt", 3);
+    fs.exec(
+        Pid(2),
+        ProcessInfo {
+            name: "pandoc".into(),
+            ..Default::default()
+        },
+    );
+    fs.read(Pid(2), "/docs/quarterly-report.pdf", 64 << 10);
+    fs.write(Pid(2), "/docs/review-slides.pdf", 32 << 10);
+    fs.close(Pid(2), "/docs/review-slides.pdf").expect("close");
 
-    let g = obs.graph().clone();
-    let report = obs.file_node("/docs/quarterly-report.pdf").unwrap();
-    let slides = obs.file_node("/docs/review-slides.pdf").unwrap();
-    let notes = obs.file_node("/docs/experiment-notes.txt").unwrap();
-    let shopping = obs.file_node("/docs/shopping-list.txt").unwrap();
+    fs.exec(
+        Pid(3),
+        ProcessInfo {
+            name: "editor".into(),
+            ..Default::default()
+        },
+    );
+    fs.write(Pid(3), "/docs/shopping-list.txt", 4 << 10);
+    fs.close(Pid(3), "/docs/shopping-list.txt").expect("close");
+
+    client.drain().expect("drain");
+
+    let (g, report, slides, notes, shopping) = fs
+        .with_observer(|obs| {
+            (
+                obs.graph().clone(),
+                obs.file_node("/docs/quarterly-report.pdf").unwrap(),
+                obs.file_node("/docs/review-slides.pdf").unwrap(),
+                obs.file_node("/docs/experiment-notes.txt").unwrap(),
+                obs.file_node("/docs/shopping-list.txt").unwrap(),
+            )
+        })
+        .expect("provenance-aware fs");
 
     // Content search for "quarterly": the report AND the slides match (the
     // slides embed the report's title page); so does the shopping list, by
@@ -79,9 +123,7 @@ fn main() {
 
     // P = 3 provenance-traversal rounds.
     let bonus = provenance_bonus(&g, &hits, 3);
-    let score = |id: PNodeId, content: f64| {
-        content + bonus.get(&id).copied().unwrap_or(0.0)
-    };
+    let score = |id: PNodeId, content: f64| content + bonus.get(&id).copied().unwrap_or(0.0);
 
     let mut scored = vec![
         ("quarterly-report.pdf", score(report, 1.0)),
@@ -102,6 +144,9 @@ fn main() {
     // improvement Shah et al. report for desktop search.
     assert!(score(report, 1.0) > score(shopping, 1.0));
     assert!(score(slides, 1.0) > score(shopping, 1.0));
-    assert!(score(notes, 0.0) > 0.0, "notes join the results via lineage");
+    assert!(
+        score(notes, 0.0) > 0.0,
+        "notes join the results via lineage"
+    );
     println!("\n=> provenance breaks the tie and surfaces a missed document");
 }

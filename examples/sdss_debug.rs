@@ -13,8 +13,8 @@ use std::sync::Arc;
 use cloudprov::cloud::{AwsProfile, CloudEnv, RunContext};
 use cloudprov::fs::{LocalIoParams, PaS3fs};
 use cloudprov::pass::{Attr, Pid, ProcessInfo};
-use cloudprov::protocols::{ProtocolConfig, P2};
 use cloudprov::sim::Sim;
+use cloudprov::{Protocol, ProvenanceClient};
 
 fn run_pipeline(fs: &PaS3fs, pid: u64, jvm: &str, output: &str) {
     fs.exec(
@@ -41,8 +41,8 @@ fn run_pipeline(fs: &PaS3fs, pid: u64, jvm: &str, output: &str) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = Sim::new();
     let env = CloudEnv::new(&sim, AwsProfile::calibrated(RunContext::default()));
-    let p2 = Arc::new(P2::new(&env, ProtocolConfig::default()));
-    let fs = PaS3fs::new(&sim, p2, RunContext::default(), LocalIoParams::default(), 7);
+    let client = Arc::new(ProvenanceClient::builder(Protocol::P2).build(&env));
+    let fs = PaS3fs::attach(client, LocalIoParams::default(), 7);
 
     // Monday: results are good.
     run_pipeline(&fs, 200, "/opt/jvm-1.5.0_16", "/sdss/out/monday.fits");

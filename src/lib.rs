@@ -1,7 +1,35 @@
 //! # cloudprov — Provenance for the Cloud, reproduced in Rust
 //!
 //! Facade crate re-exporting the public API of the `cloudprov` workspace.
-//! See the README for an overview and `DESIGN.md` for the system inventory.
+//! See `README.md` for an overview and `DESIGN.md` for the system
+//! inventory.
+//!
+//! The front door is the [`ProvenanceClient`] session facade: pick a
+//! [`Protocol`], tune it through [`ClientBuilder`], and drive workloads,
+//! queries and crash experiments through one handle.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cloudprov::cloud::{AwsProfile, CloudEnv};
+//! use cloudprov::fs::{LocalIoParams, PaS3fs};
+//! use cloudprov::pass::{Pid, ProcessInfo};
+//! use cloudprov::{Protocol, ProvenanceClient, ProvenanceQueries};
+//! use cloudprov::sim::Sim;
+//!
+//! let sim = Sim::new();
+//! let env = CloudEnv::new(&sim, AwsProfile::instant());
+//! let client = Arc::new(ProvenanceClient::builder(Protocol::P3).pipelined().build(&env));
+//! let fs = PaS3fs::attach(client.clone(), LocalIoParams::instant(), 42);
+//!
+//! fs.exec(Pid(1), ProcessInfo { name: "gen".into(), ..Default::default() });
+//! fs.write(Pid(1), "/out", 4096);
+//! fs.close(Pid(1), "/out")?;       // non-blocking: enqueues the upload
+//! client.drain()?;                 // durability + commit barrier
+//! assert!(fs.read_back("/out")?.coupling.is_coupled());
+//! let lineage = client.query()?.q3_outputs_of("gen", cloudprov::query::Mode::Sequential);
+//! assert_eq!(lineage.unwrap().nodes.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use cloudprov_cloud as cloud;
 pub use cloudprov_core as protocols;
@@ -10,3 +38,9 @@ pub use cloudprov_pass as pass;
 pub use cloudprov_query as query;
 pub use cloudprov_sim as sim;
 pub use cloudprov_workloads as workloads;
+
+pub use cloudprov_core::{
+    ClientBuilder, ClientError, ClientResult, FlushMode, FlushTicket, PipelineStats, Protocol,
+    ProvenanceClient,
+};
+pub use cloudprov_query::ProvenanceQueries;

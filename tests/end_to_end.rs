@@ -4,69 +4,42 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use cloudprov::cloud::{AwsProfile, CloudEnv, RunContext};
+use cloudprov::cloud::{AwsProfile, CloudEnv};
 use cloudprov::fs::{LocalIoParams, PaS3fs};
 use cloudprov::protocols::properties::{causal_report, load_all_records};
-use cloudprov::protocols::{
-    CouplingCheck, ProtocolConfig, S3fsBaseline, StorageProtocol, P1, P2, P3,
-};
+use cloudprov::protocols::{CouplingCheck, Protocol, ProvenanceClient, StorageProtocol};
 use cloudprov::sim::Sim;
-use cloudprov::workloads::{blast, challenge, nightly, replay, BlastParams, ChallengeParams, NightlyParams};
+use cloudprov::workloads::{
+    blast, challenge, nightly, replay, BlastParams, ChallengeParams, NightlyParams,
+};
 
 struct World {
     sim: Sim,
     env: CloudEnv,
     fs: PaS3fs,
-    protocol: Arc<dyn StorageProtocol>,
-    daemon: Option<Arc<cloudprov::protocols::CommitDaemon>>,
+    client: Arc<ProvenanceClient>,
 }
 
 fn world(which: &str) -> World {
     let sim = Sim::new();
     // Eventual consistency ON: the protocols must cope.
     let env = CloudEnv::new(&sim, AwsProfile::instant());
-    let (protocol, daemon): (Arc<dyn StorageProtocol>, _) = match which {
-        "S3fs" => (
-            Arc::new(S3fsBaseline::new(&env, ProtocolConfig::default())) as _,
-            None,
-        ),
-        "P1" => (Arc::new(P1::new(&env, ProtocolConfig::default())) as _, None),
-        "P2" => (Arc::new(P2::new(&env, ProtocolConfig::default())) as _, None),
-        _ => {
-            let p3 = P3::new(&env, ProtocolConfig::default(), "wal-int");
-            let d = Arc::new(p3.commit_daemon());
-            (Arc::new(p3) as _, Some(d))
-        }
-    };
-    let fs = if which == "S3fs" {
-        PaS3fs::plain(
-            &sim,
-            protocol.clone(),
-            RunContext::default(),
-            LocalIoParams::instant(),
-        )
-    } else {
-        PaS3fs::new(
-            &sim,
-            protocol.clone(),
-            RunContext::default(),
-            LocalIoParams::instant(),
-            0xE2E,
-        )
-    };
+    let client = Arc::new(
+        ProvenanceClient::builder(which.parse().expect("protocol name"))
+            .queue("wal-int")
+            .build(&env),
+    );
+    let fs = PaS3fs::attach(client.clone(), LocalIoParams::instant(), 0xE2E);
     World {
         sim,
         env,
         fs,
-        protocol,
-        daemon,
+        client,
     }
 }
 
 fn drain(w: &World) {
-    if let Some(d) = &w.daemon {
-        d.run_until_idle().expect("drain");
-    }
+    w.client.drain().expect("drain");
     // Let eventual consistency converge.
     w.sim.sleep(Duration::from_secs(1));
 }
@@ -91,7 +64,7 @@ fn blast_provenance_has_no_dangling_ancestors_after_quiescence() {
         let w = world(which);
         replay(&w.sim, &w.fs, &blast(BlastParams::small())).expect("replay");
         drain(&w);
-        let store = w.protocol.provenance_store().expect("store");
+        let store = w.client.provenance_store().expect("store");
         let records = load_all_records(&w.env, &store).expect("scan");
         assert!(!records.is_empty(), "{which}: provenance stored");
         let report = causal_report(&records);
@@ -109,10 +82,9 @@ fn challenge_outputs_read_back_coupled() {
         let w = world(which);
         replay(&w.sim, &w.fs, &challenge(ChallengeParams::small())).expect("replay");
         drain(&w);
-        let r = w
-            .fs
-            .read_back("/fmri/run00/atlas-x.gif")
-            .expect("read back");
+        let r =
+            w.fs.read_back("/fmri/run00/atlas-x.gif")
+                .expect("read back");
         assert_eq!(r.coupling, CouplingCheck::Coupled, "{which}");
     }
 }
@@ -124,19 +96,14 @@ fn cloud_state_matches_ground_truth_graph() {
     drain(&w);
     // Every node in the observer's ground-truth DAG that has records must
     // exist as an item in SimpleDB.
-    let store = w.protocol.provenance_store().unwrap();
+    let store = w.client.provenance_store().unwrap();
     let records = load_all_records(&w.env, &store).unwrap();
     let stored: std::collections::BTreeSet<_> = records.iter().map(|r| r.subject).collect();
-    let missing = w
-        .fs
-        .with_observer(|obs| {
+    let missing =
+        w.fs.with_observer(|obs| {
             obs.graph()
                 .node_ids()
-                .filter(|id| {
-                    obs.graph()
-                        .node(*id)
-                        .map_or(false, |d| !d.attrs.is_empty())
-                })
+                .filter(|id| obs.graph().node(*id).is_some_and(|d| !d.attrs.is_empty()))
                 .filter(|id| !stored.contains(id))
                 .count()
         })
@@ -150,14 +117,16 @@ fn deletion_preserves_provenance_for_all_protocols() {
         let w = world(which);
         replay(&w.sim, &w.fs, &nightly(NightlyParams::small())).expect("replay");
         drain(&w);
-        let store = w.protocol.provenance_store().unwrap();
+        let store = w.client.provenance_store().unwrap();
         let before = load_all_records(&w.env, &store).unwrap().len();
-        w.fs
-            .unlink(cloudprov::pass::Pid(1), "/backup/cvsroot-day00.tar")
+        w.fs.unlink(cloudprov::pass::Pid(1), "/backup/cvsroot-day00.tar")
             .expect("unlink");
         w.sim.sleep(Duration::from_secs(1));
         assert!(
-            w.env.s3().peek_committed("data", "backup/cvsroot-day00.tar").is_none(),
+            w.env
+                .s3()
+                .peek_committed("data", "backup/cvsroot-day00.tar")
+                .is_none(),
             "{which}: data gone"
         );
         let after = load_all_records(&w.env, &store).unwrap().len();
@@ -184,24 +153,31 @@ fn p3_recovers_commits_after_client_crash_midworkload() {
     let env = CloudEnv::new(&sim, AwsProfile::instant());
     // Client logs everything but its daemon never runs (client crash
     // after the log phase of the last file).
-    let p3 = P3::new(&env, ProtocolConfig::default(), "wal-crashy");
-    let fs = PaS3fs::new(
-        &sim,
-        Arc::new(p3),
-        RunContext::default(),
-        LocalIoParams::instant(),
-        1,
+    let client = Arc::new(
+        ProvenanceClient::builder(Protocol::P3)
+            .queue("wal-crashy")
+            .build(&env),
     );
+    let wal_url = client.wal_url().expect("P3 has a WAL").to_string();
+    let fs = PaS3fs::attach(client, LocalIoParams::instant(), 1);
     replay(&sim, &fs, &nightly(NightlyParams::small())).expect("replay");
-    assert_eq!(env.s3().peek_count("data", "backup/"), 0, "nothing committed yet");
+    assert_eq!(
+        env.s3().peek_count("data", "backup/"),
+        0,
+        "nothing committed yet"
+    );
     // A different machine picks up the WAL.
     let recovery = cloudprov::protocols::CommitDaemon::new(
         &env,
-        ProtocolConfig::default(),
-        "sqs://wal-crashy",
+        cloudprov::protocols::ProtocolConfig::default(),
+        &wal_url,
     );
     recovery.run_until_idle().expect("recovery");
-    assert_eq!(env.s3().peek_count("data", "backup/"), 3, "recovered commits");
+    assert_eq!(
+        env.s3().peek_count("data", "backup/"),
+        3,
+        "recovered commits"
+    );
 }
 
 #[test]

@@ -6,24 +6,18 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use cloudprov::cloud::{AwsProfile, Blob, CloudEnv, Metadata, RunContext};
+use cloudprov::cloud::{AwsProfile, Blob, CloudEnv, Metadata};
 use cloudprov::fs::{LocalIoParams, PaS3fs};
 use cloudprov::pass::{Pid, ProcessInfo};
 use cloudprov::protocols::properties::{causal_report, load_all_records};
-use cloudprov::protocols::{ProtocolConfig, StorageProtocol, P2, P3};
+use cloudprov::protocols::{Protocol, ProtocolConfig, ProvenanceClient, StorageProtocol};
 use cloudprov::sim::Sim;
 
-fn client(sim: &Sim, env: &CloudEnv, seed: u64) -> (PaS3fs, Arc<P2>) {
-    let p2 = Arc::new(P2::new(env, ProtocolConfig::default()));
+fn client(env: &CloudEnv, seed: u64) -> (PaS3fs, Arc<ProvenanceClient>) {
+    let session = Arc::new(ProvenanceClient::builder(Protocol::P2).build(env));
     (
-        PaS3fs::new(
-            sim,
-            p2.clone(),
-            RunContext::default(),
-            LocalIoParams::instant(),
-            seed,
-        ),
-        p2,
+        PaS3fs::attach(session.clone(), LocalIoParams::instant(), seed),
+        session,
     )
 }
 
@@ -31,8 +25,8 @@ fn client(sim: &Sim, env: &CloudEnv, seed: u64) -> (PaS3fs, Arc<P2>) {
 fn two_clients_write_disjoint_pipelines_into_one_store() {
     let sim = Sim::new();
     let env = CloudEnv::new(&sim, AwsProfile::instant());
-    let (fs_a, p2) = client(&sim, &env, 1);
-    let (fs_b, _) = client(&sim, &env, 2);
+    let (fs_a, p2) = client(&env, 1);
+    let (fs_b, _) = client(&env, 2);
 
     // Run the two clients truly concurrently in virtual time.
     let ha = sim.spawn({
@@ -40,7 +34,13 @@ fn two_clients_write_disjoint_pipelines_into_one_store() {
         move || {
             for i in 0..5 {
                 let pid = Pid(100 + i);
-                fs_a.exec(pid, ProcessInfo { name: "alpha".into(), ..Default::default() });
+                fs_a.exec(
+                    pid,
+                    ProcessInfo {
+                        name: "alpha".into(),
+                        ..Default::default()
+                    },
+                );
                 fs_a.read(pid, "/shared/input", 4096);
                 fs_a.write(pid, &format!("/a/out{i}"), 1 << 16);
                 fs_a.close(pid, &format!("/a/out{i}")).unwrap();
@@ -53,7 +53,13 @@ fn two_clients_write_disjoint_pipelines_into_one_store() {
         move || {
             for i in 0..5 {
                 let pid = Pid(200 + i);
-                fs_b.exec(pid, ProcessInfo { name: "beta".into(), ..Default::default() });
+                fs_b.exec(
+                    pid,
+                    ProcessInfo {
+                        name: "beta".into(),
+                        ..Default::default()
+                    },
+                );
                 fs_b.read(pid, "/shared/input", 4096);
                 fs_b.write(pid, &format!("/b/out{i}"), 1 << 16);
                 fs_b.close(pid, &format!("/b/out{i}")).unwrap();
@@ -86,12 +92,7 @@ fn concurrent_writers_to_one_key_are_last_writer_wins() {
             sim.spawn(move || {
                 sim2.sleep(Duration::from_millis(i * 10));
                 env.s3()
-                    .put(
-                        "data",
-                        "contended",
-                        Blob::synthetic(64, i),
-                        Metadata::new(),
-                    )
+                    .put("data", "contended", Blob::synthetic(64, i), Metadata::new())
                     .unwrap();
             })
         })
@@ -112,26 +113,34 @@ fn concurrent_writers_to_one_key_are_last_writer_wins() {
 fn two_p3_clients_with_separate_wals_commit_independently() {
     let sim = Sim::new();
     let env = CloudEnv::new(&sim, AwsProfile::instant());
-    let p3_a = P3::new(&env, ProtocolConfig::default(), "wal-a");
-    let p3_b = P3::new(&env, ProtocolConfig::default(), "wal-b");
-    let fs_a = PaS3fs::new(
-        &sim,
-        Arc::new(p3_a.clone()),
-        RunContext::default(),
-        LocalIoParams::instant(),
-        3,
+    let p3_a = Arc::new(
+        ProvenanceClient::builder(Protocol::P3)
+            .queue("wal-a")
+            .build(&env),
     );
-    let fs_b = PaS3fs::new(
-        &sim,
-        Arc::new(p3_b.clone()),
-        RunContext::default(),
-        LocalIoParams::instant(),
-        4,
+    let p3_b = Arc::new(
+        ProvenanceClient::builder(Protocol::P3)
+            .queue("wal-b")
+            .build(&env),
     );
-    fs_a.exec(Pid(1), ProcessInfo { name: "a".into(), ..Default::default() });
+    let fs_a = PaS3fs::attach(p3_a.clone(), LocalIoParams::instant(), 3);
+    let fs_b = PaS3fs::attach(p3_b.clone(), LocalIoParams::instant(), 4);
+    fs_a.exec(
+        Pid(1),
+        ProcessInfo {
+            name: "a".into(),
+            ..Default::default()
+        },
+    );
     fs_a.write(Pid(1), "/a.out", 128);
     fs_a.close(Pid(1), "/a.out").unwrap();
-    fs_b.exec(Pid(2), ProcessInfo { name: "b".into(), ..Default::default() });
+    fs_b.exec(
+        Pid(2),
+        ProcessInfo {
+            name: "b".into(),
+            ..Default::default()
+        },
+    );
     fs_b.write(Pid(2), "/b.out", 128);
     fs_b.close(Pid(2), "/b.out").unwrap();
 
@@ -139,10 +148,10 @@ fn two_p3_clients_with_separate_wals_commit_independently() {
     assert!(env.sqs().peek_depth("sqs://wal-a") > 0);
     assert!(env.sqs().peek_depth("sqs://wal-b") > 0);
     // A's daemon commits only A's objects.
-    p3_a.commit_daemon().run_until_idle().unwrap();
+    p3_a.drain().unwrap();
     assert!(env.s3().peek_committed("data", "a.out").is_some());
     assert!(env.s3().peek_committed("data", "b.out").is_none());
-    p3_b.commit_daemon().run_until_idle().unwrap();
+    p3_b.drain().unwrap();
     assert!(env.s3().peek_committed("data", "b.out").is_some());
 }
 
@@ -150,15 +159,19 @@ fn two_p3_clients_with_separate_wals_commit_independently() {
 fn daemons_on_many_machines_share_one_wal_without_double_commits() {
     let sim = Sim::new();
     let env = CloudEnv::new(&sim, AwsProfile::instant());
-    let p3 = P3::new(&env, ProtocolConfig::default(), "wal-shared");
-    let fs = PaS3fs::new(
-        &sim,
-        Arc::new(p3),
-        RunContext::default(),
-        LocalIoParams::instant(),
-        5,
+    let p3 = Arc::new(
+        ProvenanceClient::builder(Protocol::P3)
+            .queue("wal-shared")
+            .build(&env),
     );
-    fs.exec(Pid(1), ProcessInfo { name: "gen".into(), ..Default::default() });
+    let fs = PaS3fs::attach(p3, LocalIoParams::instant(), 5);
+    fs.exec(
+        Pid(1),
+        ProcessInfo {
+            name: "gen".into(),
+            ..Default::default()
+        },
+    );
     for i in 0..8 {
         fs.write(Pid(1), &format!("/f{i}"), 64);
         fs.close(Pid(1), &format!("/f{i}")).unwrap();

@@ -257,12 +257,11 @@ mod consistency_properties {
 mod protocol_roundtrip {
     use super::*;
     use cloudprov::cloud::{AwsProfile, Blob, CloudEnv};
-    use cloudprov::protocols::{
-        CouplingCheck, FlushBatch, FlushObject, ProtocolConfig, StorageProtocol, P1, P2, P3,
-    };
     use cloudprov::pass::{FlushNode, NodeKind, PNodeId, Uuid};
+    use cloudprov::protocols::{
+        CouplingCheck, FlushBatch, FlushObject, Protocol, ProvenanceClient, StorageProtocol,
+    };
     use cloudprov::sim::Sim;
-    use std::sync::Arc;
 
     fn obj(uuid: u128, key: String, payload: Vec<u8>) -> FlushObject {
         let id = PNodeId::initial(Uuid(uuid));
@@ -298,32 +297,22 @@ mod protocol_roundtrip {
         fn flush_then_read_roundtrips(
             files in proptest::collection::btree_map("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..512), 1..8),
         ) {
-            for which in ["P1", "P2", "P3"] {
+            for which in [Protocol::P1, Protocol::P2, Protocol::P3] {
                 let sim = Sim::new();
                 let env = CloudEnv::new(&sim, AwsProfile::instant());
-                let protocol: Arc<dyn StorageProtocol> = match which {
-                    "P1" => Arc::new(P1::new(&env, ProtocolConfig::default())),
-                    "P2" => Arc::new(P2::new(&env, ProtocolConfig::default())),
-                    _ => Arc::new(P3::new(&env, ProtocolConfig::default(), "wal-prop")),
-                };
+                let client = ProvenanceClient::builder(which)
+                    .queue("wal-prop")
+                    .build(&env);
                 let objects: Vec<FlushObject> = files
                     .iter()
                     .enumerate()
                     .map(|(i, (k, v))| obj(i as u128 + 1, k.clone(), v.clone()))
                     .collect();
-                protocol.flush(FlushBatch { objects: objects.clone() }).unwrap();
-                if which == "P3" {
-                    cloudprov::protocols::CommitDaemon::new(
-                        &env,
-                        ProtocolConfig::default(),
-                        "sqs://wal-prop",
-                    )
-                    .run_until_idle()
-                    .unwrap();
-                }
+                client.flush(FlushBatch { objects: objects.clone() }).unwrap();
+                client.drain().unwrap();
                 sim.sleep(std::time::Duration::from_secs(1));
                 for (key, bytes) in &files {
-                    let r = protocol.read(key).unwrap();
+                    let r = client.read(key).unwrap();
                     prop_assert_eq!(r.data.as_inline().unwrap().as_ref(), &bytes[..], "{}", which);
                     prop_assert_eq!(&r.coupling, &CouplingCheck::Coupled, "{}", which);
                 }

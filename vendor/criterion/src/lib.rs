@@ -1,0 +1,140 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `iter`,
+//! `criterion_group!`, `criterion_main!`, `black_box` — with a simple
+//! measure-and-print implementation: each bench runs `sample_size`
+//! timed iterations (after one warm-up) and reports the mean wall time.
+//! No statistics, HTML reports or regression tracking.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One warm-up pass, then the timed samples.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let n = bencher.samples.len().max(1);
+        println!(
+            "{}/{}: mean {:?} over {} sample(s)",
+            self.name,
+            id,
+            total / n as u32,
+            n
+        );
+        self
+    }
+
+    /// Finishes the group (printing already happened per bench).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declares a function running a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).bench_function("b", |b| {
+                b.iter(|| {
+                    runs += 1;
+                })
+            });
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

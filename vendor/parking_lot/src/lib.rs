@@ -1,0 +1,247 @@
+//! Workspace-local stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of the `parking_lot` API the workspace uses —
+//! [`Mutex`], [`MutexGuard`], [`RwLock`] and [`Condvar`] with the
+//! non-poisoning `parking_lot` signatures — implemented over `std::sync`.
+//! Poisoned locks are recovered transparently (parking_lot has no poison
+//! concept, and the simulation kernel relies on that).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion primitive with the `parking_lot` API: `lock()`
+/// returns the guard directly, never a poison `Result`.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive access).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Holds the underlying `std` guard in an `Option` so [`Condvar::wait`]
+/// can temporarily take it (std's condvar consumes the guard by value,
+/// parking_lot's borrows it mutably).
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A condition variable with the `parking_lot` API: `wait` reborrows the
+/// guard instead of consuming it.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks the current thread until this condvar is notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard taken during wait");
+        let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        true
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        0
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+/// A reader-writer lock with the `parking_lot` API.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new rwlock protecting `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// RAII guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = RwLock::new(7);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
+    }
+}

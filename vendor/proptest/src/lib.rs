@@ -1,0 +1,300 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the slice of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait, integer-range / tuple / string
+//! / collection strategies, `any`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!` and the `proptest!` test macro. Inputs are drawn
+//! from a deterministic per-test RNG; failing cases are reported with
+//! their generated inputs. (No shrinking — a failing input is printed
+//! as-is.)
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Regex-subset string generation (see [`strategy::StringPattern`]).
+pub mod string {
+    pub use crate::strategy::StringPattern;
+}
+
+/// Collection strategies (`vec`, `btree_map`).
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with lengths in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Generates maps of `key`/`value` pairs with sizes in `size`.
+    ///
+    /// As in real proptest, key collisions may leave the map smaller
+    /// than requested; the generator retries a bounded number of times
+    /// to reach the minimum size.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let want = rng.usize_in(self.size.clone());
+            let mut out = BTreeMap::new();
+            let mut attempts = 0;
+            while out.len() < want && attempts < want * 10 + 16 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// The names a test module conventionally glob-imports.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property (created by `prop_assert!`/`prop_assert_eq!`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given explanation.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs one property body over `cases` generated inputs. Used by the
+/// expansion of [`proptest!`]; not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_cases<F>(test_name: &str, cases: u32, mut one_case: F)
+where
+    F: FnMut(&mut strategy::TestRng) -> Result<(), TestCaseError>,
+{
+    // Deterministic seed per test name so failures reproduce.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0100_0000_01b3);
+    }
+    for case in 0..cases {
+        let mut rng = strategy::TestRng::new(seed ^ (u64::from(case) << 32));
+        if let Err(e) = one_case(&mut rng) {
+            panic!("property '{test_name}' failed on case {case}: {e}");
+        }
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..10, v in proptest::collection::vec(any::<u8>(), 0..9)) {
+///         prop_assert!(x < 10 && v.len() < 9);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), config.cases, |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections(
+            x in 1u32..50,
+            v in crate::collection::vec(any::<u8>(), 0..10),
+            s in "[a-z]{1,8}",
+        ) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!(v.len() < 10);
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn oneof_and_map(e in prop_oneof![
+            (0u8..4).prop_map(|v| (v, 0u8)),
+            ((0u8..4), (0u8..4)).prop_map(|(a, b)| (a, b)),
+        ]) {
+            prop_assert!(e.0 < 4 && e.1 < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failing_property_panics_with_context() {
+        crate::run_cases("demo", 4, |_rng| {
+            crate::prop_assert!(false, "nope");
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn btree_map_reaches_min_size() {
+        let strat = crate::collection::btree_map("[a-z]{1,8}", any::<u8>(), 3..6);
+        let mut rng = crate::strategy::TestRng::new(5);
+        for _ in 0..50 {
+            let m = Strategy::generate(&strat, &mut rng);
+            assert!((3..6).contains(&m.len()), "{}", m.len());
+        }
+    }
+}

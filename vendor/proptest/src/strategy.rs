@@ -1,0 +1,294 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace's
+//! property tests use.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Deterministic RNG driving input generation (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A usize uniform in `range`.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+}
+
+/// Something that can generate random values of one type.
+///
+/// Unlike real proptest there is no shrinking: `generate` draws a value
+/// and failures report it verbatim.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Box::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_in(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Strategy for any value of a type (`any::<T>()`).
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Generates arbitrary values of `T` over its whole domain.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + ((u128::from(rng.next_u64()) % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng);)+
+                ($($v,)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/a, B/b)
+    (A/a, B/b, C/c)
+    (A/a, B/b, C/c, D/d)
+}
+
+/// `&str` patterns as string strategies, supporting the regex subset the
+/// workspace uses: `.*` (arbitrary text) and `[x-y]{m,n}` (character
+/// class with repetition). Anything else generates the literal itself.
+pub type StringPattern = &'static str;
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if *self == ".*" {
+            // Arbitrary text: mixed ASCII, whitespace and multibyte
+            // chars, length 0..32.
+            let n = rng.usize_in(0..32);
+            let pool: &[char] = &[
+                'a',
+                'Z',
+                '0',
+                '9',
+                ' ',
+                '\t',
+                '\n',
+                '"',
+                '\'',
+                '\\',
+                ',',
+                ':',
+                '/',
+                '=',
+                '\u{e9}',
+                '\u{4e2d}',
+                '\u{1f600}',
+                '\u{7f}',
+            ];
+            return (0..n)
+                .map(|_| {
+                    if rng.next_u64().is_multiple_of(4) {
+                        pool[rng.usize_in(0..pool.len())]
+                    } else {
+                        // Printable ASCII.
+                        (0x20u8 + (rng.next_u64() % 0x5f) as u8) as char
+                    }
+                })
+                .collect();
+        }
+        if let Some(parsed) = parse_class_repeat(self) {
+            let (lo, hi, min, max) = parsed;
+            let n = rng.usize_in(min..max + 1);
+            return (0..n)
+                .map(|_| {
+                    let span = (hi as u32) - (lo as u32) + 1;
+                    char::from_u32((lo as u32) + (rng.next_u64() as u32) % span)
+                        .expect("ascii class")
+                })
+                .collect();
+        }
+        (*self).to_string()
+    }
+}
+
+/// Parses `[x-y]{m,n}` into `(x, y, m, n)`.
+fn parse_class_repeat(pattern: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+    if dash != '-' || chars.next().is_some() || !lo.is_ascii() || !hi.is_ascii() || lo > hi {
+        return None;
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = counts.split_once(',')?;
+    let (min, max) = (min.parse().ok()?, max.parse().ok()?);
+    if min > max {
+        return None;
+    }
+    Some((lo, hi, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_repeat_parses() {
+        assert_eq!(parse_class_repeat("[a-z]{1,8}"), Some(('a', 'z', 1, 8)));
+        assert_eq!(parse_class_repeat("[0-9]{2,2}"), Some(('0', '9', 2, 2)));
+        assert_eq!(parse_class_repeat("plain"), None);
+    }
+
+    #[test]
+    fn string_strategies_generate_in_spec() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+        let lit = Strategy::generate(&"hello", &mut rng);
+        assert_eq!(lit, "hello");
+        let any_text = Strategy::generate(&".*", &mut rng);
+        assert!(any_text.chars().count() < 32);
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let u = Union::new(vec![Strategy::boxed(0u8..1), Strategy::boxed(10u8..11)]);
+        let mut rng = TestRng::new(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(u.generate(&mut rng));
+        }
+        assert_eq!(seen, [0u8, 10].into_iter().collect());
+    }
+}
