@@ -3,16 +3,19 @@
 //! to the paper's reported numbers.
 //!
 //! ```text
-//! repro [table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|all] [--small]
+//! repro [table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|chaos|all] [--small]
 //! ```
 //!
 //! `--small` runs scaled-down workloads (for smoke tests); the default is
-//! the paper's full scale.
+//! the paper's full scale. `chaos` sweeps the deterministic
+//! failure-schedule explorer over a fixed seed range per protocol and
+//! exits non-zero on any recovery-invariant violation (the CI gate);
+//! `chaos --seed N` replays one seed verbosely.
 
 use std::time::Instant;
 
 use cloudprov_bench::experiments::{
-    ablations, micro, props, queries, services, umlcheck, workload_runs,
+    ablations, chaos, micro, props, queries, services, umlcheck, workload_runs,
 };
 use cloudprov_bench::{overhead_pct, Which};
 use cloudprov_cloud::{ClientLocation, Era, Machine, RunContext};
@@ -350,13 +353,137 @@ fn ablation_report() {
     }
 }
 
+/// The fixed seed range CI sweeps per protocol (`--small` uses a prefix).
+const CHAOS_SEEDS: u64 = 48;
+const CHAOS_SEEDS_SMALL: u64 = 12;
+
+/// Replays one seed verbosely; returns whether its invariants held.
+fn chaos_replay(which: Which, seed: u64) -> bool {
+    let (first, second) = chaos::replay_twice(which, seed);
+    println!("\n[{which} seed {seed}] plan: {:?}", first.plan);
+    match &first.crash {
+        Some(c) => println!("  crash: crossing {} at '{}'", c.crossing, c.step),
+        None => println!("  crash: none fired ({} crossings)", first.crossings),
+    }
+    println!(
+        "  promised: {:?}\n  coupling: {:?}\n  dangling: {}  broken promises: {}  wal left: {}  temps left: {}",
+        first.promised,
+        first.coupling,
+        first.dangling_edges,
+        first.broken_promises,
+        first.wal_leftover,
+        first.temp_leftover
+    );
+    let violations = first.violations();
+    if violations.is_empty() {
+        println!("  verdict: PASS");
+    } else {
+        println!("  verdict: FAIL {violations:?}");
+    }
+    assert_eq!(
+        first, second,
+        "replay diverged — the schedule is supposed to be a pure function of the seed"
+    );
+    println!("  replay: identical schedule and verdict on re-run");
+    violations.is_empty()
+}
+
+fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
+    hr("Chaos: explored failure schedules + recovery invariants (machine-checked Table 1:\n       P1/P2 accrue detectable damage under parallel uploads; P3's WAL never does)");
+    if let Some(seed) = seed_arg {
+        let mut all_ok = true;
+        for which in Which::ALL {
+            all_ok &= chaos_replay(which, seed);
+        }
+        return all_ok;
+    }
+    let seeds = 0..if small {
+        CHAOS_SEEDS_SMALL
+    } else {
+        CHAOS_SEEDS
+    };
+    println!(
+        "Seed range {}..{} per protocol; every seed is a complete failure schedule\n(service faults + crash-point kill + WAL-handoff recovery).\n",
+        seeds.start, seeds.end
+    );
+    println!(
+        "{:<9} {:>6} {:>8} {:>7} {:>9} {:>9} {:>8} {:>6} {:>6}   verdict",
+        "Protocol", "Seeds", "Crashes", "Faulty", "Coupl.vio", "Dangling", "Broken", "WAL", "Temps"
+    );
+    let rows = chaos::sweep(seeds);
+    let mut all_ok = true;
+    for row in &rows {
+        let s = &row.summary;
+        let ok = s.failing_seeds == 0;
+        all_ok &= ok;
+        println!(
+            "{:<9} {:>6} {:>8} {:>7} {:>9} {:>9} {:>8} {:>6} {:>6}   {}",
+            s.protocol.name(),
+            s.seeds,
+            s.crashes,
+            s.faulty_seeds,
+            s.coupling_violations,
+            s.dangling_edges,
+            s.broken_promises,
+            s.wal_leftover,
+            s.temp_leftover,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if let Some((seed, violations)) = &s.minimal_failure {
+            println!(
+                "          minimal failing seed {seed}: {violations:?}\n          replay with: repro -- chaos --seed {seed}"
+            );
+        }
+    }
+    // The replay proof the acceptance criteria ask for: re-run one seed
+    // that actually crashed and show the identical schedule + verdict.
+    let sample = rows
+        .iter()
+        .find_map(|r| {
+            r.summary
+                .minimal_failure
+                .as_ref()
+                .map(|(seed, _)| (r.summary.protocol, *seed))
+                .or_else(|| {
+                    r.report
+                        .seeds
+                        .clone()
+                        .zip(&r.report.outcomes)
+                        .find(|(_, o)| o.crash.is_some())
+                        .map(|(seed, _)| (r.summary.protocol, seed))
+                })
+        })
+        .unwrap_or((Which::P3, 0));
+    // Verdict already counted in `all_ok` via the sweep; this re-run is
+    // the determinism proof.
+    let _ = chaos_replay(sample.0, sample.1);
+    println!(
+        "\nNote: 'Coupl.vio' and 'Dangling' are DETECTED violations — expected for P1/P2\n(no write-time coupling, parallel uploads); the PASS/FAIL verdict only gates the\nguarantees each protocol actually makes. P3 must stay at zero everywhere."
+    );
+    all_ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let seed_arg = args.iter().position(|a| a == "--seed").map(|i| {
+        args.get(i + 1)
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--seed requires a decimal u64 argument");
+                std::process::exit(2);
+            })
+    });
     let cmd = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && args
+                    .get(i.wrapping_sub(1))
+                    .is_none_or(|prev| prev != "--seed")
+        })
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
     let t0 = Instant::now();
     match cmd.as_str() {
@@ -368,6 +495,12 @@ fn main() {
         "fig4" => fig4(small),
         "umlcheck" => uml(small),
         "ablations" => ablation_report(),
+        "chaos" => {
+            if !chaos_table(small, seed_arg) {
+                eprintln!("\nchaos exploration found invariant violations (see table above)");
+                std::process::exit(1);
+            }
+        }
         "all" => {
             table1();
             table2(small);
@@ -377,10 +510,14 @@ fn main() {
             table5(small);
             uml(small);
             ablation_report();
+            if !chaos_table(small, None) {
+                eprintln!("\nchaos exploration found invariant violations (see table above)");
+                std::process::exit(1);
+            }
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|all [--small]"
+                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|chaos|all [--small] [--seed N]"
             );
             std::process::exit(2);
         }

@@ -1,6 +1,9 @@
-//! One module per table/figure of the paper's evaluation (§5).
+//! One module per table/figure of the paper's evaluation (§5), plus the
+//! chaos-exploration table that machine-checks Table 1's claims under
+//! explored failure schedules.
 
 pub mod ablations;
+pub mod chaos;
 pub mod micro;
 pub mod props;
 pub mod queries;

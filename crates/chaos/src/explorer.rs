@@ -1,0 +1,500 @@
+//! The schedule explorer: run a seeded workload under a seeded chaos
+//! plan, crash the client, recover, and machine-check the §3 invariants.
+//!
+//! One seed fully determines one run — the workload script, the service
+//! faults, the crash-point the client dies at, and therefore the entire
+//! virtual-time execution. [`explore_seed`] replays that run and returns a
+//! [`SeedOutcome`]; [`Explorer::run`] sweeps a seed range and aggregates
+//! an [`ExplorationReport`], recording the minimal failing seed per
+//! protocol for replay.
+//!
+//! # The recovery story being checked
+//!
+//! After the client dies mid-schedule, the explorer performs the paper's
+//! §4.3.3 recovery: wait out the SQS visibility window, hand the dead
+//! client's WAL to a **fresh recovery client** on a different "machine"
+//! (same queue URL — that is the whole point of keeping the WAL in the
+//! cloud), drain it, let the four-day retention window expire incomplete
+//! transactions, and run the cleaner daemon over orphaned temp objects.
+//! Then the §3 property checkers run as hard invariants:
+//!
+//! * **Causal ordering** — [`check_causal_ordering`] must find no dangling
+//!   ancestor pointer for P3 (P1/P2 in parallel mode legitimately violate
+//!   it; the counts are reported, mirroring Table 1).
+//! * **Coupling** — every readable object is read through the protocol's
+//!   coupling detector; P3 must come back `Coupled` everywhere.
+//! * **Durability promises** — every file whose close (plus pipeline
+//!   `sync`) succeeded before the crash must still be readable after
+//!   recovery; for P3 it must also be coupled (a fully-logged WAL
+//!   transaction is recoverable by any machine).
+//! * **Persistence** — [`check_persistence`]: deleting the data leaves
+//!   the provenance reachable.
+//! * **WAL/temp hygiene** — after recovery + retention + cleaner, the WAL
+//!   is empty and no temporary object is left behind.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cloudprov_cloud::{AwsProfile, CloudEnv, CloudError, DEFAULT_VISIBILITY_TIMEOUT, RETENTION};
+use cloudprov_core::properties::{check_causal_ordering, check_persistence};
+use cloudprov_core::{CouplingCheck, Protocol, ProtocolError, ProvenanceClient, StorageProtocol};
+use cloudprov_fs::{LocalIoParams, PaS3fs};
+use cloudprov_sim::Sim;
+use cloudprov_workloads::testkit::{self, random_script};
+
+use crate::plan::{ChaosPlan, CrashSchedule, FiredCrash};
+
+/// Queue name shared by the dying client and its recovery machine.
+const WAL_QUEUE: &str = "wal-chaos";
+
+/// Tally of coupling verdicts over the post-recovery read sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CouplingTally {
+    /// Reads whose data and provenance matched.
+    pub coupled: usize,
+    /// Reads with no (or not-yet-visible) provenance — a detected
+    /// coupling violation for P1/P2 after quiescence.
+    pub provenance_missing: usize,
+    /// Reads whose provenance describes different data.
+    pub hash_mismatch: usize,
+    /// Reads of data carrying no provenance link.
+    pub unlinked: usize,
+    /// Keys with no readable data at all (never durable, or unlinked).
+    pub missing_data: usize,
+}
+
+impl CouplingTally {
+    /// Detected coupling violations (everything except clean/missing).
+    pub fn detected_violations(&self) -> usize {
+        self.provenance_missing + self.hash_mismatch
+    }
+}
+
+/// Everything one explored seed produced. `PartialEq` so replays can be
+/// checked for bit-identical schedules and verdicts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeedOutcome {
+    /// The protocol under test.
+    pub protocol: Protocol,
+    /// The chaos plan derived from the seed.
+    pub plan: ChaosPlan,
+    /// Script events applied before the client died (or all of them).
+    pub applied_events: usize,
+    /// Crash-point crossings observed over the whole run.
+    pub crossings: u64,
+    /// The injected crash, if the schedule's kill crossing was reached.
+    pub crash: Option<FiredCrash>,
+    /// Keys whose durability was promised before the crash.
+    pub promised: BTreeSet<String>,
+    /// Coupling verdicts of the post-recovery read sweep.
+    pub coupling: CouplingTally,
+    /// Dangling ancestor edges found by the causal-ordering scan.
+    pub dangling_edges: usize,
+    /// Promised keys that were unreadable (or, for P3, uncoupled) after
+    /// recovery.
+    pub broken_promises: usize,
+    /// Whether provenance survived data deletion (None when nothing was
+    /// readable or the protocol stores no provenance).
+    pub persistence_ok: Option<bool>,
+    /// WAL messages left after recovery + retention expiry (P3; 0 else).
+    pub wal_leftover: usize,
+    /// Temporary objects left after the cleaner pass (P3; 0 else).
+    pub temp_leftover: usize,
+    /// Unexpected errors during recovery (always violations).
+    pub recovery_errors: Vec<String>,
+}
+
+impl SeedOutcome {
+    /// Hard invariant violations **for this protocol** — the conditions a
+    /// CI run fails on. P1/P2's detectable coupling/causal violations
+    /// under parallel upload are Table 1 facts, not failures; everything
+    /// here is a broken guarantee.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for e in &self.recovery_errors {
+            v.push(format!("recovery error: {e}"));
+        }
+        if self.broken_promises > 0 {
+            v.push(format!(
+                "{} durability promise(s) broken after recovery",
+                self.broken_promises
+            ));
+        }
+        if self.persistence_ok == Some(false) {
+            v.push("provenance did not survive data deletion".into());
+        }
+        if self.protocol == Protocol::P3 {
+            if self.dangling_edges > 0 {
+                v.push(format!(
+                    "P3 causal ordering violated: {} dangling edge(s)",
+                    self.dangling_edges
+                ));
+            }
+            let c = &self.coupling;
+            if c.detected_violations() > 0 || c.unlinked > 0 {
+                v.push(format!(
+                    "P3 coupling violated: {} missing, {} mismatched, {} unlinked",
+                    c.provenance_missing, c.hash_mismatch, c.unlinked
+                ));
+            }
+            if self.wal_leftover > 0 {
+                v.push(format!(
+                    "{} WAL message(s) survived recovery + retention",
+                    self.wal_leftover
+                ));
+            }
+            if self.temp_leftover > 0 {
+                v.push(format!(
+                    "{} temp object(s) survived the cleaner",
+                    self.temp_leftover
+                ));
+            }
+        }
+        v
+    }
+}
+
+/// Replays seed `seed` for `protocol`: workload under chaos, crash,
+/// recovery, invariant checks. Pure function of its arguments — calling
+/// it twice yields identical [`SeedOutcome`]s.
+pub fn explore_seed(protocol: Protocol, seed: u64) -> SeedOutcome {
+    let plan = ChaosPlan::derive(seed);
+    let schedule = CrashSchedule::new(plan.kill_at_crossing);
+    let sim = Sim::new();
+    let env = CloudEnv::new(&sim, AwsProfile::instant());
+    env.faults().set(plan.fault_plan());
+
+    // --- Phase 1: the client under chaos. ---
+    let mut builder = ProvenanceClient::builder(protocol)
+        .queue(WAL_QUEUE)
+        .step_hook(schedule.hook());
+    if plan.pipelined {
+        builder = builder.pipelined();
+    }
+    let client = Arc::new(builder.build(&env));
+    let fs = PaS3fs::attach(client.clone(), LocalIoParams::instant(), seed);
+    let script = random_script(seed, plan.script_len);
+    let replay = testkit::replay_fs(&fs, &script);
+    // Durability barrier. `drain` additionally runs P3's commit daemon —
+    // itself under the crash schedule.
+    let sync_ok = client.sync().is_ok();
+    let _ = client.drain();
+    let crash = schedule.fired();
+    // Promise accounting. Blocking mode: a successful close returned
+    // only once the batch was durable (for P3: logged in the WAL), so
+    // every such key is promised even — especially — when the client
+    // later crashed. Pipelined mode: durability is only promised at a
+    // clean barrier; any surfaced error voids the run's promises (an
+    // intermediate `delete` may already have consumed a background-flush
+    // error, so a late `sync().is_ok()` alone proves nothing).
+    let promised: BTreeSet<String> =
+        if plan.pipelined && !(sync_ok && replay.died.is_none() && crash.is_none()) {
+            BTreeSet::new()
+        } else {
+            replay.durable_keys.clone()
+        };
+    let crossings = schedule.crossings();
+    drop(fs);
+    drop(client); // the client machine is gone
+
+    // --- Phase 2: recovery on a fresh machine. ---
+    let mut recovery_errors = Vec::new();
+    env.faults().clear(); // the outage is over
+    sim.sleep(DEFAULT_VISIBILITY_TIMEOUT + Duration::from_secs(1));
+    let recovery = ProvenanceClient::builder(protocol)
+        .queue(WAL_QUEUE)
+        .build(&env);
+    if let Err(e) = recovery.drain() {
+        recovery_errors.push(format!("WAL drain: {e}"));
+    }
+    // Let SQS retention expire incompletely-logged transactions, then
+    // drain again (expiry is lazy — a receive triggers it) and reap
+    // orphaned temp objects past the four-day window.
+    sim.sleep(RETENTION + Duration::from_secs(60));
+    if let Err(e) = recovery.drain() {
+        recovery_errors.push(format!("post-retention drain: {e}"));
+    }
+    if let Some(cleaner) = recovery.cleaner_daemon() {
+        if let Err(e) = cleaner.clean_once() {
+            recovery_errors.push(format!("cleaner: {e}"));
+        }
+    }
+
+    // --- Phase 3: invariants. ---
+    let store = recovery.provenance_store();
+    let mut coupling = CouplingTally::default();
+    let mut coupled_keys: Vec<String> = Vec::new();
+    for f in 0..testkit::FILES {
+        let key = testkit::file_key(f);
+        match recovery.read(&key) {
+            Ok(r) => {
+                match r.coupling {
+                    CouplingCheck::Coupled => coupling.coupled += 1,
+                    CouplingCheck::ProvenanceMissing => coupling.provenance_missing += 1,
+                    CouplingCheck::HashMismatch => coupling.hash_mismatch += 1,
+                    CouplingCheck::Unlinked => coupling.unlinked += 1,
+                }
+                if r.id.is_some() && r.coupling.is_coupled() {
+                    coupled_keys.push(key);
+                }
+            }
+            Err(ProtocolError::Cloud(CloudError::NoSuchKey { .. })) => coupling.missing_data += 1,
+            Err(e) => recovery_errors.push(format!("read of {key}: {e}")),
+        }
+    }
+    let mut broken_promises = 0;
+    for key in &promised {
+        match recovery.read(key) {
+            Ok(r) => {
+                if protocol == Protocol::P3 && !r.coupling.is_coupled() {
+                    broken_promises += 1;
+                }
+            }
+            Err(_) => broken_promises += 1,
+        }
+    }
+    let dangling_edges = match &store {
+        Some(store) => match check_causal_ordering(&env, store) {
+            Ok(report) => report.dangling.len(),
+            Err(e) => {
+                recovery_errors.push(format!("causal scan: {e}"));
+                0
+            }
+        },
+        None => 0,
+    };
+    let (wal_leftover, temp_leftover) = if protocol == Protocol::P3 {
+        let layout = &recovery.config().layout;
+        (
+            recovery
+                .wal_url()
+                .map(|url| env.sqs().peek_depth(url))
+                .unwrap_or(0),
+            env.s3()
+                .peek_count(&layout.data_bucket, &layout.temp_prefix),
+        )
+    } else {
+        (0, 0)
+    };
+    // Last: persistence deletes data, so nothing may read after it. Only
+    // a *coupled* key qualifies: deleting data whose provenance never
+    // made it (a P1/P2 coupling fact, already tallied above) would
+    // misreport a persistence violation.
+    let persistence_ok = match (&store, coupled_keys.first()) {
+        (Some(_), Some(key)) => match recovery.read(key).ok().and_then(|r| r.id) {
+            Some(id) => match check_persistence(&env, &recovery, key, id) {
+                Ok(ok) => Some(ok),
+                Err(e) => {
+                    recovery_errors.push(format!("persistence check: {e}"));
+                    None
+                }
+            },
+            None => None,
+        },
+        _ => None,
+    };
+
+    SeedOutcome {
+        protocol,
+        plan,
+        applied_events: replay.applied,
+        crossings,
+        crash,
+        promised,
+        coupling,
+        dangling_edges,
+        broken_promises,
+        persistence_ok,
+        wal_leftover,
+        temp_leftover,
+        recovery_errors,
+    }
+}
+
+/// Aggregate of one protocol's sweep over a seed range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtocolSummary {
+    /// The protocol swept.
+    pub protocol: Protocol,
+    /// Seeds explored.
+    pub seeds: usize,
+    /// Seeds whose schedule actually killed the client.
+    pub crashes: usize,
+    /// Seeds that injected at least one service-level fault.
+    pub faulty_seeds: usize,
+    /// Total coupling violations detected across the sweep.
+    pub coupling_violations: usize,
+    /// Total dangling ancestor edges across the sweep.
+    pub dangling_edges: usize,
+    /// Total broken durability promises across the sweep.
+    pub broken_promises: usize,
+    /// Total WAL messages left behind across the sweep.
+    pub wal_leftover: usize,
+    /// Total temp objects left behind across the sweep.
+    pub temp_leftover: usize,
+    /// Seeds with at least one hard invariant violation.
+    pub failing_seeds: usize,
+    /// The smallest failing seed with its violations — the replay handle.
+    pub minimal_failure: Option<(u64, Vec<String>)>,
+}
+
+/// Sweeps seed ranges and aggregates per-protocol reports.
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    /// Seed range to sweep.
+    pub seeds: Range<u64>,
+}
+
+impl Explorer {
+    /// An explorer over `seeds`.
+    pub fn new(seeds: Range<u64>) -> Explorer {
+        Explorer { seeds }
+    }
+
+    /// Sweeps one protocol.
+    pub fn run(&self, protocol: Protocol) -> ExplorationReport {
+        let outcomes: Vec<SeedOutcome> = self
+            .seeds
+            .clone()
+            .map(|seed| explore_seed(protocol, seed))
+            .collect();
+        ExplorationReport {
+            seeds: self.seeds.clone(),
+            outcomes,
+        }
+    }
+
+    /// Sweeps every protocol configuration, baseline first.
+    pub fn run_all(&self) -> Vec<ExplorationReport> {
+        Protocol::ALL.iter().map(|p| self.run(*p)).collect()
+    }
+}
+
+/// The outcomes of one protocol sweep.
+#[derive(Clone, Debug)]
+pub struct ExplorationReport {
+    /// The seed range swept.
+    pub seeds: Range<u64>,
+    /// One outcome per seed, in seed order.
+    pub outcomes: Vec<SeedOutcome>,
+}
+
+impl ExplorationReport {
+    /// Aggregates the sweep into a summary row.
+    pub fn summary(&self) -> ProtocolSummary {
+        let protocol = self
+            .outcomes
+            .first()
+            .map(|o| o.protocol)
+            .unwrap_or(Protocol::S3fs);
+        let mut s = ProtocolSummary {
+            protocol,
+            seeds: self.outcomes.len(),
+            crashes: 0,
+            faulty_seeds: 0,
+            coupling_violations: 0,
+            dangling_edges: 0,
+            broken_promises: 0,
+            wal_leftover: 0,
+            temp_leftover: 0,
+            failing_seeds: 0,
+            minimal_failure: None,
+        };
+        for (seed, o) in self.seeds.clone().zip(&self.outcomes) {
+            s.crashes += usize::from(o.crash.is_some());
+            s.faulty_seeds += usize::from(o.plan.has_service_faults());
+            s.coupling_violations += o.coupling.detected_violations();
+            s.dangling_edges += o.dangling_edges;
+            s.broken_promises += o.broken_promises;
+            s.wal_leftover += o.wal_leftover;
+            s.temp_leftover += o.temp_leftover;
+            let violations = o.violations();
+            if !violations.is_empty() {
+                s.failing_seeds += 1;
+                if s.minimal_failure.is_none() {
+                    s.minimal_failure = Some((seed, violations));
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_replay_identically() {
+        for protocol in [Protocol::P1, Protocol::P3] {
+            for seed in [0, 3, 11] {
+                let a = explore_seed(protocol, seed);
+                let b = explore_seed(protocol, seed);
+                assert_eq!(a, b, "{protocol} seed {seed} must replay identically");
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_differ_across_seeds() {
+        let outcomes: Vec<SeedOutcome> = (0..16).map(|s| explore_seed(Protocol::P3, s)).collect();
+        let crash_steps: BTreeSet<String> = outcomes
+            .iter()
+            .filter_map(|o| o.crash.as_ref().map(|c| c.step.clone()))
+            .collect();
+        assert!(
+            crash_steps.len() > 1,
+            "different seeds must explore different crash points, got {crash_steps:?}"
+        );
+    }
+
+    #[test]
+    fn p3_invariants_hold_over_a_seed_range() {
+        let report = Explorer::new(0..10).run(Protocol::P3);
+        for (seed, o) in report.seeds.clone().zip(&report.outcomes) {
+            assert!(
+                o.violations().is_empty(),
+                "P3 seed {seed} violated invariants: {:?}\noutcome: {o:#?}",
+                o.violations()
+            );
+        }
+        let s = report.summary();
+        assert_eq!(s.dangling_edges, 0);
+        assert_eq!(s.wal_leftover, 0);
+        assert_eq!(s.temp_leftover, 0);
+        assert!(s.crashes > 0, "the range must actually inject crashes");
+    }
+
+    #[test]
+    fn p1_p2_accumulate_detectable_violations_that_p3_avoids() {
+        // Mirrors Table 1: under crashes the parallel P1/P2 uploads leave
+        // detectable coupling/causal damage; P3's WAL never does.
+        let explorer = Explorer::new(0..20);
+        let p1 = explorer.run(Protocol::P1).summary();
+        let p2 = explorer.run(Protocol::P2).summary();
+        let p3 = explorer.run(Protocol::P3).summary();
+        assert!(
+            p1.coupling_violations + p1.dangling_edges > 0
+                || p2.coupling_violations + p2.dangling_edges > 0,
+            "the seed range should catch P1/P2 in at least one violation \
+             (p1: {p1:?}, p2: {p2:?})"
+        );
+        assert_eq!(p3.coupling_violations, 0, "{p3:?}");
+        assert_eq!(p3.dangling_edges, 0, "{p3:?}");
+        assert_eq!(p3.failing_seeds, 0, "{p3:?}");
+    }
+
+    #[test]
+    fn s3fs_baseline_survives_the_sweep() {
+        let report = Explorer::new(0..6).run(Protocol::S3fs);
+        for (seed, o) in report.seeds.clone().zip(&report.outcomes) {
+            assert!(
+                o.violations().is_empty(),
+                "S3fs seed {seed}: {:?}",
+                o.violations()
+            );
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Seed-derived chaos plans and crash schedules.
+//!
+//! A [`ChaosPlan`] is a pure function of its seed: service-fault dials
+//! (transient failures, SQS duplicate delivery, staleness amplification),
+//! the client's flush mode, the workload script length, and — the
+//! FoundationDB-style part — *which crash-point crossing kills the
+//! client*. Crash points are the `StepHook` boundaries threaded through
+//! `cloudprov-core`: every protocol flush step, the S3fs baseline's data
+//! PUTs, P3's commit-daemon and cleaner steps, and the client facade's
+//! background flusher. A [`CrashSchedule`] counts crossings and kills the
+//! client at the planned one — and keeps it dead, so in-flight parallel
+//! uploads die with it, exactly like a real process kill.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cloudprov_cloud::FaultPlan;
+use cloudprov_core::StepHook;
+
+/// Everything one chaos run does differently from a clean run, derived
+/// deterministically from the seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosPlan {
+    /// The seed this plan was derived from.
+    pub seed: u64,
+    /// Probability that any service call fails transiently.
+    pub fail_probability: f64,
+    /// Probability that an SQS receive duplicates a delivery.
+    pub sqs_duplicate_probability: f64,
+    /// Constant staleness amplification on every eventually consistent
+    /// read.
+    pub extra_staleness: Duration,
+    /// Kill the client at this crash-point crossing (None = let the
+    /// workload run crash-free and explore the fault dimension only).
+    pub kill_at_crossing: Option<u64>,
+    /// Whether the client uses the pipelined background-flusher path.
+    pub pipelined: bool,
+    /// Length of the generated workload script.
+    pub script_len: usize,
+}
+
+impl ChaosPlan {
+    /// Derives the plan for `seed`. Equal seeds yield equal plans.
+    pub fn derive(seed: u64) -> ChaosPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A0_5CA0_5CA0_5CA0);
+        let fail_probability = if rng.gen_bool(0.4) {
+            rng.gen_range(0.005..0.06)
+        } else {
+            0.0
+        };
+        let sqs_duplicate_probability = if rng.gen_bool(0.4) {
+            rng.gen_range(0.05..0.5)
+        } else {
+            0.0
+        };
+        let extra_staleness = if rng.gen_bool(0.4) {
+            // Capped below P1's append-visibility retry budget so
+            // staleness slows clients down without wedging them.
+            Duration::from_millis(rng.gen_range(50u64..1_800))
+        } else {
+            Duration::ZERO
+        };
+        // Typical runs cross a few dozen crash points (fewer when the
+        // pipeline coalesces batches), so draw the kill crossing from a
+        // range that usually fires while still leaving some schedules to
+        // die deep in the commit/recovery phase.
+        let kill_at_crossing = if rng.gen_bool(0.8) {
+            Some(rng.gen_range(0u64..24))
+        } else {
+            None
+        };
+        ChaosPlan {
+            seed,
+            fail_probability,
+            sqs_duplicate_probability,
+            extra_staleness,
+            kill_at_crossing,
+            pipelined: rng.gen_bool(0.5),
+            script_len: rng.gen_range(16usize..56),
+        }
+    }
+
+    /// The service-level [`FaultPlan`] of this chaos plan, seeded so the
+    /// fault-decision stream replays identically.
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan {
+            fail_probability: self.fail_probability,
+            sqs_duplicate_probability: self.sqs_duplicate_probability,
+            extra_staleness: self.extra_staleness,
+            seed: self.seed,
+        }
+    }
+
+    /// True when the plan injects any service-level fault.
+    pub fn has_service_faults(&self) -> bool {
+        self.fail_probability > 0.0
+            || self.sqs_duplicate_probability > 0.0
+            || self.extra_staleness > Duration::ZERO
+    }
+}
+
+/// The crash that a schedule actually fired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FiredCrash {
+    /// Which crossing the client died at.
+    pub crossing: u64,
+    /// The crash-point name (e.g. `p3:wal:1`, `p3:commit:copy:f3`,
+    /// `client:flusher:flush`).
+    pub step: String,
+}
+
+struct ScheduleState {
+    kill_at: Option<u64>,
+    crossings: AtomicU64,
+    fired: Mutex<Option<FiredCrash>>,
+}
+
+/// Counts crash-point crossings and kills the client at the planned one.
+///
+/// Once fired, *every* subsequent step also fails: the process is dead,
+/// so parallel uploads in flight die with it and a pipelined flusher
+/// keeps failing its merges. Build the [`StepHook`] with
+/// [`CrashSchedule::hook`] and inspect the result with
+/// [`CrashSchedule::fired`] / [`CrashSchedule::crossings`].
+#[derive(Clone)]
+pub struct CrashSchedule {
+    state: Arc<ScheduleState>,
+}
+
+impl std::fmt::Debug for CrashSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrashSchedule")
+            .field("kill_at", &self.state.kill_at)
+            .field("fired", &self.fired())
+            .finish()
+    }
+}
+
+impl CrashSchedule {
+    /// A schedule killing the client at crossing `kill_at` (None = never).
+    pub fn new(kill_at: Option<u64>) -> CrashSchedule {
+        CrashSchedule {
+            state: Arc::new(ScheduleState {
+                kill_at,
+                crossings: AtomicU64::new(0),
+                fired: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The step hook to install on the client under test.
+    pub fn hook(&self) -> StepHook {
+        let state = self.state.clone();
+        Arc::new(move |step: &str| {
+            if state.fired.lock().is_some() {
+                return false; // the process is dead; everything fails
+            }
+            let n = state.crossings.fetch_add(1, Ordering::Relaxed);
+            if state.kill_at == Some(n) {
+                *state.fired.lock() = Some(FiredCrash {
+                    crossing: n,
+                    step: step.to_string(),
+                });
+                return false;
+            }
+            true
+        })
+    }
+
+    /// Crash-point crossings observed so far.
+    pub fn crossings(&self) -> u64 {
+        self.state.crossings.load(Ordering::Relaxed)
+    }
+
+    /// The crash that fired, if any.
+    pub fn fired(&self) -> Option<FiredCrash> {
+        self.state.fired.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        for seed in 0..64 {
+            assert_eq!(ChaosPlan::derive(seed), ChaosPlan::derive(seed));
+        }
+        assert_ne!(ChaosPlan::derive(1), ChaosPlan::derive(2));
+    }
+
+    #[test]
+    fn plans_explore_every_dimension() {
+        let plans: Vec<ChaosPlan> = (0..256).map(ChaosPlan::derive).collect();
+        assert!(plans.iter().any(|p| p.fail_probability > 0.0));
+        assert!(plans.iter().any(|p| p.sqs_duplicate_probability > 0.0));
+        assert!(plans.iter().any(|p| p.extra_staleness > Duration::ZERO));
+        assert!(plans.iter().any(|p| p.kill_at_crossing.is_some()));
+        assert!(plans.iter().any(|p| p.kill_at_crossing.is_none()));
+        assert!(plans.iter().any(|p| p.pipelined));
+        assert!(plans.iter().any(|p| !p.pipelined));
+    }
+
+    #[test]
+    fn schedule_kills_at_the_planned_crossing_and_stays_dead() {
+        let sched = CrashSchedule::new(Some(2));
+        let hook = sched.hook();
+        assert!(hook("step-0"));
+        assert!(hook("step-1"));
+        assert!(!hook("step-2"), "crossing 2 must kill");
+        assert!(!hook("step-3"), "a dead client stays dead");
+        let fired = sched.fired().unwrap();
+        assert_eq!(fired.crossing, 2);
+        assert_eq!(fired.step, "step-2");
+    }
+
+    #[test]
+    fn schedule_without_kill_never_fires() {
+        let sched = CrashSchedule::new(None);
+        let hook = sched.hook();
+        assert!((0..100).all(|i| hook(&format!("s{i}"))));
+        assert!(sched.fired().is_none());
+        assert_eq!(sched.crossings(), 100);
+    }
+}

@@ -4,15 +4,22 @@
 //! WAL recovery, causal-ordering repair) only shows up under adverse
 //! conditions. A [`FaultPlan`] dials those in at runtime: transient request
 //! failures, duplicate queue deliveries, and amplified staleness.
+//!
+//! Every probabilistic decision is drawn from a dedicated RNG stream
+//! seeded by [`FaultPlan::seed`], so a fault run is reproducible from its
+//! seed alone — the chaos explorer (`cloudprov-chaos`) relies on this to
+//! replay failing schedules bit-for-bit.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Mutable fault-injection configuration shared by all services of one
 /// [`CloudEnv`](crate::CloudEnv).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     /// Probability that any service call fails with `ServiceUnavailable`
     /// after consuming latency (clients are expected to retry).
@@ -22,6 +29,10 @@ pub struct FaultPlan {
     pub sqs_duplicate_probability: f64,
     /// Extra staleness added on top of the profile's consistency window.
     pub extra_staleness: Duration,
+    /// Seed of the fault-decision RNG stream. Installing a plan (via
+    /// [`FaultHandle::set`]) reseeds the stream, so equal seeds replay
+    /// identical fault decisions.
+    pub seed: u64,
 }
 
 impl FaultPlan {
@@ -29,33 +40,83 @@ impl FaultPlan {
     pub fn none() -> FaultPlan {
         FaultPlan::default()
     }
+
+    /// Returns a copy drawing its decisions from `seed`.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
 }
 
-/// Shared handle to the fault plan; services read it on every call.
-#[derive(Clone, Debug, Default)]
+struct FaultState {
+    plan: FaultPlan,
+    rng: SmallRng,
+}
+
+impl FaultState {
+    fn reseeded(plan: FaultPlan) -> FaultState {
+        let rng = SmallRng::seed_from_u64(plan.seed ^ 0xFA17_FA17_FA17_FA17);
+        FaultState { plan, rng }
+    }
+}
+
+/// Shared handle to the fault plan; services read it on every call and
+/// draw fault decisions from its seeded RNG stream.
+#[derive(Clone)]
 pub struct FaultHandle {
-    plan: Arc<Mutex<FaultPlan>>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl std::fmt::Debug for FaultHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultHandle")
+            .field("plan", &self.current())
+            .finish()
+    }
+}
+
+impl Default for FaultHandle {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FaultHandle {
     /// Creates a handle with no faults.
     pub fn new() -> FaultHandle {
-        FaultHandle::default()
+        FaultHandle {
+            state: Arc::new(Mutex::new(FaultState::reseeded(FaultPlan::none()))),
+        }
     }
 
-    /// Replaces the entire plan.
+    /// Replaces the entire plan and reseeds the decision stream from
+    /// `plan.seed`.
     pub fn set(&self, plan: FaultPlan) {
-        *self.plan.lock() = plan;
+        *self.state.lock() = FaultState::reseeded(plan);
     }
 
     /// Reads the current plan.
     pub fn current(&self) -> FaultPlan {
-        self.plan.lock().clone()
+        self.state.lock().plan.clone()
     }
 
-    /// Clears all injected faults.
+    /// Clears all injected faults (and resets the decision stream).
     pub fn clear(&self) {
-        *self.plan.lock() = FaultPlan::none();
+        self.set(FaultPlan::none());
+    }
+
+    /// Draws one "does this service call fail?" decision.
+    pub fn draw_failure(&self) -> bool {
+        let mut st = self.state.lock();
+        let p = st.plan.fail_probability;
+        p > 0.0 && st.rng.gen_bool(p)
+    }
+
+    /// Draws one "is this queue delivery a duplicate?" decision.
+    pub fn draw_duplicate(&self) -> bool {
+        let mut st = self.state.lock();
+        let p = st.plan.sqs_duplicate_probability;
+        p > 0.0 && st.rng.gen_bool(p)
     }
 }
 
@@ -74,5 +135,53 @@ mod tests {
         assert_eq!(h2.current().fail_probability, 0.5);
         h2.clear();
         assert_eq!(h.current().fail_probability, 0.0);
+    }
+
+    #[test]
+    fn decisions_replay_identically_per_seed() {
+        let draw = |seed: u64| -> Vec<bool> {
+            let h = FaultHandle::new();
+            h.set(
+                FaultPlan {
+                    fail_probability: 0.3,
+                    sqs_duplicate_probability: 0.4,
+                    ..FaultPlan::none()
+                }
+                .with_seed(seed),
+            );
+            (0..64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        h.draw_failure()
+                    } else {
+                        h.draw_duplicate()
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(draw(9), draw(9), "same seed, same decision stream");
+        assert_ne!(draw(9), draw(10), "different seeds diverge");
+    }
+
+    #[test]
+    fn reinstalling_a_plan_reseeds_the_stream() {
+        let h = FaultHandle::new();
+        let plan = FaultPlan {
+            fail_probability: 0.5,
+            ..FaultPlan::none()
+        }
+        .with_seed(3);
+        h.set(plan.clone());
+        let first: Vec<bool> = (0..32).map(|_| h.draw_failure()).collect();
+        h.set(plan);
+        let second: Vec<bool> = (0..32).map(|_| h.draw_failure()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let h = FaultHandle::new();
+        assert!(!(0..100).any(|_| h.draw_failure()));
+        assert!(!(0..100).any(|_| h.draw_duplicate()));
     }
 }

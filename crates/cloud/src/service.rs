@@ -103,15 +103,16 @@ impl ServiceCore {
         1.0 + rng.gen_range(-j..j)
     }
 
+    /// One "does this call fail?" decision from the fault plan's seeded
+    /// stream (reproducible from the plan seed alone).
     fn draw_failure(&self) -> bool {
-        let p = self.faults.current().fail_probability;
-        p > 0.0 && self.rng.lock().gen_bool(p)
+        self.faults.draw_failure()
     }
 
-    /// Snapshot of the current fault plan (services consult it for
-    /// service-specific faults like duplicate queue deliveries).
-    pub(crate) fn faults_snapshot(&self) -> crate::fault::FaultPlan {
-        self.faults.current()
+    /// One "is this delivery a duplicate?" decision from the fault plan's
+    /// seeded stream.
+    pub(crate) fn draw_duplicate(&self) -> bool {
+        self.faults.draw_duplicate()
     }
 
     pub(crate) fn rng_range(&self, upper: usize) -> usize {
@@ -120,10 +121,6 @@ impl ServiceCore {
         } else {
             self.rng.lock().gen_range(0..upper)
         }
-    }
-
-    pub(crate) fn rng_bool(&self, p: f64) -> bool {
-        p > 0.0 && self.rng.lock().gen_bool(p)
     }
 
     /// Executes one API call.

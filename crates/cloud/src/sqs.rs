@@ -199,7 +199,7 @@ impl QueueService {
                 }
                 let window = visible.len().min(4);
                 let pick = visible[core.rng_range(window)];
-                let duplicate = core.rng_bool(core_dup_probability(&core));
+                let duplicate = core.draw_duplicate();
                 let m = &mut q.messages[pick];
                 if !duplicate {
                     m.visible_at = now + vis;
@@ -254,14 +254,6 @@ impl QueueService {
             .map(|q| q.messages.len())
             .unwrap_or(0)
     }
-}
-
-fn core_dup_probability(core: &ServiceCore) -> f64 {
-    core_faults(core).sqs_duplicate_probability
-}
-
-fn core_faults(core: &ServiceCore) -> crate::fault::FaultPlan {
-    core.faults_snapshot()
 }
 
 #[cfg(test)]

@@ -246,7 +246,7 @@ impl ClientBuilder {
         };
         let pipeline = match mode {
             FlushMode::Blocking => None,
-            FlushMode::Pipelined => Some(Pipeline::start(env.sim(), inner.clone())),
+            FlushMode::Pipelined => Some(Pipeline::start(env.sim(), inner.clone(), config.clone())),
         };
         ProvenanceClient {
             env: env.clone(),
@@ -659,7 +659,7 @@ struct Pipeline {
 }
 
 impl Pipeline {
-    fn start(sim: &Sim, inner: Arc<dyn StorageProtocol>) -> Pipeline {
+    fn start(sim: &Sim, inner: Arc<dyn StorageProtocol>, config: ProtocolConfig) -> Pipeline {
         let shared = Arc::new(Mutex::new(PipelineState::default()));
         let work = SimSemaphore::new(sim, 0);
         {
@@ -668,7 +668,7 @@ impl Pipeline {
             // The handle is deliberately dropped: the flusher exits on
             // shutdown (or idles, parked on `work`, costing no virtual
             // time) and is never joined.
-            let _flusher = sim.spawn(move || Self::run(shared, work, inner));
+            let _flusher = sim.spawn(move || Self::run(shared, work, inner, config));
         }
         Pipeline {
             sim: sim.clone(),
@@ -677,7 +677,12 @@ impl Pipeline {
         }
     }
 
-    fn run(shared: Arc<Mutex<PipelineState>>, work: SimSemaphore, inner: Arc<dyn StorageProtocol>) {
+    fn run(
+        shared: Arc<Mutex<PipelineState>>,
+        work: SimSemaphore,
+        inner: Arc<dyn StorageProtocol>,
+        config: ProtocolConfig,
+    ) {
         loop {
             // One signal per job; extra wakeups (for jobs a previous
             // iteration already coalesced) find the queue empty.
@@ -748,10 +753,15 @@ impl Pipeline {
             // Dedupe can empty the merge entirely; skip the protocol
             // call then (P3 would otherwise log a phantom empty WAL
             // transaction and every protocol would bill a wasted op).
+            // The crash point models the background flusher dying with
+            // batches still queued: the merge is lost, the error
+            // surfaces at the next barrier or ticket wait.
             let result = if merged.objects.is_empty() {
                 Ok(())
             } else {
-                inner.flush(merged)
+                config
+                    .step("client:flusher:flush")
+                    .and_then(|()| inner.flush(merged))
             };
             let mut st = shared.lock();
             match &result {

@@ -15,10 +15,14 @@
 //! how P3 keeps causal ordering without careful upload ordering).
 //!
 //! **Commit phase** (commit daemon, asynchronous): assemble complete
-//! transactions; spill >1 KB values to S3; `BatchPutAttributes` the items;
-//! `COPY` each temporary object to its permanent name (stamping the new
-//! version — S3 has no rename, and §4.3.3 notes copies cost $0.01 per
-//! thousand); `DELETE` the temp objects and the WAL messages.
+//! transactions; `COPY` each temporary object to its permanent name
+//! (stamping the new version — S3 has no rename, and §4.3.3 notes copies
+//! cost $0.01 per thousand); spill >1 KB values to S3;
+//! `BatchPutAttributes` the items; `DELETE` the temp objects and the WAL
+//! messages. Data commits before provenance so a transaction whose temp
+//! object was lost with a dead client stalls before any provenance lands
+//! (see `commit_txn`); stalled transactions are skipped, redeliver, and
+//! ultimately expire with SQS retention.
 //!
 //! **Garbage collection**: SQS deletes messages after 4 days on its own;
 //! a cleaner daemon reaps temporary objects older than 4 days that belong
@@ -290,6 +294,13 @@ pub struct PollOutcome {
     pub messages: usize,
     /// Transactions committed this poll.
     pub committed: usize,
+    /// Transactions whose commit stalled (a referenced temp object never
+    /// became copyable — e.g. the client died after logging the WAL but
+    /// before its temp PUT landed). Stalled transactions are skipped, not
+    /// fatal: their messages redeliver after the visibility timeout and
+    /// ultimately expire with SQS retention, which is the paper's
+    /// garbage-collection story for dead clients.
+    pub stalled: usize,
 }
 
 /// The asynchronous commit daemon (§4.3.3 commit phase).
@@ -340,6 +351,7 @@ impl CommitDaemon {
     /// transactions are never an error — they are ignored until their
     /// messages expire (crashed clients, §4.3.3).
     pub fn poll_once(&self) -> Result<PollOutcome> {
+        self.config.step("p3:commit:poll")?;
         let sqs = self.env.sqs().with_actor(Actor::CommitDaemon);
         let msgs = retry(self.env.sim(), self.config.retries, || {
             sqs.receive(&self.wal_url, 10)
@@ -380,8 +392,13 @@ impl CommitDaemon {
             let Some(entry) = self.buf.lock().remove(&txn) else {
                 continue;
             };
-            self.commit_txn(txn, entry)?;
-            outcome.committed += 1;
+            match self.commit_txn(txn, entry) {
+                Ok(()) => outcome.committed += 1,
+                // A stalled transaction must not block the rest of the
+                // queue: skip it and let redelivery/retention handle it.
+                Err(ProtocolError::CommitStalled(_)) => outcome.stalled += 1,
+                Err(e) => return Err(e),
+            }
         }
         Ok(outcome)
     }
@@ -416,24 +433,22 @@ impl CommitDaemon {
         }
         let records = wire::decode(record_text.as_bytes())?;
 
-        // 1 + 2. Spill oversized values, then BatchPutAttributes.
-        let mut by_subject: BTreeMap<PNodeId, Vec<ProvenanceRecord>> = BTreeMap::new();
-        for r in records {
-            by_subject.entry(r.subject).or_default().push(r);
-        }
-        let items: Vec<PutItem> = by_subject
-            .iter()
-            .map(|(id, recs)| records_to_item(sim, &s3, layout, self.config.retries, *id, recs))
-            .collect::<Result<Vec<_>>>()?;
-        let batch = self.config.db_batch.clamp(1, BATCH_LIMIT);
-        for chunk in items.chunks(batch) {
-            retry(sim, self.config.retries, || {
-                sdb.batch_put_attributes(&layout.domain, chunk.to_vec())
-            })?;
-        }
-
-        // 3. COPY temp -> permanent, stamping uuid+version metadata.
+        // 1. COPY temp -> permanent, stamping uuid+version metadata. Data
+        //    commits strictly before provenance: a transaction whose temp
+        //    object never arrived (the client died after logging the WAL
+        //    but before its parallel temp PUT landed) stalls HERE, before
+        //    any provenance is written — so a dead client can never leave
+        //    provenance describing data that does not exist (§3's "old
+        //    data based on new provenance" hazard). The short window where
+        //    data is visible without provenance is ordinary eventual
+        //    coupling and closes when step 2 lands (or on recommit, since
+        //    the WAL messages are only acknowledged at the very end). A
+        //    daemon that dies in that window AND whose WAL then expires
+        //    unrecovered leaves the data permanently ProvenanceMissing —
+        //    the *detectable* side of the tradeoff; the reverse order
+        //    risked the misleading side, permanent phantom provenance.
         for (temp, final_key, id) in &files {
+            self.config.step(&format!("p3:commit:copy:{final_key}"))?;
             let mut committed = false;
             for _ in 0..self.config.retries.max(1) + 8 {
                 match retry(sim, self.config.retries, || {
@@ -470,12 +485,31 @@ impl CommitDaemon {
             }
         }
 
+        // 2 + 3. Spill oversized values, then BatchPutAttributes.
+        let mut by_subject: BTreeMap<PNodeId, Vec<ProvenanceRecord>> = BTreeMap::new();
+        for r in records {
+            by_subject.entry(r.subject).or_default().push(r);
+        }
+        let items: Vec<PutItem> = by_subject
+            .iter()
+            .map(|(id, recs)| records_to_item(sim, &s3, layout, self.config.retries, *id, recs))
+            .collect::<Result<Vec<_>>>()?;
+        let batch = self.config.db_batch.clamp(1, BATCH_LIMIT);
+        for chunk in items.chunks(batch) {
+            self.config.step("p3:commit:db")?;
+            retry(sim, self.config.retries, || {
+                sdb.batch_put_attributes(&layout.domain, chunk.to_vec())
+            })?;
+        }
+
         // 4. Delete temp objects and WAL messages.
         for (temp, _, _) in &files {
+            self.config.step(&format!("p3:commit:gc:{temp}"))?;
             retry(sim, self.config.retries, || {
                 s3.delete(&layout.data_bucket, temp)
             })?;
         }
+        self.config.step("p3:commit:ack")?;
         for receipt in &entry.receipts {
             let _ = sqs.delete(&self.wal_url, receipt);
         }
@@ -588,6 +622,7 @@ impl CleanerDaemon {
         let mut reclaimed = 0;
         for k in keys {
             if now.saturating_duration_since(k.last_modified) > self.max_age {
+                self.config.step(&format!("p3:clean:{}", k.key))?;
                 retry(self.env.sim(), self.config.retries, || {
                     s3.delete(&layout.data_bucket, &k.key)
                 })?;

@@ -363,15 +363,29 @@ pub(crate) fn detect_coupling(
     if version_records.is_empty() {
         return CouplingCheck::ProvenanceMissing;
     }
-    let recorded_hash = version_records
-        .iter()
-        .find_map(|r| (r.attr == Attr::DataHash).then(|| r.value.to_text()));
-    match recorded_hash {
-        Some(h) if h == format!("{:016x}", data.content_fingerprint()) => CouplingCheck::Coupled,
-        Some(_) => CouplingCheck::HashMismatch,
+    // A version can legitimately record several DataHash values: under
+    // causality-based versioning one node version spans successive writes
+    // by the same process, and each flush of the evolving content appends
+    // another hash to the (unordered, multi-valued) attribute set. The
+    // data is coupled when it matches ANY recorded state of this version;
+    // it is a mismatch only when provenance exists yet describes none of
+    // them.
+    let mut saw_hash = false;
+    let actual = format!("{:016x}", data.content_fingerprint());
+    for r in version_records {
+        if r.attr == Attr::DataHash {
+            saw_hash = true;
+            if r.value.to_text() == actual {
+                return CouplingCheck::Coupled;
+            }
+        }
+    }
+    if saw_hash {
+        CouplingCheck::HashMismatch
+    } else {
         // No hash recorded (e.g. never-written pre-existing input): having
         // version records at all is the best evidence available.
-        None => CouplingCheck::Coupled,
+        CouplingCheck::Coupled
     }
 }
 
@@ -416,17 +430,18 @@ impl StorageProtocol for S3fsBaseline {
                 let s3 = self.env.s3().clone();
                 let bucket = bucket.clone();
                 let sim = sim.clone();
-                move || {
+                let config = self.config.clone();
+                move || -> Result<()> {
+                    config.step(&format!("s3fs:data:{key}"))?;
                     retry(&sim, retries, || {
                         s3.put(&bucket, &key, data.clone(), Metadata::new())
-                    })
+                    })?;
+                    Ok(())
                 }
             })
             .collect();
         let results = sim.run_parallel(self.config.upload_concurrency, tasks);
-        for r in results {
-            r.map_err(ProtocolError::Cloud)?;
-        }
+        results.into_iter().collect::<Result<Vec<_>>>()?;
         Ok(())
     }
 

@@ -275,14 +275,23 @@ impl PaS3fs {
             return FlushObject::file(node, key_of_path(&name), closing_data.clone());
         }
         // An ancestor file in the closure: upload its cached state too
-        // ("send any unrecorded ancestors and their provenance", §4.3).
+        // ("send any unrecorded ancestors and their provenance", §4.3) —
+        // but only when the cache still holds the state this node
+        // version describes. Under causality-based versioning a later
+        // writer starts a new version, so the closure can contain an
+        // *older* version of a file another process has since modified;
+        // pairing that node with today's bytes would store provenance
+        // describing data that never existed (a baked-in coupling
+        // violation the chaos explorer caught). Such historic nodes
+        // flush provenance-only, and the newer version's own close
+        // uploads the bytes.
         match self.vfs.stat(&name) {
-            Some(st) => {
+            Some(st) if node.data_hash.is_none_or(|h| h == st.fingerprint) => {
                 let blob = Blob::synthetic(st.size, st.fingerprint);
                 self.vfs.mark_clean(&name);
                 FlushObject::file(node, key_of_path(&name), blob)
             }
-            None => FlushObject::provenance_only(node),
+            _ => FlushObject::provenance_only(node),
         }
     }
 

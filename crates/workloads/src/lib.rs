@@ -6,9 +6,11 @@
 //! compute/IO, the microbenchmark's upload set), and the fMRI provenance
 //! [`challenge`](challenge::challenge) (depth-11 pipeline) — plus the
 //! Linux-compile provenance stream for the Table 2 service throughput
-//! test, a trace [`driver`] that replays workloads through PA-S3fs, and an
+//! test, a trace [`driver`] that replays workloads through PA-S3fs, an
 //! [`offline`] collector reproducing the paper's capture-then-upload
-//! microbenchmark methodology.
+//! microbenchmark methodology, and the shared [`testkit`] random-workload
+//! generator that property tests, integration tests and the chaos
+//! explorer all replay from one seeded event space.
 
 #![warn(missing_docs)]
 
@@ -18,6 +20,7 @@ pub mod driver;
 pub mod linux_compile;
 pub mod nightly;
 pub mod offline;
+pub mod testkit;
 pub mod trace;
 
 pub use blast::{blast, BlastParams};
@@ -26,4 +29,5 @@ pub use driver::{replay, ReplaySummary};
 pub use linux_compile::linux_compile_provenance;
 pub use nightly::{nightly, NightlyParams};
 pub use offline::{collect, OfflineFile, OfflineRun};
+pub use testkit::{random_script, FsReplay, ScriptEvent};
 pub use trace::{synthetic_env, Trace, TraceEvent, TraceStats};

@@ -1,0 +1,295 @@
+//! Shared random-workload generators for property, integration and chaos
+//! tests.
+//!
+//! One seeded generator produces syscall-level scripts over a small set of
+//! processes, files and pipes; the same script can be replayed onto a bare
+//! PASS [`Observer`] (graph-level property tests) or through a full
+//! [`PaS3fs`] mount (chaos exploration, integration tests), so every
+//! harness exercises the same event space. Everything is a pure function
+//! of the seed — the chaos explorer depends on that to replay failing
+//! schedules exactly.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cloudprov_fs::PaS3fs;
+use cloudprov_pass::{Observer, Pid, PipeId, ProcessInfo};
+
+/// Number of distinct processes a script draws from.
+pub const PROCESSES: u8 = 6;
+/// Number of distinct files a script draws from.
+pub const FILES: u8 = 8;
+/// Number of distinct pipes a script draws from.
+pub const PIPES: u8 = 3;
+
+/// One syscall-level event over the script's small namespace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptEvent {
+    /// Process `p` execs.
+    Exec(u8),
+    /// Process `p` reads file `f`.
+    Read(u8, u8),
+    /// Process `p` writes file `f`.
+    Write(u8, u8),
+    /// Process `p` writes pipe `q`.
+    PipeWrite(u8, u8),
+    /// Process `p` reads pipe `q`.
+    PipeRead(u8, u8),
+    /// File `f` is closed/flushed (uploads data + provenance closure).
+    Close(u8),
+    /// File `a` is renamed to file `b`.
+    Rename(u8, u8),
+    /// File `f` is unlinked.
+    Unlink(u8),
+}
+
+/// Path of script file `f`.
+pub fn file_path(f: u8) -> String {
+    format!("/f{f}")
+}
+
+/// Object-store key of script file `f`.
+pub fn file_key(f: u8) -> String {
+    format!("f{f}")
+}
+
+/// Generates a script of a fixed prologue plus `len` seeded events.
+///
+/// The prologue execs two processes and dirties two files so every script
+/// actually uploads something — without it, short scripts whose random
+/// `Exec` events land late produce no cloud traffic at all and explore
+/// nothing.
+pub fn random_script(seed: u64, len: usize) -> Vec<ScriptEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5C21_97E5_7E57_0000);
+    let mut script = vec![
+        ScriptEvent::Exec(0),
+        ScriptEvent::Exec(1),
+        ScriptEvent::Write(0, 0),
+        ScriptEvent::Write(1, 1),
+        ScriptEvent::Close(0),
+    ];
+    script.extend((0..len).map(|_| match rng.gen_range(0..12u8) {
+        0 => ScriptEvent::Exec(rng.gen_range(0..PROCESSES)),
+        1 | 2 => ScriptEvent::Read(rng.gen_range(0..PROCESSES), rng.gen_range(0..FILES)),
+        3..=5 => ScriptEvent::Write(rng.gen_range(0..PROCESSES), rng.gen_range(0..FILES)),
+        6 => ScriptEvent::PipeWrite(rng.gen_range(0..PROCESSES), rng.gen_range(0..PIPES)),
+        7 => ScriptEvent::PipeRead(rng.gen_range(0..PROCESSES), rng.gen_range(0..PIPES)),
+        8..=10 => ScriptEvent::Close(rng.gen_range(0..FILES)),
+        _ => match rng.gen_range(0..2u8) {
+            0 => ScriptEvent::Rename(rng.gen_range(0..FILES), rng.gen_range(0..FILES)),
+            _ => ScriptEvent::Unlink(rng.gen_range(0..FILES)),
+        },
+    }));
+    script
+}
+
+/// Replays a script onto a bare PASS [`Observer`] (no storage protocol).
+///
+/// Returns the observer and the total number of nodes emitted by the
+/// `Close` events' flush closures. Events referencing processes that have
+/// not exec'd, or pipes that were never written, are skipped — exactly the
+/// guard the property tests have always applied.
+pub fn apply_script(events: &[ScriptEvent]) -> (Observer, usize) {
+    let mut obs = Observer::new(99);
+    let mut flushed_nodes = 0;
+    let mut live_pipes = BTreeSet::new();
+    let mut execed = BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            ScriptEvent::Exec(p) => {
+                obs.exec(
+                    Pid(u64::from(*p)),
+                    ProcessInfo {
+                        name: format!("proc{p}"),
+                        exec_time_micros: i as u64,
+                        ..Default::default()
+                    },
+                );
+                execed.insert(*p);
+            }
+            ScriptEvent::Read(p, f) => {
+                if execed.contains(p) {
+                    obs.read(Pid(u64::from(*p)), &file_path(*f));
+                }
+            }
+            ScriptEvent::Write(p, f) => {
+                if execed.contains(p) {
+                    obs.write(Pid(u64::from(*p)), &file_path(*f), i as u64);
+                }
+            }
+            ScriptEvent::PipeWrite(p, q) => {
+                if execed.contains(p) {
+                    if live_pipes.insert(*q) {
+                        obs.pipe_create(PipeId(u64::from(*q)));
+                    }
+                    obs.pipe_write(Pid(u64::from(*p)), PipeId(u64::from(*q)));
+                }
+            }
+            ScriptEvent::PipeRead(p, q) => {
+                if execed.contains(p) && live_pipes.contains(q) {
+                    obs.pipe_read(Pid(u64::from(*p)), PipeId(u64::from(*q)));
+                }
+            }
+            ScriptEvent::Close(f) => {
+                flushed_nodes += obs.flush_closure(&file_path(*f)).len();
+            }
+            ScriptEvent::Rename(a, b) => {
+                if a != b {
+                    obs.rename(&file_path(*a), &file_path(*b));
+                }
+            }
+            ScriptEvent::Unlink(f) => obs.unlink(&file_path(*f)),
+        }
+    }
+    (obs, flushed_nodes)
+}
+
+/// Outcome of replaying a script through a [`PaS3fs`] mount.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FsReplay {
+    /// Events actually applied before the run ended.
+    pub applied: usize,
+    /// Keys whose *last* cloud operation was a successful close — the
+    /// durability promise set a recovery check should validate (a key is
+    /// removed again when a later unlink deletes it).
+    pub durable_keys: BTreeSet<String>,
+    /// The error that killed the client, if any (crash injection or an
+    /// exhausted-retries service failure), with the event index it hit.
+    pub died: Option<(usize, String)>,
+}
+
+/// Replays a script through a [`PaS3fs`] mount, stopping at the first
+/// cloud-path error (the client "dies" there — crash injection kills all
+/// subsequent steps anyway).
+pub fn replay_fs(fs: &PaS3fs, events: &[ScriptEvent]) -> FsReplay {
+    let mut out = FsReplay::default();
+    let mut execed = BTreeSet::new();
+    let mut live_pipes = BTreeSet::new();
+    // Mirror of the VFS cache: a close only uploads (and therefore only
+    // promises durability) when the file exists locally and is dirty.
+    let mut present: BTreeSet<u8> = BTreeSet::new();
+    let mut dirty: BTreeSet<u8> = BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let result = match ev {
+            ScriptEvent::Exec(p) => {
+                fs.exec(
+                    Pid(u64::from(*p)),
+                    ProcessInfo {
+                        name: format!("proc{p}"),
+                        ..Default::default()
+                    },
+                );
+                execed.insert(*p);
+                Ok(())
+            }
+            ScriptEvent::Read(p, f) => {
+                if execed.contains(p) {
+                    fs.read(Pid(u64::from(*p)), &file_path(*f), 1024);
+                    present.insert(*f); // reads create a clean cache entry
+                }
+                Ok(())
+            }
+            ScriptEvent::Write(p, f) => {
+                if execed.contains(p) {
+                    fs.write(Pid(u64::from(*p)), &file_path(*f), 2048);
+                    present.insert(*f);
+                    dirty.insert(*f);
+                }
+                Ok(())
+            }
+            ScriptEvent::PipeWrite(p, q) => {
+                if execed.contains(p) {
+                    if live_pipes.insert(*q) {
+                        fs.pipe_create(PipeId(u64::from(*q)));
+                    }
+                    fs.pipe_write(Pid(u64::from(*p)), PipeId(u64::from(*q)));
+                }
+                Ok(())
+            }
+            ScriptEvent::PipeRead(p, q) => {
+                if execed.contains(p) && live_pipes.contains(q) {
+                    fs.pipe_read(Pid(u64::from(*p)), PipeId(u64::from(*q)));
+                }
+                Ok(())
+            }
+            ScriptEvent::Close(f) => fs.close(Pid(0), &file_path(*f)).map(|()| {
+                // A close of a clean or absent file is a no-op — only a
+                // dirty close uploads and promises durability.
+                if dirty.remove(f) {
+                    out.durable_keys.insert(file_key(*f));
+                }
+            }),
+            ScriptEvent::Rename(a, b) => {
+                if a != b {
+                    fs.rename(Pid(0), &file_path(*a), &file_path(*b));
+                    // Renames stay local (as s3fs did for dirty files):
+                    // cloud objects under both keys are untouched, so
+                    // existing promises stand. The moved entry replaces
+                    // the target, carrying its dirty state with it.
+                    if present.remove(a) {
+                        present.insert(*b);
+                        if dirty.remove(a) {
+                            dirty.insert(*b);
+                        } else {
+                            dirty.remove(b);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            ScriptEvent::Unlink(f) => fs.unlink(Pid(0), &file_path(*f)).map(|()| {
+                present.remove(f);
+                dirty.remove(f);
+                out.durable_keys.remove(&file_key(*f));
+            }),
+        };
+        match result {
+            Ok(()) => out.applied += 1,
+            Err(e) => {
+                out.died = Some((i, e.to_string()));
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        assert_eq!(random_script(1, 64), random_script(1, 64));
+        assert_ne!(random_script(1, 64), random_script(2, 64));
+    }
+
+    #[test]
+    fn scripts_cover_every_event_kind() {
+        let script = random_script(0, 4000);
+        let kind = |e: &ScriptEvent| -> u8 {
+            match e {
+                ScriptEvent::Exec(_) => 0,
+                ScriptEvent::Read(..) => 1,
+                ScriptEvent::Write(..) => 2,
+                ScriptEvent::PipeWrite(..) => 3,
+                ScriptEvent::PipeRead(..) => 4,
+                ScriptEvent::Close(_) => 5,
+                ScriptEvent::Rename(..) => 6,
+                ScriptEvent::Unlink(_) => 7,
+            }
+        };
+        let kinds: BTreeSet<u8> = script.iter().map(kind).collect();
+        assert_eq!(kinds.len(), 8, "all event kinds must appear");
+    }
+
+    #[test]
+    fn observer_replay_is_acyclic() {
+        for seed in 0..8 {
+            let (obs, _) = apply_script(&random_script(seed, 120));
+            assert!(obs.graph().find_cycle().is_none());
+        }
+    }
+}

@@ -31,6 +31,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use cloudprov_chaos as chaos;
 pub use cloudprov_cloud as cloud;
 pub use cloudprov_core as protocols;
 pub use cloudprov_fs as fs;

@@ -9,104 +9,35 @@
 //! * The SQS model never loses or invents messages.
 //! * Protocol round-trips: whatever is flushed can be read back coupled
 //!   once the system quiesces.
+//!
+//! Workload scripts come from the shared `testkit` generator — the same
+//! strategy set the chaos explorer and integration tests replay — so a
+//! seed printed by any failing harness reproduces here too.
 
 use proptest::prelude::*;
 
-use cloudprov::pass::{wire, Attr, Observer, Pid, PipeId, ProcessInfo, ProvenanceRecord};
+use cloudprov::pass::{wire, Attr, ProvenanceRecord};
+use cloudprov::workloads::testkit::{apply_script, random_script, ScriptEvent};
 
-/// A random syscall script over a small set of processes/files/pipes.
-#[derive(Clone, Debug)]
-enum Ev {
-    Exec(u8),
-    Read(u8, u8),
-    Write(u8, u8),
-    PipeWrite(u8, u8),
-    PipeRead(u8, u8),
-    Flush(u8),
-    Rename(u8, u8),
-    Unlink(u8),
-}
-
-fn ev_strategy() -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        (0u8..6).prop_map(Ev::Exec),
-        ((0u8..6), (0u8..8)).prop_map(|(p, f)| Ev::Read(p, f)),
-        ((0u8..6), (0u8..8)).prop_map(|(p, f)| Ev::Write(p, f)),
-        ((0u8..6), (0u8..3)).prop_map(|(p, q)| Ev::PipeWrite(p, q)),
-        ((0u8..6), (0u8..3)).prop_map(|(p, q)| Ev::PipeRead(p, q)),
-        (0u8..8).prop_map(Ev::Flush),
-        ((0u8..8), (0u8..8)).prop_map(|(a, b)| Ev::Rename(a, b)),
-        (0u8..8).prop_map(Ev::Unlink),
-    ]
-}
-
-fn apply_script(events: &[Ev]) -> (Observer, usize) {
-    let mut obs = Observer::new(99);
-    let mut flushed_nodes = 0;
-    let mut live_pipes = std::collections::BTreeSet::new();
-    let mut execed = std::collections::BTreeSet::new();
-    for (i, ev) in events.iter().enumerate() {
-        match ev {
-            Ev::Exec(p) => {
-                obs.exec(
-                    Pid(*p as u64),
-                    ProcessInfo {
-                        name: format!("proc{p}"),
-                        exec_time_micros: i as u64,
-                        ..Default::default()
-                    },
-                );
-                execed.insert(*p);
-            }
-            Ev::Read(p, f) => {
-                if execed.contains(p) {
-                    obs.read(Pid(*p as u64), &format!("/f{f}"));
-                }
-            }
-            Ev::Write(p, f) => {
-                if execed.contains(p) {
-                    obs.write(Pid(*p as u64), &format!("/f{f}"), i as u64);
-                }
-            }
-            Ev::PipeWrite(p, q) => {
-                if execed.contains(p) {
-                    if live_pipes.insert(*q) {
-                        obs.pipe_create(PipeId(*q as u64));
-                    }
-                    obs.pipe_write(Pid(*p as u64), PipeId(*q as u64));
-                }
-            }
-            Ev::PipeRead(p, q) => {
-                if execed.contains(p) && live_pipes.contains(q) {
-                    obs.pipe_read(Pid(*p as u64), PipeId(*q as u64));
-                }
-            }
-            Ev::Flush(f) => {
-                flushed_nodes += obs.flush_closure(&format!("/f{f}")).len();
-            }
-            Ev::Rename(a, b) => {
-                if a != b {
-                    obs.rename(&format!("/f{a}"), &format!("/f{b}"));
-                }
-            }
-            Ev::Unlink(f) => obs.unlink(&format!("/f{f}")),
-        }
-    }
-    (obs, flushed_nodes)
+/// Proptest strategy over testkit scripts: a (seed, length) pair mapped
+/// through the shared seeded generator, so shrinking and replay stay in
+/// one event space with every other harness.
+fn script_strategy(max_len: usize) -> impl Strategy<Value = Vec<ScriptEvent>> {
+    (any::<u64>(), 0..max_len).prop_map(|(seed, len)| random_script(seed, len))
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn observer_graph_is_always_acyclic(events in proptest::collection::vec(ev_strategy(), 0..120)) {
+    fn observer_graph_is_always_acyclic(events in script_strategy(120)) {
         let (obs, _) = apply_script(&events);
         prop_assert!(obs.graph().find_cycle().is_none(),
             "cycle found: {:?}", obs.graph().find_cycle());
     }
 
     #[test]
-    fn flush_closures_are_ancestors_first(events in proptest::collection::vec(ev_strategy(), 0..80)) {
+    fn flush_closures_are_ancestors_first(events in script_strategy(80)) {
         let (mut obs, _) = apply_script(&events);
         // Flush everything that remains, file by file; each closure must
         // list dependencies before dependents.
@@ -124,7 +55,7 @@ proptest! {
     }
 
     #[test]
-    fn second_flush_is_empty_without_new_activity(events in proptest::collection::vec(ev_strategy(), 0..80)) {
+    fn second_flush_is_empty_without_new_activity(events in script_strategy(80)) {
         let (mut obs, _) = apply_script(&events);
         for f in 0..8u8 {
             let _ = obs.flush_closure(&format!("/f{f}"));
