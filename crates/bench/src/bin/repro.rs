@@ -3,19 +3,23 @@
 //! to the paper's reported numbers.
 //!
 //! ```text
-//! repro [table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|chaos|all] [--small]
+//! repro [table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|chaos|fleet|all] [--small]
 //! ```
 //!
-//! `--small` runs scaled-down workloads (for smoke tests); the default is
-//! the paper's full scale. `chaos` sweeps the deterministic
-//! failure-schedule explorer over a fixed seed range per protocol and
-//! exits non-zero on any recovery-invariant violation (the CI gate);
-//! `chaos --seed N` replays one seed verbosely.
+//! `--small` (alias `--smoke`) runs scaled-down workloads (for smoke
+//! tests); the default is the paper's full scale. `chaos` sweeps the
+//! deterministic failure-schedule explorer over a fixed seed range per
+//! protocol and exits non-zero on any recovery-invariant violation (the
+//! CI gate); `chaos --seed N` replays one seed verbosely. `fleet` sweeps
+//! clients x shards x daemons over the sharded multi-tenant commit plane
+//! (`crates/fleet`), prints the scaling table, proves determinism by
+//! re-running a cell, writes `BENCH_fleet.json`, and exits non-zero on
+//! any fleet invariant violation.
 
 use std::time::Instant;
 
 use cloudprov_bench::experiments::{
-    ablations, chaos, micro, props, queries, services, umlcheck, workload_runs,
+    ablations, chaos, fleet, micro, props, queries, services, umlcheck, workload_runs,
 };
 use cloudprov_bench::{overhead_pct, Which};
 use cloudprov_cloud::{ClientLocation, Era, Machine, RunContext};
@@ -463,9 +467,124 @@ fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
     all_ok
 }
 
+/// The fleet scaling table over the sharded multi-tenant commit plane.
+/// Returns whether every cell was free of invariant violations.
+fn fleet_table(small: bool, seed: u64) -> bool {
+    hr("Fleet: clients x shards x daemons over the sharded commit plane (throughput\n       must rise with daemons at fixed shards; zero invariant violations)");
+    println!(
+        "Seed {seed}; every cell replays seeded testkit scripts through pipelined,\nthrottled P3 sessions routed onto shard WALs; a lease-holding daemon pool\ncommits asynchronously. Latencies are client flush->WAL-durable.\n"
+    );
+    println!(
+        "{:>7} {:>7} {:>7} {:>7} {:>9} {:>10} {:>9} {:>9} {:>10} {:>10}   verdict",
+        "Clients",
+        "Shards",
+        "Daemons",
+        "Txns",
+        "Commits",
+        "Thr(tx/s)",
+        "p50(ms)",
+        "p99(ms)",
+        "Elapsed(s)",
+        "Cost($)"
+    );
+    let reports = fleet::sweep(small, seed);
+    let mut all_ok = true;
+    for r in &reports {
+        let violations = r.violations();
+        let ok = violations.is_empty();
+        all_ok &= ok;
+        println!(
+            "{:>7} {:>7} {:>7} {:>7} {:>9} {:>10.2} {:>9.1} {:>9.1} {:>10.1} {:>10.4}   {}",
+            r.clients,
+            r.shards,
+            r.daemons,
+            r.logged_txns,
+            r.unique_committed,
+            r.throughput,
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.elapsed.as_secs_f64(),
+            r.total_cost_usd,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        for v in violations {
+            println!("          violation: {v}");
+        }
+        for f in &r.failed_checks {
+            println!("          failed check: {f}");
+        }
+    }
+    // Headline scaling claim: at the fixed shard count of the daemon
+    // sweep, throughput must rise with daemon count.
+    let daemon_sweep: Vec<&cloudprov_workloads::FleetReport> = {
+        let (shards, clients) = (reports[0].shards, reports[0].clients);
+        reports
+            .iter()
+            .filter(|r| r.shards == shards && r.clients == clients)
+            .collect()
+    };
+    if daemon_sweep.len() >= 2 {
+        let first = daemon_sweep.first().unwrap();
+        let last = daemon_sweep.last().unwrap();
+        let scaled = last.throughput > first.throughput;
+        println!(
+            "\nDaemon scaling at {} shards: {} daemon(s) -> {:.2} tx/s, {} daemons -> {:.2} tx/s ({})",
+            first.shards,
+            first.daemons,
+            first.throughput,
+            last.daemons,
+            last.throughput,
+            if scaled { "scales" } else { "DOES NOT SCALE" }
+        );
+        all_ok &= scaled;
+    }
+    // Per-tenant attribution for the first cell.
+    let first = &reports[0];
+    println!(
+        "\nPer-tenant bill of the first cell ({} clients over {} tenants):",
+        first.clients, first.tenants
+    );
+    println!("  {:>7} {:>8} {:>10} {:>10}", "Tenant", "Ops", "MB", "USD");
+    for t in &first.per_tenant {
+        println!(
+            "  {:>7} {:>8} {:>10.2} {:>10.4}",
+            format!("t{}", t.tenant),
+            t.ops,
+            t.mb,
+            t.usd
+        );
+    }
+    // Determinism proof: the first cell re-run must reproduce exactly.
+    let again = fleet::rerun_first(small, seed);
+    let identical = again == reports[0];
+    println!(
+        "\nDeterminism: first cell re-run is {} (same seed -> same table).",
+        if identical {
+            "bit-identical"
+        } else {
+            "DIFFERENT"
+        }
+    );
+    all_ok &= identical;
+    // The machine-readable perf trajectory. The smoke grid writes its
+    // own file so a CI run can never clobber the committed full-sweep
+    // baseline (the two grids are not comparable cell-for-cell).
+    let json = fleet::to_json(seed, small, &reports);
+    let path = if small {
+        "BENCH_fleet_smoke.json"
+    } else {
+        "BENCH_fleet.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("Wrote {path} ({} cells).", reports.len()),
+        Err(e) => println!("Could not write {path}: {e}"),
+    }
+    all_ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let small = args.iter().any(|a| a == "--small");
+    let small = args.iter().any(|a| a == "--small" || a == "--smoke");
     let seed_arg = args.iter().position(|a| a == "--seed").map(|i| {
         args.get(i + 1)
             .and_then(|s| s.parse::<u64>().ok())
@@ -501,6 +620,14 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "fleet" => {
+            if !fleet_table(small, seed_arg.unwrap_or(0)) {
+                eprintln!(
+                    "\nfleet sweep found invariant violations or lost scaling (see table above)"
+                );
+                std::process::exit(1);
+            }
+        }
         "all" => {
             table1();
             table2(small);
@@ -514,10 +641,14 @@ fn main() {
                 eprintln!("\nchaos exploration found invariant violations (see table above)");
                 std::process::exit(1);
             }
+            if !fleet_table(true, 0) {
+                eprintln!("\nfleet sweep found invariant violations (see table above)");
+                std::process::exit(1);
+            }
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|chaos|all [--small] [--seed N]"
+                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|chaos|fleet|all [--small|--smoke] [--seed N]"
             );
             std::process::exit(2);
         }

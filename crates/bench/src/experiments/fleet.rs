@@ -1,0 +1,181 @@
+//! Fleet experiment: sweep clients × shards × daemons over the sharded
+//! commit plane and produce the scaling table (plus `BENCH_fleet.json`)
+//! that future performance PRs are measured against.
+//!
+//! The sweep is a pure function of its seed: every cell report is
+//! reproducible bit-for-bit, and `repro -- fleet` re-runs one cell to
+//! prove it.
+
+use cloudprov_cloud::AwsProfile;
+use cloudprov_workloads::fleet::{run_fleet, FleetParams, FleetReport};
+
+/// The cell grid: (clients, tenants, shards, daemons, script_len).
+type Cell = (usize, u32, u32, usize, usize);
+
+/// Smoke grid for CI: one small fleet, daemons swept at fixed shards.
+const SMOKE: &[Cell] = &[(24, 4, 4, 1, 12), (24, 4, 4, 2, 12), (24, 4, 4, 4, 12)];
+
+/// Full grid: a daemon sweep at fixed shards (the headline scaling
+/// claim), a shard sweep at fixed daemons, and a client-load sweep.
+const FULL: &[Cell] = &[
+    // Daemon scaling, 8 shards fixed.
+    (192, 12, 8, 1, 24),
+    (192, 12, 8, 2, 24),
+    (192, 12, 8, 4, 24),
+    (192, 12, 8, 8, 24),
+    // Shard scaling, 4 daemons fixed.
+    (192, 12, 2, 4, 24),
+    (192, 12, 16, 4, 24),
+    // Client load, 8 shards / 4 daemons fixed.
+    (96, 12, 8, 4, 24),
+    (288, 12, 8, 4, 24),
+];
+
+/// Parameters for one cell of the sweep.
+pub fn cell_params(cell: Cell, seed: u64) -> FleetParams {
+    let (clients, tenants, shards, daemons, script_len) = cell;
+    FleetParams {
+        clients,
+        tenants,
+        shards,
+        daemons,
+        script_len,
+        seed,
+        profile: AwsProfile::calibrated(Default::default()),
+        ..FleetParams::default()
+    }
+}
+
+/// Runs the sweep. `small` selects the CI smoke grid.
+pub fn sweep(small: bool, seed: u64) -> Vec<FleetReport> {
+    let grid = if small { SMOKE } else { FULL };
+    grid.iter()
+        .map(|c| run_fleet(&cell_params(*c, seed)))
+        .collect()
+}
+
+/// Re-runs the first cell of the grid (the determinism proof).
+pub fn rerun_first(small: bool, seed: u64) -> FleetReport {
+    let grid = if small { SMOKE } else { FULL };
+    run_fleet(&cell_params(grid[0], seed))
+}
+
+fn json_escape_free(s: &str) -> String {
+    // Everything we emit is numeric or ASCII identifiers; keep it simple.
+    s.chars().filter(|c| *c != '"' && *c != '\\').collect()
+}
+
+/// Machine-readable dump of the sweep — the `BENCH_fleet.json` perf
+/// trajectory file. Hand-rolled JSON: the workspace is offline and
+/// serde is not among the vendored crates.
+pub fn to_json(seed: u64, small: bool, reports: &[FleetReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"fleet\",\n  \"seed\": {seed},\n  \"smoke\": {small},\n  \"cells\": [\n"
+    ));
+    for (i, r) in reports.iter().enumerate() {
+        let tenants: Vec<String> = r
+            .per_tenant
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tenant\": {}, \"ops\": {}, \"mb\": {:.3}, \"usd\": {:.6}}}",
+                    t.tenant, t.ops, t.mb, t.usd
+                )
+            })
+            .collect();
+        let violations: Vec<String> = r
+            .violations()
+            .iter()
+            .map(|v| format!("\"{}\"", json_escape_free(v)))
+            .collect();
+        out.push_str(&format!(
+            concat!(
+                "    {{\"clients\": {}, \"tenants\": {}, \"shards\": {}, \"daemons\": {}, ",
+                "\"logged_txns\": {}, \"committed\": {}, \"double_commits\": {}, ",
+                "\"client_phase_s\": {:.3}, \"elapsed_s\": {:.3}, ",
+                "\"throughput_txn_per_s\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, ",
+                "\"samples\": {}, \"cost_usd\": {:.6}, \"lease_acquisitions\": {}, ",
+                "\"lease_losses\": {}, \"handoffs\": {}, \"idle_releases\": {}, ",
+                "\"violations\": [{}], \"per_tenant\": [{}]}}{}\n"
+            ),
+            r.clients,
+            r.tenants,
+            r.shards,
+            r.daemons,
+            r.logged_txns,
+            r.committed,
+            r.double_commits,
+            r.client_phase.as_secs_f64(),
+            r.elapsed.as_secs_f64(),
+            r.throughput,
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.samples,
+            r.total_cost_usd,
+            r.pool.acquisitions,
+            r.pool.losses,
+            r.pool.handoffs,
+            r.pool.idle_releases,
+            violations.join(", "),
+            tenants.join(", "),
+            if i + 1 == reports.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn smoke_cells_share_the_workload_shape() {
+        // All smoke cells differ only in daemon count, so the logged
+        // transaction totals must match — the throughput comparison is
+        // apples-to-apples.
+        let a = cell_params(SMOKE[0], 1);
+        let b = cell_params(SMOKE[2], 1);
+        assert_eq!(a.clients, b.clients);
+        assert_eq!(a.shards, b.shards);
+        assert_ne!(a.daemons, b.daemons);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = FleetReport {
+            clients: 2,
+            tenants: 1,
+            shards: 1,
+            daemons: 1,
+            logged_txns: 3,
+            committed: 3,
+            unique_committed: 3,
+            double_commits: 0,
+            client_phase: Duration::from_secs(1),
+            elapsed: Duration::from_secs(2),
+            throughput: 1.5,
+            p50: Duration::from_millis(10),
+            p99: Duration::from_millis(20),
+            samples: 3,
+            wal_leftover: 0,
+            temp_leftover: 0,
+            missing_durable: 0,
+            coupling_violations: 0,
+            failed_checks: vec![],
+            durable_checked: 2,
+            client_errors: 0,
+            total_cost_usd: 0.01,
+            per_tenant: vec![],
+            pool: Default::default(),
+        };
+        let j = to_json(42, true, &[r]);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"throughput_txn_per_s\": 1.5000"));
+    }
+}

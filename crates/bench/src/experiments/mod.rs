@@ -1,9 +1,11 @@
 //! One module per table/figure of the paper's evaluation (§5), plus the
 //! chaos-exploration table that machine-checks Table 1's claims under
-//! explored failure schedules.
+//! explored failure schedules and the fleet scaling sweep over the
+//! sharded multi-tenant commit plane.
 
 pub mod ablations;
 pub mod chaos;
+pub mod fleet;
 pub mod micro;
 pub mod props;
 pub mod queries;

@@ -4,7 +4,7 @@
 use cloudprov_sim::Sim;
 
 use crate::fault::FaultHandle;
-use crate::meter::{Meter, Service, UsageReport};
+use crate::meter::{Meter, Service, TenantId, UsageReport};
 use crate::pricing::{CostBreakdown, PriceBook};
 use crate::profile::AwsProfile;
 use crate::s3::ObjectStore;
@@ -80,6 +80,21 @@ impl CloudEnv {
             sqs,
             meter,
             faults,
+        }
+    }
+
+    /// A view of the same cloud account whose service calls are
+    /// additionally attributed to `tenant`. State (objects, items,
+    /// queues), the meter, faults and the clock are all shared with the
+    /// parent — only the accounting label differs. The fleet driver hands
+    /// each simulated client a tenant view so [`UsageReport::tenant_view`]
+    /// can price every tenant separately.
+    pub fn for_tenant(&self, tenant: TenantId) -> CloudEnv {
+        CloudEnv {
+            s3: self.s3.with_tenant(tenant),
+            sdb: self.sdb.with_tenant(tenant),
+            sqs: self.sqs.with_tenant(tenant),
+            ..self.clone()
         }
     }
 

@@ -56,7 +56,7 @@ pub use blob::Blob;
 pub use env::CloudEnv;
 pub use error::{CloudError, Result};
 pub use fault::{FaultHandle, FaultPlan};
-pub use meter::{Actor, Meter, Op, OpStats, Service, UsageReport};
+pub use meter::{Actor, Meter, Op, OpStats, Service, TenantId, UsageReport};
 pub use pricing::{CostBreakdown, PriceBook};
 pub use profile::{
     AwsProfile, ClientLocation, ConsistencyParams, Era, Machine, RunContext, ServiceParams,

@@ -7,6 +7,12 @@
 //! be included in cost (Table 4 "includes commit daemon cost") but excluded
 //! from client-side operation counts (Table 3 "numbers do not include the
 //! commit daemon"), exactly as the paper reports them.
+//!
+//! Calls can additionally carry a [`TenantId`] label (see
+//! `CloudEnv::for_tenant`): the fleet benchmark uses it to attribute
+//! ops, bytes and dollars to individual tenants of a shared commit
+//! plane. Untenanted calls (daemons, queries, single-tenant harnesses)
+//! are metered exactly as before.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -62,6 +68,19 @@ pub enum Op {
     Send,
     /// SQS ReceiveMessage.
     Receive,
+    /// SQS ChangeMessageVisibility (lease renewal / early release).
+    ChangeVisibility,
+}
+
+/// Label identifying one tenant of a multi-tenant fleet. Purely an
+/// accounting dimension: the services themselves are tenant-oblivious.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
 }
 
 /// Who issued the operation. The paper distinguishes the foreground client
@@ -128,6 +147,7 @@ impl StorageIntegral {
 
 struct MeterState {
     ops: BTreeMap<(Actor, Service, Op), OpStats>,
+    tenant_ops: BTreeMap<(TenantId, Service, Op), OpStats>,
     storage: BTreeMap<Service, StorageIntegral>,
 }
 
@@ -158,19 +178,35 @@ impl Meter {
         Meter {
             state: Arc::new(Mutex::new(MeterState {
                 ops: BTreeMap::new(),
+                tenant_ops: BTreeMap::new(),
                 storage: BTreeMap::new(),
             })),
         }
     }
 
-    /// Records one service call.
-    pub fn record(&self, actor: Actor, service: Service, op: Op, bytes_in: u64, bytes_out: u64) {
-        self.state
-            .lock()
-            .ops
+    /// Records one service call. `tenant` additionally attributes the call
+    /// to a tenant of a multi-tenant fleet (None for single-tenant runs
+    /// and shared infrastructure like the commit daemons).
+    pub fn record(
+        &self,
+        actor: Actor,
+        tenant: Option<TenantId>,
+        service: Service,
+        op: Op,
+        bytes_in: u64,
+        bytes_out: u64,
+    ) {
+        let mut st = self.state.lock();
+        st.ops
             .entry((actor, service, op))
             .or_default()
             .add(bytes_in, bytes_out);
+        if let Some(t) = tenant {
+            st.tenant_ops
+                .entry((t, service, op))
+                .or_default()
+                .add(bytes_in, bytes_out);
+        }
     }
 
     /// Records a change in stored bytes (positive on PUT, negative on
@@ -189,6 +225,7 @@ impl Meter {
         let st = self.state.lock();
         UsageReport {
             ops: st.ops.clone(),
+            tenant_ops: st.tenant_ops.clone(),
             storage_gb_months: st
                 .storage
                 .iter()
@@ -201,6 +238,7 @@ impl Meter {
     pub fn reset(&self) {
         let mut st = self.state.lock();
         st.ops.clear();
+        st.tenant_ops.clear();
         st.storage.clear();
     }
 }
@@ -210,6 +248,8 @@ impl Meter {
 pub struct UsageReport {
     /// Per-(actor, service, op) statistics.
     pub ops: BTreeMap<(Actor, Service, Op), OpStats>,
+    /// Per-(tenant, service, op) statistics for tenant-labeled calls.
+    pub tenant_ops: BTreeMap<(TenantId, Service, Op), OpStats>,
     /// Integrated storage usage per service, in GB-months.
     pub storage_gb_months: BTreeMap<Service, f64>,
 }
@@ -251,6 +291,55 @@ impl UsageReport {
             .copied()
             .unwrap_or_default()
     }
+
+    /// Every tenant that appears in this report, in id order.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut out: Vec<TenantId> = self.tenant_ops.keys().map(|(t, _, _)| *t).collect();
+        out.dedup();
+        out
+    }
+
+    /// Total operation count attributed to `tenant`.
+    pub fn tenant_ops_total(&self, tenant: TenantId) -> u64 {
+        self.tenant_ops
+            .iter()
+            .filter(|((t, _, _), _)| *t == tenant)
+            .map(|(_, st)| st.count)
+            .sum()
+    }
+
+    /// Total bytes (in + out) attributed to `tenant`.
+    pub fn tenant_bytes_total(&self, tenant: TenantId) -> u64 {
+        self.tenant_ops
+            .iter()
+            .filter(|((t, _, _), _)| *t == tenant)
+            .map(|(_, st)| st.bytes_in + st.bytes_out)
+            .sum()
+    }
+
+    /// A report containing only the ops attributed to `tenant`, suitable
+    /// for per-tenant costing with [`PriceBook::cost`]. Storage-time is a
+    /// pooled resource and is not tenant-attributed (it comes back empty
+    /// here); per-tenant dollar figures therefore cover transfer, request
+    /// and box-usage charges.
+    ///
+    /// [`PriceBook::cost`]: crate::PriceBook::cost
+    pub fn tenant_view(&self, tenant: TenantId) -> UsageReport {
+        let tenant_ops: BTreeMap<(TenantId, Service, Op), OpStats> = self
+            .tenant_ops
+            .iter()
+            .filter(|((t, _, _), _)| *t == tenant)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        UsageReport {
+            ops: tenant_ops
+                .iter()
+                .map(|((_, s, o), st)| ((Actor::Client, *s, *o), *st))
+                .collect(),
+            tenant_ops,
+            storage_gb_months: BTreeMap::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -261,9 +350,16 @@ mod tests {
     #[test]
     fn records_accumulate() {
         let m = Meter::new();
-        m.record(Actor::Client, Service::ObjectStore, Op::Put, 100, 0);
-        m.record(Actor::Client, Service::ObjectStore, Op::Put, 200, 0);
-        m.record(Actor::CommitDaemon, Service::Queue, Op::Receive, 0, 50);
+        m.record(Actor::Client, None, Service::ObjectStore, Op::Put, 100, 0);
+        m.record(Actor::Client, None, Service::ObjectStore, Op::Put, 200, 0);
+        m.record(
+            Actor::CommitDaemon,
+            None,
+            Service::Queue,
+            Op::Receive,
+            0,
+            50,
+        );
         let r = m.report(SimTime::ZERO);
         let put = r.get(Actor::Client, Service::ObjectStore, Op::Put);
         assert_eq!(put.count, 2);
@@ -275,10 +371,54 @@ mod tests {
     #[test]
     fn client_ops_exclude_daemon() {
         let m = Meter::new();
-        m.record(Actor::CommitDaemon, Service::Database, Op::DbPut, 10, 0);
+        m.record(
+            Actor::CommitDaemon,
+            None,
+            Service::Database,
+            Op::DbPut,
+            10,
+            0,
+        );
         let r = m.report(SimTime::ZERO);
         assert_eq!(r.client_ops(), 0);
         assert_eq!(r.total_ops(|_, _, _| true), 1);
+    }
+
+    #[test]
+    fn tenant_labels_split_usage() {
+        let m = Meter::new();
+        let (a, b) = (TenantId(0), TenantId(1));
+        m.record(
+            Actor::Client,
+            Some(a),
+            Service::ObjectStore,
+            Op::Put,
+            100,
+            0,
+        );
+        m.record(Actor::Client, Some(a), Service::ObjectStore, Op::Get, 0, 50);
+        m.record(Actor::Client, Some(b), Service::Queue, Op::Send, 30, 0);
+        m.record(
+            Actor::CommitDaemon,
+            None,
+            Service::Queue,
+            Op::Receive,
+            0,
+            30,
+        );
+        let r = m.report(SimTime::ZERO);
+        assert_eq!(r.tenants(), vec![a, b]);
+        assert_eq!(r.tenant_ops_total(a), 2);
+        assert_eq!(r.tenant_ops_total(b), 1);
+        assert_eq!(r.tenant_bytes_total(a), 150);
+        assert_eq!(r.tenant_bytes_total(b), 30);
+        // The untenanted aggregate still sees every call.
+        assert_eq!(r.total_ops(|_, _, _| true), 4);
+        // A tenant view carries only that tenant's ops.
+        let view = r.tenant_view(a);
+        assert_eq!(view.total_ops(|_, _, _| true), 2);
+        assert_eq!(view.tenants(), vec![a]);
+        assert!(view.storage_gb_months.is_empty());
     }
 
     #[test]
@@ -308,8 +448,17 @@ mod tests {
     #[test]
     fn reset_clears_counters() {
         let m = Meter::new();
-        m.record(Actor::Client, Service::Queue, Op::Send, 1, 0);
+        m.record(
+            Actor::Client,
+            Some(TenantId(7)),
+            Service::Queue,
+            Op::Send,
+            1,
+            0,
+        );
         m.reset();
-        assert_eq!(m.report(SimTime::ZERO).total_ops(|_, _, _| true), 0);
+        let r = m.report(SimTime::ZERO);
+        assert_eq!(r.total_ops(|_, _, _| true), 0);
+        assert!(r.tenants().is_empty());
     }
 }

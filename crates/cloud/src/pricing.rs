@@ -151,7 +151,14 @@ mod tests {
         // §4.3.3: "One thousand copy operations cost 0.01 USD for S3".
         let m = Meter::new();
         for _ in 0..1000 {
-            m.record(Actor::CommitDaemon, Service::ObjectStore, Op::Copy, 0, 0);
+            m.record(
+                Actor::CommitDaemon,
+                None,
+                Service::ObjectStore,
+                Op::Copy,
+                0,
+                0,
+            );
         }
         let cost = PriceBook::aws_2009().cost(&m.report(SimTime::ZERO));
         assert!((cost.total() - 0.01).abs() < 1e-9, "{}", cost);
@@ -163,6 +170,7 @@ mod tests {
         let m = Meter::new();
         m.record(
             Actor::Client,
+            None,
             Service::ObjectStore,
             Op::Put,
             10_000_000_000,
@@ -176,7 +184,7 @@ mod tests {
     fn deletes_are_free() {
         let m = Meter::new();
         for _ in 0..10_000 {
-            m.record(Actor::Client, Service::ObjectStore, Op::Delete, 0, 0);
+            m.record(Actor::Client, None, Service::ObjectStore, Op::Delete, 0, 0);
         }
         let cost = PriceBook::aws_2009().cost(&m.report(SimTime::ZERO));
         assert_eq!(cost.request_usd, 0.0);
@@ -186,11 +194,11 @@ mod tests {
     fn gets_are_ten_times_cheaper_than_puts() {
         let m1 = Meter::new();
         for _ in 0..1000 {
-            m1.record(Actor::Client, Service::ObjectStore, Op::Get, 0, 0);
+            m1.record(Actor::Client, None, Service::ObjectStore, Op::Get, 0, 0);
         }
         let m2 = Meter::new();
         for _ in 0..1000 {
-            m2.record(Actor::Client, Service::ObjectStore, Op::Put, 0, 0);
+            m2.record(Actor::Client, None, Service::ObjectStore, Op::Put, 0, 0);
         }
         let book = PriceBook::aws_2009();
         let get_cost = book.cost(&m1.report(SimTime::ZERO)).request_usd;

@@ -61,7 +61,9 @@ impl ServiceParams {
             Op::Get | Op::Head | Op::DbGet | Op::DbSelect | Op::Receive | Op::List => {
                 self.read_base
             }
-            Op::Put | Op::Copy | Op::Delete | Op::DbPut | Op::Send => self.write_base,
+            Op::Put | Op::Copy | Op::Delete | Op::DbPut | Op::Send | Op::ChangeVisibility => {
+                self.write_base
+            }
         };
         let items_cost = self.per_item * (items as u32);
         let kb_out = bytes_out.div_ceil(1024) as u32;

@@ -24,7 +24,7 @@ use cloudprov_sim::SimTime;
 
 use crate::blob::Blob;
 use crate::error::{CloudError, Result};
-use crate::meter::{Actor, Op, Service};
+use crate::meter::{Actor, Op, Service, TenantId};
 use crate::service::ServiceCore;
 
 /// User metadata attached to an object (`x-amz-meta-*` pairs).
@@ -136,6 +136,7 @@ pub struct ObjectStore {
     core: Arc<ServiceCore>,
     state: Arc<Mutex<StoreState>>,
     actor: Actor,
+    tenant: Option<TenantId>,
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -153,6 +154,7 @@ impl ObjectStore {
             core,
             state: Arc::new(Mutex::new(StoreState::default())),
             actor: Actor::Client,
+            tenant: None,
         }
     }
 
@@ -160,6 +162,15 @@ impl ObjectStore {
     pub fn with_actor(&self, actor: Actor) -> ObjectStore {
         ObjectStore {
             actor,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a handle whose calls are additionally attributed to
+    /// `tenant` (fleet accounting).
+    pub fn with_tenant(&self, tenant: TenantId) -> ObjectStore {
+        ObjectStore {
+            tenant: Some(tenant),
             ..self.clone()
         }
     }
@@ -176,29 +187,30 @@ impl ObjectStore {
         let state = self.state.clone();
         let core = self.core.clone();
         let (bucket, key) = (bucket.to_string(), key.to_string());
-        self.core.call(self.actor, Op::Put, 0, len, move |now| {
-            let mut st = state.lock();
-            let hist = st.objects.entry((bucket, key)).or_default();
-            let old_len = hist
-                .latest()
-                .and_then(|v| v.object.as_ref())
-                .map_or(0, |(b, _)| b.len());
-            hist.versions.push(StoredVersion {
-                published: now,
-                object: Some((blob, meta)),
-            });
-            let horizon = SimTime::from_micros(
-                now.as_micros()
-                    .saturating_sub(core.max_staleness().as_micros() as u64),
-            );
-            hist.prune(horizon);
-            core.meter().record_storage_delta(
-                Service::ObjectStore,
-                now,
-                len as i64 - old_len as i64,
-            );
-            Ok(((), 0))
-        })
+        self.core
+            .call(self.actor, self.tenant, Op::Put, 0, len, move |now| {
+                let mut st = state.lock();
+                let hist = st.objects.entry((bucket, key)).or_default();
+                let old_len = hist
+                    .latest()
+                    .and_then(|v| v.object.as_ref())
+                    .map_or(0, |(b, _)| b.len());
+                hist.versions.push(StoredVersion {
+                    published: now,
+                    object: Some((blob, meta)),
+                });
+                let horizon = SimTime::from_micros(
+                    now.as_micros()
+                        .saturating_sub(core.max_staleness().as_micros() as u64),
+                );
+                hist.prune(horizon);
+                core.meter().record_storage_delta(
+                    Service::ObjectStore,
+                    now,
+                    len as i64 - old_len as i64,
+                );
+                Ok(((), 0))
+            })
     }
 
     /// Retrieves the object at `bucket`/`key`.
@@ -211,32 +223,34 @@ impl ObjectStore {
         let staleness = self.core.draw_staleness();
         let state = self.state.clone();
         let (b, k) = (bucket.to_string(), key.to_string());
-        self.core.call(self.actor, Op::Get, 0, 0, move |now| {
-            let horizon =
-                SimTime::from_micros(now.as_micros().saturating_sub(staleness.as_micros() as u64));
-            let st = state.lock();
-            let visible = st
-                .objects
-                .get(&(b.clone(), k.clone()))
-                .and_then(|h| h.visible_at(horizon));
-            match visible {
-                Some(StoredVersion {
-                    published,
-                    object: Some((blob, meta)),
-                }) => {
-                    let len = blob.len();
-                    Ok((
-                        ObjectData {
-                            blob: blob.clone(),
-                            meta: meta.clone(),
-                            last_modified: *published,
-                        },
-                        len,
-                    ))
+        self.core
+            .call(self.actor, self.tenant, Op::Get, 0, 0, move |now| {
+                let horizon = SimTime::from_micros(
+                    now.as_micros().saturating_sub(staleness.as_micros() as u64),
+                );
+                let st = state.lock();
+                let visible = st
+                    .objects
+                    .get(&(b.clone(), k.clone()))
+                    .and_then(|h| h.visible_at(horizon));
+                match visible {
+                    Some(StoredVersion {
+                        published,
+                        object: Some((blob, meta)),
+                    }) => {
+                        let len = blob.len();
+                        Ok((
+                            ObjectData {
+                                blob: blob.clone(),
+                                meta: meta.clone(),
+                                last_modified: *published,
+                            },
+                            len,
+                        ))
+                    }
+                    _ => Err(CloudError::NoSuchKey { bucket: b, key: k }),
                 }
-                _ => Err(CloudError::NoSuchKey { bucket: b, key: k }),
-            }
-        })
+            })
     }
 
     /// Retrieves metadata and length without the payload.
@@ -248,29 +262,31 @@ impl ObjectStore {
         let staleness = self.core.draw_staleness();
         let state = self.state.clone();
         let (b, k) = (bucket.to_string(), key.to_string());
-        self.core.call(self.actor, Op::Head, 0, 0, move |now| {
-            let horizon =
-                SimTime::from_micros(now.as_micros().saturating_sub(staleness.as_micros() as u64));
-            let st = state.lock();
-            match st
-                .objects
-                .get(&(b.clone(), k.clone()))
-                .and_then(|h| h.visible_at(horizon))
-            {
-                Some(StoredVersion {
-                    published,
-                    object: Some((blob, meta)),
-                }) => Ok((
-                    HeadData {
-                        meta: meta.clone(),
-                        len: blob.len(),
-                        last_modified: *published,
-                    },
-                    1, // headers only
-                )),
-                _ => Err(CloudError::NoSuchKey { bucket: b, key: k }),
-            }
-        })
+        self.core
+            .call(self.actor, self.tenant, Op::Head, 0, 0, move |now| {
+                let horizon = SimTime::from_micros(
+                    now.as_micros().saturating_sub(staleness.as_micros() as u64),
+                );
+                let st = state.lock();
+                match st
+                    .objects
+                    .get(&(b.clone(), k.clone()))
+                    .and_then(|h| h.visible_at(horizon))
+                {
+                    Some(StoredVersion {
+                        published,
+                        object: Some((blob, meta)),
+                    }) => Ok((
+                        HeadData {
+                            meta: meta.clone(),
+                            len: blob.len(),
+                            last_modified: *published,
+                        },
+                        1, // headers only
+                    )),
+                    _ => Err(CloudError::NoSuchKey { bucket: b, key: k }),
+                }
+            })
     }
 
     /// Server-side copy. Reads the **latest committed** source version (the
@@ -292,39 +308,40 @@ impl ObjectStore {
         let core = self.core.clone();
         let (sb, sk) = (src_bucket.to_string(), src_key.to_string());
         let (db, dk) = (dst_bucket.to_string(), dst_key.to_string());
-        self.core.call(self.actor, Op::Copy, 0, 0, move |now| {
-            let mut st = state.lock();
-            let src = st
-                .objects
-                .get(&(sb.clone(), sk.clone()))
-                .and_then(|h| h.latest())
-                .and_then(|v| v.object.clone())
-                .ok_or(CloudError::NoSuchKey {
-                    bucket: sb.clone(),
-                    key: sk.clone(),
-                })?;
-            let (blob, src_meta) = src;
-            let meta = match directive {
-                MetadataDirective::Copy => src_meta,
-                MetadataDirective::Replace(m) => m,
-            };
-            let len = blob.len();
-            let hist = st.objects.entry((db, dk)).or_default();
-            let old_len = hist
-                .latest()
-                .and_then(|v| v.object.as_ref())
-                .map_or(0, |(b, _)| b.len());
-            hist.versions.push(StoredVersion {
-                published: now,
-                object: Some((blob, meta)),
-            });
-            core.meter().record_storage_delta(
-                Service::ObjectStore,
-                now,
-                len as i64 - old_len as i64,
-            );
-            Ok(((), 0))
-        })
+        self.core
+            .call(self.actor, self.tenant, Op::Copy, 0, 0, move |now| {
+                let mut st = state.lock();
+                let src = st
+                    .objects
+                    .get(&(sb.clone(), sk.clone()))
+                    .and_then(|h| h.latest())
+                    .and_then(|v| v.object.clone())
+                    .ok_or(CloudError::NoSuchKey {
+                        bucket: sb.clone(),
+                        key: sk.clone(),
+                    })?;
+                let (blob, src_meta) = src;
+                let meta = match directive {
+                    MetadataDirective::Copy => src_meta,
+                    MetadataDirective::Replace(m) => m,
+                };
+                let len = blob.len();
+                let hist = st.objects.entry((db, dk)).or_default();
+                let old_len = hist
+                    .latest()
+                    .and_then(|v| v.object.as_ref())
+                    .map_or(0, |(b, _)| b.len());
+                hist.versions.push(StoredVersion {
+                    published: now,
+                    object: Some((blob, meta)),
+                });
+                core.meter().record_storage_delta(
+                    Service::ObjectStore,
+                    now,
+                    len as i64 - old_len as i64,
+                );
+                Ok(((), 0))
+            })
     }
 
     /// Deletes the object (idempotent: deleting a missing key succeeds, as
@@ -333,24 +350,28 @@ impl ObjectStore {
         let state = self.state.clone();
         let core = self.core.clone();
         let (b, k) = (bucket.to_string(), key.to_string());
-        self.core.call(self.actor, Op::Delete, 0, 0, move |now| {
-            let mut st = state.lock();
-            if let Some(hist) = st.objects.get_mut(&(b, k)) {
-                let old_len = hist
-                    .latest()
-                    .and_then(|v| v.object.as_ref())
-                    .map_or(0, |(blob, _)| blob.len());
-                if old_len > 0 || hist.latest().is_some_and(|v| v.object.is_some()) {
-                    hist.versions.push(StoredVersion {
-                        published: now,
-                        object: None,
-                    });
-                    core.meter()
-                        .record_storage_delta(Service::ObjectStore, now, -(old_len as i64));
+        self.core
+            .call(self.actor, self.tenant, Op::Delete, 0, 0, move |now| {
+                let mut st = state.lock();
+                if let Some(hist) = st.objects.get_mut(&(b, k)) {
+                    let old_len = hist
+                        .latest()
+                        .and_then(|v| v.object.as_ref())
+                        .map_or(0, |(blob, _)| blob.len());
+                    if old_len > 0 || hist.latest().is_some_and(|v| v.object.is_some()) {
+                        hist.versions.push(StoredVersion {
+                            published: now,
+                            object: None,
+                        });
+                        core.meter().record_storage_delta(
+                            Service::ObjectStore,
+                            now,
+                            -(old_len as i64),
+                        );
+                    }
                 }
-            }
-            Ok(((), 0))
-        })
+                Ok(((), 0))
+            })
     }
 
     /// Lists up to `max_keys` keys with the given prefix, starting after
@@ -368,40 +389,43 @@ impl ObjectStore {
         let p = prefix.to_string();
         let marker = marker.map(str::to_string);
         let max_keys = max_keys.min(LIST_MAX_KEYS);
-        self.core.call(self.actor, Op::List, 0, 0, move |now| {
-            let horizon =
-                SimTime::from_micros(now.as_micros().saturating_sub(staleness.as_micros() as u64));
-            let st = state.lock();
-            let mut keys = Vec::new();
-            let mut next_marker = None;
-            for ((bk, key), hist) in st.objects.range((b.clone(), p.clone())..) {
-                if *bk != b || !key.starts_with(&p) {
-                    break;
-                }
-                if let Some(m) = &marker {
-                    if key <= m {
-                        continue;
-                    }
-                }
-                if let Some(StoredVersion {
-                    published,
-                    object: Some((blob, _)),
-                }) = hist.visible_at(horizon)
-                {
-                    if keys.len() == max_keys {
-                        next_marker = Some(keys.last().map(|k: &ListedKey| k.key.clone()).unwrap());
+        self.core
+            .call(self.actor, self.tenant, Op::List, 0, 0, move |now| {
+                let horizon = SimTime::from_micros(
+                    now.as_micros().saturating_sub(staleness.as_micros() as u64),
+                );
+                let st = state.lock();
+                let mut keys = Vec::new();
+                let mut next_marker = None;
+                for ((bk, key), hist) in st.objects.range((b.clone(), p.clone())..) {
+                    if *bk != b || !key.starts_with(&p) {
                         break;
                     }
-                    keys.push(ListedKey {
-                        key: key.clone(),
-                        len: blob.len(),
-                        last_modified: *published,
-                    });
+                    if let Some(m) = &marker {
+                        if key <= m {
+                            continue;
+                        }
+                    }
+                    if let Some(StoredVersion {
+                        published,
+                        object: Some((blob, _)),
+                    }) = hist.visible_at(horizon)
+                    {
+                        if keys.len() == max_keys {
+                            next_marker =
+                                Some(keys.last().map(|k: &ListedKey| k.key.clone()).unwrap());
+                            break;
+                        }
+                        keys.push(ListedKey {
+                            key: key.clone(),
+                            len: blob.len(),
+                            last_modified: *published,
+                        });
+                    }
                 }
-            }
-            let bytes = keys.iter().map(|k| k.key.len() as u64 + 64).sum();
-            Ok((ListPage { keys, next_marker }, bytes))
-        })
+                let bytes = keys.iter().map(|k| k.key.len() as u64 + 64).sum();
+                Ok((ListPage { keys, next_marker }, bytes))
+            })
     }
 
     /// Lists **all** keys with a prefix, following pagination.

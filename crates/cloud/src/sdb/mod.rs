@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 use cloudprov_sim::SimTime;
 
 use crate::error::{CloudError, Result};
-use crate::meter::{Actor, Op, Service};
+use crate::meter::{Actor, Op, Service, TenantId};
 use crate::service::ServiceCore;
 
 use select::{Output, Select};
@@ -121,6 +121,7 @@ pub struct Database {
     core: Arc<ServiceCore>,
     state: Arc<Mutex<DbState>>,
     actor: Actor,
+    tenant: Option<TenantId>,
 }
 
 impl std::fmt::Debug for Database {
@@ -179,6 +180,7 @@ impl Database {
             core,
             state: Arc::new(Mutex::new(DbState::default())),
             actor: Actor::Client,
+            tenant: None,
         }
     }
 
@@ -186,6 +188,15 @@ impl Database {
     pub fn with_actor(&self, actor: Actor) -> Database {
         Database {
             actor,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a handle whose calls are additionally attributed to
+    /// `tenant` (fleet accounting).
+    pub fn with_tenant(&self, tenant: TenantId) -> Database {
+        Database {
+            tenant: Some(tenant),
             ..self.clone()
         }
     }
@@ -236,8 +247,13 @@ impl Database {
         let state = self.state.clone();
         let core = self.core.clone();
         let domain = domain.to_string();
-        self.core
-            .call(self.actor, Op::DbPut, n, bytes_in, move |now| {
+        self.core.call(
+            self.actor,
+            self.tenant,
+            Op::DbPut,
+            n,
+            bytes_in,
+            move |now| {
                 let mut st = state.lock();
                 let dom = st
                     .domains
@@ -257,7 +273,8 @@ impl Database {
                     hist.prune(horizon);
                 }
                 Ok(((), 0))
-            })
+            },
+        )
     }
 
     /// Reads all attributes of one item. Eventually consistent: an empty
@@ -271,22 +288,24 @@ impl Database {
         let state = self.state.clone();
         let domain = domain.to_string();
         let item_name = item_name.to_string();
-        self.core.call(self.actor, Op::DbGet, 0, 0, move |now| {
-            let horizon =
-                SimTime::from_micros(now.as_micros().saturating_sub(staleness.as_micros() as u64));
-            let st = state.lock();
-            let dom = st
-                .domains
-                .get(&domain)
-                .ok_or(CloudError::NoSuchDomain(domain.clone()))?;
-            let attrs = dom
-                .get(&item_name)
-                .and_then(|h| h.visible_at(horizon))
-                .cloned()
-                .unwrap_or_default();
-            let bytes = attrs_size(&attrs);
-            Ok((attrs, bytes))
-        })
+        self.core
+            .call(self.actor, self.tenant, Op::DbGet, 0, 0, move |now| {
+                let horizon = SimTime::from_micros(
+                    now.as_micros().saturating_sub(staleness.as_micros() as u64),
+                );
+                let st = state.lock();
+                let dom = st
+                    .domains
+                    .get(&domain)
+                    .ok_or(CloudError::NoSuchDomain(domain.clone()))?;
+                let attrs = dom
+                    .get(&item_name)
+                    .and_then(|h| h.visible_at(horizon))
+                    .cloned()
+                    .unwrap_or_default();
+                let bytes = attrs_size(&attrs);
+                Ok((attrs, bytes))
+            })
     }
 
     /// Deletes an entire item (all attributes). Used by the
@@ -295,20 +314,21 @@ impl Database {
         let state = self.state.clone();
         let domain = domain.to_string();
         let item_name = item_name.to_string();
-        self.core.call(self.actor, Op::Delete, 0, 0, move |now| {
-            let mut st = state.lock();
-            let dom = st
-                .domains
-                .get_mut(&domain)
-                .ok_or(CloudError::NoSuchDomain(domain.clone()))?;
-            if let Some(hist) = dom.get_mut(&item_name) {
-                hist.versions.push(ItemVersion {
-                    published: now,
-                    attrs: None,
-                });
-            }
-            Ok(((), 0))
-        })
+        self.core
+            .call(self.actor, self.tenant, Op::Delete, 0, 0, move |now| {
+                let mut st = state.lock();
+                let dom = st
+                    .domains
+                    .get_mut(&domain)
+                    .ok_or(CloudError::NoSuchDomain(domain.clone()))?;
+                if let Some(hist) = dom.get_mut(&item_name) {
+                    hist.versions.push(ItemVersion {
+                        published: now,
+                        attrs: None,
+                    });
+                }
+                Ok(((), 0))
+            })
     }
 
     /// Executes one page of a SELECT. Pass the previous page's
@@ -331,8 +351,13 @@ impl Database {
         let staleness = self.core.draw_staleness();
         let state = self.state.clone();
         let bytes_in = expression.len() as u64;
-        self.core
-            .call(self.actor, Op::DbSelect, 0, bytes_in, move |now| {
+        self.core.call(
+            self.actor,
+            self.tenant,
+            Op::DbSelect,
+            0,
+            bytes_in,
+            move |now| {
                 let horizon = SimTime::from_micros(
                     now.as_micros().saturating_sub(staleness.as_micros() as u64),
                 );
@@ -394,7 +419,8 @@ impl Database {
                     next_token: next.map(|n| n.to_string()),
                 };
                 Ok((page, bytes.max(16)))
-            })
+            },
+        )
     }
 
     /// Runs a SELECT to completion, following pagination sequentially (one

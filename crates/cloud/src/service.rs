@@ -12,7 +12,7 @@ use cloudprov_sim::{Sim, SimSemaphore, SimTime};
 
 use crate::error::{CloudError, Result};
 use crate::fault::FaultHandle;
-use crate::meter::{Actor, Meter, Op, Service};
+use crate::meter::{Actor, Meter, Op, Service, TenantId};
 use crate::profile::{AwsProfile, ConsistencyParams, RunContext, ServiceParams};
 
 /// Per-service request engine. Every API call of every service funnels
@@ -132,6 +132,7 @@ impl ServiceCore {
     pub(crate) fn call<R>(
         &self,
         actor: Actor,
+        tenant: Option<TenantId>,
         op: Op,
         items: usize,
         bytes_in: u64,
@@ -144,7 +145,7 @@ impl ServiceCore {
             // A failed request still costs a round trip.
             self.sim
                 .sleep(self.context.extra_rtt() + scale(self.params.read_base, era * jitter));
-            self.meter.record(actor, self.service, op, 0, 0);
+            self.meter.record(actor, tenant, self.service, op, 0, 0);
             return Err(CloudError::ServiceUnavailable {
                 service: self.service.name(),
             });
@@ -165,7 +166,7 @@ impl ServiceCore {
         self.sim.sleep(resp);
         drop(slot);
         self.meter
-            .record(actor, self.service, op, bytes_in, bytes_out);
+            .record(actor, tenant, self.service, op, bytes_in, bytes_out);
         result
     }
 }
@@ -199,7 +200,7 @@ mod tests {
     fn call_charges_latency_and_meters() {
         let profile = AwsProfile::calibrated_strict(RunContext::default());
         let (sim, c) = core(&profile);
-        c.call(Actor::Client, Op::Put, 0, 2048, |_| Ok(((), 0)))
+        c.call(Actor::Client, None, Op::Put, 0, 2048, |_| Ok(((), 0)))
             .unwrap();
         // At least the 700 ms write base (jitter can shave up to 8%).
         assert!(sim.now().as_secs_f64() > 0.6, "t={}", sim.now());
@@ -225,7 +226,7 @@ mod tests {
             .map(|_| {
                 let c = c.clone();
                 move || {
-                    c.call(Actor::Client, Op::Put, 0, 0, |_| Ok(((), 0)))
+                    c.call(Actor::Client, None, Op::Put, 0, 0, |_| Ok(((), 0)))
                         .unwrap();
                 }
             })
@@ -246,7 +247,7 @@ mod tests {
         });
         let c = ServiceCore::new(&sim, Service::Queue, &profile, Meter::new(), faults);
         let err = c
-            .call(Actor::Client, Op::Send, 0, 10, |_| Ok(((), 0)))
+            .call(Actor::Client, None, Op::Send, 0, 10, |_| Ok(((), 0)))
             .unwrap_err();
         assert_eq!(err, CloudError::ServiceUnavailable { service: "SQS" });
         let rep = c.meter().report(sim.now());

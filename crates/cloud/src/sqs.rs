@@ -16,7 +16,7 @@ use parking_lot::Mutex;
 use cloudprov_sim::SimTime;
 
 use crate::error::{CloudError, Result};
-use crate::meter::{Actor, Op, Service};
+use crate::meter::{Actor, Op, Service, TenantId};
 use crate::service::ServiceCore;
 
 /// SQS's 2009 message-size limit in bytes (§2.3: "Both SQS and Queue
@@ -68,6 +68,7 @@ pub struct QueueService {
     core: Arc<ServiceCore>,
     state: Arc<Mutex<SqsState>>,
     actor: Actor,
+    tenant: Option<TenantId>,
     visibility_timeout: Duration,
     /// Probability of duplicate delivery injected by the fault plan is read
     /// from the core's fault handle at receive time.
@@ -89,6 +90,7 @@ impl QueueService {
             core,
             state: Arc::new(Mutex::new(SqsState::default())),
             actor: Actor::Client,
+            tenant: None,
             visibility_timeout: DEFAULT_VISIBILITY_TIMEOUT,
             _private: (),
         }
@@ -98,6 +100,15 @@ impl QueueService {
     pub fn with_actor(&self, actor: Actor) -> QueueService {
         QueueService {
             actor,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a handle whose calls are additionally attributed to
+    /// `tenant` (fleet accounting).
+    pub fn with_tenant(&self, tenant: TenantId) -> QueueService {
+        QueueService {
+            tenant: Some(tenant),
             ..self.clone()
         }
     }
@@ -138,24 +149,25 @@ impl QueueService {
         let state = self.state.clone();
         let url = queue_url.to_string();
         let len = body.len() as u64;
-        self.core.call(self.actor, Op::Send, 0, len, move |now| {
-            let mut st = state.lock();
-            let q = st
-                .queues
-                .get_mut(&url)
-                .ok_or(CloudError::NoSuchQueue(url.clone()))?;
-            Self::expire(q, now);
-            let id = q.next_id;
-            q.next_id += 1;
-            q.messages.push(QueueMessage {
-                id,
-                body,
-                sent_at: now,
-                visible_at: now,
-                delivery_count: 0,
-            });
-            Ok((id, 0))
-        })
+        self.core
+            .call(self.actor, self.tenant, Op::Send, 0, len, move |now| {
+                let mut st = state.lock();
+                let q = st
+                    .queues
+                    .get_mut(&url)
+                    .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+                Self::expire(q, now);
+                let id = q.next_id;
+                q.next_id += 1;
+                q.messages.push(QueueMessage {
+                    id,
+                    body,
+                    sent_at: now,
+                    visible_at: now,
+                    delivery_count: 0,
+                });
+                Ok((id, 0))
+            })
     }
 
     /// Receives up to `max` visible messages (at most 10 per call, like the
@@ -175,46 +187,106 @@ impl QueueService {
         let url = queue_url.to_string();
         let max = max.min(RECEIVE_MAX);
         let vis = self.visibility_timeout;
-        self.core.call(self.actor, Op::Receive, 0, 0, move |now| {
-            let mut st = state.lock();
-            let q = st
-                .queues
-                .get_mut(&url)
-                .ok_or(CloudError::NoSuchQueue(url.clone()))?;
-            Self::expire(q, now);
-            let mut out = Vec::new();
-            let mut bytes = 0u64;
-            for _ in 0..max {
-                // Best-effort ordering: pick from a small window at the
-                // head of the visible set instead of strictly the front.
-                let visible: Vec<usize> = q
+        self.core
+            .call(self.actor, self.tenant, Op::Receive, 0, 0, move |now| {
+                let mut st = state.lock();
+                let q = st
+                    .queues
+                    .get_mut(&url)
+                    .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+                Self::expire(q, now);
+                let mut out = Vec::new();
+                let mut bytes = 0u64;
+                for _ in 0..max {
+                    // SQS promised no ordering at all: each receive sampled a
+                    // random subset of storage hosts. Model that as a uniform
+                    // pick over the visible set — crucially NOT a head window,
+                    // which would starve long-lived messages stuck at the tail
+                    // of the store (the fleet's lease tokens live forever and
+                    // exposed exactly that bias).
+                    let visible: Vec<usize> = q
+                        .messages
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.visible_at <= now)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if visible.is_empty() {
+                        break;
+                    }
+                    let pick = visible[core.rng_range(visible.len())];
+                    let duplicate = core.draw_duplicate();
+                    let m = &mut q.messages[pick];
+                    if !duplicate {
+                        m.visible_at = now + vis;
+                    }
+                    m.delivery_count += 1;
+                    let receipt = format!("{}#{}", m.id, m.delivery_count);
+                    bytes += m.body.len() as u64;
+                    out.push(ReceivedMessage {
+                        id: m.id,
+                        receipt,
+                        body: m.body.clone(),
+                    });
+                }
+                Ok((out, bytes))
+            })
+    }
+
+    /// Changes the remaining visibility timeout of an in-flight message —
+    /// the real `ChangeMessageVisibility` call. The fleet's commit daemons
+    /// use it to *renew* per-shard leases (extend) and to *release* them
+    /// early (a timeout of zero makes the message immediately receivable
+    /// by someone else).
+    ///
+    /// Unlike [`QueueService::delete`], this call is strict about receipt
+    /// freshness, matching the real service: it fails on a receipt whose
+    /// message has expired back to visible (the lease was lost) or has
+    /// been redelivered since (someone else holds it now). That error is
+    /// exactly how a daemon discovers its shard was stolen.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchQueue`] for unknown queues;
+    /// [`CloudError::InvalidReceipt`] for unparsable receipts, receipts of
+    /// deleted/expired messages, stale receipts (the message was
+    /// redelivered since), and messages that are currently visible (not
+    /// in flight).
+    pub fn change_visibility(
+        &self,
+        queue_url: &str,
+        receipt: &str,
+        timeout: Duration,
+    ) -> Result<()> {
+        let (id, delivery) = parse_receipt(receipt)?;
+        let state = self.state.clone();
+        let url = queue_url.to_string();
+        let receipt = receipt.to_string();
+        self.core.call(
+            self.actor,
+            self.tenant,
+            Op::ChangeVisibility,
+            0,
+            0,
+            move |now| {
+                let mut st = state.lock();
+                let q = st
+                    .queues
+                    .get_mut(&url)
+                    .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+                Self::expire(q, now);
+                let m = q
                     .messages
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, m)| m.visible_at <= now)
-                    .map(|(i, _)| i)
-                    .collect();
-                if visible.is_empty() {
-                    break;
+                    .iter_mut()
+                    .find(|m| m.id == id)
+                    .ok_or_else(|| CloudError::InvalidReceipt(receipt.clone()))?;
+                if m.delivery_count != delivery || m.visible_at <= now {
+                    return Err(CloudError::InvalidReceipt(receipt.clone()));
                 }
-                let window = visible.len().min(4);
-                let pick = visible[core.rng_range(window)];
-                let duplicate = core.draw_duplicate();
-                let m = &mut q.messages[pick];
-                if !duplicate {
-                    m.visible_at = now + vis;
-                }
-                m.delivery_count += 1;
-                let receipt = format!("{}#{}", m.id, m.delivery_count);
-                bytes += m.body.len() as u64;
-                out.push(ReceivedMessage {
-                    id: m.id,
-                    receipt,
-                    body: m.body.clone(),
-                });
-            }
-            Ok((out, bytes))
-        })
+                m.visible_at = now + timeout;
+                Ok(((), 0))
+            },
+        )
     }
 
     /// Deletes a message by receipt handle. Stale receipts (the message was
@@ -233,15 +305,27 @@ impl QueueService {
             .ok_or_else(|| CloudError::InvalidReceipt(receipt.to_string()))?;
         let state = self.state.clone();
         let url = queue_url.to_string();
-        self.core.call(self.actor, Op::Delete, 0, 0, move |_now| {
-            let mut st = state.lock();
-            let q = st
-                .queues
-                .get_mut(&url)
-                .ok_or(CloudError::NoSuchQueue(url.clone()))?;
-            q.messages.retain(|m| m.id != id);
-            Ok(((), 0))
-        })
+        self.core
+            .call(self.actor, self.tenant, Op::Delete, 0, 0, move |_now| {
+                let mut st = state.lock();
+                let q = st
+                    .queues
+                    .get_mut(&url)
+                    .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+                q.messages.retain(|m| m.id != id);
+                Ok(((), 0))
+            })
+    }
+
+    /// Instrumentation: messages currently visible (receivable now),
+    /// bypassing the API model. For tests.
+    pub fn peek_visible(&self, queue_url: &str, now: SimTime) -> usize {
+        self.state
+            .lock()
+            .queues
+            .get(queue_url)
+            .map(|q| q.messages.iter().filter(|m| m.visible_at <= now).count())
+            .unwrap_or(0)
     }
 
     /// Instrumentation: total messages (visible or not) currently stored,
@@ -254,6 +338,14 @@ impl QueueService {
             .map(|q| q.messages.len())
             .unwrap_or(0)
     }
+}
+
+/// Parses a full receipt handle `"{id}#{delivery_count}"`.
+fn parse_receipt(receipt: &str) -> Result<(u64, u32)> {
+    receipt
+        .split_once('#')
+        .and_then(|(id, d)| Some((id.parse().ok()?, d.parse().ok()?)))
+        .ok_or_else(|| CloudError::InvalidReceipt(receipt.to_string()))
 }
 
 #[cfg(test)]
@@ -389,6 +481,99 @@ mod tests {
         let a = q.receive(&url, 1).unwrap();
         let b = q.receive(&url, 1).unwrap();
         assert_eq!(a[0].id, b[0].id);
+    }
+
+    #[test]
+    fn change_visibility_extends_the_window() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let q = q.with_visibility_timeout(Duration::from_secs(30));
+        let url = q.create_queue("lease");
+        q.send(&url, Bytes::from_static(b"token")).unwrap();
+        let held = q.receive(&url, 1).unwrap();
+        // Renew at t=20 for another 30 s: invisible until t=50.
+        sim.sleep(Duration::from_secs(20));
+        q.change_visibility(&url, &held[0].receipt, Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(q.peek_visible(&url, sim.now()), 0, "renewed: in flight");
+        sim.sleep(Duration::from_secs(15)); // t=35: past the original window
+        assert!(q.receive(&url, 1).unwrap().is_empty(), "renewal must hold");
+        sim.sleep(Duration::from_secs(16)); // t=51: past the renewed window
+        let stolen = q.receive(&url, 1).unwrap();
+        assert_eq!(stolen.len(), 1, "an unrenewed lease becomes receivable");
+    }
+
+    #[test]
+    fn change_visibility_zero_releases_immediately() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let q = q.with_visibility_timeout(Duration::from_secs(3600));
+        let url = q.create_queue("lease");
+        q.send(&url, Bytes::from_static(b"token")).unwrap();
+        let held = q.receive(&url, 1).unwrap();
+        assert!(q.receive(&url, 1).unwrap().is_empty());
+        q.change_visibility(&url, &held[0].receipt, Duration::ZERO)
+            .unwrap();
+        assert_eq!(q.peek_visible(&url, sim.now()), 1, "released: visible");
+        let next = q.receive(&url, 1).unwrap();
+        assert_eq!(next.len(), 1, "explicit release hands the token over");
+        assert_ne!(next[0].receipt, held[0].receipt);
+    }
+
+    #[test]
+    fn change_visibility_fails_after_expiry() {
+        // The expiry race: the holder sleeps past its window, someone else
+        // may already have the message — renewal must fail, not silently
+        // re-steal.
+        let (sim, q) = sqs(AwsProfile::instant());
+        let q = q.with_visibility_timeout(Duration::from_secs(5));
+        let url = q.create_queue("lease");
+        q.send(&url, Bytes::from_static(b"token")).unwrap();
+        let held = q.receive(&url, 1).unwrap();
+        sim.sleep(Duration::from_secs(6));
+        let err = q
+            .change_visibility(&url, &held[0].receipt, Duration::from_secs(30))
+            .unwrap_err();
+        assert!(matches!(err, CloudError::InvalidReceipt(_)));
+    }
+
+    #[test]
+    fn change_visibility_fails_on_stale_receipt_after_redelivery() {
+        // Expiry race, second act: a new consumer received the message, so
+        // the old receipt is stale and must not be able to extend (that
+        // would steal the lease back from the legitimate holder).
+        let (sim, q) = sqs(AwsProfile::instant());
+        let q = q.with_visibility_timeout(Duration::from_secs(5));
+        let url = q.create_queue("lease");
+        q.send(&url, Bytes::from_static(b"token")).unwrap();
+        let old = q.receive(&url, 1).unwrap();
+        sim.sleep(Duration::from_secs(6));
+        let new = q.receive(&url, 1).unwrap();
+        assert_eq!(new.len(), 1);
+        let err = q
+            .change_visibility(&url, &old[0].receipt, Duration::from_secs(60))
+            .unwrap_err();
+        assert!(matches!(err, CloudError::InvalidReceipt(_)));
+        // The new holder's receipt still works.
+        q.change_visibility(&url, &new[0].receipt, Duration::from_secs(60))
+            .unwrap();
+    }
+
+    #[test]
+    fn change_visibility_rejects_garbage_and_unknown() {
+        let (_sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("lease");
+        assert!(matches!(
+            q.change_visibility(&url, "not-a-receipt", Duration::ZERO)
+                .unwrap_err(),
+            CloudError::InvalidReceipt(_)
+        ));
+        assert!(matches!(
+            q.change_visibility(&url, "99#1", Duration::ZERO)
+                .unwrap_err(),
+            CloudError::InvalidReceipt(_)
+        ));
+        assert!(q
+            .change_visibility("sqs://nope", "1#1", Duration::ZERO)
+            .is_err());
     }
 
     #[test]

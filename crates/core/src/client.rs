@@ -45,12 +45,13 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use cloudprov_cloud::CloudEnv;
 use cloudprov_pass::PNodeId;
-use cloudprov_sim::{Sim, SimSemaphore};
+use cloudprov_sim::{Sim, SimSemaphore, SimTime};
 
 use crate::error::{ClientError, ClientResult, ProtocolError, Result};
 use crate::layout::Layout;
@@ -126,14 +127,35 @@ pub enum FlushMode {
     Pipelined,
 }
 
+/// Admission gate for client-side backpressure: `flush` / `flush_async`
+/// block (in virtual time) while the gate returns `false`. The fleet
+/// wires this to a bounded per-shard WAL depth, so clients sharing an
+/// overloaded shard throttle instead of growing the queue without bound.
+pub type AdmissionGate = Arc<dyn Fn() -> bool + Send + Sync>;
+
 /// Typed builder for [`ProvenanceClient`] — the only supported way to
 /// construct a storage protocol outside `cloudprov-core`.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ClientBuilder {
     protocol: Protocol,
     config: ProtocolConfig,
     queue: String,
+    identity: Option<String>,
     mode: FlushMode,
+    throttle: Option<(AdmissionGate, Duration)>,
+}
+
+impl fmt::Debug for ClientBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientBuilder")
+            .field("protocol", &self.protocol)
+            .field("config", &self.config)
+            .field("queue", &self.queue)
+            .field("identity", &self.identity)
+            .field("mode", &self.mode)
+            .field("throttle", &self.throttle.as_ref().map(|(_, p)| p))
+            .finish()
+    }
 }
 
 impl ClientBuilder {
@@ -143,7 +165,9 @@ impl ClientBuilder {
             protocol,
             config: ProtocolConfig::default(),
             queue: "wal".to_string(),
+            identity: None,
             mode: FlushMode::Blocking,
+            throttle: None,
         }
     }
 
@@ -204,6 +228,24 @@ impl ClientBuilder {
         self
     }
 
+    /// Client identity seeding P3's transaction-id stream. Defaults to
+    /// the queue name (the paper's one-client-per-queue layout); a fleet
+    /// routing many clients onto one *shard* queue must give each client
+    /// a distinct identity so transaction ids cannot collide.
+    pub fn wal_identity(mut self, identity: impl Into<String>) -> Self {
+        self.identity = Some(identity.into());
+        self
+    }
+
+    /// Installs client-side backpressure: `flush`/`flush_async` re-check
+    /// `gate` every `poll` of virtual time and proceed only once it
+    /// admits. The gate is polled on the *submitting* thread, before the
+    /// batch enters the pipeline.
+    pub fn throttle(mut self, gate: AdmissionGate, poll: Duration) -> Self {
+        self.throttle = Some((gate, poll.max(Duration::from_millis(1))));
+        self
+    }
+
     /// Selects the non-blocking pipelined flush path.
     pub fn pipelined(mut self) -> Self {
         self.mode = FlushMode::Pipelined;
@@ -229,7 +271,9 @@ impl ClientBuilder {
             protocol,
             config,
             queue,
+            identity,
             mode,
+            throttle,
         } = self;
         let mut wal_url = None;
         let mut daemon = None;
@@ -238,7 +282,8 @@ impl ClientBuilder {
             Protocol::P1 => Arc::new(P1::new(env, config.clone())),
             Protocol::P2 => Arc::new(P2::new(env, config.clone())),
             Protocol::P3 => {
-                let p3 = P3::new(env, config.clone(), &queue);
+                let identity = identity.as_deref().unwrap_or(&queue);
+                let p3 = P3::with_identity(env, config.clone(), &queue, identity);
                 wal_url = Some(p3.wal_url().to_string());
                 daemon = Some(Arc::new(p3.commit_daemon()));
                 Arc::new(p3)
@@ -257,6 +302,7 @@ impl ClientBuilder {
             wal_url,
             mode,
             pipeline,
+            throttle,
         }
     }
 }
@@ -272,6 +318,7 @@ pub struct ProvenanceClient {
     wal_url: Option<String>,
     mode: FlushMode,
     pipeline: Option<Pipeline>,
+    throttle: Option<(AdmissionGate, Duration)>,
 }
 
 impl fmt::Debug for ProvenanceClient {
@@ -342,15 +389,41 @@ impl ProvenanceClient {
         self.wal_url.as_deref()
     }
 
+    /// Blocks (in virtual time) until the admission gate, if any, admits
+    /// a new batch — the fleet's per-shard backpressure point.
+    fn admit(&self) {
+        if let Some((gate, poll)) = &self.throttle {
+            while !gate() {
+                self.env.sim().sleep(*poll);
+            }
+        }
+    }
+
     /// Enqueues a batch on the background flusher and returns a ticket
     /// that resolves when the batch is durable. On a blocking-mode
     /// client this degenerates to an inline flush returning a resolved
     /// ticket, so call sites can be mode-agnostic.
+    ///
+    /// With a [`ClientBuilder::throttle`] gate installed, the call first
+    /// blocks until the gate admits.
     pub fn flush_async(&self, batch: FlushBatch) -> FlushTicket {
+        self.admit();
         match &self.pipeline {
             Some(p) => p.submit(batch),
             None => FlushTicket::resolved(&self.env, self.inner.flush(batch)),
         }
+    }
+
+    /// Flush→durable latencies observed by the background flusher so far
+    /// (capped; empty on a blocking-mode client): for each submitted
+    /// batch, the virtual time from `flush`/`flush_async` enqueue to the
+    /// moment its merged upload was durable. The fleet benchmark's
+    /// p50/p99 columns aggregate these across clients.
+    pub fn flush_latencies(&self) -> Vec<Duration> {
+        self.pipeline
+            .as_ref()
+            .map(|p| p.shared.lock().latencies.clone())
+            .unwrap_or_default()
     }
 
     /// Barrier: blocks (in virtual time) until every batch enqueued so
@@ -397,7 +470,9 @@ impl StorageProtocol for ProvenanceClient {
     /// Blocking mode: delegates to the protocol and returns when the
     /// batch is durable. Pipelined mode: enqueues and returns
     /// immediately — errors surface at the next barrier or ticket wait.
+    /// Either way an installed admission gate is waited out first.
     fn flush(&self, batch: FlushBatch) -> Result<()> {
+        self.admit();
         match &self.pipeline {
             Some(p) => {
                 p.submit(batch);
@@ -527,6 +602,8 @@ impl TicketState {
 struct Job {
     batch: FlushBatch,
     ticket: Arc<TicketState>,
+    /// Virtual instant the batch was enqueued, for flush→durable latency.
+    submitted_at: SimTime,
 }
 
 /// Content digest of one flush object: node id, pending records, data.
@@ -565,6 +642,10 @@ const DEDUPE_CAP: usize = 32_768;
 /// error per failed merge forever.
 const ERROR_CAP: usize = 256;
 
+/// Cap on the per-client flush→durable latency samples kept for the
+/// fleet benchmark's percentile columns.
+const LATENCY_CAP: usize = 1 << 16;
+
 #[derive(Default)]
 struct PipelineState {
     queue: VecDeque<Job>,
@@ -595,6 +676,9 @@ struct PipelineState {
     errors: VecDeque<(u64, u64, ProtocolError)>,
     /// Barrier waiters: woken when `completed` reaches their target.
     waiters: Vec<(u64, SimSemaphore)>,
+    /// Flush→durable samples (enqueue to merged-upload completion),
+    /// capped at [`LATENCY_CAP`].
+    latencies: Vec<Duration>,
 }
 
 impl PipelineState {
@@ -668,7 +752,8 @@ impl Pipeline {
             // The handle is deliberately dropped: the flusher exits on
             // shutdown (or idles, parked on `work`, costing no virtual
             // time) and is never joined.
-            let _flusher = sim.spawn(move || Self::run(shared, work, inner, config));
+            let sim2 = sim.clone();
+            let _flusher = sim.spawn(move || Self::run(sim2, shared, work, inner, config));
         }
         Pipeline {
             sim: sim.clone(),
@@ -678,6 +763,7 @@ impl Pipeline {
     }
 
     fn run(
+        sim: Sim,
         shared: Arc<Mutex<PipelineState>>,
         work: SimSemaphore,
         inner: Arc<dyn StorageProtocol>,
@@ -763,9 +849,21 @@ impl Pipeline {
                     .step("client:flusher:flush")
                     .and_then(|()| inner.flush(merged))
             };
+            let durable_at = sim.now();
             let mut st = shared.lock();
             match &result {
-                Ok(()) => st.record_persisted(merged_ids),
+                Ok(()) => {
+                    // Latency samples are flush→DURABLE: a failed merge
+                    // never became durable, so it contributes no sample
+                    // (it surfaces as an error at the barrier instead).
+                    for job in &jobs {
+                        if st.latencies.len() < LATENCY_CAP {
+                            st.latencies
+                                .push(durable_at.saturating_duration_since(job.submitted_at));
+                        }
+                    }
+                    st.record_persisted(merged_ids)
+                }
                 Err(e) => {
                     let start = st.completed;
                     let end = start + jobs.len() as u64;
@@ -803,6 +901,7 @@ impl Pipeline {
             st.queue.push_back(Job {
                 batch,
                 ticket: ticket.clone(),
+                submitted_at: self.sim.now(),
             });
         }
         self.work.release();

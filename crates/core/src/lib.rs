@@ -74,14 +74,14 @@ pub mod properties;
 mod protocol;
 
 pub use client::{
-    ClientBuilder, FlushMode, FlushTicket, PipelineStats, Protocol, ProvenanceClient,
+    AdmissionGate, ClientBuilder, FlushMode, FlushTicket, PipelineStats, Protocol, ProvenanceClient,
 };
 pub use error::{ClientError, ClientResult, ProtocolError, Result};
 pub use layout::{object_metadata, parse_object_metadata, Layout, META_UUID, META_VERSION};
 pub use p1::P1;
 pub use p2::P2;
-pub use p3::{CleanerDaemon, CommitDaemon, DaemonHandle, PollOutcome, P3};
+pub use p3::{CleanerDaemon, CommitDaemon, CommitListener, DaemonHandle, PollOutcome, P3};
 pub use protocol::{
-    item_to_records, CouplingCheck, FlushBatch, FlushObject, ProtocolConfig, ProvenanceStore,
-    ReadResult, S3fsBaseline, StepHook, StorageProtocol,
+    item_to_records, retry_cloud, CouplingCheck, FlushBatch, FlushObject, ProtocolConfig,
+    ProvenanceStore, ReadResult, S3fsBaseline, StepHook, StorageProtocol,
 };

@@ -74,12 +74,25 @@ impl P3 {
     /// Creates the protocol; `queue_name` names this client's WAL queue
     /// (each client has its own, §4.3.3).
     pub fn new(env: &CloudEnv, config: ProtocolConfig, queue_name: &str) -> P3 {
+        Self::with_identity(env, config, queue_name, queue_name)
+    }
+
+    /// Creates the protocol with an explicit client identity seeding the
+    /// transaction-id generator. In the paper each client owns its queue,
+    /// so the queue name doubles as the identity; a *sharded* fleet has
+    /// many clients logging to one shard queue, and their id streams must
+    /// not collide — interleaved WAL messages from two clients under one
+    /// transaction id would reassemble into garbage.
+    pub fn with_identity(
+        env: &CloudEnv,
+        config: ProtocolConfig,
+        queue_name: &str,
+        identity: &str,
+    ) -> P3 {
         env.sdb().create_domain(&config.layout.domain);
         let wal_url = env.sqs().create_queue(queue_name);
-        // Transaction ids must not collide across clients: seed the id
-        // generator from the (per-client, §4.3.3) queue name.
         let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in queue_name.bytes() {
+        for b in identity.bytes() {
             seed ^= u64::from(b);
             seed = seed.wrapping_mul(0x0100_0000_01b3);
         }
@@ -303,6 +316,11 @@ pub struct PollOutcome {
     pub stalled: usize,
 }
 
+/// Callback invoked (with the transaction id) each time a daemon commits
+/// a transaction. The fleet's daemon pool uses it as a cross-daemon
+/// double-commit detector.
+pub type CommitListener = Arc<dyn Fn(Uuid) + Send + Sync>;
+
 /// The asynchronous commit daemon (§4.3.3 commit phase).
 pub struct CommitDaemon {
     env: CloudEnv,
@@ -311,6 +329,7 @@ pub struct CommitDaemon {
     buf: Mutex<BTreeMap<Uuid, TxnBuf>>,
     committed: Mutex<BTreeSet<Uuid>>,
     committed_count: AtomicU64,
+    listener: Mutex<Option<CommitListener>>,
 }
 
 impl std::fmt::Debug for CommitDaemon {
@@ -334,7 +353,13 @@ impl CommitDaemon {
             buf: Mutex::new(BTreeMap::new()),
             committed: Mutex::new(BTreeSet::new()),
             committed_count: AtomicU64::new(0),
+            listener: Mutex::new(None),
         }
+    }
+
+    /// Installs a callback fired on every committed transaction.
+    pub fn set_commit_listener(&self, listener: CommitListener) {
+        *self.listener.lock() = Some(listener);
     }
 
     /// Transactions committed over this daemon's lifetime.
@@ -515,6 +540,9 @@ impl CommitDaemon {
         }
         self.committed.lock().insert(txn);
         self.committed_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(l) = self.listener.lock().clone() {
+            l(txn);
+        }
         Ok(())
     }
 

@@ -260,9 +260,12 @@ pub trait StorageProtocol: Send + Sync {
     }
 }
 
-/// Retries transient `ServiceUnavailable` failures with linear backoff in
-/// virtual time. Other errors pass through immediately.
-pub(crate) fn retry<T>(
+/// Retries a cloud call with exponential backoff (in virtual time) on
+/// transient `ServiceUnavailable` failures; other errors pass through
+/// immediately. The retry discipline every protocol path uses — public
+/// so out-of-crate daemons (the fleet's sharded cleaners) reuse the
+/// same policy.
+pub fn retry_cloud<T>(
     sim: &Sim,
     attempts: usize,
     mut f: impl FnMut() -> std::result::Result<T, CloudError>,
@@ -282,6 +285,9 @@ pub(crate) fn retry<T>(
     }
     Err(last.expect("retry loop ran at least once"))
 }
+
+/// Crate-internal alias: protocol code predates the public name.
+pub(crate) use retry_cloud as retry;
 
 /// Converts one node's records into a SimpleDB item, spilling values above
 /// the 1 KB attribute limit into S3 (shared by P2's client path and P3's

@@ -1,0 +1,508 @@
+//! [`DaemonPool`]: N commit daemons draining M WAL shards under leases.
+//!
+//! Each worker is a simulated thread running the classic lease loop:
+//! acquire shard leases from the [`LeaseBoard`], poll each held shard's
+//! commit daemon, renew the lease after every round, and shed shards that
+//! go idle (or that a starving peer could use) so the lease tokens keep
+//! circulating toward the load. Failover and stealing both come from the
+//! lease mechanics: a worker that dies or stalls stops renewing, the
+//! token expires back to visible, and whichever worker polls the board
+//! next takes the shard over.
+//!
+//! **Idempotence under at-least-once.** The pool keeps one shared
+//! [`CommitDaemon`] per shard: when a shard moves between workers (steal,
+//! handoff, duplicate lease delivery), the new worker drives the *same*
+//! daemon, so partially assembled transactions survive the move and the
+//! daemon's committed-set keeps redeliveries from double-committing.
+//! Even two genuinely independent daemons on one shard are safe — the
+//! commit path itself is idempotent (copy-or-verify, exact-duplicate
+//! attribute writes coalesce) — but the pool additionally registers every
+//! committed transaction id in a fleet-wide set and counts any repeat as
+//! a `double_commits` violation, which the fleet benchmark asserts stays
+//! at zero.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use cloudprov_cloud::CloudEnv;
+use cloudprov_core::{CommitDaemon, ProtocolConfig};
+use cloudprov_pass::Uuid;
+use cloudprov_sim::SimHandle;
+
+use crate::lease::{Lease, LeaseBoard};
+use crate::router::ShardRouter;
+
+/// Tuning for a [`DaemonPool`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Number of commit-daemon workers.
+    pub daemons: usize,
+    /// Sleep between poll rounds when a worker's shards are all idle.
+    pub poll_interval: Duration,
+    /// Max shards one worker may hold at once (clamped to the shard
+    /// count). The default lets a lone worker cover the whole fleet.
+    pub max_leases: usize,
+    /// Consecutive empty polls after which a held shard is released back
+    /// to the board so another (possibly less busy) worker can take it.
+    pub idle_release_polls: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            daemons: 1,
+            poll_interval: Duration::from_secs(5),
+            max_leases: usize::MAX,
+            idle_release_polls: 2,
+        }
+    }
+}
+
+/// Counter snapshot of a running (or stopped) pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Transactions committed (sum over every daemon).
+    pub committed: u64,
+    /// Distinct transactions committed — equals `committed` iff no
+    /// transaction was ever committed twice.
+    pub unique_committed: u64,
+    /// Transactions committed more than once (must be zero; the fleet
+    /// benchmark's §3-style invariant).
+    pub double_commits: u64,
+    /// WAL messages received across all polls.
+    pub messages: u64,
+    /// Commits skipped because a referenced temp object never appeared.
+    pub stalled: u64,
+    /// Lease acquisitions (including re-acquisitions after release).
+    pub acquisitions: u64,
+    /// Leases lost to expiry/steal (renewal failed).
+    pub losses: u64,
+    /// Idle shards voluntarily released back to the board.
+    pub idle_releases: u64,
+    /// Hot shards handed off to starving workers.
+    pub handoffs: u64,
+    /// Poll errors (service faults that survived retries).
+    pub errors: u64,
+}
+
+struct PoolShared {
+    stop: AtomicBool,
+    daemons: Mutex<BTreeMap<u32, Arc<CommitDaemon>>>,
+    committed_txns: Mutex<BTreeSet<Uuid>>,
+    committed: AtomicU64,
+    double_commits: AtomicU64,
+    messages: AtomicU64,
+    stalled: AtomicU64,
+    acquisitions: AtomicU64,
+    losses: AtomicU64,
+    idle_releases: AtomicU64,
+    handoffs: AtomicU64,
+    errors: AtomicU64,
+    /// Leases currently held across the whole pool, for coverage checks.
+    held_total: AtomicUsize,
+    /// Per-worker "I hold no shard" gauge, for hot-shard handoff.
+    starving: Vec<AtomicBool>,
+}
+
+impl PoolShared {
+    fn starving_count(&self) -> usize {
+        self.starving
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// The shared per-shard commit daemon, created (with the fleet-wide
+    /// double-commit listener) on first use.
+    fn daemon_for(
+        self: &Arc<Self>,
+        env: &CloudEnv,
+        config: &ProtocolConfig,
+        router: &ShardRouter,
+        shard: u32,
+    ) -> Arc<CommitDaemon> {
+        let mut daemons = self.daemons.lock();
+        daemons
+            .entry(shard)
+            .or_insert_with(|| {
+                let d = Arc::new(CommitDaemon::new(
+                    env,
+                    config.clone(),
+                    router.wal_url(shard),
+                ));
+                let shared = self.clone();
+                d.set_commit_listener(Arc::new(move |txn| {
+                    shared.committed.fetch_add(1, Ordering::Relaxed);
+                    if !shared.committed_txns.lock().insert(txn) {
+                        shared.double_commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+                d
+            })
+            .clone()
+    }
+}
+
+/// A running pool of commit-daemon workers.
+pub struct DaemonPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<SimHandle<()>>,
+}
+
+impl std::fmt::Debug for DaemonPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonPool")
+            .field("workers", &self.handles.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl DaemonPool {
+    /// Spawns the pool's workers on background simulated threads. The
+    /// pool runs until [`DaemonPool::stop`].
+    pub fn spawn(
+        env: &CloudEnv,
+        protocol_config: ProtocolConfig,
+        router: Arc<ShardRouter>,
+        board: LeaseBoard,
+        config: PoolConfig,
+    ) -> DaemonPool {
+        assert!(config.daemons >= 1, "a pool needs at least one daemon");
+        let shared = Arc::new(PoolShared {
+            stop: AtomicBool::new(false),
+            daemons: Mutex::new(BTreeMap::new()),
+            committed_txns: Mutex::new(BTreeSet::new()),
+            committed: AtomicU64::new(0),
+            double_commits: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            stalled: AtomicU64::new(0),
+            acquisitions: AtomicU64::new(0),
+            losses: AtomicU64::new(0),
+            idle_releases: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            held_total: AtomicUsize::new(0),
+            starving: (0..config.daemons).map(|_| AtomicBool::new(true)).collect(),
+        });
+        let handles = (0..config.daemons)
+            .map(|w| {
+                let env = env.clone();
+                let protocol_config = protocol_config.clone();
+                let router = router.clone();
+                let board = board.clone();
+                let shared = shared.clone();
+                env.sim()
+                    .clone()
+                    .spawn(move || worker(w, env, protocol_config, router, board, config, shared))
+            })
+            .collect();
+        DaemonPool { shared, handles }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        snapshot(&self.shared)
+    }
+
+    /// Transactions committed so far (all workers).
+    pub fn committed_transactions(&self) -> u64 {
+        self.shared.committed.load(Ordering::Relaxed)
+    }
+
+    /// Signals every worker and waits (in virtual time) for them to
+    /// exit, releasing any held leases. Returns the final stats.
+    pub fn stop(self) -> PoolStats {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for h in self.handles {
+            h.join();
+        }
+        snapshot(&self.shared)
+    }
+}
+
+fn snapshot(s: &PoolShared) -> PoolStats {
+    PoolStats {
+        committed: s.committed.load(Ordering::Relaxed),
+        unique_committed: s.committed_txns.lock().len() as u64,
+        double_commits: s.double_commits.load(Ordering::Relaxed),
+        messages: s.messages.load(Ordering::Relaxed),
+        stalled: s.stalled.load(Ordering::Relaxed),
+        acquisitions: s.acquisitions.load(Ordering::Relaxed),
+        losses: s.losses.load(Ordering::Relaxed),
+        idle_releases: s.idle_releases.load(Ordering::Relaxed),
+        handoffs: s.handoffs.load(Ordering::Relaxed),
+        errors: s.errors.load(Ordering::Relaxed),
+    }
+}
+
+/// One worker's lease loop.
+fn worker(
+    index: usize,
+    env: CloudEnv,
+    protocol_config: ProtocolConfig,
+    router: Arc<ShardRouter>,
+    board: LeaseBoard,
+    config: PoolConfig,
+    shared: Arc<PoolShared>,
+) {
+    let sim = env.sim().clone();
+    let max_leases = config.max_leases.clamp(1, router.shards() as usize);
+    // (lease, consecutive empty polls)
+    let mut held: Vec<(Lease, u32)> = Vec::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        // Acquire one more shard per round while there is capacity; one
+        // at a time keeps acquisition fair across workers.
+        if held.len() < max_leases {
+            if let Some(lease) = board.acquire() {
+                shared.acquisitions.fetch_add(1, Ordering::Relaxed);
+                shared.held_total.fetch_add(1, Ordering::Relaxed);
+                held.push((lease, 0));
+            }
+        }
+        shared.starving[index].store(held.is_empty(), Ordering::Relaxed);
+        if held.is_empty() {
+            sim.sleep(config.poll_interval);
+            continue;
+        }
+        // Poll every held shard once, then renew its lease. A failed
+        // renewal means the shard was stolen (or the TTL lapsed): drop
+        // it on the spot — its daemon state stays in the shared map for
+        // whoever drives it next.
+        let mut any_messages = false;
+        let mut kept: Vec<(Lease, u32)> = Vec::new();
+        for (lease, idle) in held.drain(..) {
+            let daemon = shared.daemon_for(&env, &protocol_config, &router, lease.shard());
+            let idle = match daemon.poll_once() {
+                Ok(o) => {
+                    shared
+                        .messages
+                        .fetch_add(o.messages as u64, Ordering::Relaxed);
+                    shared
+                        .stalled
+                        .fetch_add(o.stalled as u64, Ordering::Relaxed);
+                    if o.messages > 0 {
+                        any_messages = true;
+                        0
+                    } else {
+                        idle + 1
+                    }
+                }
+                Err(_) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    idle
+                }
+            };
+            if board.renew(&lease) {
+                kept.push((lease, idle));
+            } else {
+                shared.losses.fetch_add(1, Ordering::Relaxed);
+                shared.held_total.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        held = kept;
+        // Hot-shard handoff: while peers are starving and this worker
+        // holds several shards, give away the one with the deepest
+        // backlog — the starving peer will pick it up on its next
+        // acquire, splitting the hot load instead of the idle tail.
+        if held.len() > 1 && shared.starving_count() > 0 {
+            let hottest = held
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (l, _))| router.depth(&env, l.shard()))
+                .map(|(i, _)| i);
+            if let Some(i) = hottest {
+                let (lease, _) = held.remove(i);
+                shared.held_total.fetch_sub(1, Ordering::Relaxed);
+                if board.release(lease) {
+                    shared.handoffs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Idle release — but only when circulating the token serves a
+        // purpose: a peer is starving, or the board still has unheld
+        // shards this worker could rotate onto. A lone worker holding
+        // every shard keeps (and renews) them instead of churning two
+        // queue ops per shard per round.
+        let uncovered_shards = shared.held_total.load(Ordering::Relaxed) < router.shards() as usize;
+        if shared.starving_count() > 0 || uncovered_shards {
+            let mut still: Vec<(Lease, u32)> = Vec::new();
+            for (lease, idle) in held.drain(..) {
+                if idle >= config.idle_release_polls {
+                    shared.held_total.fetch_sub(1, Ordering::Relaxed);
+                    if board.release(lease) {
+                        shared.idle_releases.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    still.push((lease, idle));
+                }
+            }
+            held = still;
+        }
+        if !any_messages {
+            sim.sleep(config.poll_interval);
+        }
+    }
+    for (lease, _) in held {
+        shared.held_total.fetch_sub(1, Ordering::Relaxed);
+        let _ = board.release(lease);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ShardRouter;
+    use cloudprov_cloud::AwsProfile;
+    use cloudprov_core::{FlushBatch, Protocol, ProvenanceClient, StorageProtocol};
+    use cloudprov_sim::Sim;
+
+    fn flush_one(fleet_client: &ProvenanceClient, uuid: u128, key: &str) {
+        use cloudprov_cloud::Blob;
+        use cloudprov_pass::{Attr, FlushNode, NodeKind, PNodeId, ProvenanceRecord};
+        let id = PNodeId {
+            uuid: Uuid(uuid),
+            version: 1,
+        };
+        let blob = Blob::from("payload");
+        let obj = cloudprov_core::FlushObject::file(
+            FlushNode {
+                id,
+                kind: NodeKind::File,
+                name: Some(format!("/{key}")),
+                records: vec![
+                    ProvenanceRecord::new(id, Attr::Type, "file"),
+                    ProvenanceRecord::new(id, Attr::Name, key),
+                    ProvenanceRecord::new(
+                        id,
+                        Attr::DataHash,
+                        format!("{:016x}", blob.content_fingerprint()),
+                    ),
+                ],
+                data_hash: Some(blob.content_fingerprint()),
+            },
+            key,
+            blob,
+        );
+        fleet_client
+            .flush(FlushBatch { objects: vec![obj] })
+            .unwrap();
+    }
+
+    fn shard_client(
+        env: &CloudEnv,
+        _router: &ShardRouter,
+        shard: u32,
+        name: &str,
+    ) -> ProvenanceClient {
+        ProvenanceClient::builder(Protocol::P3)
+            .queue(ShardRouter::queue_name(shard))
+            .wal_identity(name)
+            .build(env)
+    }
+
+    #[test]
+    fn pool_drains_all_shards_and_never_double_commits() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let router = Arc::new(ShardRouter::provision(&env, 4));
+        // 12 transactions spread over the shards, logged before the pool
+        // starts.
+        for i in 0..12u32 {
+            let shard = i % 4;
+            let client = shard_client(&env, &router, shard, &format!("c{i}"));
+            flush_one(&client, 1000 + u128::from(i), &format!("f{i}"));
+        }
+        let board = LeaseBoard::provision(&env, 4, Duration::from_secs(60));
+        let pool = DaemonPool::spawn(
+            &env,
+            ProtocolConfig::default(),
+            router.clone(),
+            board,
+            PoolConfig {
+                daemons: 3,
+                poll_interval: Duration::from_secs(2),
+                ..PoolConfig::default()
+            },
+        );
+        let deadline = sim.now() + Duration::from_secs(600);
+        while router.total_depth(&env) > 0 && sim.now() < deadline {
+            sim.sleep(Duration::from_secs(5));
+        }
+        assert_eq!(router.total_depth(&env), 0, "WAL must drain");
+        let stats = pool.stop();
+        assert_eq!(stats.committed, 12);
+        assert_eq!(stats.unique_committed, 12);
+        assert_eq!(stats.double_commits, 0);
+        for i in 0..12 {
+            assert!(
+                env.s3().peek_committed("data", &format!("f{i}")).is_some(),
+                "f{i} must be committed"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_worker_loses_its_shard_to_a_live_one() {
+        // One worker acquires a lease out-of-band and "dies" (never
+        // renews). The pool's live worker must take the shard over after
+        // the TTL and drain it.
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let router = Arc::new(ShardRouter::provision(&env, 1));
+        let client = shard_client(&env, &router, 0, "c0");
+        flush_one(&client, 7, "takeover");
+        let ttl = Duration::from_secs(30);
+        let board = LeaseBoard::provision(&env, 1, ttl);
+        let dead = board.acquire().expect("dead worker grabs the lease");
+        let pool = DaemonPool::spawn(
+            &env,
+            ProtocolConfig::default(),
+            router.clone(),
+            board.clone(),
+            PoolConfig {
+                daemons: 1,
+                poll_interval: Duration::from_secs(5),
+                ..PoolConfig::default()
+            },
+        );
+        // Before the TTL nothing can happen.
+        sim.sleep(Duration::from_secs(10));
+        assert_eq!(pool.committed_transactions(), 0);
+        // After the TTL the pool steals the shard and commits.
+        sim.sleep(Duration::from_secs(120));
+        assert_eq!(pool.committed_transactions(), 1);
+        assert!(env.s3().peek_committed("data", "takeover").is_some());
+        // The dead worker's lease is unusable now.
+        assert!(!board.renew(&dead));
+        pool.stop();
+    }
+
+    #[test]
+    fn stats_survive_stop() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let router = Arc::new(ShardRouter::provision(&env, 2));
+        let board = LeaseBoard::provision(&env, 2, Duration::from_secs(60));
+        let pool = DaemonPool::spawn(
+            &env,
+            ProtocolConfig::default(),
+            router,
+            board,
+            PoolConfig {
+                daemons: 2,
+                poll_interval: Duration::from_secs(1),
+                ..PoolConfig::default()
+            },
+        );
+        sim.sleep(Duration::from_secs(20));
+        let stats = pool.stop();
+        assert!(stats.acquisitions > 0, "workers must have leased shards");
+        assert_eq!(stats.committed, 0);
+        assert_eq!(stats.double_commits, 0);
+    }
+}

@@ -328,6 +328,16 @@ impl PaS3fs {
         }
     }
 
+    /// Instrumentation: whether `path` is cached locally with unflushed
+    /// changes — i.e. whether a `close` of it right now would upload and
+    /// promise durability. Harnesses use this instead of shadow-tracking
+    /// dirtiness, which cannot see ancestor flushes (a close of file B
+    /// can upload dirty ancestor A and mark it clean behind any mirror's
+    /// back).
+    pub fn cached_dirty(&self, path: &str) -> bool {
+        self.vfs.stat(path).is_some_and(|s| s.dirty)
+    }
+
     /// Reads a file back from the cloud through the protocol (coupling
     /// detection included).
     ///

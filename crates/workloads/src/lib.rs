@@ -10,13 +10,16 @@
 //! [`offline`] collector reproducing the paper's capture-then-upload
 //! microbenchmark methodology, and the shared [`testkit`] random-workload
 //! generator that property tests, integration tests and the chaos
-//! explorer all replay from one seeded event space.
+//! explorer all replay from one seeded event space, and the [`fleet`]
+//! driver that points hundreds of simulated tenant clients at the
+//! sharded commit plane (`cloudprov-fleet`) and measures its scaling.
 
 #![warn(missing_docs)]
 
 pub mod blast;
 pub mod challenge;
 pub mod driver;
+pub mod fleet;
 pub mod linux_compile;
 pub mod nightly;
 pub mod offline;
@@ -26,8 +29,9 @@ pub mod trace;
 pub use blast::{blast, BlastParams};
 pub use challenge::{challenge, ChallengeParams};
 pub use driver::{replay, ReplaySummary};
+pub use fleet::{run_fleet, FleetParams, FleetReport, TenantUsage};
 pub use linux_compile::linux_compile_provenance;
 pub use nightly::{nightly, NightlyParams};
 pub use offline::{collect, OfflineFile, OfflineRun};
-pub use testkit::{random_script, FsReplay, ScriptEvent};
+pub use testkit::{random_script, replay_fs_prefixed, FsReplay, ScriptEvent};
 pub use trace::{synthetic_env, Trace, TraceEvent, TraceStats};

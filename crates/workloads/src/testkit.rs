@@ -164,13 +164,30 @@ pub struct FsReplay {
 /// cloud-path error (the client "dies" there — crash injection kills all
 /// subsequent steps anyway).
 pub fn replay_fs(fs: &PaS3fs, events: &[ScriptEvent]) -> FsReplay {
+    replay_fs_prefixed(fs, events, "")
+}
+
+/// [`replay_fs`] with every file path (and therefore cloud key) living
+/// under `prefix` — e.g. `"/t0-c17"`. The fleet driver gives each of its
+/// hundreds of clients a private namespace this way, so per-client
+/// durability promises stay checkable even though all clients replay
+/// the same small script alphabet.
+pub fn replay_fs_prefixed(fs: &PaS3fs, events: &[ScriptEvent], prefix: &str) -> FsReplay {
+    let path_of = |f: u8| format!("{prefix}{}", file_path(f));
+    replay_fs_inner(fs, events, &path_of)
+}
+
+fn replay_fs_inner(
+    fs: &PaS3fs,
+    events: &[ScriptEvent],
+    file_path: &dyn Fn(u8) -> String,
+) -> FsReplay {
+    // A file's object-store key is always its path minus the leading '/'
+    // (PaS3fs's key_of_path) — derive it so the two can never diverge.
+    let file_key = |f: u8| file_path(f).trim_start_matches('/').to_string();
     let mut out = FsReplay::default();
     let mut execed = BTreeSet::new();
     let mut live_pipes = BTreeSet::new();
-    // Mirror of the VFS cache: a close only uploads (and therefore only
-    // promises durability) when the file exists locally and is dirty.
-    let mut present: BTreeSet<u8> = BTreeSet::new();
-    let mut dirty: BTreeSet<u8> = BTreeSet::new();
     for (i, ev) in events.iter().enumerate() {
         let result = match ev {
             ScriptEvent::Exec(p) => {
@@ -187,15 +204,12 @@ pub fn replay_fs(fs: &PaS3fs, events: &[ScriptEvent]) -> FsReplay {
             ScriptEvent::Read(p, f) => {
                 if execed.contains(p) {
                     fs.read(Pid(u64::from(*p)), &file_path(*f), 1024);
-                    present.insert(*f); // reads create a clean cache entry
                 }
                 Ok(())
             }
             ScriptEvent::Write(p, f) => {
                 if execed.contains(p) {
                     fs.write(Pid(u64::from(*p)), &file_path(*f), 2048);
-                    present.insert(*f);
-                    dirty.insert(*f);
                 }
                 Ok(())
             }
@@ -214,34 +228,29 @@ pub fn replay_fs(fs: &PaS3fs, events: &[ScriptEvent]) -> FsReplay {
                 }
                 Ok(())
             }
-            ScriptEvent::Close(f) => fs.close(Pid(0), &file_path(*f)).map(|()| {
-                // A close of a clean or absent file is a no-op — only a
-                // dirty close uploads and promises durability.
-                if dirty.remove(f) {
-                    out.durable_keys.insert(file_key(*f));
-                }
-            }),
+            ScriptEvent::Close(f) => {
+                // A close only uploads — and therefore only promises
+                // durability — when the cache holds unflushed changes.
+                // Ask the file system rather than mirroring its dirty
+                // bits: a close of another file can have uploaded this
+                // one already (as a provenance ancestor) and cleaned it.
+                let uploads = fs.cached_dirty(&file_path(*f));
+                fs.close(Pid(0), &file_path(*f)).map(|()| {
+                    if uploads {
+                        out.durable_keys.insert(file_key(*f));
+                    }
+                })
+            }
             ScriptEvent::Rename(a, b) => {
                 if a != b {
-                    fs.rename(Pid(0), &file_path(*a), &file_path(*b));
                     // Renames stay local (as s3fs did for dirty files):
                     // cloud objects under both keys are untouched, so
-                    // existing promises stand. The moved entry replaces
-                    // the target, carrying its dirty state with it.
-                    if present.remove(a) {
-                        present.insert(*b);
-                        if dirty.remove(a) {
-                            dirty.insert(*b);
-                        } else {
-                            dirty.remove(b);
-                        }
-                    }
+                    // existing durability promises stand.
+                    fs.rename(Pid(0), &file_path(*a), &file_path(*b));
                 }
                 Ok(())
             }
             ScriptEvent::Unlink(f) => fs.unlink(Pid(0), &file_path(*f)).map(|()| {
-                present.remove(f);
-                dirty.remove(f);
                 out.durable_keys.remove(&file_key(*f));
             }),
         };
