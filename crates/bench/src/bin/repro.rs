@@ -242,22 +242,17 @@ fn table4(small: bool) {
     }
 }
 
-fn table5(small: bool) {
-    hr("Table 5: Query performance on Blast provenance (paper: Q.1 S3 48.57 s seq /\n         7.04 s par / 1671 ops vs SimpleDB 0.83 s / 13 ops; Q.2 comparable;\n         Q.3/Q.4 SimpleDB ~10x faster, 37/87 ops)");
-    let params = if small {
-        BlastParams::small()
-    } else {
-        BlastParams::default()
-    };
+fn print_query_rows(rows: &[cloudprov_bench::experiments::queries::QueryResult]) {
     println!(
-        "{:<5} {:<18} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "Query", "Backend", "Seq (s)", "Par (s)", "MB", "Ops", "Nodes"
+        "{:<5} {:<16} {:<7} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "Query", "Backend", "Plan", "Seq (s)", "Par (s)", "MB", "Ops", "Nodes"
     );
-    for r in queries::table5(params) {
+    for r in rows {
         println!(
-            "{:<5} {:<18} {:>10.3} {:>10} {:>10.2} {:>8} {:>8}",
+            "{:<5} {:<16} {:<7} {:>10.3} {:>10} {:>10.2} {:>8} {:>8}",
             r.query,
             r.backend,
+            r.plan,
             r.sequential.elapsed.as_secs_f64(),
             r.parallel
                 .map(|p| format!("{:.3}", p.elapsed.as_secs_f64()))
@@ -267,6 +262,77 @@ fn table5(small: bool) {
             r.result_nodes
         );
     }
+}
+
+fn table5(small: bool) {
+    hr("Table 5: Query performance on Blast provenance (paper: Q.1 S3 48.57 s seq /\n         7.04 s par / 1671 ops vs SimpleDB 0.83 s / 13 ops; Q.2 comparable;\n         Q.3/Q.4 SimpleDB ~10x faster, 37/87 ops)");
+    let params = if small {
+        BlastParams::small()
+    } else {
+        BlastParams::default()
+    };
+    print_query_rows(&queries::table5(params));
+}
+
+/// The read-path gate: Table 5 + the indexed column, result-set identity
+/// between plans, the index ↔ base audit, and the op-count speedup.
+/// Returns whether every gate held.
+fn queries_gate(small: bool) -> bool {
+    hr("Queries: layered read path (GraphSource backends behind the cost-based planner).\n         Q.3/Q.4 ride the commit-time ancestry index; result sets must be\n         identical to the SELECT frontier-expansion path on the same store.");
+    let params = if small {
+        BlastParams::small()
+    } else {
+        BlastParams::default()
+    };
+    // The speedup is a full-scale claim; the smoke grid only requires
+    // the index not to be worse.
+    let min_speedup = if small { 1.0 } else { 5.0 };
+    let report = queries::queries_report(params);
+    print_query_rows(&report.rows);
+    println!("\nSelect vs index on the same P3 store (sequential ops):");
+    println!(
+        "  {:<5} {:>12} {:>11} {:>9}   identical",
+        "Query", "Select ops", "Index ops", "Speedup"
+    );
+    for c in &report.comparisons {
+        println!(
+            "  {:<5} {:>12} {:>11} {:>8.1}x   {}",
+            c.query,
+            c.select_ops,
+            c.index_ops,
+            c.select_ops as f64 / c.index_ops.max(1) as f64,
+            if c.identical { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nCombined Q.3+Q.4 speedup: {:.1}x (gate: >= {min_speedup:.1}x). Index audit: {} ({} entries).",
+        report.speedup,
+        if report.index_consistent {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        },
+        report.index_entries
+    );
+    println!("\nPlanner verdicts on the P3 store (with meter history for both paths):");
+    for (q, p, reason) in &report.planner {
+        println!("  {q}: {p} ({reason})");
+    }
+    let violations = report.violations(min_speedup);
+    for v in &violations {
+        println!("violation: {v}");
+    }
+    let json = queries::to_json(small, &report);
+    let path = if small {
+        "BENCH_queries_smoke.json"
+    } else {
+        "BENCH_queries.json"
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("Wrote {path}."),
+        Err(e) => println!("Could not write {path}: {e}"),
+    }
+    violations.is_empty()
 }
 
 fn uml(small: bool) {
@@ -411,8 +477,17 @@ fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
         seeds.start, seeds.end
     );
     println!(
-        "{:<9} {:>6} {:>8} {:>7} {:>9} {:>9} {:>8} {:>6} {:>6}   verdict",
-        "Protocol", "Seeds", "Crashes", "Faulty", "Coupl.vio", "Dangling", "Broken", "WAL", "Temps"
+        "{:<9} {:>6} {:>8} {:>7} {:>9} {:>9} {:>8} {:>6} {:>6} {:>6}   verdict",
+        "Protocol",
+        "Seeds",
+        "Crashes",
+        "Faulty",
+        "Coupl.vio",
+        "Dangling",
+        "Broken",
+        "WAL",
+        "Temps",
+        "IdxDiv"
     );
     let rows = chaos::sweep(seeds);
     let mut all_ok = true;
@@ -421,7 +496,7 @@ fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
         let ok = s.failing_seeds == 0;
         all_ok &= ok;
         println!(
-            "{:<9} {:>6} {:>8} {:>7} {:>9} {:>9} {:>8} {:>6} {:>6}   {}",
+            "{:<9} {:>6} {:>8} {:>7} {:>9} {:>9} {:>8} {:>6} {:>6} {:>6}   {}",
             s.protocol.name(),
             s.seeds,
             s.crashes,
@@ -431,6 +506,7 @@ fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
             s.broken_promises,
             s.wal_leftover,
             s.temp_leftover,
+            s.index_inconsistencies,
             if ok { "PASS" } else { "FAIL" }
         );
         if let Some((seed, violations)) = &s.minimal_failure {
@@ -611,6 +687,14 @@ fn main() {
         "table3" | "fig3" => micro_tables(small),
         "table4" => table4(small),
         "table5" => table5(small),
+        "queries" => {
+            if !queries_gate(small) {
+                eprintln!(
+                    "\nqueries gate failed: plan disagreement, index inconsistency, or lost speedup (see above)"
+                );
+                std::process::exit(1);
+            }
+        }
         "fig4" => fig4(small),
         "umlcheck" => uml(small),
         "ablations" => ablation_report(),
@@ -637,6 +721,10 @@ fn main() {
             table5(small);
             uml(small);
             ablation_report();
+            if !queries_gate(true) {
+                eprintln!("\nqueries gate failed (see table above)");
+                std::process::exit(1);
+            }
             if !chaos_table(small, None) {
                 eprintln!("\nchaos exploration found invariant violations (see table above)");
                 std::process::exit(1);
@@ -648,7 +736,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|fig3|fig4|umlcheck|ablations|chaos|fleet|all [--small|--smoke] [--seed N]"
+                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|queries|fig3|fig4|umlcheck|ablations|chaos|fleet|all [--small|--smoke] [--seed N]"
             );
             std::process::exit(2);
         }

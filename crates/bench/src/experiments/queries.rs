@@ -1,14 +1,23 @@
-//! Table 5: query performance over the Blast provenance.
+//! Table 5 (+ the indexed column): query performance over the Blast
+//! provenance.
 //!
-//! Populates both provenance layouts (P1's S3 objects, P2/P3's SimpleDB
-//! items) with the captured Blast corpus, then runs Q.1–Q.4 sequentially
-//! and in parallel, reporting elapsed virtual time, megabytes transferred
-//! and operation counts — the exact columns of Table 5.
+//! Populates the provenance layouts (P1's S3 objects, P2's SimpleDB
+//! items, and P3's SimpleDB items *with* the commit-time ancestry index)
+//! with the captured Blast corpus, then runs Q.1–Q.4, reporting elapsed
+//! virtual time, megabytes transferred, operation counts and the plan
+//! the engine took — the exact columns of Table 5 plus the new
+//! "indexed" rows.
+//!
+//! [`queries_report`] additionally measures Q.3/Q.4 through the SELECT
+//! frontier-expansion plan and the index plan **on the same P3 store**,
+//! asserts the result sets are identical, audits index ↔ base
+//! consistency, and reports the op-count speedup — the CI gate behind
+//! `repro -- queries`.
 
 use cloudprov_cloud::{Era, Machine, RunContext};
-use cloudprov_core::ProtocolConfig;
-use cloudprov_core::StorageProtocol;
-use cloudprov_query::{Mode, QueryEngine, QueryMetrics};
+use cloudprov_core::index::audit_index;
+use cloudprov_core::{Layout, ProtocolConfig, StorageProtocol};
+use cloudprov_query::{Mode, Plan, QueryEngine, QueryKind, QueryMetrics};
 use cloudprov_workloads::{blast, collect, BlastParams, OfflineRun};
 
 use crate::common::{Rig, Which};
@@ -19,14 +28,73 @@ use crate::uploader::upload;
 pub struct QueryResult {
     /// Query id ("Q.1".."Q.4").
     pub query: &'static str,
-    /// Backend ("S3 (P1)" or "SimpleDB (P2, P3)").
+    /// Backend ("S3 (P1)", "SimpleDB (P2)", "Indexed (P3)").
     pub backend: &'static str,
+    /// The access path the engine executed.
+    pub plan: String,
     /// Sequential execution cost.
     pub sequential: QueryMetrics,
     /// Parallel execution cost (None where parallelism does not apply).
     pub parallel: Option<QueryMetrics>,
     /// Result-set size (nodes).
     pub result_nodes: usize,
+}
+
+/// Select-vs-index measurement of one query on the same P3 store.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexComparison {
+    /// Query id ("Q.3", "Q.4").
+    pub query: &'static str,
+    /// Ops through the SELECT frontier-expansion plan.
+    pub select_ops: u64,
+    /// Ops through the ancestry-index plan.
+    pub index_ops: u64,
+    /// Whether both plans returned the identical node set.
+    pub identical: bool,
+}
+
+/// Everything `repro -- queries` prints and gates on.
+#[derive(Clone, Debug)]
+pub struct QueriesReport {
+    /// The Table 5 rows (classic backends + indexed rows).
+    pub rows: Vec<QueryResult>,
+    /// Q.3/Q.4 select-vs-index on the P3 store.
+    pub comparisons: Vec<IndexComparison>,
+    /// Combined Q.3+Q.4 op ratio (select ÷ index).
+    pub speedup: f64,
+    /// What the cost-based planner picks per query on the P3 store once
+    /// both paths have meter history, as `(query, plan, reason)`.
+    pub planner: Vec<(String, String, String)>,
+    /// Index ↔ base-record audit verdict.
+    pub index_consistent: bool,
+    /// Attribute pairs in the stored index.
+    pub index_entries: usize,
+}
+
+impl QueriesReport {
+    /// Gate violations: result-set mismatches, index inconsistency, or a
+    /// speedup below `min_speedup`.
+    pub fn violations(&self, min_speedup: f64) -> Vec<String> {
+        let mut v = Vec::new();
+        for c in &self.comparisons {
+            if !c.identical {
+                v.push(format!(
+                    "{}: indexed plan returned a different result set",
+                    c.query
+                ));
+            }
+        }
+        if !self.index_consistent {
+            v.push("ancestry index diverged from base records".into());
+        }
+        if self.speedup < min_speedup {
+            v.push(format!(
+                "indexed Q.3+Q.4 speedup {:.2}x below the {min_speedup:.1}x gate",
+                self.speedup
+            ));
+        }
+        v
+    }
 }
 
 /// The program whose outputs Q.3/Q.4 chase.
@@ -40,46 +108,47 @@ fn ec2() -> RunContext {
     }
 }
 
-/// Populates both layouts and returns engines `(s3_engine, db_engine)`
-/// with their rigs (kept alive for the environment).
-pub fn seed(corpus: &OfflineRun) -> ((Rig, QueryEngine), (Rig, QueryEngine)) {
+/// Populates the three layouts and returns their rigs + engines:
+/// `(P1 scan, P2 select, P3 select+index)`.
+pub fn seed(corpus: &OfflineRun) -> Vec<(Rig, QueryEngine)> {
     let quiesce = std::time::Duration::from_secs(15);
-    let rig1 = Rig::new(Which::P1, ec2(), ProtocolConfig::default());
-    upload(&rig1, corpus, 26);
-    // Let eventual consistency converge before measuring queries (readers
-    // otherwise have to "try refreshing the data", §4.3.1).
-    rig1.sim.sleep(quiesce);
-    let store1 = rig1.client.provenance_store().expect("p1 store");
-    let engine1 = QueryEngine::new(&rig1.env, store1, "data");
-
-    let rig2 = Rig::new(Which::P2, ec2(), ProtocolConfig::default());
-    upload(&rig2, corpus, 26);
-    rig2.sim.sleep(quiesce);
-    let store2 = rig2.client.provenance_store().expect("p2 store");
-    let engine2 = QueryEngine::new(&rig2.env, store2, "data");
-
-    ((rig1, engine1), (rig2, engine2))
+    [Which::P1, Which::P2, Which::P3]
+        .into_iter()
+        .map(|which| {
+            let rig = Rig::new(which, ec2(), ProtocolConfig::default());
+            upload(&rig, corpus, 26);
+            // Let eventual consistency converge before measuring queries
+            // (readers otherwise have to "try refreshing the data",
+            // §4.3.1).
+            rig.sim.sleep(quiesce);
+            let store = rig.client.provenance_store().expect("provenance store");
+            let engine = QueryEngine::new(&rig.env, store, "data");
+            (rig, engine)
+        })
+        .collect()
 }
 
-/// Runs all four queries on both backends.
-pub fn table5(params: BlastParams) -> Vec<QueryResult> {
-    let corpus = collect(&blast(params));
-    let ((_rig1, s3_engine), (_rig2, db_engine)) = seed(&corpus);
+fn run_rows(
+    backend: &'static str,
+    engine: &QueryEngine,
+    corpus: &OfflineRun,
+    queries: &[&'static str],
+) -> Vec<QueryResult> {
     let mut out = Vec::new();
-
-    for (backend, engine) in [("S3 (P1)", &s3_engine), ("SimpleDB (P2, P3)", &db_engine)] {
-        // Q.1: dump everything.
+    if queries.contains(&"Q.1") {
         let seq = engine.q1_all(Mode::Sequential).expect("q1 seq");
-        let par = (backend.starts_with("S3"))
+        let par = matches!(seq.plan.plan, Some(Plan::S3Scan))
             .then(|| engine.q1_all(Mode::Parallel).expect("q1 par").metrics);
         out.push(QueryResult {
             query: "Q.1",
             backend,
+            plan: plan_name(&seq.plan.plan),
             sequential: seq.metrics,
             parallel: par,
             result_nodes: seq.nodes.len(),
         });
-
+    }
+    if queries.contains(&"Q.2") {
         // Q.2: per-object average over a sample of files.
         let written: Vec<&cloudprov_workloads::OfflineFile> =
             corpus.files.iter().filter(|f| f.written).collect();
@@ -90,6 +159,7 @@ pub fn table5(params: BlastParams) -> Vec<QueryResult> {
             .collect();
         let mut total = QueryMetrics::default();
         let mut count = 0u32;
+        let mut plan = String::new();
         for f in &sample {
             let key = f.path.trim_start_matches('/');
             if let Ok(r) = engine.q2_object(key) {
@@ -97,6 +167,7 @@ pub fn table5(params: BlastParams) -> Vec<QueryResult> {
                 total.ops += r.metrics.ops;
                 total.bytes += r.metrics.bytes;
                 count += 1;
+                plan = plan_name(&r.plan.plan);
             }
         }
         let avg = QueryMetrics {
@@ -107,12 +178,13 @@ pub fn table5(params: BlastParams) -> Vec<QueryResult> {
         out.push(QueryResult {
             query: "Q.2",
             backend,
+            plan,
             sequential: avg,
             parallel: None,
             result_nodes: count as usize,
         });
-
-        // Q.3: direct outputs of blastall.
+    }
+    if queries.contains(&"Q.3") {
         let seq = engine
             .q3_outputs_of(PROGRAM, Mode::Sequential)
             .expect("q3 seq");
@@ -122,12 +194,13 @@ pub fn table5(params: BlastParams) -> Vec<QueryResult> {
         out.push(QueryResult {
             query: "Q.3",
             backend,
+            plan: plan_name(&seq.plan.plan),
             sequential: seq.metrics,
             parallel: Some(par.metrics),
             result_nodes: seq.nodes.len(),
         });
-
-        // Q.4: all descendants.
+    }
+    if queries.contains(&"Q.4") {
         let seq = engine
             .q4_descendants_of(PROGRAM, Mode::Sequential)
             .expect("q4 seq");
@@ -137,11 +210,191 @@ pub fn table5(params: BlastParams) -> Vec<QueryResult> {
         out.push(QueryResult {
             query: "Q.4",
             backend,
+            plan: plan_name(&seq.plan.plan),
             sequential: seq.metrics,
             parallel: Some(par.metrics),
             result_nodes: seq.nodes.len(),
         });
     }
+    out
+}
+
+fn plan_name(plan: &Option<Plan>) -> String {
+    plan.map(|p| p.name().to_string()).unwrap_or_default()
+}
+
+/// Runs all four queries on the classic backends plus the indexed rows.
+pub fn table5(params: BlastParams) -> Vec<QueryResult> {
+    queries_report(params).rows
+}
+
+/// The full experiment: Table 5 rows, select-vs-index comparison on one
+/// P3 store, planner verdicts, and the index audit.
+pub fn queries_report(params: BlastParams) -> QueriesReport {
+    let corpus = collect(&blast(params));
+    let rigs = seed(&corpus);
+    let (p1_rig, p1_engine) = &rigs[0];
+    let (_p2_rig, p2_engine) = &rigs[1];
+    let (p3_rig, p3_engine) = &rigs[2];
+    let _ = p1_rig;
+
+    let mut rows = Vec::new();
+    rows.extend(run_rows(
+        "S3 (P1)",
+        p1_engine,
+        &corpus,
+        &["Q.1", "Q.2", "Q.3", "Q.4"],
+    ));
+    rows.extend(run_rows(
+        "SimpleDB (P2)",
+        p2_engine,
+        &corpus,
+        &["Q.1", "Q.2", "Q.3", "Q.4"],
+    ));
+
+    // The P3 store: measure the SELECT plan and the index plan on the
+    // SAME corpus, then let the planner choose with history in hand.
+    let p3_select = p3_engine.with_plan_ref(Plan::SdbSelect);
+    let p3_index = p3_engine.with_plan_ref(Plan::Index);
+    let mut comparisons = Vec::new();
+    let mut select_total = 0u64;
+    let mut index_total = 0u64;
+    let q3_sel = p3_select
+        .q3_outputs_of(PROGRAM, Mode::Sequential)
+        .expect("q3 select");
+    let q3_idx = p3_index
+        .q3_outputs_of(PROGRAM, Mode::Sequential)
+        .expect("q3 index");
+    comparisons.push(IndexComparison {
+        query: "Q.3",
+        select_ops: q3_sel.metrics.ops,
+        index_ops: q3_idx.metrics.ops,
+        identical: q3_sel.nodes == q3_idx.nodes,
+    });
+    select_total += q3_sel.metrics.ops;
+    index_total += q3_idx.metrics.ops;
+    let q4_sel = p3_select
+        .q4_descendants_of(PROGRAM, Mode::Sequential)
+        .expect("q4 select");
+    let q4_idx = p3_index
+        .q4_descendants_of(PROGRAM, Mode::Sequential)
+        .expect("q4 index");
+    comparisons.push(IndexComparison {
+        query: "Q.4",
+        select_ops: q4_sel.metrics.ops,
+        index_ops: q4_idx.metrics.ops,
+        identical: q4_sel.nodes == q4_idx.nodes,
+    });
+    select_total += q4_sel.metrics.ops;
+    index_total += q4_idx.metrics.ops;
+
+    // The indexed table rows reuse the sequential measurements taken for
+    // the comparison; only the parallel column needs fresh runs.
+    let q3_idx_par = p3_index
+        .q3_outputs_of(PROGRAM, Mode::Parallel)
+        .expect("q3 index par");
+    let q4_idx_par = p3_index
+        .q4_descendants_of(PROGRAM, Mode::Parallel)
+        .expect("q4 index par");
+    rows.push(QueryResult {
+        query: "Q.3",
+        backend: "Indexed (P3)",
+        plan: plan_name(&q3_idx.plan.plan),
+        sequential: q3_idx.metrics,
+        parallel: Some(q3_idx_par.metrics),
+        result_nodes: q3_idx.nodes.len(),
+    });
+    rows.push(QueryResult {
+        query: "Q.4",
+        backend: "Indexed (P3)",
+        plan: plan_name(&q4_idx.plan.plan),
+        sequential: q4_idx.metrics,
+        parallel: Some(q4_idx_par.metrics),
+        result_nodes: q4_idx.nodes.len(),
+    });
+
+    // Planner verdicts with measured history for both paths.
+    let planner = [QueryKind::Q1, QueryKind::Q2, QueryKind::Q3, QueryKind::Q4]
+        .into_iter()
+        .map(|q| {
+            let r = p3_engine.plan_for(q);
+            (format!("{q:?}"), plan_name(&r.plan), r.reason)
+        })
+        .collect();
+
+    let audit = audit_index(&p3_rig.env, &Layout::default());
+    QueriesReport {
+        rows,
+        comparisons,
+        speedup: select_total as f64 / (index_total.max(1)) as f64,
+        planner,
+        index_consistent: audit.consistent(),
+        index_entries: audit.entries,
+    }
+}
+
+fn json_escape_free(s: &str) -> String {
+    s.chars().filter(|c| *c != '"' && *c != '\\').collect()
+}
+
+/// Machine-readable dump — the `BENCH_queries.json` trajectory file.
+/// Hand-rolled JSON: the workspace is offline and serde is not among the
+/// vendored crates.
+pub fn to_json(small: bool, report: &QueriesReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"queries\",\n  \"smoke\": {small},\n  \"index_consistent\": {},\n  \"index_entries\": {},\n  \"speedup_q3_q4_ops\": {:.3},\n",
+        report.index_consistent, report.index_entries, report.speedup
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"query\": \"{}\", \"backend\": \"{}\", \"plan\": \"{}\", ",
+                "\"seq_s\": {:.4}, \"par_s\": {}, \"ops\": {}, \"mb\": {:.3}, \"nodes\": {}}}{}\n"
+            ),
+            r.query,
+            json_escape_free(r.backend),
+            r.plan,
+            r.sequential.elapsed.as_secs_f64(),
+            r.parallel
+                .map(|p| format!("{:.4}", p.elapsed.as_secs_f64()))
+                .unwrap_or_else(|| "null".into()),
+            r.sequential.ops,
+            r.sequential.bytes as f64 / 1e6,
+            r.result_nodes,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"comparisons\": [\n");
+    for (i, c) in report.comparisons.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"select_ops\": {}, \"index_ops\": {}, \"identical\": {}}}{}\n",
+            c.query,
+            c.select_ops,
+            c.index_ops,
+            c.identical,
+            if i + 1 == report.comparisons.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n  \"planner\": [\n");
+    for (i, (q, p, reason)) in report.planner.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{q}\", \"plan\": \"{p}\", \"reason\": \"{}\"}}{}\n",
+            json_escape_free(reason),
+            if i + 1 == report.planner.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -151,8 +404,9 @@ mod tests {
 
     #[test]
     fn table5_shape_at_small_scale() {
-        let rows = table5(BlastParams::small());
-        assert_eq!(rows.len(), 8);
+        let report = queries_report(BlastParams::small());
+        let rows = &report.rows;
+        assert_eq!(rows.len(), 10, "4 + 4 classic rows + 2 indexed rows");
         let q = |query: &str, backend_prefix: &str| {
             rows.iter()
                 .find(|r| r.query == query && r.backend.starts_with(backend_prefix))
@@ -167,13 +421,31 @@ mod tests {
             q("Q.3", "SimpleDB").sequential.elapsed < q("Q.3", "S3").sequential.elapsed,
             "indexed queries are faster"
         );
-        // Both backends agree on result sizes for Q.3.
+        // All three backends agree on result sizes for Q.3.
         assert_eq!(
             q("Q.3", "SimpleDB").result_nodes,
+            q("Q.3", "S3").result_nodes
+        );
+        assert_eq!(
+            q("Q.3", "Indexed").result_nodes,
             q("Q.3", "S3").result_nodes
         );
         // Parallelism helps the S3 scan.
         let s3q1 = q("Q.1", "S3");
         assert!(s3q1.parallel.unwrap().elapsed < s3q1.sequential.elapsed);
+        // Plans are reported.
+        assert_eq!(q("Q.1", "S3").plan, "scan");
+        assert_eq!(q("Q.3", "SimpleDB").plan, "select");
+        assert_eq!(q("Q.4", "Indexed").plan, "index");
+        // Identity + consistency hold even at small scale (the speedup
+        // gate is a full-scale claim, checked by `repro -- queries`).
+        assert!(
+            report.violations(1.0).is_empty(),
+            "{:?}",
+            report.violations(1.0)
+        );
+        let json = to_json(true, &report);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -102,6 +102,11 @@ pub struct SeedOutcome {
     pub wal_leftover: usize,
     /// Temporary objects left after the cleaner pass (P3; 0 else).
     pub temp_leftover: usize,
+    /// Ancestry-index entries disagreeing with the committed base
+    /// records after recovery (P3; 0 else). A crash between the base
+    /// write and the index write (`p3:commit:index`) must heal on
+    /// recommit — the WAL is only acknowledged after both.
+    pub index_inconsistencies: usize,
     /// Unexpected errors during recovery (always violations).
     pub recovery_errors: Vec<String>,
 }
@@ -149,6 +154,12 @@ impl SeedOutcome {
                 v.push(format!(
                     "{} temp object(s) survived the cleaner",
                     self.temp_leftover
+                ));
+            }
+            if self.index_inconsistencies > 0 {
+                v.push(format!(
+                    "ancestry index diverged from base records in {} entr(ies)",
+                    self.index_inconsistencies
                 ));
             }
         }
@@ -265,8 +276,13 @@ pub fn explore_seed(protocol: Protocol, seed: u64) -> SeedOutcome {
         },
         None => 0,
     };
-    let (wal_leftover, temp_leftover) = if protocol == Protocol::P3 {
+    let (wal_leftover, temp_leftover, index_inconsistencies) = if protocol == Protocol::P3 {
         let layout = &recovery.config().layout;
+        // Index ↔ base-record consistency: rebuild the expected ancestry
+        // index from the committed items and diff it against the stored
+        // one (crash between `p3:commit:db` and `p3:commit:index` must
+        // have healed during the recovery drains).
+        let audit = cloudprov_core::index::audit_index(&env, layout);
         (
             recovery
                 .wal_url()
@@ -274,9 +290,10 @@ pub fn explore_seed(protocol: Protocol, seed: u64) -> SeedOutcome {
                 .unwrap_or(0),
             env.s3()
                 .peek_count(&layout.data_bucket, &layout.temp_prefix),
+            audit.inconsistencies(),
         )
     } else {
-        (0, 0)
+        (0, 0, 0)
     };
     // Last: persistence deletes data, so nothing may read after it. Only
     // a *coupled* key qualifies: deleting data whose provenance never
@@ -309,6 +326,7 @@ pub fn explore_seed(protocol: Protocol, seed: u64) -> SeedOutcome {
         persistence_ok,
         wal_leftover,
         temp_leftover,
+        index_inconsistencies,
         recovery_errors,
     }
 }
@@ -334,6 +352,8 @@ pub struct ProtocolSummary {
     pub wal_leftover: usize,
     /// Total temp objects left behind across the sweep.
     pub temp_leftover: usize,
+    /// Total ancestry-index ↔ base-record disagreements across the sweep.
+    pub index_inconsistencies: usize,
     /// Seeds with at least one hard invariant violation.
     pub failing_seeds: usize,
     /// The smallest failing seed with its violations — the replay handle.
@@ -399,6 +419,7 @@ impl ExplorationReport {
             broken_promises: 0,
             wal_leftover: 0,
             temp_leftover: 0,
+            index_inconsistencies: 0,
             failing_seeds: 0,
             minimal_failure: None,
         };
@@ -410,6 +431,7 @@ impl ExplorationReport {
             s.broken_promises += o.broken_promises;
             s.wal_leftover += o.wal_leftover;
             s.temp_leftover += o.temp_leftover;
+            s.index_inconsistencies += o.index_inconsistencies;
             let violations = o.violations();
             if !violations.is_empty() {
                 s.failing_seeds += 1;
@@ -464,6 +486,7 @@ mod tests {
         assert_eq!(s.dangling_edges, 0);
         assert_eq!(s.wal_leftover, 0);
         assert_eq!(s.temp_leftover, 0);
+        assert_eq!(s.index_inconsistencies, 0);
         assert!(s.crashes > 0, "the range must actually inject crashes");
     }
 

@@ -66,8 +66,8 @@ pub use s3::{
     LIST_MAX_KEYS,
 };
 pub use sdb::{
-    Attributes, Database, PutItem, SelectPage, SelectedItem, ATTRIBUTE_LIMIT, BATCH_LIMIT,
-    ITEM_ATTR_LIMIT, SELECT_PAGE_BYTES, SELECT_PAGE_ITEMS,
+    quote_like_prefix, quote_literal, Attributes, Database, PutItem, SelectPage, SelectedItem,
+    ATTRIBUTE_LIMIT, BATCH_LIMIT, ITEM_ATTR_LIMIT, SELECT_PAGE_BYTES, SELECT_PAGE_ITEMS,
 };
 pub use sqs::{
     QueueService, ReceivedMessage, DEFAULT_VISIBILITY_TIMEOUT, MESSAGE_LIMIT, RECEIVE_MAX,

@@ -40,6 +40,41 @@ pub const SELECT_PAGE_BYTES: u64 = 1 << 20;
 /// Multi-valued attributes of one item, in insertion order.
 pub type Attributes = Vec<(String, String)>;
 
+/// Quotes a string as a SELECT string literal: wraps it in single quotes
+/// and doubles embedded quotes (the service's `''` escape). Every query
+/// built with `format!` must route user-controlled values through this —
+/// a program named `o'brien` interpolated raw produces an invalid (or,
+/// worse, differently-filtered) query.
+pub fn quote_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        if c == '\'' {
+            out.push('\'');
+        }
+        out.push(c);
+    }
+    out.push('\'');
+    out
+}
+
+/// Quotes a string for use inside a `LIKE` pattern literal. Identical to
+/// [`quote_literal`] except the caller appends/embeds `%` wildcards
+/// *outside* this call; embedded `%` in `s` cannot be escaped by the 2009
+/// service and will act as wildcards — callers interpolating arbitrary
+/// names into LIKE patterns inherit that service quirk.
+pub fn quote_like_prefix(s: &str, suffix: &str) -> String {
+    let mut inner = String::with_capacity(s.len() + suffix.len() + 2);
+    for c in s.chars() {
+        if c == '\'' {
+            inner.push('\'');
+        }
+        inner.push(c);
+    }
+    inner.push_str(suffix);
+    format!("'{inner}'")
+}
+
 /// One item to write in a batch: `(item_name, attributes)`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PutItem {
@@ -449,6 +484,22 @@ impl Database {
             .cloned()
     }
 
+    /// Instrumentation: every committed item (name + latest attributes)
+    /// in a domain, bypassing consistency, latency and metering. For
+    /// tests and invariant checkers (the chaos explorer's index audit)
+    /// only.
+    pub fn peek_items(&self, domain: &str) -> Vec<(String, Attributes)> {
+        let st = self.state.lock();
+        st.domains
+            .get(domain)
+            .map(|d| {
+                d.iter()
+                    .filter_map(|(name, h)| h.latest().map(|a| (name.clone(), a.clone())))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Instrumentation: number of committed items in a domain.
     pub fn peek_item_count(&self, domain: &str) -> usize {
         let st = self.state.lock();
@@ -703,6 +754,48 @@ mod tests {
         assert!(stale_seen);
         sim.sleep(std::time::Duration::from_secs(11));
         assert!(!db.get_attributes("prov", "i").unwrap().is_empty());
+    }
+
+    #[test]
+    fn quote_literal_escapes_embedded_quotes() {
+        assert_eq!(quote_literal("blast"), "'blast'");
+        assert_eq!(quote_literal("o'brien"), "'o''brien'");
+        assert_eq!(quote_literal(""), "''");
+        // Round-trip through the parser: the literal comes back verbatim.
+        let q = format!(
+            "select * from prov where name = {}",
+            quote_literal("o'brien")
+        );
+        let parsed = select::parse(&q).unwrap();
+        let p = parsed.predicate.unwrap();
+        assert!(p.matches("i", &[("name".to_string(), "o'brien".to_string())]));
+        assert!(!p.matches("i", &[("name".to_string(), "obrien".to_string())]));
+    }
+
+    #[test]
+    fn quote_like_prefix_escapes_and_appends_wildcard() {
+        assert_eq!(quote_like_prefix("abc", "%"), "'abc%'");
+        assert_eq!(quote_like_prefix("o'b", "_%"), "'o''b_%'");
+        let q = format!(
+            "select * from prov where itemName() like {}",
+            quote_like_prefix("it's", "%")
+        );
+        let parsed = select::parse(&q).unwrap();
+        let p = parsed.predicate.unwrap();
+        assert!(p.matches("it's here", &[]));
+        assert!(!p.matches("its here", &[]));
+    }
+
+    #[test]
+    fn peek_items_lists_latest_state() {
+        let (_sim, db) = db(AwsProfile::instant());
+        db.put_attributes("prov", item("a", &[("x", "1")])).unwrap();
+        db.put_attributes("prov", item("b", &[("y", "2")])).unwrap();
+        db.delete_item("prov", "b").unwrap();
+        let items = db.peek_items("prov");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].0, "a");
+        assert!(db.peek_items("nope").is_empty());
     }
 
     #[test]

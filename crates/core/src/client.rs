@@ -221,6 +221,16 @@ impl ClientBuilder {
         self
     }
 
+    /// Whether P3's commit daemon maintains the commit-time ancestry
+    /// index (on by default). Turning it off removes the indexed query
+    /// plan — the planner falls back to SELECTs — and saves the daemon's
+    /// index writes; deployments that never run lineage queries may
+    /// prefer that trade.
+    pub fn ancestry_index(mut self, on: bool) -> Self {
+        self.config.index = on;
+        self
+    }
+
     /// Name of the client's P3 WAL queue (each client has its own,
     /// §4.3.3). Ignored by the other protocols.
     pub fn queue(mut self, name: impl Into<String>) -> Self {
@@ -1025,6 +1035,45 @@ mod tests {
             assert_eq!(client.cleaner_daemon().is_some(), protocol == Protocol::P3);
             assert!(client.pipeline_stats().is_none(), "blocking by default");
         }
+    }
+
+    #[test]
+    fn ancestry_index_setter_gates_the_index_domain() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let indexed = ProvenanceClient::builder(Protocol::P3)
+            .queue("wal-idx-on")
+            .build(&env);
+        assert!(matches!(
+            indexed.provenance_store(),
+            Some(ProvenanceStore::Database {
+                index_domain: Some(_),
+                ..
+            })
+        ));
+        let plain = ProvenanceClient::builder(Protocol::P3)
+            .queue("wal-idx-off")
+            .ancestry_index(false)
+            .build(&env);
+        assert!(matches!(
+            plain.provenance_store(),
+            Some(ProvenanceStore::Database {
+                index_domain: None,
+                ..
+            })
+        ));
+        // An index-less client's commits write no index items.
+        plain
+            .flush(FlushBatch {
+                objects: vec![file_obj(77, 1, "noidx", "x")],
+            })
+            .unwrap();
+        plain.drain().unwrap();
+        assert_eq!(
+            env.sdb()
+                .peek_item_count(&crate::index::index_domain("provenance")),
+            0
+        );
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 mod client;
 mod error;
+pub mod index;
 mod layout;
 mod p1;
 mod p2;

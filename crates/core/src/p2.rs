@@ -270,6 +270,9 @@ impl StorageProtocol for P2 {
         Some(ProvenanceStore::Database {
             domain: self.config.layout.domain.clone(),
             spill_bucket: self.config.layout.prov_bucket.clone(),
+            // P2 writes items from the client with no commit daemon in
+            // the path, so nothing maintains an ancestry index for it.
+            index_domain: None,
         })
     }
 }

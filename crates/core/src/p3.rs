@@ -90,6 +90,10 @@ impl P3 {
         identity: &str,
     ) -> P3 {
         env.sdb().create_domain(&config.layout.domain);
+        if config.index {
+            env.sdb()
+                .create_domain(&crate::index::index_domain(&config.layout.domain));
+        }
         let wal_url = env.sqs().create_queue(queue_name);
         let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
         for b in identity.bytes() {
@@ -290,6 +294,10 @@ impl StorageProtocol for P3 {
         Some(ProvenanceStore::Database {
             domain: self.config.layout.domain.clone(),
             spill_bucket: self.config.layout.prov_bucket.clone(),
+            index_domain: self
+                .config
+                .index
+                .then(|| crate::index::index_domain(&self.config.layout.domain)),
         })
     }
 }
@@ -346,6 +354,13 @@ impl CommitDaemon {
     /// is the crash-tolerance argument for putting the WAL in SQS rather
     /// than on the client's disk.
     pub fn new(env: &CloudEnv, config: ProtocolConfig, wal_url: &str) -> CommitDaemon {
+        // A daemon can run on a machine that never constructed a `P3`
+        // (the WAL-in-the-cloud recovery story), so it provisions the
+        // index domain itself. Idempotent, unmetered administrative call.
+        if config.index {
+            env.sdb()
+                .create_domain(&crate::index::index_domain(&config.layout.domain));
+        }
         CommitDaemon {
             env: env.clone(),
             config,
@@ -511,6 +526,11 @@ impl CommitDaemon {
         }
 
         // 2 + 3. Spill oversized values, then BatchPutAttributes.
+        let index_items = if self.config.index {
+            crate::index::index_updates(&records)
+        } else {
+            Vec::new()
+        };
         let mut by_subject: BTreeMap<PNodeId, Vec<ProvenanceRecord>> = BTreeMap::new();
         for r in records {
             by_subject.entry(r.subject).or_default().push(r);
@@ -525,6 +545,21 @@ impl CommitDaemon {
             retry(sim, self.config.retries, || {
                 sdb.batch_put_attributes(&layout.domain, chunk.to_vec())
             })?;
+        }
+
+        // 3b. Ancestry index, in the same commit step as the base items
+        //     (strictly after them — the index must never describe
+        //     provenance that is not stored). A crash here leaves the WAL
+        //     unacknowledged; the recommit rewrites base and index, both
+        //     idempotent, so recovery converges to a consistent index.
+        if !index_items.is_empty() {
+            let idx_domain = crate::index::index_domain(&layout.domain);
+            for chunk in index_items.chunks(batch) {
+                self.config.step("p3:commit:index")?;
+                retry(sim, self.config.retries, || {
+                    sdb.batch_put_attributes(&idx_domain, chunk.to_vec())
+                })?;
+            }
         }
 
         // 4. Delete temp objects and WAL messages.
@@ -900,6 +935,110 @@ mod tests {
         assert_eq!(
             env.s3().peek_committed("data", "out").unwrap().blob,
             Blob::from("once")
+        );
+    }
+
+    #[test]
+    fn commit_maintains_the_ancestry_index() {
+        let (_sim, env, p3) = setup();
+        let proc_id = PNodeId::initial(Uuid(30));
+        let proc = FlushObject::provenance_only(FlushNode {
+            id: proc_id,
+            kind: NodeKind::Process,
+            name: Some("gen".into()),
+            records: vec![
+                ProvenanceRecord::new(proc_id, Attr::Type, "process"),
+                ProvenanceRecord::new(proc_id, Attr::Name, "gen"),
+            ],
+            data_hash: None,
+        });
+        let mut file = file_obj(31, 1, "out", "x");
+        file.node
+            .records
+            .push(ProvenanceRecord::new(file.node.id, Attr::Input, proc_id));
+        p3.flush(FlushBatch {
+            objects: vec![proc, file],
+        })
+        .unwrap();
+        p3.commit_daemon().run_until_idle().unwrap();
+        let audit = crate::index::audit_index(&env, &crate::Layout::default());
+        assert!(audit.consistent(), "{audit:?}");
+        assert!(audit.entries >= 2, "rev edge + program seed expected");
+    }
+
+    #[test]
+    fn crash_between_base_and_index_write_heals_on_recommit() {
+        // The p3:commit:index crash point: base records land, the index
+        // write dies, the WAL stays unacknowledged. A fresh daemon's
+        // recommit must leave base and index consistent (both writes are
+        // idempotent).
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let cfg = ProtocolConfig {
+            step_hook: Some(Arc::new(|step: &str| step != "p3:commit:index")),
+            ..ProtocolConfig::default()
+        };
+        let p3 = P3::new(&env, cfg, "wal-idx");
+        let proc_id = PNodeId::initial(Uuid(40));
+        let proc = FlushObject::provenance_only(FlushNode {
+            id: proc_id,
+            kind: NodeKind::Process,
+            name: Some("gen".into()),
+            records: vec![
+                ProvenanceRecord::new(proc_id, Attr::Type, "process"),
+                ProvenanceRecord::new(proc_id, Attr::Name, "gen"),
+            ],
+            data_hash: None,
+        });
+        let mut file = file_obj(41, 1, "out", "x");
+        file.node
+            .records
+            .push(ProvenanceRecord::new(file.node.id, Attr::Input, proc_id));
+        p3.flush(FlushBatch {
+            objects: vec![proc, file],
+        })
+        .unwrap();
+        let dying = p3.commit_daemon();
+        let err = dying.run_until_idle().unwrap_err();
+        assert!(matches!(err, ProtocolError::Crashed { .. }));
+        // Base records committed, index did not: temporarily divergent.
+        assert!(env.sdb().peek_item_count("provenance") > 0);
+        let mid = crate::index::audit_index(&env, &crate::Layout::default());
+        assert!(!mid.consistent(), "crash must leave the gap this models");
+        // WAL unacknowledged: a recovery daemon redelivers and recommits.
+        sim.sleep(cloudprov_cloud::DEFAULT_VISIBILITY_TIMEOUT + Duration::from_secs(1));
+        let recovery = CommitDaemon::new(&env, ProtocolConfig::default(), "sqs://wal-idx");
+        recovery.run_until_idle().unwrap();
+        let audit = crate::index::audit_index(&env, &crate::Layout::default());
+        assert!(audit.consistent(), "{audit:?}");
+        assert_eq!(env.sqs().peek_depth(p3.wal_url()), 0);
+    }
+
+    #[test]
+    fn disabling_the_index_skips_index_writes() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let cfg = ProtocolConfig {
+            index: false,
+            ..ProtocolConfig::default()
+        };
+        let p3 = P3::new(&env, cfg, "wal-noidx");
+        assert!(matches!(
+            p3.provenance_store(),
+            Some(ProvenanceStore::Database {
+                index_domain: None,
+                ..
+            })
+        ));
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(50, 1, "out", "x")],
+        })
+        .unwrap();
+        p3.commit_daemon().run_until_idle().unwrap();
+        assert_eq!(
+            env.sdb()
+                .peek_item_count(&crate::index::index_domain("provenance")),
+            0
         );
     }
 

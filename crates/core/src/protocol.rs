@@ -126,6 +126,13 @@ pub enum ProvenanceStore {
         domain: String,
         /// Bucket holding spilled >1 KB values.
         spill_bucket: String,
+        /// Sibling domain holding the commit-time ancestry index
+        /// (reverse edges + program seeds), when one is maintained.
+        /// `Some` for P3 (its commit daemon writes the index in the
+        /// commit step); `None` for P2, whose client-side writes bypass
+        /// the daemon. The query planner only considers the indexed
+        /// path when this is present.
+        index_domain: Option<String>,
     },
 }
 
@@ -161,6 +168,11 @@ pub struct ProtocolConfig {
     /// this is what leaves P2 the slowest protocol in the microbenchmark,
     /// as the paper observes.
     pub db_concurrency: usize,
+    /// Whether P3's commit daemon maintains the commit-time ancestry
+    /// index (`crate::index`) alongside the provenance items. Daemon-side
+    /// work only — client-perceived latency and client op counts are
+    /// unchanged.
+    pub index: bool,
 }
 
 impl std::fmt::Debug for ProtocolConfig {
@@ -179,6 +191,7 @@ impl std::fmt::Debug for ProtocolConfig {
             .field("wal_message_limit", &self.wal_message_limit)
             .field("db_batch", &self.db_batch)
             .field("db_concurrency", &self.db_concurrency)
+            .field("index", &self.index)
             .finish()
     }
 }
@@ -194,6 +207,7 @@ impl Default for ProtocolConfig {
             wal_message_limit: cloudprov_cloud::MESSAGE_LIMIT,
             db_batch: cloudprov_cloud::BATCH_LIMIT,
             db_concurrency: 4,
+            index: true,
         }
     }
 }
@@ -643,6 +657,7 @@ mod tests {
             "wal_message_limit",
             "db_batch",
             "db_concurrency",
+            "index",
         ] {
             assert!(dbg.contains(field), "Debug output drops '{field}': {dbg}");
         }

@@ -12,10 +12,11 @@
 //! variant for deployments whose cleaners run on separate machines;
 //! each of those pays for its own listing.
 
+use std::collections::BTreeSet;
 use std::time::Duration;
 
-use cloudprov_cloud::{Actor, CloudEnv};
-use cloudprov_core::{ProtocolConfig, Result};
+use cloudprov_cloud::{quote_literal, Actor, CloudEnv};
+use cloudprov_core::{index as prov_index, ProtocolConfig, Result};
 
 use crate::router::fnv64;
 
@@ -124,6 +125,103 @@ impl ShardedCleaners {
         }
         Ok(total)
     }
+
+    /// One sweep of the **ancestry index** for garbage: index items none
+    /// of whose referenced nodes exist in the base domain describe
+    /// provenance that never committed (version-skewed daemons, manual
+    /// surgery — normal operation cannot produce them, because a
+    /// dependent's base item is written before its index entries in the
+    /// same commit). Lists the index once, batch-checks the referenced
+    /// ids against the base domain, and deletes fully-orphaned items on
+    /// M parallel workers.
+    ///
+    /// Run after the commit plane quiesces: an item whose *ancestor* id
+    /// is still uncommitted is expected (commit order across shards is
+    /// free), so only items whose **dependent/process** ids are all
+    /// absent — ids that a real commit would have written first — are
+    /// reaped. Returns how many items were deleted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud errors that survive retries.
+    pub fn sweep_index_once(&self) -> Result<usize> {
+        if !self.config.index {
+            return Ok(0);
+        }
+        let sdb = self.env.sdb().with_actor(Actor::CleanerDaemon);
+        let layout = &self.config.layout;
+        let idx_domain = prov_index::index_domain(&layout.domain);
+        let items = cloudprov_core::retry_cloud(self.env.sim(), self.config.retries, || {
+            sdb.select_all(&format!("select * from {idx_domain}"))
+        })?;
+        // Which node ids does each index item stand on?
+        let mut referenced: BTreeSet<String> = BTreeSet::new();
+        let per_item: Vec<(String, Vec<String>)> = items
+            .into_iter()
+            .map(|item| {
+                let ids: Vec<String> = item
+                    .attrs
+                    .iter()
+                    .filter(|(a, _)| {
+                        matches!(
+                            a.as_str(),
+                            prov_index::ATTR_OUT | prov_index::ATTR_FILE | prov_index::ATTR_PROC
+                        )
+                    })
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                referenced.extend(ids.iter().cloned());
+                (item.name, ids)
+            })
+            .collect();
+        // Batch-check existence in the base domain.
+        let mut existing: BTreeSet<String> = BTreeSet::new();
+        let ids: Vec<String> = referenced.into_iter().collect();
+        for chunk in ids.chunks(20) {
+            let list = chunk
+                .iter()
+                .map(|i| quote_literal(i))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let found = cloudprov_core::retry_cloud(self.env.sim(), self.config.retries, || {
+                sdb.select_all(&format!(
+                    "select itemName() from {} where itemName() in ({list})",
+                    layout.domain
+                ))
+            })?;
+            existing.extend(found.into_iter().map(|i| i.name));
+        }
+        // An item is garbage when it references nodes yet none exist.
+        let mut partitions: Vec<Vec<String>> = vec![Vec::new(); self.shards as usize];
+        for (name, ids) in per_item {
+            if !ids.is_empty() && !ids.iter().any(|i| existing.contains(i)) {
+                let shard = fnv64(name.as_bytes()) % u64::from(self.shards);
+                partitions[shard as usize].push(name);
+            }
+        }
+        let tasks: Vec<_> = partitions
+            .into_iter()
+            .map(|names| {
+                let this = self.clone();
+                let idx_domain = idx_domain.clone();
+                move || -> Result<usize> {
+                    let sdb = this.env.sdb().with_actor(Actor::CleanerDaemon);
+                    for name in &names {
+                        cloudprov_core::retry_cloud(this.env.sim(), this.config.retries, || {
+                            sdb.delete_item(&idx_domain, name)
+                        })?;
+                    }
+                    Ok(names.len())
+                }
+            })
+            .collect();
+        let results = self.env.sim().run_parallel(self.shards as usize, tasks);
+        let mut total = 0;
+        for r in results {
+            total += r?;
+        }
+        Ok(total)
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +240,66 @@ mod tests {
             let owners: Vec<u32> = (0..4).filter(|s| cleaners.owns(*s, &key)).collect();
             assert_eq!(owners.len(), 1, "key {key} owned by {owners:?}");
         }
+    }
+
+    #[test]
+    fn index_sweep_reaps_only_unbacked_items() {
+        use cloudprov_core::{FlushBatch, Protocol, ProvenanceClient, StorageProtocol};
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        // A real commit: base items + index entries (stays).
+        let client = ProvenanceClient::builder(Protocol::P3)
+            .queue("wal-idxsweep")
+            .build(&env);
+        let id = cloudprov_pass::PNodeId::initial(cloudprov_pass::Uuid(60));
+        let blob = Blob::from("x");
+        let obj = cloudprov_core::FlushObject::file(
+            cloudprov_pass::FlushNode {
+                id,
+                kind: cloudprov_pass::NodeKind::File,
+                name: Some("/kept".into()),
+                records: vec![
+                    cloudprov_pass::ProvenanceRecord::new(id, cloudprov_pass::Attr::Type, "file"),
+                    cloudprov_pass::ProvenanceRecord::new(
+                        id,
+                        cloudprov_pass::Attr::Input,
+                        cloudprov_pass::PNodeId::initial(cloudprov_pass::Uuid(61)),
+                    ),
+                ],
+                data_hash: Some(blob.content_fingerprint()),
+            },
+            "kept",
+            blob,
+        );
+        client.flush(FlushBatch { objects: vec![obj] }).unwrap();
+        client.drain().unwrap();
+        let idx_domain = prov_index::index_domain("provenance");
+        let live_items = env.sdb().peek_item_count(&idx_domain);
+        assert!(live_items > 0);
+        // Plant garbage: an index item referencing nodes that never
+        // committed (a half-applied write from a version-skewed daemon).
+        let ghost = cloudprov_pass::PNodeId::initial(cloudprov_pass::Uuid(999));
+        env.sdb()
+            .put_attributes(
+                &idx_domain,
+                cloudprov_cloud::PutItem {
+                    name: format!(
+                        "rev_{}~0",
+                        cloudprov_pass::PNodeId::initial(cloudprov_pass::Uuid(998))
+                    ),
+                    attrs: vec![(prov_index::ATTR_OUT.into(), ghost.to_string())],
+                    replace: false,
+                },
+            )
+            .unwrap();
+        let cleaners = ShardedCleaners::new(&env, ProtocolConfig::default(), 4);
+        assert_eq!(cleaners.sweep_index_once().unwrap(), 1, "only the ghost");
+        assert_eq!(env.sdb().peek_item_count(&idx_domain), live_items);
+        // And the surviving index still matches the base exactly.
+        let audit = prov_index::audit_index(&env, &cloudprov_core::Layout::default());
+        assert!(audit.consistent(), "{audit:?}");
+        // A second sweep finds nothing.
+        assert_eq!(cleaners.sweep_index_once().unwrap(), 0);
     }
 
     #[test]

@@ -1,24 +1,37 @@
-//! The provenance query engine (§5.3).
+//! The provenance query engine (§5.3), shrunk to a planner.
 //!
-//! Executes the paper's four queries against either provenance layout:
+//! Executes the paper's four queries against any provenance layout:
 //!
 //! * **Q.1** Retrieve all the provenance ever recorded.
 //! * **Q.2** Given an object, retrieve the provenance of all its versions.
 //! * **Q.3** Find all files directly output by a named program.
 //! * **Q.4** Find all descendants of files derived from a named program.
 //!
-//! Against the **S3 layout** (P1) every query except Q.2 degenerates to a
-//! full scan — list the provenance objects, GET each, filter client-side —
-//! parallelizable but wasteful. Against the **SimpleDB layout** (P2/P3)
-//! the service indexes every attribute, so Q.3/Q.4 become selective
-//! SELECTs: the order-of-magnitude gap of Table 5.
+//! All layout access goes through the pluggable [`GraphSource`] backends
+//! in [`crate::source`] — the S3 scan, SimpleDB SELECTs, or the
+//! commit-time ancestry index — and the engine's own job is reduced to
+//! picking a plan per query (see [`crate::planner`]), executing it, and
+//! reporting cost metrics plus the plan taken. Against the **S3 layout**
+//! (P1) every query except Q.2 degenerates to a full scan; against the
+//! **SimpleDB layout** (P2/P3) Q.3/Q.4 become selective SELECTs (the
+//! order-of-magnitude gap of Table 5); with a P3 **ancestry index** the
+//! planner routes Q.3 to one seed lookup and Q.4 to a bounded walk over
+//! materialized reverse edges.
 
-use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
+
 use cloudprov_cloud::{Actor, CloudEnv, UsageReport};
-use cloudprov_core::{item_to_records, parse_object_metadata, ProtocolError, ProvenanceStore};
-use cloudprov_pass::{wire, Attr, NodeKind, PNodeId, ProvenanceRecord};
+use cloudprov_core::{ProtocolError, ProvenanceStore};
+use cloudprov_pass::{PNodeId, ProvenanceRecord};
+
+use crate::planner::{self, DomainStats, Plan, PlanHistory, PlanReport, QueryKind};
+use crate::source::{
+    local, object_link, resolve_spill, GraphSource, IndexSource, Mode, S3ScanSource,
+    SdbSelectSource,
+};
 
 type Result<T> = std::result::Result<T, ProtocolError>;
 
@@ -33,43 +46,47 @@ pub struct QueryMetrics {
     pub bytes: u64,
 }
 
-/// Result of a query: matching records plus execution cost.
+/// Result of a query: matching records plus execution cost and the plan
+/// the engine chose.
 #[derive(Clone, Debug, Default)]
 pub struct QueryOutput {
-    /// Provenance records in the result set.
+    /// Provenance records in the result set (empty for plans that
+    /// identify nodes without touching the record log — hydrate with
+    /// [`QueryEngine::hydrate`]).
     pub records: Vec<ProvenanceRecord>,
     /// Node versions the query identified (for Q.3/Q.4).
     pub nodes: Vec<PNodeId>,
     /// Execution cost.
     pub metrics: QueryMetrics,
-}
-
-/// Execution strategy (Table 5 reports both).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Mode {
-    /// One request at a time.
-    Sequential,
-    /// Independent requests fan out over parallel connections.
-    Parallel,
+    /// The access path the planner picked, its cost figure and reason.
+    pub plan: PlanReport,
 }
 
 /// The query engine over a provenance store.
+///
+/// Construct with [`QueryEngine::new`] and tune through the builder
+/// setters — the tuning fields are private so the planner's invariants
+/// (parallelism ≥ 1, IN batches ≥ 1) cannot be bypassed into
+/// inconsistent states.
 pub struct QueryEngine {
     env: CloudEnv,
     store: ProvenanceStore,
     data_bucket: String,
-    /// Parallel connections for [`Mode::Parallel`] (the paper's query tool
-    /// achieved ≈7× on Q.1 over S3).
-    pub parallelism: usize,
-    /// IDs per IN-list when batching frontier expansions (Q.4 over
-    /// SimpleDB).
-    pub in_batch: usize,
+    parallelism: usize,
+    in_batch: usize,
+    force: Option<Plan>,
+    /// Shared with pinned views ([`QueryEngine::with_plan_ref`]): a
+    /// measurement taken through any view feeds every view's planner.
+    history: Arc<Mutex<PlanHistory>>,
 }
 
 impl std::fmt::Debug for QueryEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryEngine")
             .field("store", &self.store)
+            .field("parallelism", &self.parallelism)
+            .field("in_batch", &self.in_batch)
+            .field("force", &self.force)
             .finish()
     }
 }
@@ -91,6 +108,158 @@ impl QueryEngine {
             data_bucket: data_bucket.to_string(),
             parallelism: 8,
             in_batch: 20,
+            force: None,
+            history: Arc::new(Mutex::new(PlanHistory::default())),
+        }
+    }
+
+    /// Parallel connections for [`Mode::Parallel`] (the paper's query
+    /// tool achieved ≈7× on Q.1 over S3). Clamped to ≥ 1.
+    pub fn with_parallelism(mut self, n: usize) -> QueryEngine {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// IDs per IN-list when batching frontier expansions (Q.4 over
+    /// SimpleDB; the 2009 service capped predicates at 20). Clamped to
+    /// ≥ 1.
+    pub fn with_in_batch(mut self, n: usize) -> QueryEngine {
+        self.in_batch = n.max(1);
+        self
+    }
+
+    /// Pins every subsequent query to one access path (benchmarks
+    /// comparing paths). Paths the layout lacks are ignored and planning
+    /// resumes.
+    pub fn with_plan(mut self, plan: Plan) -> QueryEngine {
+        self.force = Some(plan);
+        self
+    }
+
+    /// Returns to cost-based planning after [`QueryEngine::with_plan`].
+    pub fn with_auto_plan(mut self) -> QueryEngine {
+        self.force = None;
+        self
+    }
+
+    /// A borrowed-style pinned view: same store, same tuning, same
+    /// (shared) meter history, but every query forced through `plan`.
+    /// Benchmarks use this to measure each path on one corpus.
+    pub fn with_plan_ref(&self, plan: Plan) -> QueryEngine {
+        QueryEngine {
+            env: self.env.clone(),
+            store: self.store.clone(),
+            data_bucket: self.data_bucket.clone(),
+            parallelism: self.parallelism,
+            in_batch: self.in_batch,
+            force: Some(plan),
+            history: self.history.clone(),
+        }
+    }
+
+    /// Current parallel-connection setting.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Current IN-list batch setting.
+    pub fn in_batch(&self) -> usize {
+        self.in_batch
+    }
+
+    /// The plans this store's layout supports.
+    pub fn available_plans(&self) -> Vec<Plan> {
+        match &self.store {
+            ProvenanceStore::S3Objects { .. } => vec![Plan::S3Scan],
+            ProvenanceStore::Database { index_domain, .. } => {
+                let mut v = vec![Plan::SdbSelect];
+                if index_domain.is_some() {
+                    v.push(Plan::Index);
+                }
+                v
+            }
+        }
+    }
+
+    /// Catalog statistics the planner reads (free metadata calls).
+    pub fn stats(&self) -> DomainStats {
+        match &self.store {
+            ProvenanceStore::S3Objects { bucket, prefix } => DomainStats {
+                prov_objects: self.env.s3().peek_count(bucket, prefix),
+                ..DomainStats::default()
+            },
+            ProvenanceStore::Database {
+                domain,
+                index_domain,
+                ..
+            } => DomainStats {
+                prov_objects: 0,
+                main_items: self.env.sdb().peek_item_count(domain),
+                index_items: index_domain
+                    .as_deref()
+                    .map(|d| self.env.sdb().peek_item_count(d))
+                    .unwrap_or(0),
+            },
+        }
+    }
+
+    /// What the planner would pick for `query` right now.
+    pub fn plan_for(&self, query: QueryKind) -> PlanReport {
+        planner::choose(
+            query,
+            &self.available_plans(),
+            &self.stats(),
+            &self.history.lock(),
+            self.force,
+        )
+    }
+
+    fn scan_source(&self) -> S3ScanSource {
+        match &self.store {
+            ProvenanceStore::S3Objects { bucket, prefix } => {
+                S3ScanSource::new(&self.env, bucket, prefix, self.parallelism)
+            }
+            ProvenanceStore::Database { .. } => unreachable!("scan plan on a database store"),
+        }
+    }
+
+    fn select_source(&self) -> SdbSelectSource {
+        match &self.store {
+            ProvenanceStore::Database { domain, .. } => {
+                SdbSelectSource::new(&self.env, domain, self.parallelism, self.in_batch)
+            }
+            ProvenanceStore::S3Objects { .. } => unreachable!("select plan on an S3 store"),
+        }
+    }
+
+    fn index_source(&self) -> IndexSource {
+        match &self.store {
+            ProvenanceStore::Database {
+                domain,
+                index_domain: Some(idx),
+                ..
+            } => IndexSource::new(&self.env, domain, idx, self.parallelism, self.in_batch),
+            _ => unreachable!("index plan without an index domain"),
+        }
+    }
+
+    /// The chosen plan's backend, as the layout-blind trait object. This
+    /// is also the entry point for graph consumers ([`crate::regen`],
+    /// [`crate::hints`]): `engine.source(plan).graph()?`.
+    pub fn source(&self, plan: Plan) -> Box<dyn GraphSource> {
+        match plan {
+            Plan::S3Scan => Box::new(self.scan_source()),
+            Plan::SdbSelect => Box::new(self.select_source()),
+            Plan::Index => Box::new(self.index_source()),
+        }
+    }
+
+    /// The best source for materializing the whole graph (scan for S3,
+    /// base-domain select otherwise).
+    pub fn graph_source(&self) -> Box<dyn GraphSource> {
+        match &self.store {
+            ProvenanceStore::S3Objects { .. } => self.source(Plan::S3Scan),
+            ProvenanceStore::Database { .. } => self.source(Plan::SdbSelect),
         }
     }
 
@@ -109,45 +278,16 @@ impl QueryEngine {
         ))
     }
 
-    /// Full scan of the S3 provenance layout: LIST pages + one GET per
-    /// provenance object (sequential or parallel).
-    fn s3_scan(&self, bucket: &str, prefix: &str, mode: Mode) -> Result<Vec<ProvenanceRecord>> {
-        let s3 = self.env.s3().with_actor(Actor::Query);
-        let keys = s3.list_all(bucket, prefix)?;
-        match mode {
-            Mode::Sequential => {
-                let mut out = Vec::new();
-                for k in keys {
-                    let obj = s3.get(bucket, &k.key)?;
-                    out.extend(wire::decode(
-                        obj.blob.as_inline().expect("inline provenance"),
-                    )?);
-                }
-                Ok(out)
-            }
-            Mode::Parallel => {
-                let sim = self.env.sim().clone();
-                let tasks: Vec<_> = keys
-                    .into_iter()
-                    .map(|k| {
-                        let s3 = s3.clone();
-                        let bucket = bucket.to_string();
-                        move || -> Result<Vec<ProvenanceRecord>> {
-                            let obj = s3.get(&bucket, &k.key)?;
-                            Ok(wire::decode(
-                                obj.blob.as_inline().expect("inline provenance"),
-                            )?)
-                        }
-                    })
-                    .collect();
-                let results = sim.run_parallel(self.parallelism, tasks);
-                let mut out = Vec::new();
-                for r in results {
-                    out.extend(r?);
-                }
-                Ok(out)
-            }
+    fn record_history(
+        &self,
+        query: QueryKind,
+        plan: PlanReport,
+        metrics: QueryMetrics,
+    ) -> PlanReport {
+        if let Some(p) = plan.plan {
+            self.history.lock().record(query, p, metrics.ops);
         }
+        plan
     }
 
     /// Q.1: retrieve all provenance.
@@ -156,39 +296,20 @@ impl QueryEngine {
     ///
     /// Propagates cloud errors.
     pub fn q1_all(&self, mode: Mode) -> Result<QueryOutput> {
-        match &self.store {
-            ProvenanceStore::S3Objects { bucket, prefix } => {
-                let (records, metrics) = self.measure(|| self.s3_scan(bucket, prefix, mode))?;
-                Ok(QueryOutput {
-                    nodes: subjects(&records),
-                    records,
-                    metrics,
-                })
-            }
-            ProvenanceStore::Database { domain, .. } => {
-                // SELECT * pages chain through next-tokens: inherently
-                // sequential (§5.3), whatever the requested mode.
-                let sdb = self.env.sdb().with_actor(Actor::Query);
-                let query = format!("select * from {domain}");
-                let (records, metrics) = self.measure(|| {
-                    let items = sdb.select_all(&query)?;
-                    Ok(items
-                        .iter()
-                        .flat_map(|i| item_to_records(&i.name, &i.attrs))
-                        .collect::<Vec<_>>())
-                })?;
-                Ok(QueryOutput {
-                    nodes: subjects(&records),
-                    records,
-                    metrics,
-                })
-            }
-        }
+        let plan = self.plan_for(QueryKind::Q1);
+        let source = self.source(plan.plan.expect("planner always picks"));
+        let (records, metrics) = self.measure(|| source.all_records(mode))?;
+        Ok(QueryOutput {
+            nodes: local::subjects(&records),
+            records,
+            metrics,
+            plan: self.record_history(QueryKind::Q1, plan, metrics),
+        })
     }
 
     /// Q.2: provenance of all versions of the object stored at `key`.
     /// Starts with a HEAD on the data object to learn its UUID (both
-    /// layouts), then one targeted fetch — which is why the two layouts
+    /// layouts), then one targeted fetch — which is why the layouts
     /// perform comparably on this query (§5.3).
     ///
     /// # Errors
@@ -196,40 +317,17 @@ impl QueryEngine {
     /// Propagates cloud errors; `MissingProvenance` if the object carries
     /// no provenance link.
     pub fn q2_object(&self, key: &str) -> Result<QueryOutput> {
-        let s3 = self.env.s3().with_actor(Actor::Query);
+        let plan = self.plan_for(QueryKind::Q2);
+        let source = self.source(plan.plan.expect("planner always picks"));
         let (records, metrics) = self.measure(|| {
-            let head = s3.head(&self.data_bucket, key)?;
-            let id = parse_object_metadata(&head.meta).ok_or_else(|| {
-                ProtocolError::MissingProvenance {
-                    key: key.to_string(),
-                    reason: "object carries no provenance link".into(),
-                }
-            })?;
-            match &self.store {
-                ProvenanceStore::S3Objects { bucket, prefix } => {
-                    let prov_key = format!("{prefix}{}", id.uuid);
-                    let obj = s3.get(bucket, &prov_key)?;
-                    Ok(wire::decode(
-                        obj.blob.as_inline().expect("inline provenance"),
-                    )?)
-                }
-                ProvenanceStore::Database { domain, .. } => {
-                    let sdb = self.env.sdb().with_actor(Actor::Query);
-                    let items = sdb.select_all(&format!(
-                        "select * from {domain} where itemName() like '{}_%'",
-                        id.uuid
-                    ))?;
-                    Ok(items
-                        .iter()
-                        .flat_map(|i| item_to_records(&i.name, &i.attrs))
-                        .collect())
-                }
-            }
+            let id = object_link(&self.env, &self.data_bucket, key)?;
+            source.uuid_records(id)
         })?;
         Ok(QueryOutput {
-            nodes: subjects(&records),
+            nodes: local::subjects(&records),
             records,
             metrics,
+            plan: self.record_history(QueryKind::Q2, plan, metrics),
         })
     }
 
@@ -239,186 +337,75 @@ impl QueryEngine {
     ///
     /// Propagates cloud errors.
     pub fn q3_outputs_of(&self, program: &str, mode: Mode) -> Result<QueryOutput> {
-        match &self.store {
-            ProvenanceStore::S3Objects { bucket, prefix } => {
-                // No indexes: scan everything, filter locally (§5.3: "In
-                // S3, this requires a scan of all provenance objects").
-                let (out, metrics) = self.measure(|| {
-                    let records = self.s3_scan(bucket, prefix, mode)?;
-                    Ok(find_direct_outputs(&records, program))
-                })?;
-                Ok(QueryOutput {
-                    records: out.1,
-                    nodes: out.0,
-                    metrics,
-                })
+        let plan = self.plan_for(QueryKind::Q3);
+        let chosen = plan.plan.expect("planner always picks");
+        let (out, metrics) = self.measure(|| match chosen {
+            // No indexes: scan everything, filter locally (§5.3: "In S3,
+            // this requires a scan of all provenance objects").
+            Plan::S3Scan => {
+                let records = self.scan_source().all_records(mode)?;
+                let procs = local::processes_named(&records, program);
+                let (nodes, records) = local::direct_outputs(&records, &procs);
+                Ok(crate::source::OutputSet { nodes, records })
             }
-            ProvenanceStore::Database { domain, .. } => {
-                let sdb = self.env.sdb().with_actor(Actor::Query);
-                let parallelism = self.parallelism;
-                let sim = self.env.sim().clone();
-                let (out, metrics) = self.measure(|| {
-                    // First find the program's process items...
-                    let procs = sdb.select_all(&format!(
-                        "select itemName() from {domain} where type = 'process' and name = '{program}'"
-                    ))?;
-                    // ...then one SELECT per process for its direct
-                    // dependents (parallelizable).
-                    let queries: Vec<String> = procs
-                        .iter()
-                        .map(|p| {
-                            format!(
-                                "select * from {domain} where type = 'file' and input = '{}'",
-                                p.name
-                            )
-                        })
-                        .collect();
-                    let pages: Vec<Result<Vec<ProvenanceRecord>>> = match mode {
-                        Mode::Sequential => queries
-                            .iter()
-                            .map(|q| {
-                                Ok(sdb
-                                    .select_all(q)?
-                                    .iter()
-                                    .flat_map(|i| item_to_records(&i.name, &i.attrs))
-                                    .collect())
-                            })
-                            .collect(),
-                        Mode::Parallel => {
-                            let tasks: Vec<_> = queries
-                                .into_iter()
-                                .map(|q| {
-                                    let sdb = sdb.clone();
-                                    move || -> Result<Vec<ProvenanceRecord>> {
-                                        Ok(sdb
-                                            .select_all(&q)?
-                                            .iter()
-                                            .flat_map(|i| item_to_records(&i.name, &i.attrs))
-                                            .collect())
-                                    }
-                                })
-                                .collect();
-                            sim.run_parallel(parallelism, tasks)
-                        }
-                    };
-                    let mut records = Vec::new();
-                    for p in pages {
-                        records.extend(p?);
-                    }
-                    Ok(records)
-                })?;
-                Ok(QueryOutput {
-                    nodes: subjects(&out),
-                    records: out,
-                    metrics,
-                })
+            Plan::SdbSelect | Plan::Index => {
+                let source = self.source(chosen);
+                let procs = source.processes_named(program, mode)?;
+                source.direct_outputs(&procs, mode)
             }
-        }
+        })?;
+        Ok(QueryOutput {
+            nodes: out.nodes,
+            records: out.records,
+            metrics,
+            plan: self.record_history(QueryKind::Q3, plan, metrics),
+        })
     }
 
     /// Q.4: all transitive descendants of the files derived from
-    /// `program`.
+    /// `program` (reverse `input` walk from the program's process nodes,
+    /// seeds excluded — every plan agrees on this result set).
     ///
     /// # Errors
     ///
     /// Propagates cloud errors.
     pub fn q4_descendants_of(&self, program: &str, mode: Mode) -> Result<QueryOutput> {
-        match &self.store {
-            ProvenanceStore::S3Objects { bucket, prefix } => {
-                // One scan, then the traversal is local.
-                let (out, metrics) = self.measure(|| {
-                    let records = self.s3_scan(bucket, prefix, mode)?;
-                    Ok(descendants_local(&records, program))
-                })?;
-                Ok(QueryOutput {
-                    records: Vec::new(),
-                    nodes: out,
-                    metrics,
-                })
+        let plan = self.plan_for(QueryKind::Q4);
+        let chosen = plan.plan.expect("planner always picks");
+        let (nodes, metrics) = self.measure(|| match chosen {
+            // One scan, then the traversal is local.
+            Plan::S3Scan => {
+                let records = self.scan_source().all_records(mode)?;
+                let procs = local::processes_named(&records, program);
+                Ok(local::descendants(&records, &procs))
             }
-            ProvenanceStore::Database { domain, .. } => {
-                let sdb = self.env.sdb().with_actor(Actor::Query);
-                let parallelism = self.parallelism;
-                let in_batch = self.in_batch.max(1);
-                let sim = self.env.sim().clone();
-                let (nodes, metrics) = self.measure(|| {
-                    // Seed: the program's direct outputs (Q.3 logic).
-                    let procs = sdb.select_all(&format!(
-                        "select itemName() from {domain} where type = 'process' and name = '{program}'"
-                    ))?;
-                    let mut frontier: BTreeSet<String> =
-                        procs.iter().map(|p| p.name.clone()).collect();
-                    let mut seen: BTreeSet<String> = frontier.clone();
-                    let mut result: BTreeSet<String> = BTreeSet::new();
-                    // Repeat the reference-finding SELECT recursively until
-                    // all descendants are located (§5.3), batching frontier
-                    // ids into IN lists.
-                    while !frontier.is_empty() {
-                        let ids: Vec<String> = frontier.iter().cloned().collect();
-                        let queries: Vec<String> = ids
-                            .chunks(in_batch)
-                            .map(|chunk| {
-                                let list = chunk
-                                    .iter()
-                                    .map(|i| format!("'{i}'"))
-                                    .collect::<Vec<_>>()
-                                    .join(", ");
-                                format!(
-                                    "select itemName() from {domain} where input in ({list})"
-                                )
-                            })
-                            .collect();
-                        let pages: Vec<Result<Vec<String>>> = match mode {
-                            Mode::Sequential => queries
-                                .iter()
-                                .map(|q| {
-                                    Ok(sdb
-                                        .select_all(q)?
-                                        .into_iter()
-                                        .map(|i| i.name)
-                                        .collect())
-                                })
-                                .collect(),
-                            Mode::Parallel => {
-                                let tasks: Vec<_> = queries
-                                    .into_iter()
-                                    .map(|q| {
-                                        let sdb = sdb.clone();
-                                        move || -> Result<Vec<String>> {
-                                            Ok(sdb
-                                                .select_all(&q)?
-                                                .into_iter()
-                                                .map(|i| i.name)
-                                                .collect())
-                                        }
-                                    })
-                                    .collect();
-                                sim.run_parallel(parallelism, tasks)
-                            }
-                        };
-                        let mut next = BTreeSet::new();
-                        for page in pages {
-                            for name in page? {
-                                if seen.insert(name.clone()) {
-                                    result.insert(name.clone());
-                                    next.insert(name);
-                                }
-                            }
-                        }
-                        frontier = next;
-                    }
-                    Ok(result
-                        .into_iter()
-                        .filter_map(|n| n.parse::<PNodeId>().ok())
-                        .collect::<Vec<_>>())
-                })?;
-                Ok(QueryOutput {
-                    records: Vec::new(),
-                    nodes,
-                    metrics,
-                })
+            Plan::SdbSelect | Plan::Index => {
+                let source = self.source(chosen);
+                let procs = source.processes_named(program, mode)?;
+                source.descendants_of(&procs, mode)
             }
-        }
+        })?;
+        Ok(QueryOutput {
+            records: Vec::new(),
+            nodes,
+            metrics,
+            plan: self.record_history(QueryKind::Q4, plan, metrics),
+        })
+    }
+
+    /// Fetches the full records of identified nodes (hydration after an
+    /// index-path Q.3/Q.4), metered like any query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud errors.
+    pub fn hydrate(
+        &self,
+        nodes: &[PNodeId],
+        mode: Mode,
+    ) -> Result<(Vec<ProvenanceRecord>, QueryMetrics)> {
+        let source = self.graph_source();
+        self.measure(|| source.fetch_records(nodes, mode))
     }
 
     /// Resolves a spilled attribute value (a `@s3:` pointer) to its bytes.
@@ -427,85 +414,8 @@ impl QueryEngine {
     ///
     /// Propagates cloud errors; `MissingProvenance` for dangling pointers.
     pub fn resolve_spill(&self, pointer: &str) -> Result<Vec<u8>> {
-        let (bucket, key) =
-            cloudprov_core::Layout::parse_spill_pointer(pointer).ok_or_else(|| {
-                ProtocolError::MissingProvenance {
-                    key: pointer.to_string(),
-                    reason: "not a spill pointer".into(),
-                }
-            })?;
-        let s3 = self.env.s3().with_actor(Actor::Query);
-        let obj = s3.get(bucket, key)?;
-        Ok(obj.blob.as_inline().map(|b| b.to_vec()).unwrap_or_default())
+        resolve_spill(&self.env, pointer)
     }
-}
-
-fn subjects(records: &[ProvenanceRecord]) -> Vec<PNodeId> {
-    let set: BTreeSet<PNodeId> = records.iter().map(|r| r.subject).collect();
-    set.into_iter().collect()
-}
-
-/// Local Q.3 evaluation over a full record set.
-fn find_direct_outputs(
-    records: &[ProvenanceRecord],
-    program: &str,
-) -> (Vec<PNodeId>, Vec<ProvenanceRecord>) {
-    let mut proc_nodes: BTreeSet<PNodeId> = BTreeSet::new();
-    let mut kinds: std::collections::BTreeMap<PNodeId, NodeKind> = Default::default();
-    for r in records {
-        match (&r.attr, &r.value) {
-            (Attr::Type, v) => {
-                let k = match v.to_text().as_str() {
-                    "process" => NodeKind::Process,
-                    "pipe" => NodeKind::Pipe,
-                    _ => NodeKind::File,
-                };
-                kinds.insert(r.subject, k);
-            }
-            (Attr::Name, v) if v.to_text() == program => {
-                proc_nodes.insert(r.subject);
-            }
-            _ => {}
-        }
-    }
-    proc_nodes.retain(|n| kinds.get(n) == Some(&NodeKind::Process));
-    let mut out_nodes = BTreeSet::new();
-    for r in records {
-        if let (Attr::Input, Some(to)) = (&r.attr, r.value.as_xref()) {
-            if proc_nodes.contains(&to) && kinds.get(&r.subject) == Some(&NodeKind::File) {
-                out_nodes.insert(r.subject);
-            }
-        }
-    }
-    let records_out = records
-        .iter()
-        .filter(|r| out_nodes.contains(&r.subject))
-        .cloned()
-        .collect();
-    (out_nodes.into_iter().collect(), records_out)
-}
-
-/// Local Q.4 evaluation: BFS over reverse edges.
-fn descendants_local(records: &[ProvenanceRecord], program: &str) -> Vec<PNodeId> {
-    let (seeds, _) = find_direct_outputs(records, program);
-    let mut rdeps: std::collections::BTreeMap<PNodeId, Vec<PNodeId>> = Default::default();
-    for r in records {
-        if let Some((from, to)) = r.edge() {
-            rdeps.entry(to).or_default().push(from);
-        }
-    }
-    let mut seen: BTreeSet<PNodeId> = seeds.iter().copied().collect();
-    let mut queue: Vec<PNodeId> = seeds.clone();
-    let mut out: BTreeSet<PNodeId> = seeds.into_iter().collect();
-    while let Some(n) = queue.pop() {
-        for m in rdeps.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
-            if seen.insert(*m) {
-                out.insert(*m);
-                queue.push(*m);
-            }
-        }
-    }
-    out.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -517,6 +427,7 @@ mod tests {
     use cloudprov_fs::{LocalIoParams, PaS3fs};
     use cloudprov_pass::{Pid, ProcessInfo};
     use cloudprov_sim::Sim;
+    use std::collections::BTreeSet;
     use std::sync::Arc;
 
     /// Builds a small provenance corpus through a protocol and returns the
@@ -554,6 +465,7 @@ mod tests {
             fs.write(pid, &format!("/parsed-{i}"), 10);
             fs.close(pid, &format!("/parsed-{i}")).unwrap();
         }
+        client.drain().unwrap();
         let engine = client.query().expect("provenance store");
         (sim, env, engine)
     }
@@ -566,6 +478,7 @@ mod tests {
             assert!(out.records.len() > 10, "{proto}: got {}", out.records.len());
             assert!(out.metrics.ops > 0);
             assert!(out.metrics.bytes > 0);
+            assert!(out.plan.plan.is_some(), "{proto}: plan reported");
         }
     }
 
@@ -605,6 +518,8 @@ mod tests {
         assert_eq!(b.nodes.len(), 2, "db layout");
         // The DB layout is far more selective in ops.
         assert!(b.metrics.ops < a.metrics.ops);
+        assert_eq!(a.plan.plan, Some(Plan::S3Scan));
+        assert_eq!(b.plan.plan, Some(Plan::SdbSelect));
     }
 
     #[test]
@@ -618,6 +533,21 @@ mod tests {
     }
 
     #[test]
+    fn q4_result_sets_agree_across_layouts() {
+        // The reverse-`input` walk semantics are now shared by every
+        // plan, so the layouts agree on Q.4 result sizes too.
+        let (_s1, _e1, s3_engine) = seeded("P1");
+        let (_s2, _e2, db_engine) = seeded("P2");
+        let a = s3_engine
+            .q4_descendants_of("blast", Mode::Sequential)
+            .unwrap();
+        let b = db_engine
+            .q4_descendants_of("blast", Mode::Sequential)
+            .unwrap();
+        assert_eq!(a.nodes.len(), b.nodes.len());
+    }
+
+    #[test]
     fn q4_db_parallel_matches_sequential() {
         let (_sim, _env, engine) = seeded("P2");
         let seq = engine.q4_descendants_of("blast", Mode::Sequential).unwrap();
@@ -625,6 +555,52 @@ mod tests {
         let a: BTreeSet<_> = seq.nodes.iter().collect();
         let b: BTreeSet<_> = par.nodes.iter().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p3_index_plans_agree_with_select_plans() {
+        let (_sim, env, engine) = seeded("P3");
+        assert!(engine.available_plans().contains(&Plan::Index));
+        // The commit daemon maintained the index during drain.
+        let audit = cloudprov_core::index::audit_index(&env, &cloudprov_core::Layout::default());
+        assert!(audit.consistent(), "{audit:?}");
+        assert!(audit.entries > 0, "index must have been written");
+        for program in ["blast", "parser"] {
+            let via_select = engine.with_plan_ref(Plan::SdbSelect);
+            let q3_sel = via_select.q3_outputs_of(program, Mode::Sequential).unwrap();
+            let q4_sel = via_select
+                .q4_descendants_of(program, Mode::Sequential)
+                .unwrap();
+            let via_index = engine.with_plan_ref(Plan::Index);
+            let q3_idx = via_index.q3_outputs_of(program, Mode::Sequential).unwrap();
+            let q4_idx = via_index
+                .q4_descendants_of(program, Mode::Sequential)
+                .unwrap();
+            assert_eq!(q3_sel.nodes, q3_idx.nodes, "{program} Q.3");
+            assert_eq!(q4_sel.nodes, q4_idx.nodes, "{program} Q.4");
+            assert_eq!(q3_idx.plan.plan, Some(Plan::Index));
+            // Hydration recovers the records the index path skipped.
+            let (records, _) = engine.hydrate(&q3_idx.nodes, Mode::Sequential).unwrap();
+            let hydrated: BTreeSet<_> = records.iter().map(|r| r.subject).collect();
+            let wanted: BTreeSet<_> = q3_idx.nodes.iter().copied().collect();
+            assert_eq!(hydrated, wanted, "{program} hydration");
+        }
+    }
+
+    #[test]
+    fn planner_prefers_measured_history() {
+        let (_sim, _env, engine) = seeded("P3");
+        // Run both paths so the history holds measurements for each.
+        engine
+            .with_plan_ref(Plan::SdbSelect)
+            .q4_descendants_of("blast", Mode::Sequential)
+            .unwrap();
+        engine
+            .with_plan_ref(Plan::Index)
+            .q4_descendants_of("blast", Mode::Sequential)
+            .unwrap();
+        let report = engine.plan_for(QueryKind::Q4);
+        assert!(report.reason.contains("measured"), "{report:?}");
     }
 
     #[test]
@@ -640,6 +616,32 @@ mod tests {
             .unwrap();
         let err = engine.q2_object("rogue").unwrap_err();
         assert!(matches!(err, ProtocolError::MissingProvenance { .. }));
+    }
+
+    #[test]
+    fn quoted_program_names_round_trip() {
+        // Regression: `name = '{program}'` built via format! broke on
+        // embedded quotes; quote_literal centralizes the escape.
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let client = Arc::new(ProvenanceClient::builder(Protocol::P2).build(&env));
+        let fs = PaS3fs::attach(client.clone(), LocalIoParams::instant(), 11);
+        fs.exec(
+            Pid(1),
+            ProcessInfo {
+                name: "o'brien".into(),
+                ..Default::default()
+            },
+        );
+        fs.write(Pid(1), "/out", 10);
+        fs.close(Pid(1), "/out").unwrap();
+        let engine = client.query().unwrap();
+        let out = engine.q3_outputs_of("o'brien", Mode::Sequential).unwrap();
+        assert_eq!(out.nodes.len(), 1, "the quoted program's output is found");
+        // And a non-matching quoted name returns nothing rather than
+        // erroring with an invalid query.
+        let none = engine.q3_outputs_of("o'neill", Mode::Sequential).unwrap();
+        assert!(none.nodes.is_empty());
     }
 
     #[test]

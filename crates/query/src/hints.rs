@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 
 use cloudprov_pass::{Attr, NodeKind, PNodeId, ProvGraph};
 
+use crate::source::GraphSource;
+
 /// A replication recommendation for one object.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplicationHint {
@@ -23,6 +25,31 @@ pub struct ReplicationHint {
     pub dependents: usize,
     /// Suggested replica count (log-scaled from the dependent count).
     pub replicas: u32,
+}
+
+/// [`replication_candidates`] over a cloud store: materializes the DAG
+/// through any [`GraphSource`] backend instead of re-implementing record
+/// fetch here.
+///
+/// # Errors
+///
+/// Propagates cloud errors from the source.
+pub fn replication_candidates_from_source(
+    source: &dyn GraphSource,
+    k: usize,
+) -> Result<Vec<ReplicationHint>, cloudprov_core::ProtocolError> {
+    Ok(replication_candidates(&source.graph()?, k))
+}
+
+/// [`colocation_groups`] over a cloud store, via a [`GraphSource`].
+///
+/// # Errors
+///
+/// Propagates cloud errors from the source.
+pub fn colocation_groups_from_source(
+    source: &dyn GraphSource,
+) -> Result<BTreeMap<PNodeId, Vec<PNodeId>>, cloudprov_core::ProtocolError> {
+    Ok(colocation_groups(&source.graph()?))
 }
 
 /// Ranks file objects by how many derivations transitively depend on them

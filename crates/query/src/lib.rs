@@ -1,21 +1,34 @@
 //! # cloudprov-query — provenance queries over cloud stores (§5.3)
 //!
-//! Implements the paper's four evaluation queries (Q.1–Q.4) against both
-//! provenance layouts — P1's S3 objects (scan-based) and P2/P3's SimpleDB
-//! items (index-based) — with sequential and parallel execution plans and
-//! per-query cost metrics (elapsed virtual time, operations, bytes): the
-//! exact columns of Table 5.
+//! Implements the paper's four evaluation queries (Q.1–Q.4) with a
+//! layered read path:
+//!
+//! * [`source`] — pluggable [`GraphSource`] backends: P1's S3 scan,
+//!   P2/P3's SimpleDB SELECTs, and the commit-time ancestry index P3's
+//!   commit daemon maintains ([`cloudprov_core::index`]). All cloud
+//!   record-fetch code lives here.
+//! * [`planner`] — the cost-based planner choosing scan vs. select vs.
+//!   index per query from store layout, domain statistics and meter
+//!   history.
+//! * [`QueryEngine`] — plans, executes, and reports per-query cost
+//!   metrics (elapsed virtual time, operations, bytes) plus the chosen
+//!   plan: the Table 5 columns and the new "indexed" column.
 //!
 //! Also implements two of the paper's §7 research-challenge directions as
 //! library features: [`regen`] (store vs regenerate-on-demand economics)
-//! and [`hints`] (provenance-guided replication/placement hints).
+//! and [`hints`] (provenance-guided replication/placement hints) — both
+//! consume a [`GraphSource`] rather than fetching records themselves.
 
 #![warn(missing_docs)]
 
 mod client;
 mod engine;
 pub mod hints;
+pub mod planner;
 pub mod regen;
+pub mod source;
 
 pub use client::ProvenanceQueries;
-pub use engine::{Mode, QueryEngine, QueryMetrics, QueryOutput};
+pub use engine::{QueryEngine, QueryMetrics, QueryOutput};
+pub use planner::{DomainStats, Plan, PlanReport, QueryKind};
+pub use source::{GraphSource, IndexSource, Mode, OutputSet, S3ScanSource, SdbSelectSource};

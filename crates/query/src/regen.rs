@@ -13,6 +13,8 @@ use std::collections::BTreeMap;
 
 use cloudprov_pass::{Attr, NodeKind, PNodeId, ProvGraph};
 
+use crate::source::GraphSource;
+
 /// Pricing for the trade-off.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RegenPolicy {
@@ -54,6 +56,22 @@ pub struct RegenAdvice {
     /// Whether the object is regenerable at all (every source ancestor
     /// still stored; processes have recorded compute times).
     pub regenerable: bool,
+}
+
+/// [`advise`] over a cloud store: materializes the DAG through any
+/// [`GraphSource`] backend (scan, select, or index-backed) instead of
+/// re-implementing record fetch here.
+///
+/// # Errors
+///
+/// Propagates cloud errors from the source.
+pub fn advise_from_source(
+    source: &dyn GraphSource,
+    sizes: &BTreeMap<PNodeId, u64>,
+    compute_micros: &BTreeMap<PNodeId, u64>,
+    policy: RegenPolicy,
+) -> Result<Vec<RegenAdvice>, cloudprov_core::ProtocolError> {
+    Ok(advise(&source.graph()?, sizes, compute_micros, policy))
 }
 
 /// Computes per-object advice.

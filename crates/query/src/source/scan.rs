@@ -1,0 +1,143 @@
+//! [`S3ScanSource`] — the P1 layout: provenance objects under a key
+//! prefix, readable only by scanning.
+
+use cloudprov_cloud::{Actor, CloudEnv};
+use cloudprov_pass::{wire, PNodeId, ProvenanceRecord};
+
+use super::{local, GraphSource, Mode, OutputSet, Result};
+
+/// Scan-based access to P1's S3 provenance objects: LIST pages + one GET
+/// per object (sequential or parallel). There are no indexes, so every
+/// selective question is answered with a full scan and local filtering —
+/// §5.3: "In S3, this requires a scan of all provenance objects". The
+/// planner therefore prefers to ask this source for [`all_records`] once
+/// and evaluate locally rather than asking several point questions.
+///
+/// [`all_records`]: GraphSource::all_records
+#[derive(Clone, Debug)]
+pub struct S3ScanSource {
+    env: CloudEnv,
+    bucket: String,
+    prefix: String,
+    parallelism: usize,
+}
+
+impl S3ScanSource {
+    /// A scan source over `bucket`/`prefix` fanning parallel GETs over
+    /// `parallelism` connections.
+    pub fn new(env: &CloudEnv, bucket: &str, prefix: &str, parallelism: usize) -> S3ScanSource {
+        S3ScanSource {
+            env: env.clone(),
+            bucket: bucket.to_string(),
+            prefix: prefix.to_string(),
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// Number of provenance objects currently listed (planner statistic;
+    /// models S3's free keyspace metadata, unmetered).
+    pub fn object_count(&self) -> usize {
+        self.env.s3().peek_count(&self.bucket, &self.prefix)
+    }
+}
+
+impl GraphSource for S3ScanSource {
+    fn name(&self) -> &'static str {
+        "s3-scan"
+    }
+
+    fn all_records(&self, mode: Mode) -> Result<Vec<ProvenanceRecord>> {
+        let s3 = self.env.s3().with_actor(Actor::Query);
+        let keys = s3.list_all(&self.bucket, &self.prefix)?;
+        match mode {
+            Mode::Sequential => {
+                let mut out = Vec::new();
+                for k in keys {
+                    let obj = s3.get(&self.bucket, &k.key)?;
+                    out.extend(wire::decode(
+                        obj.blob.as_inline().expect("inline provenance"),
+                    )?);
+                }
+                Ok(out)
+            }
+            Mode::Parallel => {
+                let sim = self.env.sim().clone();
+                let tasks: Vec<_> = keys
+                    .into_iter()
+                    .map(|k| {
+                        let s3 = s3.clone();
+                        let bucket = self.bucket.clone();
+                        move || -> Result<Vec<ProvenanceRecord>> {
+                            let obj = s3.get(&bucket, &k.key)?;
+                            Ok(wire::decode(
+                                obj.blob.as_inline().expect("inline provenance"),
+                            )?)
+                        }
+                    })
+                    .collect();
+                let results = sim.run_parallel(self.parallelism, tasks);
+                let mut out = Vec::new();
+                for r in results {
+                    out.extend(r?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn uuid_records(&self, id: PNodeId) -> Result<Vec<ProvenanceRecord>> {
+        // One targeted GET: the provenance object is keyed by uuid.
+        let s3 = self.env.s3().with_actor(Actor::Query);
+        let key = format!("{}{}", self.prefix, id.uuid);
+        let obj = s3.get(&self.bucket, &key)?;
+        Ok(wire::decode(
+            obj.blob.as_inline().expect("inline provenance"),
+        )?)
+    }
+
+    fn processes_named(&self, program: &str, mode: Mode) -> Result<Vec<PNodeId>> {
+        Ok(local::processes_named(&self.all_records(mode)?, program))
+    }
+
+    fn direct_outputs(&self, procs: &[PNodeId], mode: Mode) -> Result<OutputSet> {
+        let records = self.all_records(mode)?;
+        let (nodes, records) = local::direct_outputs(&records, procs);
+        Ok(OutputSet { nodes, records })
+    }
+
+    fn descendants_of(&self, seeds: &[PNodeId], mode: Mode) -> Result<Vec<PNodeId>> {
+        Ok(local::descendants(&self.all_records(mode)?, seeds))
+    }
+
+    fn fetch_records(&self, nodes: &[PNodeId], mode: Mode) -> Result<Vec<ProvenanceRecord>> {
+        // One GET per distinct uuid — targeted, unlike the filters above.
+        let uuids: std::collections::BTreeSet<_> = nodes.iter().map(|n| n.uuid).collect();
+        let wanted: std::collections::BTreeSet<PNodeId> = nodes.iter().copied().collect();
+        let pages: Vec<Vec<ProvenanceRecord>> = match mode {
+            Mode::Sequential => uuids
+                .into_iter()
+                .map(|uuid| self.uuid_records(PNodeId::initial(uuid)))
+                .collect::<Result<_>>()?,
+            Mode::Parallel => {
+                let tasks: Vec<_> = uuids
+                    .into_iter()
+                    .map(|uuid| {
+                        let this = self.clone();
+                        move || this.uuid_records(PNodeId::initial(uuid))
+                    })
+                    .collect();
+                self.env
+                    .sim()
+                    .clone()
+                    .run_parallel(self.parallelism, tasks)
+                    .into_iter()
+                    .collect::<Result<_>>()?
+            }
+        };
+        Ok(pages
+            .into_iter()
+            .flatten()
+            .filter(|r| wanted.contains(&r.subject))
+            .collect())
+    }
+}

@@ -276,8 +276,10 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     let wal_leftover = fleet.total_depth();
     let pool_stats = pool.stop();
     // A healthy run has nothing for the cleaners; sweeping anyway keeps
-    // the reclamation path exercised at fleet scale.
+    // the reclamation paths (temp objects AND ancestry-index garbage)
+    // exercised at fleet scale.
     let _ = fleet.cleaners().sweep_once();
+    let _ = fleet.cleaners().sweep_index_once();
     let temp_leftover = env.s3().peek_count(
         &protocol_config.layout.data_bucket,
         &protocol_config.layout.temp_prefix,

@@ -1,0 +1,162 @@
+//! Queries over a fleet-committed store: after the sharded commit plane
+//! drains, run Q.1–Q.4 per tenant through every available plan and
+//! assert the results agree with a `ProvGraph` built from the raw
+//! records — the commit-time ancestry index must agree with ground
+//! truth, tenant by tenant.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cloudprov::cloud::{AwsProfile, CloudEnv, TenantId};
+use cloudprov::fleet::{Fleet, FleetConfig};
+use cloudprov::fs::{LocalIoParams, PaS3fs};
+use cloudprov::pass::{PNodeId, Pid, ProcessInfo, ProvGraph};
+use cloudprov::protocols::{properties, Protocol, ProtocolConfig, ProvenanceClient};
+use cloudprov::query::{source::local, Mode, Plan, ProvenanceQueries};
+use cloudprov::sim::Sim;
+
+const TENANTS: u32 = 3;
+const CLIENTS_PER_TENANT: usize = 2;
+
+/// One tenant client's deterministic mini-pipeline in its own namespace:
+/// `gen-t{t}` writes two files; `mix-t{t}` reads one and derives a third.
+fn run_client(fleet: &Fleet, tenant: u32, c: usize) {
+    let name = format!("t{tenant}-c{c}");
+    let client = Arc::new(fleet.client(&name, Some(TenantId(tenant))));
+    let fs = PaS3fs::attach(
+        client.clone(),
+        LocalIoParams::instant(),
+        1000 + u64::from(tenant) * 10 + c as u64,
+    );
+    let gen_pid = Pid(u64::from(tenant) * 100 + c as u64 * 10 + 1);
+    let mix_pid = Pid(u64::from(tenant) * 100 + c as u64 * 10 + 2);
+    fs.exec(
+        gen_pid,
+        ProcessInfo {
+            name: format!("gen-t{tenant}"),
+            ..Default::default()
+        },
+    );
+    for f in 0..2 {
+        let path = format!("/{name}/raw{f}");
+        fs.write(gen_pid, &path, 10 + f);
+        fs.close(gen_pid, &path).unwrap();
+    }
+    fs.exec(
+        mix_pid,
+        ProcessInfo {
+            name: format!("mix-t{tenant}"),
+            ..Default::default()
+        },
+    );
+    fs.read(mix_pid, &format!("/{name}/raw0"), 512);
+    let derived = format!("/{name}/derived");
+    fs.write(mix_pid, &derived, 99);
+    fs.close(mix_pid, &derived).unwrap();
+    client.sync().unwrap();
+}
+
+#[test]
+fn per_tenant_queries_match_ground_truth_after_fleet_drain() {
+    let sim = Sim::new();
+    let env = CloudEnv::new(&sim, AwsProfile::instant());
+    let protocol_config = ProtocolConfig::default();
+    let fleet = Fleet::provision(
+        &env,
+        protocol_config.clone(),
+        FleetConfig {
+            shards: 2,
+            ..FleetConfig::default()
+        },
+    );
+    let pool = fleet.spawn_pool(2, Duration::from_secs(2));
+
+    for tenant in 0..TENANTS {
+        for c in 0..CLIENTS_PER_TENANT {
+            run_client(&fleet, tenant, c);
+        }
+    }
+    // Drain the commit plane.
+    let deadline = sim.now() + Duration::from_secs(900);
+    while fleet.total_depth() > 0 && sim.now() < deadline {
+        sim.sleep(Duration::from_secs(5));
+    }
+    assert_eq!(fleet.total_depth(), 0, "WAL must drain");
+    pool.stop();
+    sim.sleep(env.profile().consistency.max_staleness + Duration::from_secs(1));
+    // Index garbage sweep is a no-op on a healthy plane.
+    assert_eq!(fleet.cleaners().sweep_index_once().unwrap(), 0);
+
+    // Ground truth: the raw records, and the ProvGraph built from them.
+    let verifier = ProvenanceClient::builder(Protocol::P3)
+        .config(protocol_config)
+        .queue("fleet-query-verifier")
+        .build(&env);
+    let store = cloudprov::protocols::StorageProtocol::provenance_store(&verifier).unwrap();
+    let raw = properties::load_all_records(&env, &store).unwrap();
+    let graph = ProvGraph::from_records(raw.iter());
+    assert!(graph.find_cycle().is_none());
+
+    // The stored ancestry index must agree with the base records.
+    let audit =
+        cloudprov::protocols::index::audit_index(&env, &cloudprov::protocols::Layout::default());
+    assert!(audit.consistent(), "{audit:?}");
+    assert!(
+        audit.entries > 0,
+        "the fleet's daemons maintained the index"
+    );
+
+    let engine = verifier.query().unwrap();
+    assert!(engine.available_plans().contains(&Plan::Index));
+
+    // Q.1: every node the raw records know is visible through the engine.
+    let q1 = engine.q1_all(Mode::Sequential).unwrap();
+    let q1_nodes: BTreeSet<PNodeId> = q1.nodes.iter().copied().collect();
+    let graph_nodes: BTreeSet<PNodeId> = graph.node_ids().collect();
+    assert_eq!(q1_nodes, graph_nodes, "Q.1 equals the ProvGraph node set");
+
+    for tenant in 0..TENANTS {
+        for program in [format!("gen-t{tenant}"), format!("mix-t{tenant}")] {
+            let procs = local::processes_named(&raw, &program);
+            assert_eq!(
+                procs.len(),
+                CLIENTS_PER_TENANT,
+                "{program}: one process per client"
+            );
+            let (expected_q3, _) = local::direct_outputs(&raw, &procs);
+            let expected_q4: BTreeSet<PNodeId> =
+                local::descendants(&raw, &procs).into_iter().collect();
+
+            let sel = engine.with_plan_ref(Plan::SdbSelect);
+            let idx = engine.with_plan_ref(Plan::Index);
+            let q3_sel = sel.q3_outputs_of(&program, Mode::Sequential).unwrap();
+            let q3_idx = idx.q3_outputs_of(&program, Mode::Sequential).unwrap();
+            assert_eq!(q3_sel.nodes, expected_q3, "{program} Q.3 select vs truth");
+            assert_eq!(q3_idx.nodes, expected_q3, "{program} Q.3 index vs truth");
+
+            let q4_sel = sel.q4_descendants_of(&program, Mode::Sequential).unwrap();
+            let q4_idx = idx.q4_descendants_of(&program, Mode::Sequential).unwrap();
+            let q4_sel_set: BTreeSet<PNodeId> = q4_sel.nodes.iter().copied().collect();
+            let q4_idx_set: BTreeSet<PNodeId> = q4_idx.nodes.iter().copied().collect();
+            assert_eq!(q4_sel_set, expected_q4, "{program} Q.4 select vs truth");
+            assert_eq!(q4_idx_set, expected_q4, "{program} Q.4 index vs truth");
+            // And Q.4 results are genuine ProvGraph descendants.
+            let graph_desc: BTreeSet<PNodeId> =
+                procs.iter().flat_map(|p| graph.descendants(*p)).collect();
+            assert!(
+                q4_idx_set.is_subset(&graph_desc),
+                "{program}: indexed Q.4 ⊆ ProvGraph descendants"
+            );
+        }
+        // Q.2 on one of the tenant's objects agrees across layers.
+        let key = format!("t{tenant}-c0/derived");
+        let q2 = engine.q2_object(&key).unwrap();
+        assert!(
+            !q2.records.is_empty(),
+            "t{tenant}: derived object has provenance"
+        );
+        let uuids: BTreeSet<_> = q2.records.iter().map(|r| r.subject.uuid).collect();
+        assert_eq!(uuids.len(), 1, "t{tenant}: one uuid per object");
+    }
+}
