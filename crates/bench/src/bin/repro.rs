@@ -13,8 +13,10 @@
 //! CI gate); `chaos --seed N` replays one seed verbosely. `fleet` sweeps
 //! clients x shards x daemons over the sharded multi-tenant commit plane
 //! (`crates/fleet`), prints the scaling table, proves determinism by
-//! re-running a cell, writes `BENCH_fleet.json`, and exits non-zero on
-//! any fleet invariant violation.
+//! re-running a cell, gates every cell's throughput against the
+//! committed `BENCH_fleet*.json` trajectory (>20% regression fails),
+//! writes the regenerated file, and exits non-zero on any fleet
+//! invariant violation.
 
 use std::time::Instant;
 
@@ -357,7 +359,7 @@ fn ablation_report() {
     let corpus = ablations::small_corpus();
 
     println!("\nP3 WAL message size (8 KB is the SQS cap the paper works within):");
-    println!("  {:<10} {:>10} {:>12}", "Size (B)", "Sends", "Time (s)");
+    println!("  {:<10} {:>10} {:>12}", "Size (B)", "Messages", "Time (s)");
     for p in ablations::wal_message_size(&corpus, &[2048, 4096, 8192]) {
         println!(
             "  {:<10} {:>10} {:>12.1}",
@@ -540,6 +542,36 @@ fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
     println!(
         "\nNote: 'Coupl.vio' and 'Dangling' are DETECTED violations — expected for P1/P2\n(no write-time coupling, parallel uploads); the PASS/FAIL verdict only gates the\nguarantees each protocol actually makes. P3 must stay at zero everywhere."
     );
+    // Aimed group-commit schedules: kill the daemon at each named
+    // p3:commit:group:* step inside a cross-transaction group and check
+    // that recovery recommits every member exactly once.
+    println!(
+        "\nAimed group-commit crash schedules (daemon killed mid-group; recovery daemon\nrecommits after the visibility window):"
+    );
+    println!(
+        "  {:<26} {:>4} {:>10} {:>9} {:>7} {:>5} {:>6} {:>6}   verdict",
+        "Step", "Occ", "Committed", "DoubleCmt", "Uncoup", "WAL", "Temps", "IdxDiv"
+    );
+    for o in chaos::group_commit_schedules() {
+        let violations = o.violations();
+        let ok = violations.is_empty();
+        all_ok &= ok;
+        println!(
+            "  {:<26} {:>4} {:>10} {:>9} {:>7} {:>5} {:>6} {:>6}   {}",
+            o.step,
+            o.occurrence,
+            o.unique_committed,
+            o.double_commits,
+            o.uncoupled,
+            o.wal_leftover,
+            o.temp_leftover,
+            o.index_inconsistencies,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        for v in violations {
+            println!("          violation: {v}");
+        }
+    }
     all_ok
 }
 
@@ -548,10 +580,10 @@ fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
 fn fleet_table(small: bool, seed: u64) -> bool {
     hr("Fleet: clients x shards x daemons over the sharded commit plane (throughput\n       must rise with daemons at fixed shards; zero invariant violations)");
     println!(
-        "Seed {seed}; every cell replays seeded testkit scripts through pipelined,\nthrottled P3 sessions routed onto shard WALs; a lease-holding daemon pool\ncommits asynchronously. Latencies are client flush->WAL-durable.\n"
+        "Seed {seed}; every cell replays seeded testkit scripts through pipelined,\nthrottled P3 sessions routed onto shard WALs; a lease-holding daemon pool\ncommits asynchronously as GROUPS. p50/p99 are client flush->WAL-durable;\nCp50/Cp99 are the commit plane's own WAL-durable->committed latency.\n"
     );
     println!(
-        "{:>7} {:>7} {:>7} {:>7} {:>9} {:>10} {:>9} {:>9} {:>10} {:>10}   verdict",
+        "{:>7} {:>7} {:>7} {:>7} {:>9} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>9}   verdict",
         "Clients",
         "Shards",
         "Daemons",
@@ -560,6 +592,8 @@ fn fleet_table(small: bool, seed: u64) -> bool {
         "Thr(tx/s)",
         "p50(ms)",
         "p99(ms)",
+        "Cp50(s)",
+        "Cp99(s)",
         "Elapsed(s)",
         "Cost($)"
     );
@@ -570,7 +604,7 @@ fn fleet_table(small: bool, seed: u64) -> bool {
         let ok = violations.is_empty();
         all_ok &= ok;
         println!(
-            "{:>7} {:>7} {:>7} {:>7} {:>9} {:>10.2} {:>9.1} {:>9.1} {:>10.1} {:>10.4}   {}",
+            "{:>7} {:>7} {:>7} {:>7} {:>9} {:>10.2} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>10.1} {:>9.4}   {}",
             r.clients,
             r.shards,
             r.daemons,
@@ -579,6 +613,8 @@ fn fleet_table(small: bool, seed: u64) -> bool {
             r.throughput,
             r.p50.as_secs_f64() * 1e3,
             r.p99.as_secs_f64() * 1e3,
+            r.commit_p50.as_secs_f64(),
+            r.commit_p99.as_secs_f64(),
             r.elapsed.as_secs_f64(),
             r.total_cost_usd,
             if ok { "PASS" } else { "FAIL" }
@@ -651,9 +687,67 @@ fn fleet_table(small: bool, seed: u64) -> bool {
     } else {
         "BENCH_fleet.json"
     };
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("Wrote {path} ({} cells).", reports.len()),
-        Err(e) => println!("Could not write {path}: {e}"),
+    // Perf-regression gate: before overwriting, compare each cell's
+    // throughput against the committed trajectory. More than a 20%
+    // regression in any cell fails the run — the committed JSON is the
+    // floor future perf work is measured against, not just a log.
+    let mut perf_ok = true;
+    let committed = std::fs::read_to_string(path).ok();
+    // A missing or unparsable baseline is reseeded in place; only a
+    // healthy baseline of a DIFFERENT seed is preserved (side-written),
+    // since overwriting it would silently disable the gate for every
+    // future default-seed run.
+    let baseline_seed = committed.as_deref().and_then(fleet::baseline_seed);
+    let foreign_seed = baseline_seed.is_some_and(|b| b != seed);
+    match committed
+        .filter(|_| baseline_seed == Some(seed))
+        .map(|s| fleet::baseline_throughputs(&s))
+        .filter(|base| base.len() == reports.len())
+    {
+        Some(base) => {
+            println!("\nPerf gate vs committed {path} (cell fails under 0.8x baseline):");
+            for (r, old) in reports.iter().zip(&base) {
+                let ratio = if *old > 0.0 {
+                    r.throughput / old
+                } else {
+                    f64::INFINITY
+                };
+                let ok = ratio >= 0.8;
+                perf_ok &= ok;
+                println!(
+                    "  {:>3}c/{:>2}s/{:>2}d: {:>7.3} -> {:>7.3} tx/s ({:.2}x)   {}",
+                    r.clients,
+                    r.shards,
+                    r.daemons,
+                    old,
+                    r.throughput,
+                    ratio,
+                    if ok { "PASS" } else { "FAIL" }
+                );
+            }
+        }
+        None => println!(
+            "\n(no committed {path} with matching seed/grid — perf gate skipped; this run's \
+             file seeds it)"
+        ),
+    }
+    all_ok &= perf_ok;
+    // Protect the committed floor: a failed gate must not replace it
+    // with the regressed numbers (a later run would silently pass
+    // against the lowered baseline), and a run with a DIFFERENT seed
+    // must not replace it either (the next default-seed run would see
+    // a seed mismatch, skip the gate, and the floor would be gone).
+    // Both park their evidence next to it instead.
+    let out_path = if foreign_seed {
+        format!("{path}.seed{seed}")
+    } else if perf_ok {
+        path.to_string()
+    } else {
+        format!("{path}.rejected")
+    };
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("Wrote {out_path} ({} cells).", reports.len()),
+        Err(e) => println!("Could not write {out_path}: {e}"),
     }
     all_ok
 }

@@ -49,9 +49,12 @@ pub fn wal_message_size(corpus: &OfflineRun, sizes: &[usize]) -> Vec<SweepPoint>
         .map(|size| {
             let cfg = ProtocolConfig {
                 wal_message_limit: *size,
-                // Few connections so message count, not fan-out, is the
-                // measured variable.
-                upload_concurrency: 4,
+                // One connection and one send per message, so message
+                // count — not fan-out or batched-send packing — is the
+                // measured variable (the framing cost the paper worked
+                // within).
+                upload_concurrency: 1,
+                wal_batch_send: false,
                 ..ProtocolConfig::default()
             };
             let rig = Rig::new(Which::P3, ec2(), cfg);
@@ -62,16 +65,18 @@ pub fn wal_message_size(corpus: &OfflineRun, sizes: &[usize]) -> Vec<SweepPoint>
                 })
                 .expect("flush");
             let elapsed = rig.sim.now() - t0;
-            rig.drain_commits();
-            let sends = rig
+            // Messages logged, not SendMessageBatch calls: batching
+            // packs up to ten messages per request, so the call count
+            // no longer reflects the framing this ablation sweeps.
+            let messages = rig
                 .env
-                .usage()
-                .get(Actor::Client, Service::Queue, Op::Send)
-                .count;
+                .sqs()
+                .peek_depth(rig.client.wal_url().expect("p3 wal"));
+            rig.drain_commits();
             SweepPoint {
                 value: *size,
                 elapsed,
-                ops: sends,
+                ops: messages as u64,
             }
         })
         .collect()

@@ -41,6 +41,13 @@ pub fn replay_twice(which: Which, seed: u64) -> (SeedOutcome, SeedOutcome) {
     (explore_seed(which, seed), explore_seed(which, seed))
 }
 
+/// The aimed group-commit crash schedules (`p3:commit:group:*`): each
+/// kills the daemon at a named step occurrence inside a cross-
+/// transaction group commit and checks the recommit converged. Appended
+/// to the seeded sweep so the sweep's coverage of the new crash points
+/// never depends on where the seeds' crossing draws happen to land.
+pub use cloudprov_chaos::group_crash_schedules as group_commit_schedules;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +70,17 @@ mod tests {
     fn replays_are_identical() {
         let (a, b) = replay_twice(Which::P3, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_commit_schedules_all_converge() {
+        for o in group_commit_schedules() {
+            assert!(
+                o.violations().is_empty(),
+                "{}: {:?}",
+                o.step,
+                o.violations()
+            );
+        }
     }
 }

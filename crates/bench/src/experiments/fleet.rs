@@ -60,6 +60,30 @@ pub fn rerun_first(small: bool, seed: u64) -> FleetReport {
     run_fleet(&cell_params(grid[0], seed))
 }
 
+/// The seed a committed `BENCH_fleet*.json` was generated with. The
+/// perf gate only compares runs against a baseline of the SAME seed —
+/// different seeds run different workloads.
+pub fn baseline_seed(json: &str) -> Option<u64> {
+    json.split("\"seed\":")
+        .nth(1)?
+        .split(',')
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Extracts the per-cell throughput trajectory from a committed
+/// `BENCH_fleet*.json` — the perf-regression gate's baseline. Hand-
+/// rolled like [`to_json`] (the workspace is offline, no serde): pulls
+/// every `"throughput_txn_per_s"` value in cell order.
+pub fn baseline_throughputs(json: &str) -> Vec<f64> {
+    json.split("\"throughput_txn_per_s\":")
+        .skip(1)
+        .filter_map(|rest| rest.split(',').next()?.trim().parse::<f64>().ok())
+        .collect()
+}
+
 fn json_escape_free(s: &str) -> String {
     // Everything we emit is numeric or ASCII identifiers; keep it simple.
     s.chars().filter(|c| *c != '"' && *c != '\\').collect()
@@ -96,6 +120,7 @@ pub fn to_json(seed: u64, small: bool, reports: &[FleetReport]) -> String {
                 "\"logged_txns\": {}, \"committed\": {}, \"double_commits\": {}, ",
                 "\"client_phase_s\": {:.3}, \"elapsed_s\": {:.3}, ",
                 "\"throughput_txn_per_s\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, ",
+                "\"commit_p50_ms\": {:.3}, \"commit_p99_ms\": {:.3}, ",
                 "\"samples\": {}, \"cost_usd\": {:.6}, \"lease_acquisitions\": {}, ",
                 "\"lease_losses\": {}, \"handoffs\": {}, \"idle_releases\": {}, ",
                 "\"violations\": [{}], \"per_tenant\": [{}]}}{}\n"
@@ -112,6 +137,8 @@ pub fn to_json(seed: u64, small: bool, reports: &[FleetReport]) -> String {
             r.throughput,
             r.p50.as_secs_f64() * 1e3,
             r.p99.as_secs_f64() * 1e3,
+            r.commit_p50.as_secs_f64() * 1e3,
+            r.commit_p99.as_secs_f64() * 1e3,
             r.samples,
             r.total_cost_usd,
             r.pool.acquisitions,
@@ -161,6 +188,9 @@ mod tests {
             p50: Duration::from_millis(10),
             p99: Duration::from_millis(20),
             samples: 3,
+            commit_p50: Duration::from_millis(100),
+            commit_p99: Duration::from_millis(200),
+            commit_samples: 3,
             wal_leftover: 0,
             temp_leftover: 0,
             missing_durable: 0,
@@ -177,5 +207,10 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.contains("\"throughput_txn_per_s\": 1.5000"));
+        // The perf gate's baseline parsers round-trip the writer.
+        assert_eq!(baseline_throughputs(&j), vec![1.5]);
+        assert!(baseline_throughputs("not json").is_empty());
+        assert_eq!(baseline_seed(&j), Some(42));
+        assert_eq!(baseline_seed("not json"), None);
     }
 }

@@ -64,7 +64,14 @@ pub fn run(run: &OfflineRun, context: RunContext, concurrency: usize) -> Vec<Mic
     Which::ALL
         .iter()
         .map(|which| {
-            let rig = Rig::new(*which, context, ProtocolConfig::default());
+            // Paper-faithful client: one WAL send per message —
+            // SendMessageBatch postdates the paper's tool, and the
+            // Table 3 op counts being reproduced assume it is absent.
+            let cfg = ProtocolConfig {
+                wal_batch_send: false,
+                ..ProtocolConfig::default()
+            };
+            let rig = Rig::new(*which, context, cfg);
             upload(&rig, run, concurrency).into()
         })
         .collect()

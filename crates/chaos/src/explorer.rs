@@ -104,7 +104,7 @@ pub struct SeedOutcome {
     pub temp_leftover: usize,
     /// Ancestry-index entries disagreeing with the committed base
     /// records after recovery (P3; 0 else). A crash between the base
-    /// write and the index write (`p3:commit:index`) must heal on
+    /// write and the index write (`p3:commit:group:index`) must heal on
     /// recommit — the WAL is only acknowledged after both.
     pub index_inconsistencies: usize,
     /// Unexpected errors during recovery (always violations).
@@ -280,7 +280,8 @@ pub fn explore_seed(protocol: Protocol, seed: u64) -> SeedOutcome {
         let layout = &recovery.config().layout;
         // Index ↔ base-record consistency: rebuild the expected ancestry
         // index from the committed items and diff it against the stored
-        // one (crash between `p3:commit:db` and `p3:commit:index` must
+        // one (crash between `p3:commit:group:db` and
+        // `p3:commit:group:index` must
         // have healed during the recovery drains).
         let audit = cloudprov_core::index::audit_index(&env, layout);
         (

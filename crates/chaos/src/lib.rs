@@ -40,8 +40,10 @@
 
 mod explorer;
 mod plan;
+mod targeted;
 
 pub use explorer::{
     explore_seed, CouplingTally, ExplorationReport, Explorer, ProtocolSummary, SeedOutcome,
 };
 pub use plan::{ChaosPlan, CrashSchedule, FiredCrash};
+pub use targeted::{group_crash_schedules, run_group_crash, GroupCrashOutcome, GROUP_CRASH_POINTS};

@@ -70,8 +70,8 @@ pub use sdb::{
     ATTRIBUTE_LIMIT, BATCH_LIMIT, ITEM_ATTR_LIMIT, SELECT_PAGE_BYTES, SELECT_PAGE_ITEMS,
 };
 pub use sqs::{
-    QueueService, ReceivedMessage, DEFAULT_VISIBILITY_TIMEOUT, MESSAGE_LIMIT, RECEIVE_MAX,
-    RETENTION,
+    QueueService, ReceivedMessage, BATCH_ENTRY_LIMIT, DEFAULT_VISIBILITY_TIMEOUT, MESSAGE_LIMIT,
+    RECEIVE_MAX, RETENTION,
 };
 
 /// Re-export of the SELECT parser for query-engine consumers.

@@ -207,6 +207,24 @@ mod tests {
     }
 
     #[test]
+    fn batched_queue_calls_price_as_one_request() {
+        // SendMessageBatch / DeleteMessageBatch are metered as ONE queue
+        // request regardless of entry count (the entries ride in the
+        // payload) — acking ten WAL receipts in one batch costs a tenth
+        // of acking them one by one.
+        let single = Meter::new();
+        for _ in 0..10 {
+            single.record(Actor::CommitDaemon, None, Service::Queue, Op::Delete, 0, 0);
+        }
+        let batched = Meter::new();
+        batched.record(Actor::CommitDaemon, None, Service::Queue, Op::Delete, 0, 0);
+        let book = PriceBook::aws_2009();
+        let single_usd = book.cost(&single.report(SimTime::ZERO)).request_usd;
+        let batched_usd = book.cost(&batched.report(SimTime::ZERO)).request_usd;
+        assert!((single_usd / batched_usd - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn storage_cost_tracks_gb_months() {
         let m = Meter::new();
         m.record_storage_delta(Service::ObjectStore, SimTime::ZERO, 2 << 30);

@@ -275,7 +275,14 @@ impl AwsProfile {
             sqs: ServiceParams {
                 read_base: Duration::from_millis(90),
                 write_base: Duration::from_millis(790),
-                per_item: Duration::ZERO,
+                // Per-entry server work inside a SendMessageBatch /
+                // DeleteMessageBatch call (entries beyond the first —
+                // a one-entry batch costs exactly a plain send): a
+                // 10-entry batch is one ~790 ms round trip plus ~90 ms,
+                // instead of ten full round trips — the amortization
+                // the group commit engine's bulk WAL acknowledgements
+                // lean on.
+                per_item: Duration::from_millis(10),
                 per_kb_in: Duration::from_micros(6_500),
                 bulk_threshold: u64::MAX,
                 per_kb_in_bulk: Duration::ZERO,

@@ -346,6 +346,14 @@ impl ObjectStore {
 
     /// Deletes the object (idempotent: deleting a missing key succeeds, as
     /// in S3).
+    ///
+    /// There is deliberately **no multi-object delete**: the 2009 API the
+    /// paper builds on deleted one key per request (S3's `DeleteObjects`
+    /// arrived in 2011). Bulk reclamation — the P3 commit daemon's
+    /// temp-object GC — therefore amortizes by fanning single deletes out
+    /// over parallel connections, not by batching the API call; the
+    /// messaging service is where 2009-shaped batching lives (see
+    /// [`QueueService::delete_batch`](crate::QueueService::delete_batch)).
     pub fn delete(&self, bucket: &str, key: &str) -> Result<()> {
         let state = self.state.clone();
         let core = self.core.clone();

@@ -27,6 +27,8 @@ pub const MESSAGE_LIMIT: usize = 8 * 1024;
 pub const RETENTION: Duration = Duration::from_secs(4 * 24 * 3600);
 /// Maximum messages returned by one receive call.
 pub const RECEIVE_MAX: usize = 10;
+/// Maximum entries in one `SendMessageBatch`/`DeleteMessageBatch` call.
+pub const BATCH_ENTRY_LIMIT: usize = 10;
 /// Default visibility timeout applied on receive.
 pub const DEFAULT_VISIBILITY_TIMEOUT: Duration = Duration::from_secs(120);
 
@@ -230,6 +232,128 @@ impl QueueService {
                     });
                 }
                 Ok((out, bytes))
+            })
+    }
+
+    /// Sends up to [`BATCH_ENTRY_LIMIT`] messages in one request
+    /// (`SendMessageBatch`). The whole call is metered and priced as
+    /// **one** queue operation; the per-entry verdicts come back in the
+    /// result vector (entry order matches `bodies` order), so a caller
+    /// can distinguish "the request failed" from "entry 3 was rejected".
+    ///
+    /// An entry fails — without affecting its siblings — when its body
+    /// exceeds the 8 KB message limit. Successful entries return their
+    /// message ids.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::BatchTooLarge`] beyond [`BATCH_ENTRY_LIMIT`]
+    /// entries (rejected up front, before any latency is charged);
+    /// [`CloudError::NoSuchQueue`] for unknown queue URLs. An empty
+    /// batch is a free no-op.
+    pub fn send_batch(&self, queue_url: &str, bodies: Vec<Bytes>) -> Result<Vec<Result<u64>>> {
+        if bodies.is_empty() {
+            return Ok(Vec::new());
+        }
+        if bodies.len() > BATCH_ENTRY_LIMIT {
+            return Err(CloudError::BatchTooLarge {
+                items: bodies.len(),
+                limit: BATCH_ENTRY_LIMIT,
+            });
+        }
+        let state = self.state.clone();
+        let url = queue_url.to_string();
+        let entries = bodies.len();
+        let bytes_in: u64 = bodies.iter().map(|b| b.len() as u64).sum();
+        self.core.call(
+            self.actor,
+            self.tenant,
+            Op::Send,
+            // Per-entry server time beyond the first entry — a
+            // one-entry batch costs exactly what a plain send does.
+            entries - 1,
+            bytes_in,
+            move |now| {
+                let mut st = state.lock();
+                let q = st
+                    .queues
+                    .get_mut(&url)
+                    .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+                Self::expire(q, now);
+                let results = bodies
+                    .into_iter()
+                    .map(|body| {
+                        if body.len() > MESSAGE_LIMIT {
+                            return Err(CloudError::MessageTooLarge {
+                                size: body.len(),
+                                limit: MESSAGE_LIMIT,
+                            });
+                        }
+                        let id = q.next_id;
+                        q.next_id += 1;
+                        q.messages.push(QueueMessage {
+                            id,
+                            body,
+                            sent_at: now,
+                            visible_at: now,
+                            delivery_count: 0,
+                        });
+                        Ok(id)
+                    })
+                    .collect();
+                Ok((results, 0))
+            },
+        )
+    }
+
+    /// Deletes up to [`BATCH_ENTRY_LIMIT`] messages by receipt handle in
+    /// one request (`DeleteMessageBatch`) — the commit daemon's bulk WAL
+    /// acknowledgement path. One metered queue operation; per-entry
+    /// verdicts in the result vector (entry order matches `receipts`).
+    ///
+    /// Entry semantics match [`QueueService::delete`]: stale receipts
+    /// still delete (SQS's lenient behaviour), already-deleted messages
+    /// succeed silently, and only an unparsable receipt fails its entry.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::BatchTooLarge`] beyond [`BATCH_ENTRY_LIMIT`]
+    /// entries; [`CloudError::NoSuchQueue`] for unknown queue URLs. An
+    /// empty batch is a free no-op.
+    pub fn delete_batch(&self, queue_url: &str, receipts: &[String]) -> Result<Vec<Result<()>>> {
+        if receipts.is_empty() {
+            return Ok(Vec::new());
+        }
+        if receipts.len() > BATCH_ENTRY_LIMIT {
+            return Err(CloudError::BatchTooLarge {
+                items: receipts.len(),
+                limit: BATCH_ENTRY_LIMIT,
+            });
+        }
+        let state = self.state.clone();
+        let url = queue_url.to_string();
+        let entries: Vec<String> = receipts.to_vec();
+        let n = entries.len();
+        self.core
+            .call(self.actor, self.tenant, Op::Delete, n - 1, 0, move |_now| {
+                let mut st = state.lock();
+                let q = st
+                    .queues
+                    .get_mut(&url)
+                    .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+                let results = entries
+                    .iter()
+                    .map(|receipt| {
+                        let id: u64 = receipt
+                            .split('#')
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| CloudError::InvalidReceipt(receipt.clone()))?;
+                        q.messages.retain(|m| m.id != id);
+                        Ok(())
+                    })
+                    .collect();
+                Ok((results, 0))
             })
     }
 
@@ -574,6 +698,132 @@ mod tests {
         assert!(q
             .change_visibility("sqs://nope", "1#1", Duration::ZERO)
             .is_err());
+    }
+
+    #[test]
+    fn send_batch_delivers_all_entries_as_one_metered_op() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let ids = q
+            .send_batch(
+                &url,
+                (0..10).map(|i| Bytes::from(format!("m{i}"))).collect(),
+            )
+            .unwrap();
+        assert_eq!(ids.len(), 10);
+        assert!(ids.iter().all(|r| r.is_ok()));
+        assert_eq!(q.peek_depth(&url), 10);
+        // One request on the meter, with per-entry byte accounting.
+        let rep = q.core.meter().report(sim.now());
+        let st = rep.get(Actor::Client, Service::Queue, Op::Send);
+        assert_eq!(st.count, 1, "a batch send is one request");
+        assert_eq!(st.bytes_in, 20);
+    }
+
+    #[test]
+    fn send_batch_rejects_eleven_entries_up_front() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let err = q
+            .send_batch(&url, (0..11).map(|_| Bytes::from_static(b"x")).collect())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CloudError::BatchTooLarge {
+                items: 11,
+                limit: BATCH_ENTRY_LIMIT
+            }
+        ));
+        assert_eq!(q.peek_depth(&url), 0, "nothing may land");
+        assert_eq!(sim.now().as_micros(), 0, "rejected before any latency");
+    }
+
+    #[test]
+    fn send_batch_partial_failure_spares_good_entries() {
+        let (_sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let results = q
+            .send_batch(
+                &url,
+                vec![
+                    Bytes::from_static(b"ok-1"),
+                    Bytes::from(vec![0u8; MESSAGE_LIMIT + 1]),
+                    Bytes::from_static(b"ok-2"),
+                ],
+            )
+            .unwrap();
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(CloudError::MessageTooLarge { .. })
+        ));
+        assert!(results[2].is_ok());
+        assert_eq!(q.peek_depth(&url), 2, "good entries land, bad one doesn't");
+    }
+
+    #[test]
+    fn delete_batch_acks_many_receipts_in_one_op() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        for i in 0..6 {
+            q.send(&url, Bytes::from(format!("m{i}"))).unwrap();
+        }
+        let mut receipts = Vec::new();
+        while receipts.len() < 6 {
+            for m in q.receive(&url, 10).unwrap() {
+                receipts.push(m.receipt);
+            }
+        }
+        let results = q.delete_batch(&url, &receipts).unwrap();
+        assert_eq!(results.len(), 6);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(q.peek_depth(&url), 0);
+        let rep = q.core.meter().report(sim.now());
+        assert_eq!(
+            rep.get(Actor::Client, Service::Queue, Op::Delete).count,
+            1,
+            "a batch delete is one request"
+        );
+    }
+
+    #[test]
+    fn delete_batch_rejects_oversized_batches_and_unknown_queues() {
+        let (_sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let too_many: Vec<String> = (0..11).map(|i| format!("{i}#1")).collect();
+        assert!(matches!(
+            q.delete_batch(&url, &too_many).unwrap_err(),
+            CloudError::BatchTooLarge { items: 11, .. }
+        ));
+        assert!(matches!(
+            q.delete_batch("sqs://nope", &["1#1".to_string()])
+                .unwrap_err(),
+            CloudError::NoSuchQueue(_)
+        ));
+        assert!(q.delete_batch(&url, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_batch_partial_failure_and_stale_receipts() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let q = q.with_visibility_timeout(Duration::from_secs(1));
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from_static(b"m")).unwrap();
+        let first = q.receive(&url, 1).unwrap();
+        sim.sleep(Duration::from_secs(2));
+        let _second = q.receive(&url, 1).unwrap();
+        // Mix a garbage receipt, a STALE receipt (message redelivered
+        // since) and an already-deleted id into one batch.
+        let batch = vec![
+            "not-a-receipt".to_string(),
+            first[0].receipt.clone(),
+            "999#1".to_string(),
+        ];
+        let results = q.delete_batch(&url, &batch).unwrap();
+        assert!(matches!(results[0], Err(CloudError::InvalidReceipt(_))));
+        assert!(results[1].is_ok(), "stale receipts still delete (lenient)");
+        assert!(results[2].is_ok(), "deleting a gone message succeeds");
+        assert_eq!(q.peek_depth(&url), 0);
     }
 
     #[test]

@@ -221,6 +221,21 @@ impl ClientBuilder {
         self
     }
 
+    /// Whether P3's log phase packs WAL messages into SendMessageBatch
+    /// calls (on by default; off reproduces the paper's one-send-per-
+    /// message 2009 client).
+    pub fn wal_batch_send(mut self, on: bool) -> Self {
+        self.config.wal_batch_send = on;
+        self
+    }
+
+    /// Parallel connections P3's commit daemon opens inside one group
+    /// commit (S3 copy/GC fan-out, batched WAL acks). Daemon-side only.
+    pub fn commit_parallelism(mut self, n: usize) -> Self {
+        self.config.commit_parallelism = n.max(1);
+        self
+    }
+
     /// Whether P3's commit daemon maintains the commit-time ancestry
     /// index (on by default). Turning it off removes the indexed query
     /// plan — the planner falls back to SELECTs — and saves the daemon's
@@ -287,6 +302,7 @@ impl ClientBuilder {
         } = self;
         let mut wal_url = None;
         let mut daemon = None;
+        let mut p3_handle = None;
         let inner: Arc<dyn StorageProtocol> = match protocol {
             Protocol::S3fs => Arc::new(S3fsBaseline::new(env, config.clone())),
             Protocol::P1 => Arc::new(P1::new(env, config.clone())),
@@ -296,6 +312,7 @@ impl ClientBuilder {
                 let p3 = P3::with_identity(env, config.clone(), &queue, identity);
                 wal_url = Some(p3.wal_url().to_string());
                 daemon = Some(Arc::new(p3.commit_daemon()));
+                p3_handle = Some(p3.clone());
                 Arc::new(p3)
             }
         };
@@ -309,6 +326,7 @@ impl ClientBuilder {
             config,
             inner,
             daemon,
+            p3: p3_handle,
             wal_url,
             mode,
             pipeline,
@@ -325,6 +343,9 @@ pub struct ProvenanceClient {
     config: ProtocolConfig,
     inner: Arc<dyn StorageProtocol>,
     daemon: Option<Arc<CommitDaemon>>,
+    /// Concrete P3 handle (shares state with `inner`), for P3-only
+    /// instrumentation like the logged-transaction timestamps.
+    p3: Option<P3>,
     wal_url: Option<String>,
     mode: FlushMode,
     pipeline: Option<Pipeline>,
@@ -397,6 +418,17 @@ impl ProvenanceClient {
     /// what a recovery machine needs to commit on this client's behalf.
     pub fn wal_url(&self) -> Option<&str> {
         self.wal_url.as_deref()
+    }
+
+    /// (transaction id, WAL-durable instant) for every transaction this
+    /// session has logged (empty for non-P3 sessions). The fleet
+    /// benchmark joins these with the daemon pool's commit timestamps
+    /// into the per-transaction commit-latency distribution.
+    pub fn wal_logged_transactions(&self) -> Vec<(cloudprov_pass::Uuid, SimTime)> {
+        self.p3
+            .as_ref()
+            .map(|p| p.logged_transactions())
+            .unwrap_or_default()
     }
 
     /// Blocks (in virtual time) until the admission gate, if any, admits

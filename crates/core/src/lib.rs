@@ -81,8 +81,11 @@ pub use error::{ClientError, ClientResult, ProtocolError, Result};
 pub use layout::{object_metadata, parse_object_metadata, Layout, META_UUID, META_VERSION};
 pub use p1::P1;
 pub use p2::P2;
-pub use p3::{CleanerDaemon, CommitDaemon, CommitListener, DaemonHandle, PollOutcome, P3};
+pub use p3::{
+    pack_group_writes, CleanerDaemon, CommitDaemon, CommitListener, DaemonHandle, GroupWritePlan,
+    PollOutcome, P3,
+};
 pub use protocol::{
-    item_to_records, retry_cloud, CouplingCheck, FlushBatch, FlushObject, ProtocolConfig,
-    ProvenanceStore, ReadResult, S3fsBaseline, StepHook, StorageProtocol,
+    item_to_records, kill_at_occurrence, retry_cloud, CouplingCheck, FlushBatch, FlushObject,
+    ProtocolConfig, ProvenanceStore, ReadResult, S3fsBaseline, StepHook, StorageProtocol,
 };

@@ -2,6 +2,7 @@
 //! coupling checks, crash hooks, retries, and record→item conversion with
 //! the 1 KB spill rule.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -140,6 +141,29 @@ pub enum ProvenanceStore {
 /// client at that step (crash injection for the Table 1 experiments).
 pub type StepHook = Arc<dyn Fn(&str) -> bool + Send + Sync>;
 
+/// Builds a crash hook that kills the process at the `occurrence`-th
+/// crossing of exactly `step` — and keeps it dead afterwards, like a
+/// real process kill. Returns the hook plus a flag reporting whether it
+/// ever fired: aimed chaos schedules check the flag so a renamed crash
+/// point surfaces as a vacuous schedule instead of a silent pass.
+pub fn kill_at_occurrence(step: impl Into<String>, occurrence: u64) -> (StepHook, Arc<AtomicBool>) {
+    let target: String = step.into();
+    let hits = Arc::new(AtomicU64::new(0));
+    let dead = Arc::new(AtomicBool::new(false));
+    let fired = dead.clone();
+    let hook: StepHook = Arc::new(move |step: &str| {
+        if dead.load(Ordering::Relaxed) {
+            return false;
+        }
+        if step == target && hits.fetch_add(1, Ordering::Relaxed) + 1 == occurrence {
+            dead.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    });
+    (hook, fired)
+}
+
 /// Tuning and fault knobs shared by the protocols.
 #[derive(Clone)]
 pub struct ProtocolConfig {
@@ -173,6 +197,20 @@ pub struct ProtocolConfig {
     /// work only — client-perceived latency and client op counts are
     /// unchanged.
     pub index: bool,
+    /// Whether P3's log phase packs WAL messages into `SendMessageBatch`
+    /// calls (≤10 bodies per request) instead of one send per message.
+    /// On by default — one queue round trip and one billed request per
+    /// batch. Turn off to reproduce the paper's 2009 client exactly:
+    /// `SendMessageBatch` did not exist then, and Table 2/3 op counts
+    /// assume one request per packet.
+    pub wal_batch_send: bool,
+    /// Parallel connections the P3 commit daemon opens inside one group
+    /// commit: the per-file S3 COPY fan-out, the temp-object GC delete
+    /// fan-out and the batched WAL-acknowledgement fan-out are all
+    /// bounded by this (SimpleDB chunk writes use `db_concurrency`,
+    /// matching the far smaller 2009 database pools). Daemon-side only —
+    /// client op counts and latencies are unchanged.
+    pub commit_parallelism: usize,
 }
 
 impl std::fmt::Debug for ProtocolConfig {
@@ -192,6 +230,8 @@ impl std::fmt::Debug for ProtocolConfig {
             .field("db_batch", &self.db_batch)
             .field("db_concurrency", &self.db_concurrency)
             .field("index", &self.index)
+            .field("wal_batch_send", &self.wal_batch_send)
+            .field("commit_parallelism", &self.commit_parallelism)
             .finish()
     }
 }
@@ -208,6 +248,8 @@ impl Default for ProtocolConfig {
             db_batch: cloudprov_cloud::BATCH_LIMIT,
             db_concurrency: 4,
             index: true,
+            wal_batch_send: true,
+            commit_parallelism: 16,
         }
     }
 }
@@ -658,6 +700,8 @@ mod tests {
             "db_batch",
             "db_concurrency",
             "index",
+            "wal_batch_send",
+            "commit_parallelism",
         ] {
             assert!(dbg.contains(field), "Debug output drops '{field}': {dbg}");
         }

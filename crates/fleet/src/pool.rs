@@ -31,7 +31,7 @@ use parking_lot::Mutex;
 use cloudprov_cloud::CloudEnv;
 use cloudprov_core::{CommitDaemon, ProtocolConfig};
 use cloudprov_pass::Uuid;
-use cloudprov_sim::SimHandle;
+use cloudprov_sim::{SimHandle, SimTime};
 
 use crate::lease::{Lease, LeaseBoard};
 use crate::router::ShardRouter;
@@ -77,6 +77,10 @@ pub struct PoolStats {
     pub messages: u64,
     /// Commits skipped because a referenced temp object never appeared.
     pub stalled: u64,
+    /// Messages discarded through the daemons' batched drop path
+    /// (garbage bodies, late redeliveries of committed transactions) —
+    /// the at-least-once churn the plane absorbed.
+    pub dropped: u64,
     /// Lease acquisitions (including re-acquisitions after release).
     pub acquisitions: u64,
     /// Leases lost to expiry/steal (renewal failed).
@@ -93,10 +97,14 @@ struct PoolShared {
     stop: AtomicBool,
     daemons: Mutex<BTreeMap<u32, Arc<CommitDaemon>>>,
     committed_txns: Mutex<BTreeSet<Uuid>>,
+    /// (txn, committed-at) per first commit — joined with the clients'
+    /// logged-at timestamps into the commit-latency distribution.
+    commit_times: Mutex<Vec<(Uuid, SimTime)>>,
     committed: AtomicU64,
     double_commits: AtomicU64,
     messages: AtomicU64,
     stalled: AtomicU64,
+    dropped: AtomicU64,
     acquisitions: AtomicU64,
     losses: AtomicU64,
     idle_releases: AtomicU64,
@@ -135,9 +143,12 @@ impl PoolShared {
                     router.wal_url(shard),
                 ));
                 let shared = self.clone();
+                let sim = env.sim().clone();
                 d.set_commit_listener(Arc::new(move |txn| {
                     shared.committed.fetch_add(1, Ordering::Relaxed);
-                    if !shared.committed_txns.lock().insert(txn) {
+                    if shared.committed_txns.lock().insert(txn) {
+                        shared.commit_times.lock().push((txn, sim.now()));
+                    } else {
                         shared.double_commits.fetch_add(1, Ordering::Relaxed);
                     }
                 }));
@@ -177,10 +188,12 @@ impl DaemonPool {
             stop: AtomicBool::new(false),
             daemons: Mutex::new(BTreeMap::new()),
             committed_txns: Mutex::new(BTreeSet::new()),
+            commit_times: Mutex::new(Vec::new()),
             committed: AtomicU64::new(0),
             double_commits: AtomicU64::new(0),
             messages: AtomicU64::new(0),
             stalled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             acquisitions: AtomicU64::new(0),
             losses: AtomicU64::new(0),
             idle_releases: AtomicU64::new(0),
@@ -214,6 +227,14 @@ impl DaemonPool {
         self.shared.committed.load(Ordering::Relaxed)
     }
 
+    /// (txn, committed-at) for every distinct transaction the pool has
+    /// committed, in commit order. The fleet benchmark joins these with
+    /// each client's WAL-logged timestamps to measure per-transaction
+    /// commit latency.
+    pub fn commit_times(&self) -> Vec<(Uuid, SimTime)> {
+        self.shared.commit_times.lock().clone()
+    }
+
     /// Signals every worker and waits (in virtual time) for them to
     /// exit, releasing any held leases. Returns the final stats.
     pub fn stop(self) -> PoolStats {
@@ -232,6 +253,7 @@ fn snapshot(s: &PoolShared) -> PoolStats {
         double_commits: s.double_commits.load(Ordering::Relaxed),
         messages: s.messages.load(Ordering::Relaxed),
         stalled: s.stalled.load(Ordering::Relaxed),
+        dropped: s.dropped.load(Ordering::Relaxed),
         acquisitions: s.acquisitions.load(Ordering::Relaxed),
         losses: s.losses.load(Ordering::Relaxed),
         idle_releases: s.idle_releases.load(Ordering::Relaxed),
@@ -269,7 +291,11 @@ fn worker(
             sim.sleep(config.poll_interval);
             continue;
         }
-        // Poll every held shard once, then renew its lease. A failed
+        // Poll every held shard once — one poll is now a whole GROUP
+        // commit (the daemon drains several receive rounds and commits
+        // everything that assembled) — then renew its lease; renewal
+        // therefore spans the full group, and the group's bounded
+        // receive window keeps its duration far inside the lease TTL. A failed
         // renewal means the shard was stolen (or the TTL lapsed): drop
         // it on the spot — its daemon state stays in the shared map for
         // whoever drives it next.
@@ -285,6 +311,9 @@ fn worker(
                     shared
                         .stalled
                         .fetch_add(o.stalled as u64, Ordering::Relaxed);
+                    shared
+                        .dropped
+                        .fetch_add(o.dropped as u64, Ordering::Relaxed);
                     if o.messages > 0 {
                         any_messages = true;
                         0

@@ -28,7 +28,9 @@ use cloudprov_cloud::{AwsProfile, CloudEnv, PriceBook, TenantId};
 use cloudprov_core::{CouplingCheck, Protocol, ProtocolConfig, ProvenanceClient, StorageProtocol};
 use cloudprov_fleet::{Fleet, FleetConfig, PoolStats};
 use cloudprov_fs::{LocalIoParams, PaS3fs};
+use cloudprov_pass::Uuid;
 use cloudprov_sim::Sim;
+use cloudprov_sim::SimTime;
 
 use crate::testkit::{random_script, replay_fs_prefixed};
 
@@ -122,6 +124,14 @@ pub struct FleetReport {
     pub p99: Duration,
     /// Latency samples behind the percentiles.
     pub samples: usize,
+    /// Median per-transaction commit latency: WAL-durable → committed
+    /// by the daemon pool (the commit plane's own contribution, which
+    /// group commit attacks; flush→durable latency is client-bound).
+    pub commit_p50: Duration,
+    /// 99th-percentile commit latency.
+    pub commit_p99: Duration,
+    /// (logged txn, commit time) pairs behind the commit percentiles.
+    pub commit_samples: usize,
     /// WAL messages left after the quiesce deadline (must be 0).
     pub wal_leftover: usize,
     /// Temp objects left after commit + cleaner sweep (must be 0).
@@ -187,6 +197,7 @@ impl FleetReport {
 struct ClientOutcome {
     durable_keys: std::collections::BTreeSet<String>,
     latencies: Vec<Duration>,
+    logged: Vec<(Uuid, SimTime)>,
     logged_txns: u64,
     failed: bool,
 }
@@ -257,6 +268,7 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
                 ClientOutcome {
                     durable_keys: replay.durable_keys,
                     latencies: client.flush_latencies(),
+                    logged: client.wal_logged_transactions(),
                     logged_txns: client.pipeline_stats().map(|s| s.uploads).unwrap_or(0),
                     failed: replay.died.is_some() || sync_failed,
                 }
@@ -274,6 +286,8 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     }
     let elapsed = sim.now().saturating_duration_since(t0);
     let wal_leftover = fleet.total_depth();
+    let commit_times: std::collections::BTreeMap<Uuid, SimTime> =
+        pool.commit_times().into_iter().collect();
     let pool_stats = pool.stop();
     // A healthy run has nothing for the cleaners; sweeping anyway keeps
     // the reclamation paths (temp objects AND ancestry-index garbage)
@@ -314,6 +328,7 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     let mut durable_checked = 0;
     let mut client_errors = 0;
     let mut latencies: Vec<Duration> = Vec::new();
+    let mut commit_lags: Vec<Duration> = Vec::new();
     let mut logged_txns = 0;
     for o in &outcomes {
         if o.failed {
@@ -321,6 +336,14 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         }
         logged_txns += o.logged_txns;
         latencies.extend_from_slice(&o.latencies);
+        // Join this client's logged-at instants with the pool's
+        // committed-at instants: the commit plane's per-transaction
+        // latency, WAL-durable -> committed.
+        for (txn, logged_at) in &o.logged {
+            if let Some(committed_at) = commit_times.get(txn) {
+                commit_lags.push(committed_at.saturating_duration_since(*logged_at));
+            }
+        }
         for key in &o.durable_keys {
             durable_checked += 1;
             match verifier.read(key) {
@@ -341,6 +364,7 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         }
     }
     latencies.sort_unstable();
+    commit_lags.sort_unstable();
 
     let secs = elapsed.as_secs_f64();
     FleetReport {
@@ -362,6 +386,9 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         p50: percentile(&latencies, 50.0),
         p99: percentile(&latencies, 99.0),
         samples: latencies.len(),
+        commit_p50: percentile(&commit_lags, 50.0),
+        commit_p99: percentile(&commit_lags, 99.0),
+        commit_samples: commit_lags.len(),
         wal_leftover,
         temp_leftover,
         missing_durable,
@@ -404,6 +431,11 @@ mod tests {
         assert!(r.per_tenant.iter().all(|t| t.ops > 0));
         assert!(r.total_cost_usd > 0.0);
         assert!(r.samples > 0, "pipeline latencies must be sampled");
+        assert!(r.commit_samples > 0, "commit latencies must be sampled");
+        assert!(
+            r.commit_samples as u64 == r.unique_committed,
+            "every committed txn should have a matched commit latency"
+        );
     }
 
     #[test]

@@ -251,3 +251,97 @@ mod protocol_roundtrip {
         }
     }
 }
+
+mod group_commit_packing {
+    use proptest::prelude::*;
+
+    use cloudprov::cloud::PutItem;
+    use cloudprov::protocols::pack_group_writes;
+
+    /// One transaction's write set for the packing property: base item
+    /// count (1–30, crossing the 25-item batch limit), whether the
+    /// ancestry index is on, index item count, and whether its values
+    /// model spilled attributes (oversized values stored as `@s3:`
+    /// pointers — packing must be oblivious to value shape).
+    fn txn_mix() -> impl Strategy<Value = Vec<(usize, bool, usize, bool)>> {
+        proptest::collection::vec((1usize..31, any::<bool>(), 0usize..9, any::<bool>()), 1..12)
+    }
+
+    fn item(txn: usize, phase: &str, j: usize, spilled: bool) -> PutItem {
+        let value = if spilled {
+            "@s3:prov/xattr/spilled-pointer".to_string()
+        } else {
+            "v".repeat(1 + (j % 40))
+        };
+        PutItem {
+            name: format!("t{txn}-{phase}{j}"),
+            attrs: vec![("a".into(), value)],
+            replace: false,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Any mix of ready transactions packs into chunks that (a)
+        /// never exceed the batch limit, (b) never reorder items within
+        /// a phase, (c) never lose or duplicate an item, and (d) never
+        /// place any transaction's index items ahead of its base items
+        /// in the plan's execution order (every base chunk runs — with
+        /// a barrier — before any index chunk).
+        #[test]
+        fn packing_never_splits_index_ahead_of_base(
+            txns in txn_mix(),
+            batch_limit in 1usize..26,
+            parallelism in 1usize..9,
+        ) {
+            let mut base = Vec::new();
+            let mut index = Vec::new();
+            for (ti, (nb, indexed, ni, spilled)) in txns.iter().enumerate() {
+                for j in 0..*nb {
+                    base.push(item(ti, "b", j, *spilled));
+                }
+                if *indexed {
+                    for j in 0..*ni {
+                        index.push(item(ti, "x", j, *spilled));
+                    }
+                }
+            }
+            let plan = pack_group_writes(base.clone(), index.clone(), batch_limit, parallelism);
+            // (a) the service limit holds for every chunk, none empty.
+            for chunk in plan.base_chunks.iter().chain(&plan.index_chunks) {
+                prop_assert!(chunk.len() <= batch_limit);
+                prop_assert!(!chunk.is_empty());
+            }
+            // (b)+(c) each phase is exactly its input, in order.
+            prop_assert_eq!(&plan.base_chunks.concat(), &base);
+            prop_assert_eq!(&plan.index_chunks.concat(), &index);
+            // (d) in the flattened execution order, every transaction's
+            // last base item precedes its first index item.
+            let order: Vec<&str> = plan
+                .base_chunks
+                .iter()
+                .chain(&plan.index_chunks)
+                .flatten()
+                .map(|i| i.name.as_str())
+                .collect();
+            for (ti, (nb, indexed, ni, _)) in txns.iter().enumerate() {
+                if !*indexed || *ni == 0 {
+                    continue;
+                }
+                let last_base = order
+                    .iter()
+                    .rposition(|n| n.starts_with(&format!("t{ti}-b")));
+                let first_index = order
+                    .iter()
+                    .position(|n| n.starts_with(&format!("t{ti}-x")));
+                if let (Some(b), Some(x)) = (last_base, first_index) {
+                    prop_assert!(
+                        b < x,
+                        "txn {ti}: base item at {b} after index item at {x} (nb={nb})"
+                    );
+                }
+            }
+        }
+    }
+}
