@@ -572,21 +572,66 @@ fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
             println!("          violation: {v}");
         }
     }
+    // Aimed change-feed schedules: kill a feed-enabled daemon at each
+    // p3:notify:* step and check the delivery contract across failover —
+    // at-least-once, sequence-ordered, duplicates allowed, gaps never.
+    println!(
+        "\nAimed change-feed crash schedules (daemon killed around stage/publish/watermark;\na live subscription rides both daemons):"
+    );
+    println!(
+        "  {:<20} {:>4} {:>10} {:>8} {:>8} {:>6} {:>6}   verdict",
+        "Step", "Occ", "Committed", "FeedMiss", "FeedDup", "Gaps", "Unpub"
+    );
+    for o in chaos::notify_crash_schedules() {
+        let violations = o.violations();
+        let ok = violations.is_empty();
+        all_ok &= ok;
+        println!(
+            "  {:<20} {:>4} {:>10} {:>8} {:>8} {:>6} {:>6}   {}",
+            o.step,
+            o.occurrence,
+            o.unique_committed,
+            o.feed_missing,
+            o.feed_duplicates,
+            o.feed_gaps,
+            o.feed_unpublished,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        for v in violations {
+            println!("          violation: {v}");
+        }
+    }
+    println!(
+        "\n('FeedDup' is allowed by the at-least-once contract — the watermark-crash row\nis SUPPOSED to show duplicates; 'FeedMiss', 'Gaps' and 'Unpub' must be zero.)"
+    );
     all_ok
 }
 
 /// The fleet scaling table over the sharded multi-tenant commit plane.
 /// Returns whether every cell was free of invariant violations.
-fn fleet_table(small: bool, seed: u64) -> bool {
+fn fleet_table(small: bool, seed: u64, mode: fleet::SweepMode) -> bool {
     hr("Fleet: clients x shards x daemons over the sharded commit plane (throughput\n       must rise with daemons at fixed shards; zero invariant violations)");
     println!(
-        "Seed {seed}; every cell replays seeded testkit scripts through pipelined,\nthrottled P3 sessions routed onto shard WALs; a lease-holding daemon pool\ncommits asynchronously as GROUPS. p50/p99 are client flush->WAL-durable;\nCp50/Cp99 are the commit plane's own WAL-durable->committed latency.\n"
+        "Seed {seed}; every cell replays seeded testkit scripts through pipelined,\nthrottled P3 sessions routed onto shard WALs; a lease-holding daemon pool\ncommits asynchronously as GROUPS. p50/p99 are client flush->WAL-durable;\nCp50/Cp99 are the commit plane's own WAL-durable->committed latency, and\nPk50 its waiting component (WAL-durable->daemon pickup) — the part push\ndelivery eliminates. The final row is the unsaturated latency probe."
     );
     println!(
-        "{:>7} {:>7} {:>7} {:>7} {:>9} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>9}   verdict",
+        "Delivery mode: {} (fallback poll {}).\n",
+        if mode.push {
+            "push — workers ride WAL doorbells and publish the change feed"
+        } else {
+            "polling — workers sleep the poll interval between sweeps"
+        },
+        match mode.poll_ms {
+            Some(ms) => format!("{ms} ms via --poll-ms"),
+            None => "driver default".to_string(),
+        }
+    );
+    println!(
+        "{:>7} {:>7} {:>7} {:>5} {:>7} {:>9} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>9}   verdict",
         "Clients",
         "Shards",
         "Daemons",
+        "Mode",
         "Txns",
         "Commits",
         "Thr(tx/s)",
@@ -594,20 +639,23 @@ fn fleet_table(small: bool, seed: u64) -> bool {
         "p99(ms)",
         "Cp50(s)",
         "Cp99(s)",
+        "Pk50(s)",
         "Elapsed(s)",
         "Cost($)"
     );
-    let reports = fleet::sweep(small, seed);
+    let mut reports = fleet::sweep(small, seed, mode);
+    reports.push(fleet::latency_probe(small, seed, mode));
     let mut all_ok = true;
     for r in &reports {
         let violations = r.violations();
         let ok = violations.is_empty();
         all_ok &= ok;
         println!(
-            "{:>7} {:>7} {:>7} {:>7} {:>9} {:>10.2} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>10.1} {:>9.4}   {}",
+            "{:>7} {:>7} {:>7} {:>5} {:>7} {:>9} {:>10.2} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.2} {:>10.1} {:>9.4}   {}",
             r.clients,
             r.shards,
             r.daemons,
+            if r.push { "push" } else { "poll" },
             r.logged_txns,
             r.unique_committed,
             r.throughput,
@@ -615,6 +663,7 @@ fn fleet_table(small: bool, seed: u64) -> bool {
             r.p99.as_secs_f64() * 1e3,
             r.commit_p50.as_secs_f64(),
             r.commit_p99.as_secs_f64(),
+            r.pickup_p50.as_secs_f64(),
             r.elapsed.as_secs_f64(),
             r.total_cost_usd,
             if ok { "PASS" } else { "FAIL" }
@@ -625,6 +674,33 @@ fn fleet_table(small: bool, seed: u64) -> bool {
         for f in &r.failed_checks {
             println!("          failed check: {f}");
         }
+    }
+    // Push-mode latency gate, on the probe cell: the doorbell must put
+    // the waiting component of commit latency (WAL-durable -> daemon
+    // pickup) under a second — polling physically cannot (its dwell is
+    // ~poll_interval/2). The gate reads the probe because the scaling
+    // cells saturate the plane by design, where pickup measures the
+    // backlog, not the delivery path. Commit latency itself keeps the
+    // 2009 service-time floor (~790 ms SQS send, ~700 ms S3 copy,
+    // ~310 ms/item SimpleDB writes: several seconds per group) in every
+    // mode — the perf gate below pins it against the baseline instead.
+    if mode.push {
+        let mut push_ok = true;
+        for r in reports.iter().filter(|r| fleet::is_latency_probe(r)) {
+            let pk = r.pickup_p50.as_secs_f64();
+            if pk >= 1.0 {
+                push_ok = false;
+                println!(
+                    "push gate: probe {}c/{}s/{}d pickup p50 {:.2} s >= 1 s   FAIL",
+                    r.clients, r.shards, r.daemons, pk
+                );
+            }
+        }
+        println!(
+            "\nPush-mode gate: WAL-durable->pickup p50 < 1 s on the latency probe — {}",
+            if push_ok { "PASS" } else { "FAIL" }
+        );
+        all_ok &= push_ok;
     }
     // Headline scaling claim: at the fixed shard count of the daemon
     // sweep, throughput must rise with daemon count.
@@ -667,7 +743,7 @@ fn fleet_table(small: bool, seed: u64) -> bool {
         );
     }
     // Determinism proof: the first cell re-run must reproduce exactly.
-    let again = fleet::rerun_first(small, seed);
+    let again = fleet::rerun_first(small, seed, mode);
     let identical = again == reports[0];
     println!(
         "\nDeterminism: first cell re-run is {} (same seed -> same table).",
@@ -699,29 +775,53 @@ fn fleet_table(small: bool, seed: u64) -> bool {
     // future default-seed run.
     let baseline_seed = committed.as_deref().and_then(fleet::baseline_seed);
     let foreign_seed = baseline_seed.is_some_and(|b| b != seed);
+    // A polling run (or an overridden poll interval) measures a different
+    // plane than the committed push-mode baseline: skip the gate and park
+    // the evidence beside the floor rather than against it.
+    let foreign_mode = !mode.push || mode.poll_ms.is_some();
     match committed
-        .filter(|_| baseline_seed == Some(seed))
-        .map(|s| fleet::baseline_throughputs(&s))
-        .filter(|base| base.len() == reports.len())
+        .filter(|_| baseline_seed == Some(seed) && !foreign_mode)
+        .map(|s| {
+            (
+                fleet::baseline_throughputs(&s),
+                fleet::baseline_commit_p50s(&s),
+            )
+        })
+        .filter(|(base, _)| base.len() == reports.len())
     {
-        Some(base) => {
-            println!("\nPerf gate vs committed {path} (cell fails under 0.8x baseline):");
-            for (r, old) in reports.iter().zip(&base) {
+        Some((base, base_p50s)) => {
+            println!(
+                "\nPerf gate vs committed {path} (cell fails under 0.8x baseline throughput\nor over 1.2x baseline commit p50 — the latency win is part of the floor):"
+            );
+            for (i, (r, old)) in reports.iter().zip(&base).enumerate() {
                 let ratio = if *old > 0.0 {
                     r.throughput / old
                 } else {
                     f64::INFINITY
                 };
-                let ok = ratio >= 0.8;
+                let thr_ok = ratio >= 0.8;
+                let p50_ms = r.commit_p50.as_secs_f64() * 1e3;
+                let (lat, lat_ok) = match base_p50s.get(i) {
+                    Some(old_ms) if *old_ms > 0.0 => {
+                        let lr = p50_ms / old_ms;
+                        (
+                            format!("Cp50 {:.1}->{:.1} s ({lr:.2}x)", old_ms / 1e3, p50_ms / 1e3),
+                            lr <= 1.2,
+                        )
+                    }
+                    _ => ("Cp50 unbaselined".to_string(), true),
+                };
+                let ok = thr_ok && lat_ok;
                 perf_ok &= ok;
                 println!(
-                    "  {:>3}c/{:>2}s/{:>2}d: {:>7.3} -> {:>7.3} tx/s ({:.2}x)   {}",
+                    "  {:>3}c/{:>2}s/{:>2}d: {:>7.3} -> {:>7.3} tx/s ({:.2}x); {}   {}",
                     r.clients,
                     r.shards,
                     r.daemons,
                     old,
                     r.throughput,
                     ratio,
+                    lat,
                     if ok { "PASS" } else { "FAIL" }
                 );
             }
@@ -740,6 +840,8 @@ fn fleet_table(small: bool, seed: u64) -> bool {
     // Both park their evidence next to it instead.
     let out_path = if foreign_seed {
         format!("{path}.seed{seed}")
+    } else if foreign_mode {
+        format!("{path}.poll")
     } else if perf_ok {
         path.to_string()
     } else {
@@ -763,6 +865,18 @@ fn main() {
                 std::process::exit(2);
             })
     });
+    let poll_ms = args.iter().position(|a| a == "--poll-ms").map(|i| {
+        args.get(i + 1)
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--poll-ms requires a decimal u64 argument (milliseconds)");
+                std::process::exit(2);
+            })
+    });
+    let fleet_mode = fleet::SweepMode {
+        push: !args.iter().any(|a| a == "--polling" || a == "--no-push"),
+        poll_ms,
+    };
     let cmd = args
         .iter()
         .enumerate()
@@ -770,7 +884,7 @@ fn main() {
             !a.starts_with("--")
                 && args
                     .get(i.wrapping_sub(1))
-                    .is_none_or(|prev| prev != "--seed")
+                    .is_none_or(|prev| prev != "--seed" && prev != "--poll-ms")
         })
         .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
@@ -799,7 +913,7 @@ fn main() {
             }
         }
         "fleet" => {
-            if !fleet_table(small, seed_arg.unwrap_or(0)) {
+            if !fleet_table(small, seed_arg.unwrap_or(0), fleet_mode) {
                 eprintln!(
                     "\nfleet sweep found invariant violations or lost scaling (see table above)"
                 );
@@ -823,14 +937,14 @@ fn main() {
                 eprintln!("\nchaos exploration found invariant violations (see table above)");
                 std::process::exit(1);
             }
-            if !fleet_table(true, 0) {
+            if !fleet_table(true, 0, fleet_mode) {
                 eprintln!("\nfleet sweep found invariant violations (see table above)");
                 std::process::exit(1);
             }
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|queries|fig3|fig4|umlcheck|ablations|chaos|fleet|all [--small|--smoke] [--seed N]"
+                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|queries|fig3|fig4|umlcheck|ablations|chaos|fleet|all [--small|--smoke] [--seed N] [--polling] [--poll-ms N]"
             );
             std::process::exit(2);
         }

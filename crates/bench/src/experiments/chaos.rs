@@ -48,6 +48,13 @@ pub fn replay_twice(which: Which, seed: u64) -> (SeedOutcome, SeedOutcome) {
 /// never depends on where the seeds' crossing draws happen to land.
 pub use cloudprov_chaos::group_crash_schedules as group_commit_schedules;
 
+/// The aimed change-feed crash schedules (`p3:notify:*`): each kills a
+/// feed-enabled daemon at a named notify step and checks the delivery
+/// contract end to end across failover — every committed transaction
+/// reaches a live subscription at least once, in sequence order, with
+/// duplicates allowed and gaps forbidden.
+pub use cloudprov_chaos::notify_crash_schedules;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +82,18 @@ mod tests {
     #[test]
     fn group_commit_schedules_all_converge() {
         for o in group_commit_schedules() {
+            assert!(
+                o.violations().is_empty(),
+                "{}: {:?}",
+                o.step,
+                o.violations()
+            );
+        }
+    }
+
+    #[test]
+    fn notify_schedules_all_converge() {
+        for o in notify_crash_schedules() {
             assert!(
                 o.violations().is_empty(),
                 "{}: {:?}",

@@ -31,33 +31,82 @@ const FULL: &[Cell] = &[
     (288, 12, 8, 4, 24),
 ];
 
+/// Delivery-mode knobs for a sweep: push on/off and an optional
+/// fallback-poll override (`repro -- fleet --polling --poll-ms N`).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepMode {
+    /// Push delivery (doorbells + change feed); `false` reproduces the
+    /// pure polling plane.
+    pub push: bool,
+    /// Poll interval (push mode: fallback cadence) in milliseconds, or
+    /// `None` for the driver default.
+    pub poll_ms: Option<u64>,
+}
+
+impl Default for SweepMode {
+    fn default() -> SweepMode {
+        SweepMode {
+            push: true,
+            poll_ms: None,
+        }
+    }
+}
+
 /// Parameters for one cell of the sweep.
-pub fn cell_params(cell: Cell, seed: u64) -> FleetParams {
+pub fn cell_params(cell: Cell, seed: u64, mode: SweepMode) -> FleetParams {
     let (clients, tenants, shards, daemons, script_len) = cell;
-    FleetParams {
+    let mut params = FleetParams {
         clients,
         tenants,
         shards,
         daemons,
         script_len,
         seed,
+        push: mode.push,
         profile: AwsProfile::calibrated(Default::default()),
         ..FleetParams::default()
+    };
+    if let Some(ms) = mode.poll_ms {
+        params.poll_interval = std::time::Duration::from_millis(ms.max(1));
     }
+    params
+}
+
+/// The latency-probe cell: one lightly loaded fleet (clients ≤ shards,
+/// daemons == shards) where the plane never saturates, so the
+/// WAL-durable → pickup dwell measures pure delivery latency rather
+/// than backlog queueing. The push-mode gate (`pickup p50 < 1 s`) runs
+/// here: in the scaling cells the burst workload deliberately swamps
+/// the plane and pickup is dominated by the queue, not the doorbell.
+const LATENCY_SMOKE: Cell = (4, 4, 4, 4, 12);
+/// Full-grid latency probe, same shape scaled to the full sweep's
+/// shard count.
+const LATENCY_FULL: Cell = (8, 8, 8, 8, 24);
+
+/// Runs the latency probe cell (appended to the sweep's table and
+/// JSON; identified there by `clients <= shards`).
+pub fn latency_probe(small: bool, seed: u64, mode: SweepMode) -> FleetReport {
+    let cell = if small { LATENCY_SMOKE } else { LATENCY_FULL };
+    run_fleet(&cell_params(cell, seed, mode))
+}
+
+/// Whether a report is the sweep's latency probe (unsaturated cell).
+pub fn is_latency_probe(r: &FleetReport) -> bool {
+    r.clients <= r.shards as usize
 }
 
 /// Runs the sweep. `small` selects the CI smoke grid.
-pub fn sweep(small: bool, seed: u64) -> Vec<FleetReport> {
+pub fn sweep(small: bool, seed: u64, mode: SweepMode) -> Vec<FleetReport> {
     let grid = if small { SMOKE } else { FULL };
     grid.iter()
-        .map(|c| run_fleet(&cell_params(*c, seed)))
+        .map(|c| run_fleet(&cell_params(*c, seed, mode)))
         .collect()
 }
 
 /// Re-runs the first cell of the grid (the determinism proof).
-pub fn rerun_first(small: bool, seed: u64) -> FleetReport {
+pub fn rerun_first(small: bool, seed: u64, mode: SweepMode) -> FleetReport {
     let grid = if small { SMOKE } else { FULL };
-    run_fleet(&cell_params(grid[0], seed))
+    run_fleet(&cell_params(grid[0], seed, mode))
 }
 
 /// The seed a committed `BENCH_fleet*.json` was generated with. The
@@ -79,6 +128,16 @@ pub fn baseline_seed(json: &str) -> Option<u64> {
 /// every `"throughput_txn_per_s"` value in cell order.
 pub fn baseline_throughputs(json: &str) -> Vec<f64> {
     json.split("\"throughput_txn_per_s\":")
+        .skip(1)
+        .filter_map(|rest| rest.split(',').next()?.trim().parse::<f64>().ok())
+        .collect()
+}
+
+/// Per-cell commit p50 (ms) from a committed `BENCH_fleet*.json` — the
+/// latency half of the perf gate: push-mode commit latency must never
+/// creep back toward the parked polling numbers.
+pub fn baseline_commit_p50s(json: &str) -> Vec<f64> {
+    json.split("\"commit_p50_ms\":")
         .skip(1)
         .filter_map(|rest| rest.split(',').next()?.trim().parse::<f64>().ok())
         .collect()
@@ -121,8 +180,10 @@ pub fn to_json(seed: u64, small: bool, reports: &[FleetReport]) -> String {
                 "\"client_phase_s\": {:.3}, \"elapsed_s\": {:.3}, ",
                 "\"throughput_txn_per_s\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, ",
                 "\"commit_p50_ms\": {:.3}, \"commit_p99_ms\": {:.3}, ",
+                "\"pickup_p50_ms\": {:.3}, \"pickup_p99_ms\": {:.3}, ",
                 "\"samples\": {}, \"cost_usd\": {:.6}, \"lease_acquisitions\": {}, ",
                 "\"lease_losses\": {}, \"handoffs\": {}, \"idle_releases\": {}, ",
+                "\"push\": {}, \"wakeups\": {}, \"feed_events\": {}, \"feed_gaps\": {}, ",
                 "\"violations\": [{}], \"per_tenant\": [{}]}}{}\n"
             ),
             r.clients,
@@ -139,12 +200,18 @@ pub fn to_json(seed: u64, small: bool, reports: &[FleetReport]) -> String {
             r.p99.as_secs_f64() * 1e3,
             r.commit_p50.as_secs_f64() * 1e3,
             r.commit_p99.as_secs_f64() * 1e3,
+            r.pickup_p50.as_secs_f64() * 1e3,
+            r.pickup_p99.as_secs_f64() * 1e3,
             r.samples,
             r.total_cost_usd,
             r.pool.acquisitions,
             r.pool.losses,
             r.pool.handoffs,
             r.pool.idle_releases,
+            r.push,
+            r.pool.wakeups,
+            r.feed_events,
+            r.feed_gaps,
             violations.join(", "),
             tenants.join(", "),
             if i + 1 == reports.len() { "" } else { "," }
@@ -164,11 +231,23 @@ mod tests {
         // All smoke cells differ only in daemon count, so the logged
         // transaction totals must match — the throughput comparison is
         // apples-to-apples.
-        let a = cell_params(SMOKE[0], 1);
-        let b = cell_params(SMOKE[2], 1);
+        let a = cell_params(SMOKE[0], 1, SweepMode::default());
+        let b = cell_params(SMOKE[2], 1, SweepMode::default());
         assert_eq!(a.clients, b.clients);
         assert_eq!(a.shards, b.shards);
         assert_ne!(a.daemons, b.daemons);
+        assert!(a.push, "push delivery is the default plane");
+    }
+
+    #[test]
+    fn sweep_mode_overrides_push_and_poll() {
+        let m = SweepMode {
+            push: false,
+            poll_ms: Some(250),
+        };
+        let p = cell_params(SMOKE[0], 1, m);
+        assert!(!p.push);
+        assert_eq!(p.poll_interval, Duration::from_millis(250));
     }
 
     #[test]
@@ -191,6 +270,8 @@ mod tests {
             commit_p50: Duration::from_millis(100),
             commit_p99: Duration::from_millis(200),
             commit_samples: 3,
+            pickup_p50: Duration::from_millis(40),
+            pickup_p99: Duration::from_millis(80),
             wal_leftover: 0,
             temp_leftover: 0,
             missing_durable: 0,
@@ -200,6 +281,11 @@ mod tests {
             client_errors: 0,
             total_cost_usd: 0.01,
             per_tenant: vec![],
+            push: true,
+            feed_events: 3,
+            feed_duplicates: 0,
+            feed_gaps: 0,
+            feed_missing: 0,
             pool: Default::default(),
         };
         let j = to_json(42, true, &[r]);
@@ -207,10 +293,29 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.contains("\"throughput_txn_per_s\": 1.5000"));
+        assert!(j.contains("\"push\": true"));
+        assert!(j.contains("\"feed_events\": 3"));
+        assert!(j.contains("\"pickup_p50_ms\": 40.000"));
         // The perf gate's baseline parsers round-trip the writer.
         assert_eq!(baseline_throughputs(&j), vec![1.5]);
         assert!(baseline_throughputs("not json").is_empty());
+        assert_eq!(baseline_commit_p50s(&j), vec![100.0]);
+        assert!(baseline_commit_p50s("not json").is_empty());
         assert_eq!(baseline_seed(&j), Some(42));
         assert_eq!(baseline_seed("not json"), None);
+    }
+
+    #[test]
+    fn latency_probe_cell_is_unsaturated_and_detectable() {
+        let p = cell_params(LATENCY_SMOKE, 1, SweepMode::default());
+        assert!(p.clients <= p.shards as usize, "probe must never saturate");
+        assert_eq!(p.daemons, p.shards as usize, "one worker per shard");
+        let f = cell_params(LATENCY_FULL, 1, SweepMode::default());
+        assert!(f.clients <= f.shards as usize);
+        // No scaling-grid cell can be mistaken for the probe.
+        for c in SMOKE.iter().chain(FULL) {
+            let (clients, _, shards, _, _) = *c;
+            assert!(clients > shards as usize, "{c:?} would match the probe");
+        }
     }
 }

@@ -39,7 +39,9 @@ use std::time::Duration;
 
 use cloudprov_cloud::{AwsProfile, CloudEnv, CloudError, DEFAULT_VISIBILITY_TIMEOUT, RETENTION};
 use cloudprov_core::properties::{check_causal_ordering, check_persistence};
-use cloudprov_core::{CouplingCheck, Protocol, ProtocolError, ProvenanceClient, StorageProtocol};
+use cloudprov_core::{
+    CouplingCheck, Protocol, ProtocolConfig, ProtocolError, ProvenanceClient, StorageProtocol,
+};
 use cloudprov_fs::{LocalIoParams, PaS3fs};
 use cloudprov_sim::Sim;
 use cloudprov_workloads::testkit::{self, random_script};
@@ -107,6 +109,17 @@ pub struct SeedOutcome {
     /// write and the index write (`p3:commit:group:index`) must heal on
     /// recommit — the WAL is only acknowledged after both.
     pub index_inconsistencies: usize,
+    /// Staged feed events found in the feed domain after recovery (P3
+    /// with the feed enabled; 0 else). Crash-replay duplicates inflate
+    /// this past the commit count — allowed.
+    pub feed_events: usize,
+    /// Holes in the stream's staged sequence numbers (P3; must be 0:
+    /// staging allocates contiguously and never deletes).
+    pub feed_seq_gaps: u64,
+    /// Staged feed events above the durable watermark after recovery
+    /// (P3; must be 0: the recovery daemon's idle flush publishes any
+    /// backlog a crashed predecessor left).
+    pub feed_unpublished: u64,
     /// Unexpected errors during recovery (always violations).
     pub recovery_errors: Vec<String>,
 }
@@ -162,6 +175,18 @@ impl SeedOutcome {
                     self.index_inconsistencies
                 ));
             }
+            if self.feed_seq_gaps > 0 {
+                v.push(format!(
+                    "{} sequence gap(s) in the staged feed",
+                    self.feed_seq_gaps
+                ));
+            }
+            if self.feed_unpublished > 0 {
+                v.push(format!(
+                    "{} staged feed event(s) never published after recovery",
+                    self.feed_unpublished
+                ));
+            }
         }
         v
     }
@@ -177,8 +202,14 @@ pub fn explore_seed(protocol: Protocol, seed: u64) -> SeedOutcome {
     let env = CloudEnv::new(&sim, AwsProfile::instant());
     env.faults().set(plan.fault_plan());
 
-    // --- Phase 1: the client under chaos. ---
+    // --- Phase 1: the client under chaos. The change feed is on for P3
+    // so the `p3:notify:*` crash points sit inside the schedule space.
+    let feed_on = protocol == Protocol::P3;
     let mut builder = ProvenanceClient::builder(protocol)
+        .config(ProtocolConfig {
+            feed: feed_on,
+            ..ProtocolConfig::default()
+        })
         .queue(WAL_QUEUE)
         .step_hook(schedule.hook());
     if plan.pipelined {
@@ -215,6 +246,10 @@ pub fn explore_seed(protocol: Protocol, seed: u64) -> SeedOutcome {
     env.faults().clear(); // the outage is over
     sim.sleep(DEFAULT_VISIBILITY_TIMEOUT + Duration::from_secs(1));
     let recovery = ProvenanceClient::builder(protocol)
+        .config(ProtocolConfig {
+            feed: feed_on,
+            ..ProtocolConfig::default()
+        })
         .queue(WAL_QUEUE)
         .build(&env);
     if let Err(e) = recovery.drain() {
@@ -276,26 +311,32 @@ pub fn explore_seed(protocol: Protocol, seed: u64) -> SeedOutcome {
         },
         None => 0,
     };
-    let (wal_leftover, temp_leftover, index_inconsistencies) = if protocol == Protocol::P3 {
-        let layout = &recovery.config().layout;
-        // Index ↔ base-record consistency: rebuild the expected ancestry
-        // index from the committed items and diff it against the stored
-        // one (crash between `p3:commit:group:db` and
-        // `p3:commit:group:index` must
-        // have healed during the recovery drains).
-        let audit = cloudprov_core::index::audit_index(&env, layout);
-        (
-            recovery
-                .wal_url()
-                .map(|url| env.sqs().peek_depth(url))
-                .unwrap_or(0),
-            env.s3()
-                .peek_count(&layout.data_bucket, &layout.temp_prefix),
-            audit.inconsistencies(),
-        )
-    } else {
-        (0, 0, 0)
-    };
+    let (wal_leftover, temp_leftover, index_inconsistencies, feed_audit) =
+        if protocol == Protocol::P3 {
+            let layout = &recovery.config().layout;
+            // Index ↔ base-record consistency: rebuild the expected ancestry
+            // index from the committed items and diff it against the stored
+            // one (crash between `p3:commit:group:db` and
+            // `p3:commit:group:index` must
+            // have healed during the recovery drains).
+            let audit = cloudprov_core::index::audit_index(&env, layout);
+            // Feed staging consistency: contiguous sequences, and nothing
+            // left above the watermark (the recovery drains flush the
+            // backlog of any `p3:notify:*` crash).
+            let feed = cloudprov_core::audit_feed(&env, &layout.domain, WAL_QUEUE);
+            (
+                recovery
+                    .wal_url()
+                    .map(|url| env.sqs().peek_depth(url))
+                    .unwrap_or(0),
+                env.s3()
+                    .peek_count(&layout.data_bucket, &layout.temp_prefix),
+                audit.inconsistencies(),
+                feed,
+            )
+        } else {
+            (0, 0, 0, cloudprov_core::FeedAudit::default())
+        };
     // Last: persistence deletes data, so nothing may read after it. Only
     // a *coupled* key qualifies: deleting data whose provenance never
     // made it (a P1/P2 coupling fact, already tallied above) would
@@ -328,6 +369,9 @@ pub fn explore_seed(protocol: Protocol, seed: u64) -> SeedOutcome {
         wal_leftover,
         temp_leftover,
         index_inconsistencies,
+        feed_events: feed_audit.events,
+        feed_seq_gaps: feed_audit.seq_gaps + feed_audit.duplicate_seqs,
+        feed_unpublished: feed_audit.unpublished(),
         recovery_errors,
     }
 }
@@ -355,6 +399,13 @@ pub struct ProtocolSummary {
     pub temp_leftover: usize,
     /// Total ancestry-index ↔ base-record disagreements across the sweep.
     pub index_inconsistencies: usize,
+    /// Total staged feed events across the sweep (P3 only).
+    pub feed_events: usize,
+    /// Total staged-feed sequence gaps across the sweep (must be 0).
+    pub feed_seq_gaps: u64,
+    /// Total staged-but-never-published feed events across the sweep
+    /// (must be 0).
+    pub feed_unpublished: u64,
     /// Seeds with at least one hard invariant violation.
     pub failing_seeds: usize,
     /// The smallest failing seed with its violations — the replay handle.
@@ -421,6 +472,9 @@ impl ExplorationReport {
             wal_leftover: 0,
             temp_leftover: 0,
             index_inconsistencies: 0,
+            feed_events: 0,
+            feed_seq_gaps: 0,
+            feed_unpublished: 0,
             failing_seeds: 0,
             minimal_failure: None,
         };
@@ -433,6 +487,9 @@ impl ExplorationReport {
             s.wal_leftover += o.wal_leftover;
             s.temp_leftover += o.temp_leftover;
             s.index_inconsistencies += o.index_inconsistencies;
+            s.feed_events += o.feed_events;
+            s.feed_seq_gaps += o.feed_seq_gaps;
+            s.feed_unpublished += o.feed_unpublished;
             let violations = o.violations();
             if !violations.is_empty() {
                 s.failing_seeds += 1;
@@ -488,6 +545,12 @@ mod tests {
         assert_eq!(s.wal_leftover, 0);
         assert_eq!(s.temp_leftover, 0);
         assert_eq!(s.index_inconsistencies, 0);
+        assert_eq!(s.feed_seq_gaps, 0);
+        assert_eq!(s.feed_unpublished, 0);
+        assert!(
+            s.feed_events > 0,
+            "the P3 sweep must actually exercise the feed: {s:?}"
+        );
         assert!(s.crashes > 0, "the range must actually inject crashes");
     }
 

@@ -46,4 +46,7 @@ pub use explorer::{
     explore_seed, CouplingTally, ExplorationReport, Explorer, ProtocolSummary, SeedOutcome,
 };
 pub use plan::{ChaosPlan, CrashSchedule, FiredCrash};
-pub use targeted::{group_crash_schedules, run_group_crash, GroupCrashOutcome, GROUP_CRASH_POINTS};
+pub use targeted::{
+    group_crash_schedules, notify_crash_schedules, run_group_crash, run_notify_crash,
+    GroupCrashOutcome, NotifyCrashOutcome, GROUP_CRASH_POINTS, NOTIFY_CRASH_POINTS,
+};

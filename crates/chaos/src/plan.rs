@@ -38,6 +38,9 @@ pub struct ChaosPlan {
     /// Kill the client at this crash-point crossing (None = let the
     /// workload run crash-free and explore the fault dimension only).
     pub kill_at_crossing: Option<u64>,
+    /// Probability that a push-notification wakeup is silently lost
+    /// (consumers must degrade to their polling fallback).
+    pub notify_drop_probability: f64,
     /// Whether the client uses the pipelined background-flusher path.
     pub pipelined: bool,
     /// Length of the generated workload script.
@@ -74,14 +77,24 @@ impl ChaosPlan {
         } else {
             None
         };
+        let pipelined = rng.gen_bool(0.5);
+        let script_len = rng.gen_range(16usize..56);
+        // Drawn last so adding this dial left every seed's older dials
+        // unchanged.
+        let notify_drop_probability = if rng.gen_bool(0.4) {
+            rng.gen_range(0.1..1.0)
+        } else {
+            0.0
+        };
         ChaosPlan {
             seed,
             fail_probability,
             sqs_duplicate_probability,
             extra_staleness,
             kill_at_crossing,
-            pipelined: rng.gen_bool(0.5),
-            script_len: rng.gen_range(16usize..56),
+            notify_drop_probability,
+            pipelined,
+            script_len,
         }
     }
 
@@ -92,6 +105,7 @@ impl ChaosPlan {
             fail_probability: self.fail_probability,
             sqs_duplicate_probability: self.sqs_duplicate_probability,
             extra_staleness: self.extra_staleness,
+            notify_drop_probability: self.notify_drop_probability,
             seed: self.seed,
         }
     }
@@ -101,6 +115,7 @@ impl ChaosPlan {
         self.fail_probability > 0.0
             || self.sqs_duplicate_probability > 0.0
             || self.extra_staleness > Duration::ZERO
+            || self.notify_drop_probability > 0.0
     }
 }
 

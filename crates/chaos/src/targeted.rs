@@ -26,9 +26,10 @@ use parking_lot::Mutex;
 use cloudprov_cloud::{AwsProfile, Blob, CloudEnv, DEFAULT_VISIBILITY_TIMEOUT};
 use cloudprov_core::index::audit_index;
 use cloudprov_core::{
-    kill_at_occurrence, CommitDaemon, CouplingCheck, FlushBatch, FlushObject, Layout,
+    audit_feed, kill_at_occurrence, CommitDaemon, CouplingCheck, FlushBatch, FlushObject, Layout,
     ProtocolConfig, ProtocolError, StorageProtocol, P3,
 };
+use cloudprov_feed::{Predicate, Subscriptions};
 use cloudprov_pass::{Attr, FlushNode, NodeKind, PNodeId, ProvenanceRecord, Uuid};
 use cloudprov_sim::Sim;
 
@@ -229,6 +230,183 @@ pub fn group_crash_schedules() -> Vec<GroupCrashOutcome> {
         .collect()
 }
 
+/// The change-feed crash points, one aimed shot each: death before the
+/// group's events stage (the WAL stays unacked, the group restages on
+/// recommit), death between the group ack and the publish (the backlog
+/// drains on the takeover daemon's first flush), and death between the
+/// publish and the watermark write (the takeover republishes —
+/// duplicates, never gaps).
+pub const NOTIFY_CRASH_POINTS: &[(&str, u64)] = &[
+    ("p3:notify:stage", 1),
+    ("p3:notify:publish", 1),
+    ("p3:notify:wm", 1),
+];
+
+/// Verdict of one aimed change-feed schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotifyCrashOutcome {
+    /// The step the schedule aimed at.
+    pub step: &'static str,
+    /// Which occurrence of the step was killed.
+    pub occurrence: u64,
+    /// Whether the aimed step was actually reached (vacuous otherwise).
+    pub fired: bool,
+    /// Distinct transactions committed across both daemons.
+    pub unique_committed: u64,
+    /// Transactions committed more than once (must be 0).
+    pub double_commits: u64,
+    /// Committed transactions the live subscription never saw — the
+    /// at-least-once guarantee (must be 0).
+    pub feed_missing: u64,
+    /// Duplicate deliveries the subscription saw (allowed — crash
+    /// replay produces them; reported for the table).
+    pub feed_duplicates: u64,
+    /// Bus-level sequence gaps plus out-of-order deliveries (must be 0).
+    pub feed_gaps: u64,
+    /// Staged events above the durable watermark after recovery (must
+    /// be 0: the takeover daemon's flush drains the backlog).
+    pub feed_unpublished: u64,
+    /// WAL messages surviving recovery (must be 0).
+    pub wal_leftover: usize,
+    /// Temp objects surviving recovery (must be 0).
+    pub temp_leftover: usize,
+    /// Ancestry-index ↔ base-record disagreements (must be 0).
+    pub index_inconsistencies: usize,
+}
+
+impl NotifyCrashOutcome {
+    /// Hard violations; empty means the schedule converged.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if !self.fired {
+            v.push(format!(
+                "crash point {}#{} never fired — schedule is vacuous",
+                self.step, self.occurrence
+            ));
+        }
+        if self.double_commits > 0 {
+            v.push(format!("{} double commits", self.double_commits));
+        }
+        if self.unique_committed != TXNS as u64 {
+            v.push(format!(
+                "only {} of {TXNS} transactions recommitted",
+                self.unique_committed
+            ));
+        }
+        if self.feed_missing > 0 {
+            v.push(format!(
+                "{} committed transactions never reached the feed",
+                self.feed_missing
+            ));
+        }
+        if self.feed_gaps > 0 {
+            v.push(format!("{} feed sequence gaps", self.feed_gaps));
+        }
+        if self.feed_unpublished > 0 {
+            v.push(format!(
+                "{} staged feed events never published",
+                self.feed_unpublished
+            ));
+        }
+        if self.wal_leftover > 0 {
+            v.push(format!("{} WAL messages left", self.wal_leftover));
+        }
+        if self.temp_leftover > 0 {
+            v.push(format!("{} temp objects left", self.temp_leftover));
+        }
+        if self.index_inconsistencies > 0 {
+            v.push(format!("{} index divergences", self.index_inconsistencies));
+        }
+        v
+    }
+}
+
+/// Runs one aimed change-feed schedule: log [`TXNS`] transactions, run a
+/// feed-enabled daemon wired to a live [`Subscriptions`] bus, kill it at
+/// the aimed `p3:notify:*` occurrence, recover with a fresh feed-enabled
+/// daemon on the same bus, and check the delivery contract end to end —
+/// every committed transaction seen at least once, in sequence order,
+/// duplicates allowed, gaps and losses not.
+pub fn run_notify_crash(step: &'static str, occurrence: u64) -> NotifyCrashOutcome {
+    let sim = Sim::new();
+    let env = CloudEnv::new(&sim, AwsProfile::instant());
+    let queue = "wal-notify-targeted";
+    for i in 0..TXNS {
+        let client = P3::with_identity(
+            &env,
+            ProtocolConfig::default(),
+            queue,
+            &format!("client-{i}"),
+        );
+        client
+            .flush(FlushBatch {
+                objects: file_with_ancestor(i),
+            })
+            .expect("log phase");
+    }
+    let subs = Subscriptions::new(&sim);
+    let sub = subs
+        .subscribe(None, Predicate::All)
+        .expect("fresh registry cannot be over quota");
+    let committed_ids = Arc::new(Mutex::new(Vec::<Uuid>::new()));
+    let register = |daemon: &CommitDaemon| {
+        let ids = committed_ids.clone();
+        daemon.set_commit_listener(Arc::new(move |txn| ids.lock().push(txn)));
+        daemon.set_event_sink(subs.sink());
+    };
+    let feed_cfg = ProtocolConfig {
+        feed: true,
+        ..ProtocolConfig::default()
+    };
+    let (hook, fired) = kill_at_occurrence(step, occurrence);
+    let dying_cfg = ProtocolConfig {
+        step_hook: Some(hook),
+        ..feed_cfg.clone()
+    };
+    let url = format!("sqs://{queue}");
+    let dying = CommitDaemon::new(&env, dying_cfg, &url);
+    register(&dying);
+    let crashed = matches!(dying.run_until_idle(), Err(ProtocolError::Crashed { .. }));
+    sim.sleep(DEFAULT_VISIBILITY_TIMEOUT + Duration::from_secs(1));
+    let recovery = CommitDaemon::new(&env, feed_cfg, &url);
+    register(&recovery);
+    recovery.run_until_idle().expect("recovery drain");
+
+    let ids = committed_ids.lock().clone();
+    let distinct: BTreeSet<Uuid> = ids.iter().copied().collect();
+    let mut seen: BTreeSet<Uuid> = BTreeSet::new();
+    while let Some(ev) = sub.try_next() {
+        seen.insert(ev.txn);
+    }
+    let stats = subs.stats();
+    let layout = Layout::default();
+    let feed = audit_feed(&env, &layout.domain, queue);
+    NotifyCrashOutcome {
+        step,
+        occurrence,
+        fired: crashed && fired.load(Ordering::Relaxed),
+        unique_committed: distinct.len() as u64,
+        double_commits: (ids.len() - distinct.len()) as u64,
+        feed_missing: distinct.iter().filter(|t| !seen.contains(t)).count() as u64,
+        feed_duplicates: stats.duplicates,
+        feed_gaps: stats.gaps + sub.out_of_order() + feed.seq_gaps + feed.duplicate_seqs,
+        feed_unpublished: feed.unpublished(),
+        wal_leftover: env.sqs().peek_depth(&url),
+        temp_leftover: env
+            .s3()
+            .peek_count(&layout.data_bucket, &layout.temp_prefix),
+        index_inconsistencies: audit_index(&env, &layout).inconsistencies(),
+    }
+}
+
+/// Runs every aimed schedule in [`NOTIFY_CRASH_POINTS`].
+pub fn notify_crash_schedules() -> Vec<NotifyCrashOutcome> {
+    NOTIFY_CRASH_POINTS
+        .iter()
+        .map(|(step, occ)| run_notify_crash(step, *occ))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +438,39 @@ mod tests {
             o.violations().iter().any(|v| v.contains("never fired")),
             "{o:?}"
         );
+    }
+
+    #[test]
+    fn every_notify_schedule_fires_and_converges() {
+        for o in notify_crash_schedules() {
+            assert!(
+                o.violations().is_empty(),
+                "{}#{}: {:?}\n{o:#?}",
+                o.step,
+                o.occurrence,
+                o.violations()
+            );
+        }
+    }
+
+    #[test]
+    fn a_watermark_crash_produces_duplicates_never_gaps() {
+        // Death between publish and the watermark write is the aimed
+        // duplicate generator: the takeover daemon republishes the whole
+        // backlog. The contract allows exactly that — and nothing worse.
+        let o = run_notify_crash("p3:notify:wm", 1);
+        assert!(o.violations().is_empty(), "{o:#?}");
+        assert!(
+            o.feed_duplicates >= TXNS as u64,
+            "republish after a watermark crash must duplicate the group: {o:#?}"
+        );
+        assert_eq!(o.feed_gaps, 0);
+        assert_eq!(o.feed_missing, 0);
+    }
+
+    #[test]
+    fn notify_schedules_are_deterministic() {
+        let (step, occ) = NOTIFY_CRASH_POINTS[0];
+        assert_eq!(run_notify_crash(step, occ), run_notify_crash(step, occ));
     }
 }

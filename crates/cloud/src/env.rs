@@ -36,6 +36,7 @@ pub struct CloudEnv {
     sqs: QueueService,
     meter: Meter,
     faults: FaultHandle,
+    tenant: Option<TenantId>,
 }
 
 impl std::fmt::Debug for CloudEnv {
@@ -80,6 +81,7 @@ impl CloudEnv {
             sqs,
             meter,
             faults,
+            tenant: None,
         }
     }
 
@@ -94,8 +96,16 @@ impl CloudEnv {
             s3: self.s3.with_tenant(tenant),
             sdb: self.sdb.with_tenant(tenant),
             sqs: self.sqs.with_tenant(tenant),
+            tenant: Some(tenant),
             ..self.clone()
         }
+    }
+
+    /// The tenant this view attributes its calls to, if any. Protocols
+    /// stamp it into their WAL headers so daemon-side events (the change
+    /// feed) can carry the originating tenant without a lookup.
+    pub fn tenant(&self) -> Option<TenantId> {
+        self.tenant
     }
 
     /// The simulation this environment runs on.

@@ -29,6 +29,11 @@ pub struct FaultPlan {
     pub sqs_duplicate_probability: f64,
     /// Extra staleness added on top of the profile's consistency window.
     pub extra_staleness: Duration,
+    /// Probability that a push-notification wakeup (a queue arrival
+    /// doorbell registered via `QueueService::watch`) is silently lost.
+    /// Consumers must degrade to their polling fallback, never hang —
+    /// the chaos explorer drives this dial to prove it.
+    pub notify_drop_probability: f64,
     /// Seed of the fault-decision RNG stream. Installing a plan (via
     /// [`FaultHandle::set`]) reseeds the stream, so equal seeds replay
     /// identical fault decisions.
@@ -116,6 +121,13 @@ impl FaultHandle {
     pub fn draw_duplicate(&self) -> bool {
         let mut st = self.state.lock();
         let p = st.plan.sqs_duplicate_probability;
+        p > 0.0 && st.rng.gen_bool(p)
+    }
+
+    /// Draws one "is this push notification lost?" decision.
+    pub fn draw_notify_drop(&self) -> bool {
+        let mut st = self.state.lock();
+        let p = st.plan.notify_drop_probability;
         p > 0.0 && st.rng.gen_bool(p)
     }
 }

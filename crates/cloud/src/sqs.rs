@@ -6,14 +6,14 @@
 //! four days — the paper's P3 relies on that retention window as its
 //! garbage collector for unfinished write-ahead-log transactions.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use cloudprov_sim::SimTime;
+use cloudprov_sim::{SimSemaphore, SimTime};
 
 use crate::error::{CloudError, Result};
 use crate::meter::{Actor, Op, Service, TenantId};
@@ -56,6 +56,17 @@ struct QueueMessage {
 struct QueueState {
     messages: Vec<QueueMessage>,
     next_id: u64,
+    /// Long-poll receivers currently parked on this queue, in FIFO
+    /// order. A send hands each new message's doorbell to the longest
+    /// waiter — exactly one waiter wakes per message, so a fleet of
+    /// parked daemons never stampedes one arrival.
+    waiters: VecDeque<SimSemaphore>,
+    /// Arrival watchers (the push-notification hook): every send rings
+    /// every watcher's bell. Unlike `waiters`, a watcher claims nothing —
+    /// it is a hint to go poll — so delivery is best-effort and the
+    /// fault plan may drop it (`notify_drop_probability`).
+    watchers: Vec<(u64, SimSemaphore)>,
+    next_watch: u64,
 }
 
 #[derive(Default)]
@@ -135,6 +146,74 @@ impl QueueService {
             .retain(|m| now.saturating_duration_since(m.sent_at) < RETENTION);
     }
 
+    /// Arrival fan-out, called at a send's commit point: wakes one parked
+    /// long-poll waiter per arrived message (each wake claims a message)
+    /// and rings every watcher's doorbell (a poll hint; the fault plan
+    /// may drop it, and watchers must tolerate that by falling back to
+    /// their polling cadence).
+    fn ring(core: &ServiceCore, q: &mut QueueState, arrivals: usize) {
+        for _ in 0..arrivals {
+            match q.waiters.pop_front() {
+                Some(w) => w.release(),
+                None => break,
+            }
+        }
+        for (_, w) in &q.watchers {
+            if !core.draw_notify_drop() {
+                w.release();
+            }
+        }
+    }
+
+    /// The shared receive sampling logic: picks up to `max` visible
+    /// messages uniformly at random (no ordering promise), marking each
+    /// invisible for `vis` unless the fault plan injects a duplicate
+    /// delivery. Runs at a receive's commit point and at long-poll
+    /// re-checks (which ride the original metered request).
+    fn pick_visible(
+        core: &ServiceCore,
+        q: &mut QueueState,
+        max: usize,
+        vis: Duration,
+        now: SimTime,
+    ) -> (Vec<ReceivedMessage>, u64) {
+        let mut out = Vec::new();
+        let mut bytes = 0u64;
+        for _ in 0..max {
+            // SQS promised no ordering at all: each receive sampled a
+            // random subset of storage hosts. Model that as a uniform
+            // pick over the visible set — crucially NOT a head window,
+            // which would starve long-lived messages stuck at the tail
+            // of the store (the fleet's lease tokens live forever and
+            // exposed exactly that bias).
+            let visible: Vec<usize> = q
+                .messages
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.visible_at <= now)
+                .map(|(i, _)| i)
+                .collect();
+            if visible.is_empty() {
+                break;
+            }
+            let pick = visible[core.rng_range(visible.len())];
+            let duplicate = core.draw_duplicate();
+            let m = &mut q.messages[pick];
+            if !duplicate {
+                m.visible_at = now + vis;
+            }
+            m.delivery_count += 1;
+            let receipt = format!("{}#{}", m.id, m.delivery_count);
+            bytes += m.body.len() as u64;
+            out.push(ReceivedMessage {
+                id: m.id,
+                receipt,
+                body: m.body.clone(),
+            });
+        }
+        (out, bytes)
+    }
+
     /// Sends a message.
     ///
     /// # Errors
@@ -149,6 +228,7 @@ impl QueueService {
             });
         }
         let state = self.state.clone();
+        let core = self.core.clone();
         let url = queue_url.to_string();
         let len = body.len() as u64;
         self.core
@@ -168,6 +248,7 @@ impl QueueService {
                     visible_at: now,
                     delivery_count: 0,
                 });
+                Self::ring(&core, q, 1);
                 Ok((id, 0))
             })
     }
@@ -197,42 +278,131 @@ impl QueueService {
                     .get_mut(&url)
                     .ok_or(CloudError::NoSuchQueue(url.clone()))?;
                 Self::expire(q, now);
-                let mut out = Vec::new();
-                let mut bytes = 0u64;
-                for _ in 0..max {
-                    // SQS promised no ordering at all: each receive sampled a
-                    // random subset of storage hosts. Model that as a uniform
-                    // pick over the visible set — crucially NOT a head window,
-                    // which would starve long-lived messages stuck at the tail
-                    // of the store (the fleet's lease tokens live forever and
-                    // exposed exactly that bias).
-                    let visible: Vec<usize> = q
-                        .messages
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, m)| m.visible_at <= now)
-                        .map(|(i, _)| i)
-                        .collect();
-                    if visible.is_empty() {
-                        break;
-                    }
-                    let pick = visible[core.rng_range(visible.len())];
-                    let duplicate = core.draw_duplicate();
-                    let m = &mut q.messages[pick];
-                    if !duplicate {
-                        m.visible_at = now + vis;
-                    }
-                    m.delivery_count += 1;
-                    let receipt = format!("{}#{}", m.id, m.delivery_count);
-                    bytes += m.body.len() as u64;
-                    out.push(ReceivedMessage {
-                        id: m.id,
-                        receipt,
-                        body: m.body.clone(),
-                    });
-                }
-                Ok((out, bytes))
+                Ok(Self::pick_visible(&core, q, max, vis, now))
             })
+    }
+
+    /// Long-poll receive (`WaitTimeSeconds`): like [`QueueService::receive`],
+    /// but an empty queue parks the calling simulated thread for up to
+    /// `wait` instead of returning immediately. The parked receiver wakes
+    /// when a send lands a message (each message wakes exactly one
+    /// waiter), when an in-flight message's visibility timeout lapses
+    /// back to visible, or when `wait` expires — whichever comes first.
+    ///
+    /// Billing matches the real API: the whole long poll is **one**
+    /// metered request, charged up front when the connection opens;
+    /// waiting costs nothing per tick. (The sim does not hold a server
+    /// concurrency slot while parked — a held slot would let a fleet of
+    /// idle pollers starve the senders that are supposed to wake them.)
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchQueue`] for unknown queue URLs.
+    pub fn receive_wait(
+        &self,
+        queue_url: &str,
+        max: usize,
+        wait: Duration,
+    ) -> Result<Vec<ReceivedMessage>> {
+        // The opening receive is the long poll's single metered request.
+        let first = self.receive(queue_url, max)?;
+        if !first.is_empty() || wait.is_zero() {
+            return Ok(first);
+        }
+        let sim = self.core.sim().clone();
+        let max = max.clamp(1, RECEIVE_MAX);
+        let vis = self.visibility_timeout;
+        let deadline = sim.now() + wait;
+        loop {
+            let signal = SimSemaphore::new(&sim, 0);
+            let now = sim.now();
+            // Re-check and (if still empty) register the doorbell under
+            // one lock, so a send landing between the two cannot be lost.
+            let (msgs, next_visible) = {
+                let mut st = self.state.lock();
+                let q = st
+                    .queues
+                    .get_mut(queue_url)
+                    .ok_or_else(|| CloudError::NoSuchQueue(queue_url.to_string()))?;
+                Self::expire(q, now);
+                let (msgs, _bytes) = Self::pick_visible(&self.core, q, max, vis, now);
+                if msgs.is_empty() && now < deadline {
+                    q.waiters.push_back(signal.clone());
+                }
+                let next_visible = q
+                    .messages
+                    .iter()
+                    .map(|m| m.visible_at)
+                    .filter(|&t| t > now)
+                    .min();
+                (msgs, next_visible)
+            };
+            if !msgs.is_empty() {
+                return Ok(msgs);
+            }
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            // Park until a send rings the bell, an invisible message's
+            // window lapses, or the caller's wait expires.
+            let until = next_visible.map_or(deadline, |t| t.min(deadline));
+            if let Some(p) = signal.acquire_timeout(until.saturating_duration_since(now)) {
+                p.forget();
+            }
+            // De-register; a no-op if the send that woke us already
+            // popped the doorbell. Loop back for the re-check.
+            let mut st = self.state.lock();
+            if let Some(q) = st.queues.get_mut(queue_url) {
+                q.waiters.retain(|w| !w.same(&signal));
+            }
+        }
+    }
+
+    /// Registers `signal` as an arrival watcher on a queue: every
+    /// subsequent send rings it (one `release` per send call). This is
+    /// the lightweight push-notification hook the fleet's daemon pool
+    /// hangs its shard subscriptions on — a watcher owns no messages, it
+    /// just learns "something arrived, go poll".
+    ///
+    /// Watcher delivery is best-effort: the fault plan's
+    /// `notify_drop_probability` silently loses rings, so consumers must
+    /// keep a polling fallback. Watching is control-plane wiring inside
+    /// the simulated delivery fabric, not a billable API call.
+    ///
+    /// Returns a watch id for [`QueueService::unwatch`].
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchQueue`] for unknown queue URLs.
+    pub fn watch(&self, queue_url: &str, signal: SimSemaphore) -> Result<u64> {
+        let mut st = self.state.lock();
+        let q = st
+            .queues
+            .get_mut(queue_url)
+            .ok_or_else(|| CloudError::NoSuchQueue(queue_url.to_string()))?;
+        let id = q.next_watch;
+        q.next_watch += 1;
+        q.watchers.push((id, signal));
+        Ok(id)
+    }
+
+    /// Removes an arrival watcher. Unknown ids and queues are a no-op
+    /// (the watcher may have been superseded by a lease takeover).
+    pub fn unwatch(&self, queue_url: &str, id: u64) {
+        let mut st = self.state.lock();
+        if let Some(q) = st.queues.get_mut(queue_url) {
+            q.watchers.retain(|(wid, _)| *wid != id);
+        }
+    }
+
+    /// Instrumentation: number of registered arrival watchers. For tests.
+    pub fn peek_watchers(&self, queue_url: &str) -> usize {
+        self.state
+            .lock()
+            .queues
+            .get(queue_url)
+            .map(|q| q.watchers.len())
+            .unwrap_or(0)
     }
 
     /// Sends up to [`BATCH_ENTRY_LIMIT`] messages in one request
@@ -262,6 +432,7 @@ impl QueueService {
             });
         }
         let state = self.state.clone();
+        let core = self.core.clone();
         let url = queue_url.to_string();
         let entries = bodies.len();
         let bytes_in: u64 = bodies.iter().map(|b| b.len() as u64).sum();
@@ -280,7 +451,8 @@ impl QueueService {
                     .get_mut(&url)
                     .ok_or(CloudError::NoSuchQueue(url.clone()))?;
                 Self::expire(q, now);
-                let results = bodies
+                let mut landed = 0usize;
+                let results: Vec<Result<u64>> = bodies
                     .into_iter()
                     .map(|body| {
                         if body.len() > MESSAGE_LIMIT {
@@ -298,9 +470,11 @@ impl QueueService {
                             visible_at: now,
                             delivery_count: 0,
                         });
+                        landed += 1;
                         Ok(id)
                     })
                     .collect();
+                Self::ring(&core, q, landed);
                 Ok((results, 0))
             },
         )
@@ -311,9 +485,10 @@ impl QueueService {
     /// acknowledgement path. One metered queue operation; per-entry
     /// verdicts in the result vector (entry order matches `receipts`).
     ///
-    /// Entry semantics match [`QueueService::delete`]: stale receipts
-    /// still delete (SQS's lenient behaviour), already-deleted messages
-    /// succeed silently, and only an unparsable receipt fails its entry.
+    /// Entry semantics match [`QueueService::delete`]: already-deleted
+    /// messages succeed silently, stale receipts (the message has been
+    /// redelivered since, so a fresher receipt exists) are rejected, and
+    /// unparsable receipts fail their entry.
     ///
     /// # Errors
     ///
@@ -344,17 +519,30 @@ impl QueueService {
                 let results = entries
                     .iter()
                     .map(|receipt| {
-                        let id: u64 = receipt
-                            .split('#')
-                            .next()
-                            .and_then(|s| s.parse().ok())
-                            .ok_or_else(|| CloudError::InvalidReceipt(receipt.clone()))?;
-                        q.messages.retain(|m| m.id != id);
-                        Ok(())
+                        let (id, delivery) = parse_receipt(receipt)?;
+                        Self::delete_entry(q, id, delivery, receipt)
                     })
                     .collect();
                 Ok((results, 0))
             })
+    }
+
+    /// One delete-by-receipt: idempotent for messages already gone, but
+    /// strict about receipt freshness — a receipt superseded by a
+    /// redelivery must not delete the message out from under its current
+    /// holder. (A consumer woken from a long poll holds the freshest
+    /// receipt; anyone acking with an older one lost the race.)
+    fn delete_entry(q: &mut QueueState, id: u64, delivery: u32, receipt: &str) -> Result<()> {
+        match q.messages.iter().position(|m| m.id == id) {
+            None => Ok(()),
+            Some(pos) => {
+                if q.messages[pos].delivery_count != delivery {
+                    return Err(CloudError::InvalidReceipt(receipt.to_string()));
+                }
+                q.messages.remove(pos);
+                Ok(())
+            }
+        }
     }
 
     /// Changes the remaining visibility timeout of an in-flight message —
@@ -413,22 +601,22 @@ impl QueueService {
         )
     }
 
-    /// Deletes a message by receipt handle. Stale receipts (the message was
-    /// redelivered since) still delete the message, matching SQS's lenient
-    /// behaviour; receipts for already-deleted messages succeed silently.
+    /// Deletes a message by receipt handle. Receipts for already-deleted
+    /// messages succeed silently (idempotent acks), but a *stale* receipt
+    /// — the message has been redelivered since, so someone else holds a
+    /// fresher one — is rejected instead of deleting the current holder's
+    /// delivery out from under it. The rejected acker's copy simply
+    /// redelivers later (at-least-once).
     ///
     /// # Errors
     ///
     /// [`CloudError::NoSuchQueue`] for unknown queues;
-    /// [`CloudError::InvalidReceipt`] for unparsable receipts.
+    /// [`CloudError::InvalidReceipt`] for unparsable and stale receipts.
     pub fn delete(&self, queue_url: &str, receipt: &str) -> Result<()> {
-        let id: u64 = receipt
-            .split('#')
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| CloudError::InvalidReceipt(receipt.to_string()))?;
+        let (id, delivery) = parse_receipt(receipt)?;
         let state = self.state.clone();
         let url = queue_url.to_string();
+        let receipt = receipt.to_string();
         self.core
             .call(self.actor, self.tenant, Op::Delete, 0, 0, move |_now| {
                 let mut st = state.lock();
@@ -436,7 +624,7 @@ impl QueueService {
                     .queues
                     .get_mut(&url)
                     .ok_or(CloudError::NoSuchQueue(url.clone()))?;
-                q.messages.retain(|m| m.id != id);
+                Self::delete_entry(q, id, delivery, &receipt)?;
                 Ok(((), 0))
             })
     }
@@ -811,7 +999,7 @@ mod tests {
         q.send(&url, Bytes::from_static(b"m")).unwrap();
         let first = q.receive(&url, 1).unwrap();
         sim.sleep(Duration::from_secs(2));
-        let _second = q.receive(&url, 1).unwrap();
+        let second = q.receive(&url, 1).unwrap();
         // Mix a garbage receipt, a STALE receipt (message redelivered
         // since) and an already-deleted id into one batch.
         let batch = vec![
@@ -821,22 +1009,226 @@ mod tests {
         ];
         let results = q.delete_batch(&url, &batch).unwrap();
         assert!(matches!(results[0], Err(CloudError::InvalidReceipt(_))));
-        assert!(results[1].is_ok(), "stale receipts still delete (lenient)");
+        assert!(
+            matches!(results[1], Err(CloudError::InvalidReceipt(_))),
+            "a stale receipt must not ack the current holder's delivery"
+        );
         assert!(results[2].is_ok(), "deleting a gone message succeeds");
+        assert_eq!(q.peek_depth(&url), 1, "the redelivered copy survives");
+        // The current holder's fresh receipt still acks.
+        let results = q.delete_batch(&url, &[second[0].receipt.clone()]).unwrap();
+        assert!(results[0].is_ok());
         assert_eq!(q.peek_depth(&url), 0);
     }
 
     #[test]
-    fn delete_with_stale_receipt_still_removes() {
+    fn delete_with_stale_receipt_is_rejected() {
         let (sim, q) = sqs(AwsProfile::instant());
         let q = q.with_visibility_timeout(Duration::from_secs(1));
         let url = q.create_queue("wal");
         q.send(&url, Bytes::from_static(b"m")).unwrap();
         let first = q.receive(&url, 1).unwrap();
         sim.sleep(Duration::from_secs(2));
-        let _second = q.receive(&url, 1).unwrap();
-        // Delete with the FIRST (now stale) receipt.
-        q.delete(&url, &first[0].receipt).unwrap();
+        let second = q.receive(&url, 1).unwrap();
+        // Delete with the FIRST (now stale) receipt: rejected, the
+        // message stays with its current holder.
+        let err = q.delete(&url, &first[0].receipt).unwrap_err();
+        assert!(matches!(err, CloudError::InvalidReceipt(_)));
+        assert_eq!(q.peek_depth(&url), 1);
+        // Deleting with the fresh receipt works, and repeating it is an
+        // idempotent no-op (the message is simply gone).
+        q.delete(&url, &second[0].receipt).unwrap();
+        q.delete(&url, &second[0].receipt).unwrap();
         assert_eq!(q.peek_depth(&url), 0);
+    }
+
+    // ---- long-poll semantics -------------------------------------------
+
+    #[test]
+    fn long_poll_blocks_until_send() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let receiver = {
+            let q = q.clone();
+            let url = url.clone();
+            sim.spawn(move || q.receive_wait(&url, 10, Duration::from_secs(60)).unwrap())
+        };
+        sim.sleep(Duration::from_secs(7));
+        q.send(&url, Bytes::from_static(b"pushed")).unwrap();
+        let msgs = receiver.join();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].body.as_ref(), b"pushed");
+        let t = sim.now().as_secs_f64();
+        assert!(
+            (t - 7.0).abs() < 0.01,
+            "the receiver wakes at the send, not at its 60 s deadline (t={t})"
+        );
+    }
+
+    #[test]
+    fn long_poll_times_out_empty() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let msgs = q.receive_wait(&url, 10, Duration::from_secs(20)).unwrap();
+        assert!(msgs.is_empty());
+        let t = sim.now().as_secs_f64();
+        assert!((t - 20.0).abs() < 0.01, "t={t}");
+    }
+
+    #[test]
+    fn long_poll_wakes_exactly_one_waiter_per_message() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        // Three parked receivers, one message: exactly one gets it, at
+        // the send instant; the other two wait out their full windows.
+        let receivers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                let url = url.clone();
+                sim.spawn(move || {
+                    let msgs = q.receive_wait(&url, 10, Duration::from_secs(30)).unwrap();
+                    (msgs.len(), q.core.sim().now())
+                })
+            })
+            .collect();
+        sim.sleep(Duration::from_secs(5));
+        q.send(&url, Bytes::from_static(b"one")).unwrap();
+        let outcomes: Vec<(usize, SimTime)> = receivers.into_iter().map(|h| h.join()).collect();
+        let winners: Vec<_> = outcomes.iter().filter(|(n, _)| *n == 1).collect();
+        let losers: Vec<_> = outcomes.iter().filter(|(n, _)| *n == 0).collect();
+        assert_eq!(winners.len(), 1, "one message wakes one waiter");
+        assert!((winners[0].1.as_secs_f64() - 5.0).abs() < 0.01);
+        assert_eq!(losers.len(), 2);
+        for (_, t) in losers {
+            let t = t.as_secs_f64();
+            assert!(
+                (t - 30.0).abs() < 0.01,
+                "losers sleep to their deadline (t={t})"
+            );
+        }
+    }
+
+    #[test]
+    fn long_poll_respects_visibility_timeout() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let q = q.with_visibility_timeout(Duration::from_secs(10));
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from_static(b"m")).unwrap();
+        let held = q.receive(&url, 1).unwrap();
+        assert_eq!(held.len(), 1);
+        // The message is in flight: a long poll must NOT return it early.
+        // It must wake when the visibility window lapses — no send occurs.
+        let redelivered = q.receive_wait(&url, 10, Duration::from_secs(60)).unwrap();
+        assert_eq!(redelivered.len(), 1);
+        assert_eq!(redelivered[0].id, held[0].id);
+        assert_ne!(redelivered[0].receipt, held[0].receipt);
+        let t = sim.now().as_secs_f64();
+        assert!(
+            (t - 10.0).abs() < 0.01,
+            "woken by the visibility lapse, not the 60 s deadline (t={t})"
+        );
+    }
+
+    #[test]
+    fn long_poll_bills_one_request_not_per_tick() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let receiver = {
+            let q = q.clone();
+            let url = url.clone();
+            sim.spawn(move || q.receive_wait(&url, 10, Duration::from_secs(300)).unwrap())
+        };
+        sim.sleep(Duration::from_secs(200));
+        q.send(&url, Bytes::from_static(b"late")).unwrap();
+        let msgs = receiver.join();
+        assert_eq!(msgs.len(), 1);
+        let rep = q.core.meter().report(sim.now());
+        assert_eq!(
+            rep.get(Actor::Client, Service::Queue, Op::Receive).count,
+            1,
+            "a 200 s long poll is one metered receive, not a poll loop"
+        );
+        // An empty long poll costs one request too.
+        q.receive_wait(&url, 10, Duration::from_secs(30)).unwrap();
+        let rep = q.core.meter().report(sim.now());
+        assert_eq!(rep.get(Actor::Client, Service::Queue, Op::Receive).count, 2);
+    }
+
+    #[test]
+    fn long_poll_stale_receipt_delete_after_wake_is_rejected() {
+        // A consumer holds a receipt, dawdles past the visibility window,
+        // and a parked long-poller is woken with the redelivery. The
+        // first consumer's late ack must be rejected — otherwise it would
+        // delete the message out from under the woken receiver.
+        let (sim, q) = sqs(AwsProfile::instant());
+        let q = q.with_visibility_timeout(Duration::from_secs(5));
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from_static(b"contested")).unwrap();
+        let slow = q.receive(&url, 1).unwrap();
+        let woken = q.receive_wait(&url, 10, Duration::from_secs(60)).unwrap();
+        assert_eq!(woken.len(), 1, "redelivered to the long poll at t=5");
+        let err = q.delete(&url, &slow[0].receipt).unwrap_err();
+        assert!(
+            matches!(err, CloudError::InvalidReceipt(_)),
+            "stale receipt after a wake must not ack"
+        );
+        q.delete(&url, &woken[0].receipt).unwrap();
+        assert_eq!(q.peek_depth(&url), 0);
+        let t = sim.now().as_secs_f64();
+        assert!((t - 5.0).abs() < 0.01, "t={t}");
+    }
+
+    #[test]
+    fn long_poll_with_messages_already_visible_is_instant() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        q.send(&url, Bytes::from_static(b"ready")).unwrap();
+        let msgs = q.receive_wait(&url, 10, Duration::from_secs(60)).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert!(
+            sim.now().as_secs_f64() < 0.01,
+            "no parking when messages wait"
+        );
+    }
+
+    // ---- arrival watchers (push-notification hook) ---------------------
+
+    #[test]
+    fn watchers_ring_on_every_send_and_unwatch_stops_them() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let bell = SimSemaphore::new(&sim, 0);
+        let id = q.watch(&url, bell.clone()).unwrap();
+        q.send(&url, Bytes::from_static(b"a")).unwrap();
+        q.send_batch(
+            &url,
+            vec![Bytes::from_static(b"b"), Bytes::from_static(b"c")],
+        )
+        .unwrap();
+        // One ring per send *call* (a batch is one call), banked as
+        // permits until the watcher drains them.
+        assert_eq!(bell.available(), 2);
+        q.unwatch(&url, id);
+        q.send(&url, Bytes::from_static(b"d")).unwrap();
+        assert_eq!(bell.available(), 2, "unwatched: no more rings");
+        assert_eq!(q.peek_watchers(&url), 0);
+    }
+
+    #[test]
+    fn watcher_rings_are_droppable_but_polling_still_works() {
+        let faults = FaultHandle::new();
+        faults.set(FaultPlan {
+            notify_drop_probability: 1.0,
+            ..FaultPlan::none()
+        });
+        let (sim, q) = sqs_with_faults(AwsProfile::instant(), faults);
+        let url = q.create_queue("wal");
+        let bell = SimSemaphore::new(&sim, 0);
+        q.watch(&url, bell.clone()).unwrap();
+        q.send(&url, Bytes::from_static(b"silent")).unwrap();
+        assert_eq!(bell.available(), 0, "every ring dropped");
+        // The message itself is untouched — a poll finds it. Lost
+        // wakeups degrade to polling, never to lost data.
+        assert_eq!(q.receive(&url, 10).unwrap().len(), 1);
     }
 }

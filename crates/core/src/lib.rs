@@ -66,6 +66,7 @@
 
 mod client;
 mod error;
+pub mod feed;
 pub mod index;
 mod layout;
 mod p1;
@@ -78,6 +79,7 @@ pub use client::{
     AdmissionGate, ClientBuilder, FlushMode, FlushTicket, PipelineStats, Protocol, ProvenanceClient,
 };
 pub use error::{ClientError, ClientResult, ProtocolError, Result};
+pub use feed::{audit_feed, CommitEvent, CommitEventSink, FeedAudit, FeedWriter, StagedTouches};
 pub use layout::{object_metadata, parse_object_metadata, Layout, META_UUID, META_VERSION};
 pub use p1::P1;
 pub use p2::P2;

@@ -52,7 +52,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use cloudprov_cloud::{
-    Actor, CloudEnv, CloudError, Database, MetadataDirective, PutItem, BATCH_ENTRY_LIMIT,
+    Actor, CloudEnv, CloudError, Database, MetadataDirective, PutItem, TenantId, BATCH_ENTRY_LIMIT,
     BATCH_LIMIT, MESSAGE_LIMIT, RECEIVE_MAX,
 };
 use cloudprov_pass::wire;
@@ -60,6 +60,7 @@ use cloudprov_pass::{PNodeId, ProvenanceRecord, Uuid};
 use cloudprov_sim::{SimHandle, SimTime};
 
 use crate::error::{ProtocolError, Result};
+use crate::feed::{extract_touches, CommitEventSink, FeedWriter, StagedTouches};
 use crate::layout::{object_metadata, parse_object_metadata};
 use crate::protocol::{
     detect_coupling, item_to_records, records_to_item, retry, CouplingCheck, FlushBatch,
@@ -175,6 +176,7 @@ impl P3 {
     /// bodies that, with the header, stay within the 8 KB SQS limit.
     fn build_messages(
         txn: Uuid,
+        tenant: Option<TenantId>,
         files: &[(String, String, PNodeId)],
         records: &[ProvenanceRecord],
         message_limit: usize,
@@ -204,10 +206,16 @@ impl P3 {
             bodies.push(cur);
         }
         let total = bodies.len();
+        // A tenant-attributed client stamps its tenant as an optional
+        // fifth header field so daemon-side change-feed events can carry
+        // the originating tenant; four-field headers parse unchanged.
         bodies
             .into_iter()
             .enumerate()
-            .map(|(seq, body)| format!("TXN\t{txn}\t{seq}\t{total}\n{body}"))
+            .map(|(seq, body)| match tenant {
+                Some(t) => format!("TXN\t{txn}\t{seq}\t{total}\t{}\n{body}", t.0),
+                None => format!("TXN\t{txn}\t{seq}\t{total}\n{body}"),
+            })
             .collect()
     }
 }
@@ -252,8 +260,13 @@ impl StorageProtocol for P3 {
             .iter()
             .flat_map(|o| o.node.records.iter().cloned())
             .collect();
-        let messages =
-            Self::build_messages(txn, &file_meta, &records, self.config.wal_message_limit);
+        let messages = Self::build_messages(
+            txn,
+            self.env.tenant(),
+            &file_meta,
+            &records,
+            self.config.wal_message_limit,
+        );
         let mut tasks: Vec<Box<dyn FnOnce() -> Result<()> + Send>> = Vec::new();
         for (temp, _, _, data) in &files {
             let (temp, data) = (temp.clone(), data.clone());
@@ -373,6 +386,7 @@ impl StorageProtocol for P3 {
 
 struct TxnBuf {
     total: Option<usize>,
+    tenant: Option<TenantId>,
     parts: BTreeMap<usize, String>,
     receipts: Vec<String>,
 }
@@ -380,6 +394,7 @@ struct TxnBuf {
 /// One reassembled, parsed member of a commit group.
 struct ParsedTxn {
     txn: Uuid,
+    tenant: Option<TenantId>,
     files: Vec<(String, String, PNodeId)>,
     records: Vec<ProvenanceRecord>,
     receipts: Vec<String>,
@@ -541,8 +556,19 @@ pub struct CommitDaemon {
     wal_url: String,
     buf: Mutex<BTreeMap<Uuid, TxnBuf>>,
     committed: Mutex<BTreeSet<Uuid>>,
+    /// When each transaction's first WAL message reached this daemon —
+    /// the pickup instant. `committed_at - pickup` is service time; the
+    /// client-side `pickup - logged_at` dwell is the component push
+    /// delivery exists to eliminate, and the fleet bench gates it.
+    first_seen: Mutex<BTreeMap<Uuid, SimTime>>,
     committed_count: AtomicU64,
     listener: Mutex<Option<CommitListener>>,
+    /// Change-feed staging for this WAL stream; `Some` iff `config.feed`.
+    feed: Option<FeedWriter>,
+    /// Where published [`CommitEvent`]s go. Installing none is fine —
+    /// events still stage and the watermark still advances, so a sink
+    /// attached later (or on a takeover daemon) starts from a clean edge.
+    sink: Mutex<Option<CommitEventSink>>,
 }
 
 impl std::fmt::Debug for CommitDaemon {
@@ -566,14 +592,23 @@ impl CommitDaemon {
             env.sdb()
                 .create_domain(&crate::index::index_domain(&config.layout.domain));
         }
+        // The feed stream is named by the WAL queue: one ordered event
+        // stream per shard, surviving daemon identity changes.
+        let stream = wal_url.rsplit('/').next().unwrap_or(wal_url).to_string();
+        let feed = config
+            .feed
+            .then(|| FeedWriter::new(env, config.clone(), &stream));
         CommitDaemon {
             env: env.clone(),
             config,
             wal_url: wal_url.to_string(),
             buf: Mutex::new(BTreeMap::new()),
             committed: Mutex::new(BTreeSet::new()),
+            first_seen: Mutex::new(BTreeMap::new()),
             committed_count: AtomicU64::new(0),
             listener: Mutex::new(None),
+            feed,
+            sink: Mutex::new(None),
         }
     }
 
@@ -582,9 +617,39 @@ impl CommitDaemon {
         *self.listener.lock() = Some(listener);
     }
 
+    /// Installs the change-feed sink receiving every published
+    /// [`CommitEvent`]. No-op unless the config enables the feed.
+    pub fn set_event_sink(&self, sink: CommitEventSink) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    /// Publishes any staged-but-unpublished feed events (this daemon's or
+    /// a crashed predecessor's) to the installed sink. Called from every
+    /// poll so a takeover daemon drains its predecessor's backlog even
+    /// when no new traffic arrives. Returns how many events published.
+    pub fn flush_feed(&self) -> Result<usize> {
+        match &self.feed {
+            Some(w) => w.flush(self.sink.lock().clone().as_ref()),
+            None => Ok(0),
+        }
+    }
+
     /// Transactions committed over this daemon's lifetime.
     pub fn committed_transactions(&self) -> u64 {
         self.committed_count.load(Ordering::Relaxed)
+    }
+
+    /// When each transaction's first WAL message reached this daemon
+    /// (assembly may still be in flight). Joined against client logged-at
+    /// instants, this is the WAL-durable -> pickup dwell — the waiting
+    /// component of commit latency, as opposed to the commit's own
+    /// service time.
+    pub fn pickup_times(&self) -> Vec<(Uuid, SimTime)> {
+        self.first_seen
+            .lock()
+            .iter()
+            .map(|(txn, at)| (*txn, *at))
+            .collect()
     }
 
     /// One **group-commit round**: drains up to [`GROUP_RECEIVE_ROUNDS`]
@@ -614,7 +679,7 @@ impl CommitDaemon {
             let mut buf = self.buf.lock();
             for m in msgs {
                 let body = String::from_utf8_lossy(&m.body).to_string();
-                let Some((txn, seq, total, rest)) = parse_header(&body) else {
+                let Some((txn, seq, total, tenant, rest)) = parse_header(&body) else {
                     // Garbage message: queue it for the batched drop.
                     drops.push(m.receipt);
                     continue;
@@ -624,12 +689,20 @@ impl CommitDaemon {
                     drops.push(m.receipt);
                     continue;
                 }
-                let entry = buf.entry(txn).or_insert_with(|| TxnBuf {
-                    total: None,
-                    parts: BTreeMap::new(),
-                    receipts: Vec::new(),
+                let entry = buf.entry(txn).or_insert_with(|| {
+                    self.first_seen
+                        .lock()
+                        .entry(txn)
+                        .or_insert_with(|| self.env.sim().now());
+                    TxnBuf {
+                        total: None,
+                        tenant: None,
+                        parts: BTreeMap::new(),
+                        receipts: Vec::new(),
+                    }
                 });
                 entry.total = Some(total);
+                entry.tenant = entry.tenant.or(tenant);
                 entry.parts.insert(seq, rest);
                 entry.receipts.push(m.receipt);
                 if entry.parts.len() == total && !ready.contains(&txn) {
@@ -656,6 +729,10 @@ impl CommitDaemon {
         let g = self.commit_group(group)?;
         outcome.committed = g.committed;
         outcome.stalled = g.stalled;
+        // Drain any feed backlog a crashed predecessor staged but never
+        // published — even on idle polls, so failover delivery does not
+        // wait for new traffic.
+        self.flush_feed()?;
         Ok(outcome)
     }
 
@@ -734,6 +811,7 @@ impl CommitDaemon {
             };
             txns.push(ParsedTxn {
                 txn,
+                tenant: entry.tenant,
                 files,
                 records,
                 receipts: entry.receipts,
@@ -812,10 +890,20 @@ impl CommitDaemon {
         // between the base and index phases.
         let mut base_items: Vec<PutItem> = Vec::new();
         let mut index_items: Vec<PutItem> = Vec::new();
+        let mut touches: Vec<StagedTouches> = Vec::new();
         for &ti in &survivors {
             // The records are not needed after this phase: move them
             // out instead of cloning hundreds of strings per member.
             let records = std::mem::take(&mut txns[ti].records);
+            if self.feed.is_some() {
+                let (uuids, programs) = extract_touches(&records);
+                touches.push(StagedTouches {
+                    txn: txns[ti].txn,
+                    tenant: txns[ti].tenant,
+                    uuids,
+                    programs,
+                });
+            }
             if self.config.index {
                 index_items.extend(crate::index::index_updates(&records));
             }
@@ -876,6 +964,16 @@ impl CommitDaemon {
             .into_iter()
             .collect::<Result<Vec<_>>>()?;
 
+        // Phase 4.5: durably stage the group's change-feed events —
+        // strictly BEFORE any receipt acknowledges (crash point
+        // `p3:notify:stage`). A crash here leaves the WAL unacked; the
+        // group recommits and restages under fresh sequence numbers,
+        // so a consumer can see a transaction's event twice but never
+        // miss it (at-least-once, gap-free).
+        if let Some(w) = &self.feed {
+            w.stage(&touches)?;
+        }
+
         // Phase 5: acknowledge the survivors' WAL receipts in
         // DeleteMessageBatch calls — strictly after every chunk carrying
         // their items was durable. Lenient like the single-delete path
@@ -917,6 +1015,10 @@ impl CommitDaemon {
                 l(txns[ti].txn);
             }
         }
+        // Phase 6: publish the staged events to the sink and advance the
+        // watermark — strictly AFTER the group ack (`p3:notify:publish`,
+        // `p3:notify:wm`). A crash in here republishes on the next poll.
+        self.flush_feed()?;
         Ok(GroupOutcome {
             committed: survivors.len(),
             stalled: stalled.iter().filter(|s| **s).count() + poisoned,
@@ -993,7 +1095,7 @@ impl CommitDaemon {
     }
 }
 
-fn parse_header(body: &str) -> Option<(Uuid, usize, usize, String)> {
+fn parse_header(body: &str) -> Option<(Uuid, usize, usize, Option<TenantId>, String)> {
     let (header, rest) = body.split_once('\n')?;
     let mut it = header.split('\t');
     if it.next()? != "TXN" {
@@ -1002,7 +1104,9 @@ fn parse_header(body: &str) -> Option<(Uuid, usize, usize, String)> {
     let txn: Uuid = it.next()?.parse().ok()?;
     let seq: usize = it.next()?.parse().ok()?;
     let total: usize = it.next()?.parse().ok()?;
-    Some((txn, seq, total, rest.to_string()))
+    // Optional fifth field: the logging client's tenant.
+    let tenant = it.next().and_then(|t| t.parse().ok()).map(TenantId);
+    Some((txn, seq, total, tenant, rest.to_string()))
 }
 
 /// Handle to a running background daemon.
@@ -1473,7 +1577,7 @@ mod tests {
         let records: Vec<_> = (0..2000)
             .map(|i| ProvenanceRecord::new(id, Attr::Custom(format!("a{i}")), "z".repeat(50)))
             .collect();
-        let msgs = P3::build_messages(Uuid(1), &[], &records, MESSAGE_LIMIT);
+        let msgs = P3::build_messages(Uuid(1), None, &[], &records, MESSAGE_LIMIT);
         assert!(msgs.len() > 10);
         for m in &msgs {
             assert!(m.len() <= MESSAGE_LIMIT, "message of {} bytes", m.len());
@@ -1828,5 +1932,197 @@ mod tests {
         p3.flush(FlushBatch::default()).unwrap();
         let daemon = p3.commit_daemon();
         assert_eq!(daemon.run_until_idle().unwrap(), 1);
+    }
+
+    // ---- change feed -----------------------------------------------
+
+    use crate::feed::CommitEvent;
+    use cloudprov_cloud::{TenantId, DEFAULT_VISIBILITY_TIMEOUT};
+
+    fn feed_cfg() -> ProtocolConfig {
+        ProtocolConfig {
+            feed: true,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    fn collecting_sink() -> (crate::feed::CommitEventSink, Arc<Mutex<Vec<CommitEvent>>>) {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let e2 = events.clone();
+        (Arc::new(move |e: CommitEvent| e2.lock().push(e)), events)
+    }
+
+    #[test]
+    fn feed_publishes_one_event_per_commit_strictly_after_ack() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let tenant_env = env.for_tenant(TenantId(3));
+        let p3 = P3::new(&tenant_env, feed_cfg(), "wal-feed");
+        let proc_id = PNodeId::initial(Uuid(60));
+        let proc = FlushObject::provenance_only(FlushNode {
+            id: proc_id,
+            kind: NodeKind::Process,
+            name: Some("gen".into()),
+            records: vec![
+                ProvenanceRecord::new(proc_id, Attr::Type, "process"),
+                ProvenanceRecord::new(proc_id, Attr::Name, "gen"),
+            ],
+            data_hash: None,
+        });
+        let mut file = file_obj(61, 1, "out", "x");
+        file.node
+            .records
+            .push(ProvenanceRecord::new(file.node.id, Attr::Input, proc_id));
+        p3.flush(FlushBatch {
+            objects: vec![proc, file],
+        })
+        .unwrap();
+
+        let daemon = p3.commit_daemon();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let e2 = events.clone();
+        let wal = p3.wal_url().to_string();
+        let env2 = env.clone();
+        daemon.set_event_sink(Arc::new(move |e: CommitEvent| {
+            // Publish runs strictly after the group ack: by the time the
+            // sink sees the event its WAL messages are gone.
+            assert_eq!(env2.sqs().peek_depth(&wal), 0, "event before ack");
+            e2.lock().push(e);
+        }));
+        daemon.run_until_idle().unwrap();
+
+        let evs = events.lock();
+        assert_eq!(evs.len(), 1, "one event per committed transaction");
+        assert_eq!(evs[0].seq, 1);
+        assert_eq!(evs[0].stream, "wal-feed");
+        assert_eq!(evs[0].tenant, Some(TenantId(3)));
+        assert!(evs[0].uuids.contains(&Uuid(60)));
+        assert!(evs[0].uuids.contains(&Uuid(61)));
+        assert_eq!(evs[0].programs, vec!["gen".to_string()]);
+    }
+
+    #[test]
+    fn feed_crash_at_stage_redelivers_without_gap() {
+        // The p3:notify:stage crash point: the daemon dies before the
+        // event stages, so its WAL stays unacknowledged. A takeover
+        // daemon recommits and the event arrives exactly once here
+        // (nothing was staged), with a contiguous sequence.
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let p3 = P3::new(&env, feed_cfg(), "wal-cr");
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(70, 1, "out", "x")],
+        })
+        .unwrap();
+
+        let crash_cfg = ProtocolConfig {
+            step_hook: Some(kill_at_occurrence("p3:notify:stage", 1)),
+            ..feed_cfg()
+        };
+        let a = CommitDaemon::new(&env, crash_cfg, p3.wal_url());
+        assert!(a.poll_once().is_err(), "daemon A dies at the stage point");
+        drop(a);
+
+        sim.sleep(DEFAULT_VISIBILITY_TIMEOUT + Duration::from_secs(10));
+        let b = CommitDaemon::new(&env, feed_cfg(), p3.wal_url());
+        let (sink, events) = collecting_sink();
+        b.set_event_sink(sink);
+        b.run_until_idle().unwrap();
+        assert_eq!(b.committed_transactions(), 1);
+        let evs = events.lock();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].seq, 1, "sequence starts clean — no gap");
+        assert!(env.s3().peek_committed("data", "out").is_some());
+    }
+
+    #[test]
+    fn feed_crash_between_ack_and_publish_survives_failover() {
+        // The p3:notify:publish crash point: the group is fully acked
+        // and its events staged, but nothing was published. The staged
+        // backlog must reach the takeover daemon's sink even though the
+        // WAL is empty (at-least-once across failover).
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let p3 = P3::new(&env, feed_cfg(), "wal-fo");
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(80, 1, "out", "x")],
+        })
+        .unwrap();
+
+        let crash_cfg = ProtocolConfig {
+            step_hook: Some(kill_at_occurrence("p3:notify:publish", 1)),
+            ..feed_cfg()
+        };
+        let a = CommitDaemon::new(&env, crash_cfg, p3.wal_url());
+        assert!(a.poll_once().is_err(), "daemon A dies before publishing");
+        assert_eq!(
+            env.sqs().peek_depth(p3.wal_url()),
+            0,
+            "the group was acked before the crash"
+        );
+        drop(a);
+
+        let b = CommitDaemon::new(&env, feed_cfg(), p3.wal_url());
+        let (sink, events) = collecting_sink();
+        b.set_event_sink(sink);
+        // B commits nothing — the WAL is empty — yet its idle poll
+        // drains the predecessor's staged backlog.
+        let o = b.poll_once().unwrap();
+        assert_eq!(o.committed, 0);
+        let evs = events.lock();
+        assert_eq!(evs.len(), 1, "staged event survives the failover");
+        assert_eq!(evs[0].seq, 1);
+        assert!(evs[0].uuids.contains(&Uuid(80)));
+    }
+
+    #[test]
+    fn feed_crash_before_watermark_duplicates_but_never_gaps() {
+        // The p3:notify:wm crash point: the event published but the
+        // watermark never advanced. The takeover daemon republishes —
+        // consumers see the same sequence twice (allowed), never a hole.
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let p3 = P3::new(&env, feed_cfg(), "wal-wm");
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(90, 1, "out", "x")],
+        })
+        .unwrap();
+
+        let (sink, events) = collecting_sink();
+        let crash_cfg = ProtocolConfig {
+            step_hook: Some(kill_at_occurrence("p3:notify:wm", 1)),
+            ..feed_cfg()
+        };
+        let a = CommitDaemon::new(&env, crash_cfg, p3.wal_url());
+        a.set_event_sink(sink.clone());
+        assert!(a.poll_once().is_err(), "daemon A dies before the watermark");
+        drop(a);
+
+        let b = CommitDaemon::new(&env, feed_cfg(), p3.wal_url());
+        b.set_event_sink(sink);
+        b.poll_once().unwrap();
+        let evs = events.lock();
+        assert_eq!(evs.len(), 2, "republished after the lost watermark");
+        assert_eq!(evs[0].seq, evs[1].seq, "a duplicate, not a gap");
+        assert_eq!(evs[0].txn, evs[1].txn);
+    }
+
+    #[test]
+    fn feed_disabled_stages_nothing() {
+        let (_sim, env, p3) = setup();
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(95, 1, "out", "x")],
+        })
+        .unwrap();
+        let daemon = p3.commit_daemon();
+        let (sink, events) = collecting_sink();
+        daemon.set_event_sink(sink);
+        daemon.run_until_idle().unwrap();
+        assert!(events.lock().is_empty(), "no feed traffic unless enabled");
+        assert_eq!(
+            env.sdb()
+                .peek_item_count(&crate::feed::feed_domain("provenance")),
+            0
+        );
     }
 }

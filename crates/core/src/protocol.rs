@@ -211,6 +211,13 @@ pub struct ProtocolConfig {
     /// matching the far smaller 2009 database pools). Daemon-side only —
     /// client op counts and latencies are unchanged.
     pub commit_parallelism: usize,
+    /// Whether P3's commit daemon maintains the live change feed
+    /// (`crate::feed`): staging a [`CommitEvent`](crate::feed::CommitEvent)
+    /// per committed transaction before the WAL ack and publishing it to
+    /// the installed sink afterwards. Off by default — the paper's
+    /// tables assume no feed traffic; the fleet driver and the chaos
+    /// explorer turn it on.
+    pub feed: bool,
 }
 
 impl std::fmt::Debug for ProtocolConfig {
@@ -232,6 +239,7 @@ impl std::fmt::Debug for ProtocolConfig {
             .field("index", &self.index)
             .field("wal_batch_send", &self.wal_batch_send)
             .field("commit_parallelism", &self.commit_parallelism)
+            .field("feed", &self.feed)
             .finish()
     }
 }
@@ -250,6 +258,7 @@ impl Default for ProtocolConfig {
             index: true,
             wal_batch_send: true,
             commit_parallelism: 16,
+            feed: false,
         }
     }
 }
@@ -702,6 +711,7 @@ mod tests {
             "index",
             "wal_batch_send",
             "commit_parallelism",
+            "feed",
         ] {
             assert!(dbg.contains(field), "Debug output drops '{field}': {dbg}");
         }

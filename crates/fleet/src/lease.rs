@@ -107,6 +107,36 @@ impl LeaseBoard {
             .change_visibility(&self.url, &lease.receipt, Duration::ZERO)
             .is_ok()
     }
+
+    /// Hands a lease off: deletes the held token and sends a fresh one.
+    /// Unlike [`LeaseBoard::release`] (a visibility reset, which no one
+    /// notices until their next acquire poll), the re-send **rings the
+    /// board's arrival watchers** — a starving worker parked on its
+    /// doorbell wakes immediately and picks the shard up, which is what
+    /// makes hot-shard handoff land within a round instead of a poll
+    /// interval. Returns `false` if the lease had already been lost (the
+    /// token is then either visible again or someone else's — never
+    /// resent, so the board can never grow a duplicate token).
+    pub fn handoff(&self, lease: Lease) -> bool {
+        if self.sqs.delete(&self.url, &lease.receipt).is_err() {
+            return false;
+        }
+        self.sqs
+            .send(&self.url, Bytes::from(format!("SHARD\t{}", lease.shard)))
+            .is_ok()
+    }
+
+    /// Registers `signal` as an arrival watcher on the board queue: every
+    /// token [`LeaseBoard::handoff`] re-sends rings it. Push-mode pool
+    /// workers park their doorbell here while starving.
+    pub fn watch(&self, signal: cloudprov_sim::SimSemaphore) -> Option<u64> {
+        self.sqs.watch(&self.url, signal).ok()
+    }
+
+    /// Removes a watcher registered with [`LeaseBoard::watch`].
+    pub fn unwatch(&self, id: u64) {
+        self.sqs.unwatch(&self.url, id);
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +188,32 @@ mod tests {
         assert_eq!(stolen.shard(), lease.shard());
         assert!(!b.release(lease));
         assert!(b.renew(&stolen), "the thief's lease is healthy");
+    }
+
+    #[test]
+    fn handoff_rings_watchers_and_keeps_exactly_one_token() {
+        use cloudprov_sim::SimSemaphore;
+        let (sim, b) = board(1, 10);
+        let bell = SimSemaphore::new(&sim, 0);
+        b.watch(bell.clone()).expect("board queue exists");
+        let lease = b.acquire().unwrap();
+        assert!(b.handoff(lease));
+        assert!(
+            bell.try_acquire().is_some(),
+            "handoff must ring the board's watchers"
+        );
+        let re = b.acquire().expect("resent token is acquirable");
+        assert_eq!(re.shard(), 0);
+        assert!(b.acquire().is_none(), "exactly one token after handoff");
+        // A lapsed lease can neither hand off nor duplicate the token.
+        sim.sleep(Duration::from_secs(11));
+        let stolen = b.acquire().expect("lapsed token is up for grabs");
+        assert!(!b.handoff(re), "stale receipt must not hand off");
+        assert!(
+            b.acquire().is_none(),
+            "the thief still holds the only token"
+        );
+        assert!(b.renew(&stolen));
     }
 
     #[test]

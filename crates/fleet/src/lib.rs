@@ -58,6 +58,10 @@ pub struct FleetConfig {
     pub max_shard_depth: usize,
     /// How often a throttled client re-checks its shard's depth.
     pub admission_poll: Duration,
+    /// Push delivery: pool workers watch their leased shard WALs and
+    /// wake on arrival (see [`PoolConfig::push`]); off, they sleep the
+    /// full poll interval between rounds.
+    pub push: bool,
 }
 
 impl Default for FleetConfig {
@@ -67,6 +71,7 @@ impl Default for FleetConfig {
             lease_ttl: Duration::from_secs(120),
             max_shard_depth: 64,
             admission_poll: Duration::from_millis(250),
+            push: true,
         }
     }
 }
@@ -125,6 +130,7 @@ impl Fleet {
             PoolConfig {
                 daemons,
                 poll_interval,
+                push: self.config.push,
                 ..PoolConfig::default()
             },
         )
@@ -149,8 +155,15 @@ impl Fleet {
             Some(t) => self.env.for_tenant(t),
             None => self.env.clone(),
         };
+        // Feed publication belongs to the pool's shard daemons; the
+        // session's own (unused) daemon must not provision a feed writer
+        // per client.
+        let client_config = ProtocolConfig {
+            feed: false,
+            ..self.protocol_config.clone()
+        };
         let mut builder = ProvenanceClient::builder(Protocol::P3)
-            .config(self.protocol_config.clone())
+            .config(client_config)
             .queue(ShardRouter::queue_name(shard))
             .wal_identity(name)
             .pipelined();

@@ -9,6 +9,16 @@
 //! token expires back to visible, and whichever worker polls the board
 //! next takes the shard over.
 //!
+//! **Push delivery.** With [`PoolConfig::push`] (the default) a worker
+//! additionally registers an arrival watcher on every WAL it leases and
+//! parks on that doorbell between rounds: a client send wakes it
+//! immediately, collapsing the idle-poll latency that otherwise
+//! dominates commit lag. Watcher rings are best-effort (the fault plan
+//! can drop them), so the park is bounded by `poll_interval` — a lost
+//! wakeup degrades to the old polling cadence, never to a stuck shard —
+//! and the watcher travels with the lease on release, handoff, and
+//! steal.
+//!
 //! **Idempotence under at-least-once.** The pool keeps one shared
 //! [`CommitDaemon`] per shard: when a shard moves between workers (steal,
 //! handoff, duplicate lease delivery), the new worker drives the *same*
@@ -29,9 +39,9 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use cloudprov_cloud::CloudEnv;
-use cloudprov_core::{CommitDaemon, ProtocolConfig};
+use cloudprov_core::{CommitDaemon, CommitEventSink, ProtocolConfig};
 use cloudprov_pass::Uuid;
-use cloudprov_sim::{SimHandle, SimTime};
+use cloudprov_sim::{SimHandle, SimSemaphore, SimTime};
 
 use crate::lease::{Lease, LeaseBoard};
 use crate::router::ShardRouter;
@@ -49,6 +59,16 @@ pub struct PoolConfig {
     /// Consecutive empty polls after which a held shard is released back
     /// to the board so another (possibly less busy) worker can take it.
     pub idle_release_polls: u32,
+    /// Push mode: each worker registers an arrival watcher
+    /// ([`QueueService::watch`](cloudprov_cloud::QueueService::watch)) on
+    /// every shard WAL it leases and parks on that doorbell when idle —
+    /// a send wakes it immediately instead of costing up to a full
+    /// `poll_interval` of latency. `poll_interval` remains the *fallback*
+    /// cadence: watcher rings are droppable by the fault plan, so a lost
+    /// wakeup degrades to polling, never to a stuck shard. The watcher
+    /// follows the lease — it is registered on acquire and removed on
+    /// release, handoff, or steal.
+    pub push: bool,
 }
 
 impl Default for PoolConfig {
@@ -58,6 +78,7 @@ impl Default for PoolConfig {
             poll_interval: Duration::from_secs(5),
             max_leases: usize::MAX,
             idle_release_polls: 2,
+            push: true,
         }
     }
 }
@@ -89,6 +110,9 @@ pub struct PoolStats {
     pub idle_releases: u64,
     /// Hot shards handed off to starving workers.
     pub handoffs: u64,
+    /// Idle parks that ended early because a shard doorbell rang (push
+    /// mode only; zero means the pool ran on the polling fallback).
+    pub wakeups: u64,
     /// Poll errors (service faults that survived retries).
     pub errors: u64,
 }
@@ -109,7 +133,11 @@ struct PoolShared {
     losses: AtomicU64,
     idle_releases: AtomicU64,
     handoffs: AtomicU64,
+    wakeups: AtomicU64,
     errors: AtomicU64,
+    /// Feed sink installed on every (existing and future) shard daemon
+    /// when the pool runs with `ProtocolConfig.feed`.
+    sink: Mutex<Option<CommitEventSink>>,
     /// Leases currently held across the whole pool, for coverage checks.
     held_total: AtomicUsize,
     /// Per-worker "I hold no shard" gauge, for hot-shard handoff.
@@ -142,6 +170,9 @@ impl PoolShared {
                     config.clone(),
                     router.wal_url(shard),
                 ));
+                if let Some(sink) = self.sink.lock().clone() {
+                    d.set_event_sink(sink);
+                }
                 let shared = self.clone();
                 let sim = env.sim().clone();
                 d.set_commit_listener(Arc::new(move |txn| {
@@ -198,7 +229,9 @@ impl DaemonPool {
             losses: AtomicU64::new(0),
             idle_releases: AtomicU64::new(0),
             handoffs: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            sink: Mutex::new(None),
             held_total: AtomicUsize::new(0),
             starving: (0..config.daemons).map(|_| AtomicBool::new(true)).collect(),
         });
@@ -222,6 +255,18 @@ impl DaemonPool {
         snapshot(&self.shared)
     }
 
+    /// Installs a commit-event sink on every shard daemon the pool has
+    /// built — and every one it builds later. Only daemons running a
+    /// feed-enabled [`ProtocolConfig`] publish events; the sink is the
+    /// delivery side (a [`cloudprov_core::feed`] subscription registry,
+    /// a query-cache invalidator, …).
+    pub fn set_event_sink(&self, sink: CommitEventSink) {
+        *self.shared.sink.lock() = Some(sink.clone());
+        for d in self.shared.daemons.lock().values() {
+            d.set_event_sink(sink.clone());
+        }
+    }
+
     /// Transactions committed so far (all workers).
     pub fn committed_transactions(&self) -> u64 {
         self.shared.committed.load(Ordering::Relaxed)
@@ -233,6 +278,26 @@ impl DaemonPool {
     /// commit latency.
     pub fn commit_times(&self) -> Vec<(Uuid, SimTime)> {
         self.shared.commit_times.lock().clone()
+    }
+
+    /// (txn, first-received-at) across every shard daemon, earliest
+    /// receive winning when a transaction was seen by more than one
+    /// (lease steal mid-assembly). Joined with client logged-at
+    /// timestamps this yields the WAL-durable -> pickup dwell — the
+    /// waiting component push delivery eliminates, which the fleet
+    /// bench gates under a second while the commit's own service time
+    /// under 2009-calibrated latencies stays several seconds.
+    pub fn pickup_times(&self) -> Vec<(Uuid, SimTime)> {
+        let mut earliest: BTreeMap<Uuid, SimTime> = BTreeMap::new();
+        for d in self.shared.daemons.lock().values() {
+            for (txn, at) in d.pickup_times() {
+                earliest
+                    .entry(txn)
+                    .and_modify(|e| *e = (*e).min(at))
+                    .or_insert(at);
+            }
+        }
+        earliest.into_iter().collect()
     }
 
     /// Signals every worker and waits (in virtual time) for them to
@@ -258,6 +323,7 @@ fn snapshot(s: &PoolShared) -> PoolStats {
         losses: s.losses.load(Ordering::Relaxed),
         idle_releases: s.idle_releases.load(Ordering::Relaxed),
         handoffs: s.handoffs.load(Ordering::Relaxed),
+        wakeups: s.wakeups.load(Ordering::Relaxed),
         errors: s.errors.load(Ordering::Relaxed),
     }
 }
@@ -273,23 +339,66 @@ fn worker(
     shared: Arc<PoolShared>,
 ) {
     let sim = env.sim().clone();
+    let sqs = env.sqs().clone();
+    // The worker's doorbell: in push mode every leased shard's WAL rings
+    // it on send, so the idle wait below ends the moment work arrives
+    // instead of up to a full `poll_interval` later.
+    let wake = SimSemaphore::new(&sim, 0);
+    // The board rings the same doorbell on every handed-off token, so a
+    // starving worker learns about a freed hot shard immediately.
+    let board_watch = if config.push {
+        board.watch(wake.clone())
+    } else {
+        None
+    };
     let max_leases = config.max_leases.clamp(1, router.shards() as usize);
-    // (lease, consecutive empty polls)
-    let mut held: Vec<(Lease, u32)> = Vec::new();
+    // (lease, consecutive empty polls, arrival-watch id)
+    let mut held: Vec<(Lease, u32, Option<u64>)> = Vec::new();
+    // Set after this worker hands a shard off: skip the next acquire so
+    // the starving peer the handoff woke wins the token instead of this
+    // (faster-cycling) worker grabbing it straight back.
+    let mut handoff_cooldown = false;
     while !shared.stop.load(Ordering::Relaxed) {
         // Acquire one more shard per round while there is capacity; one
         // at a time keeps acquisition fair across workers.
-        if held.len() < max_leases {
+        if handoff_cooldown {
+            handoff_cooldown = false;
+        } else if held.len() < max_leases {
             if let Some(lease) = board.acquire() {
                 shared.acquisitions.fetch_add(1, Ordering::Relaxed);
                 shared.held_total.fetch_add(1, Ordering::Relaxed);
-                held.push((lease, 0));
+                // The subscription follows the lease: watch the shard's
+                // WAL for as long as this worker holds it.
+                let watch = if config.push {
+                    sqs.watch(router.wal_url(lease.shard()), wake.clone()).ok()
+                } else {
+                    None
+                };
+                held.push((lease, 0, watch));
             }
         }
         shared.starving[index].store(held.is_empty(), Ordering::Relaxed);
         if held.is_empty() {
-            sim.sleep(config.poll_interval);
+            if board_watch.is_some() {
+                // Starving: park on the doorbell so a peer's handoff
+                // (which re-sends the token) wakes this worker at once;
+                // the timeout keeps plain releases and expiries covered.
+                if let Some(permit) = wake.acquire_timeout(config.poll_interval) {
+                    permit.forget();
+                    shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                sim.sleep(config.poll_interval);
+            }
             continue;
+        }
+        // Doorbell rings banked up to this point are covered by the
+        // receives below; consuming them now keeps stale wakeups from
+        // replaying as extra empty (metered) poll rounds later.
+        if config.push {
+            while let Some(permit) = wake.try_acquire() {
+                permit.forget();
+            }
         }
         // Poll every held shard once — one poll is now a whole GROUP
         // commit (the daemon drains several receive rounds and commits
@@ -298,10 +407,11 @@ fn worker(
         // receive window keeps its duration far inside the lease TTL. A failed
         // renewal means the shard was stolen (or the TTL lapsed): drop
         // it on the spot — its daemon state stays in the shared map for
-        // whoever drives it next.
+        // whoever drives it next, and the stolen shard's watch goes with
+        // the lease (the thief registered its own on acquire).
         let mut any_messages = false;
-        let mut kept: Vec<(Lease, u32)> = Vec::new();
-        for (lease, idle) in held.drain(..) {
+        let mut kept: Vec<(Lease, u32, Option<u64>)> = Vec::new();
+        for (lease, idle, watch) in held.drain(..) {
             let daemon = shared.daemon_for(&env, &protocol_config, &router, lease.shard());
             let idle = match daemon.poll_once() {
                 Ok(o) => {
@@ -327,10 +437,13 @@ fn worker(
                 }
             };
             if board.renew(&lease) {
-                kept.push((lease, idle));
+                kept.push((lease, idle, watch));
             } else {
                 shared.losses.fetch_add(1, Ordering::Relaxed);
                 shared.held_total.fetch_sub(1, Ordering::Relaxed);
+                if let Some(id) = watch {
+                    sqs.unwatch(router.wal_url(lease.shard()), id);
+                }
             }
         }
         held = kept;
@@ -342,13 +455,17 @@ fn worker(
             let hottest = held
                 .iter()
                 .enumerate()
-                .max_by_key(|(_, (l, _))| router.depth(&env, l.shard()))
+                .max_by_key(|(_, (l, _, _))| router.depth(&env, l.shard()))
                 .map(|(i, _)| i);
             if let Some(i) = hottest {
-                let (lease, _) = held.remove(i);
+                let (lease, _, watch) = held.remove(i);
                 shared.held_total.fetch_sub(1, Ordering::Relaxed);
-                if board.release(lease) {
+                if let Some(id) = watch {
+                    sqs.unwatch(router.wal_url(lease.shard()), id);
+                }
+                if board.handoff(lease) {
                     shared.handoffs.fetch_add(1, Ordering::Relaxed);
+                    handoff_cooldown = true;
                 }
             }
         }
@@ -359,26 +476,45 @@ fn worker(
         // queue ops per shard per round.
         let uncovered_shards = shared.held_total.load(Ordering::Relaxed) < router.shards() as usize;
         if shared.starving_count() > 0 || uncovered_shards {
-            let mut still: Vec<(Lease, u32)> = Vec::new();
-            for (lease, idle) in held.drain(..) {
+            let mut still: Vec<(Lease, u32, Option<u64>)> = Vec::new();
+            for (lease, idle, watch) in held.drain(..) {
                 if idle >= config.idle_release_polls {
                     shared.held_total.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(id) = watch {
+                        sqs.unwatch(router.wal_url(lease.shard()), id);
+                    }
                     if board.release(lease) {
                         shared.idle_releases.fetch_add(1, Ordering::Relaxed);
                     }
                 } else {
-                    still.push((lease, idle));
+                    still.push((lease, idle, watch));
                 }
             }
             held = still;
         }
         if !any_messages {
-            sim.sleep(config.poll_interval);
+            if config.push && held.iter().any(|(_, _, w)| w.is_some()) {
+                // Park on the doorbell; the timeout is the polling
+                // fallback that keeps every shard live even if the fault
+                // plan dropped each ring.
+                if let Some(permit) = wake.acquire_timeout(config.poll_interval) {
+                    permit.forget();
+                    shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                sim.sleep(config.poll_interval);
+            }
         }
     }
-    for (lease, _) in held {
+    for (lease, _, watch) in held {
         shared.held_total.fetch_sub(1, Ordering::Relaxed);
+        if let Some(id) = watch {
+            sqs.unwatch(router.wal_url(lease.shard()), id);
+        }
         let _ = board.release(lease);
+    }
+    if let Some(id) = board_watch {
+        board.unwatch(id);
     }
 }
 
@@ -509,6 +645,158 @@ mod tests {
         // The dead worker's lease is unusable now.
         assert!(!board.renew(&dead));
         pool.stop();
+    }
+
+    #[test]
+    fn push_commits_without_waiting_out_the_poll_interval() {
+        // With a pathologically long poll interval, only the shard
+        // doorbell can explain a prompt commit: the parked worker must
+        // wake on the WAL send, not on the 600 s fallback timer.
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let router = Arc::new(ShardRouter::provision(&env, 1));
+        let board = LeaseBoard::provision(&env, 1, Duration::from_secs(3600));
+        let pool = DaemonPool::spawn(
+            &env,
+            ProtocolConfig::default(),
+            router.clone(),
+            board,
+            PoolConfig {
+                daemons: 1,
+                poll_interval: Duration::from_secs(600),
+                ..PoolConfig::default()
+            },
+        );
+        // Let the worker lease the shard, find it empty, and park.
+        sim.sleep(Duration::from_secs(2));
+        assert_eq!(env.sqs().peek_watchers(router.wal_url(0)), 1);
+        let client = shard_client(&env, &router, 0, "late");
+        flush_one(&client, 42, "late-arrival");
+        let deadline = sim.now() + Duration::from_secs(30);
+        while router.total_depth(&env) > 0 && sim.now() < deadline {
+            sim.sleep(Duration::from_millis(100));
+        }
+        assert_eq!(
+            router.total_depth(&env),
+            0,
+            "push must beat the 600 s timer"
+        );
+        let stats = pool.stop();
+        assert_eq!(stats.committed, 1);
+        assert!(
+            stats.wakeups >= 1,
+            "the doorbell must have fired: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_wakeups_degrade_to_polling_never_a_stuck_shard() {
+        // Every watcher ring is lost: delivery must fall back to the
+        // poll_interval cadence — slower, but the shard still drains.
+        use cloudprov_cloud::FaultPlan;
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        env.faults().set(FaultPlan {
+            notify_drop_probability: 1.0,
+            ..FaultPlan::default()
+        });
+        let router = Arc::new(ShardRouter::provision(&env, 1));
+        let board = LeaseBoard::provision(&env, 1, Duration::from_secs(3600));
+        let pool = DaemonPool::spawn(
+            &env,
+            ProtocolConfig::default(),
+            router.clone(),
+            board,
+            PoolConfig {
+                daemons: 1,
+                poll_interval: Duration::from_secs(10),
+                ..PoolConfig::default()
+            },
+        );
+        sim.sleep(Duration::from_secs(2));
+        let client = shard_client(&env, &router, 0, "muted");
+        flush_one(&client, 43, "muted-arrival");
+        let deadline = sim.now() + Duration::from_secs(60);
+        while router.total_depth(&env) > 0 && sim.now() < deadline {
+            sim.sleep(Duration::from_millis(500));
+        }
+        assert_eq!(
+            router.total_depth(&env),
+            0,
+            "the polling fallback must drain the shard despite lost rings"
+        );
+        let stats = pool.stop();
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.wakeups, 0, "every ring was dropped: {stats:?}");
+    }
+
+    #[test]
+    fn hot_shard_handoff_moves_the_lease_and_its_subscription() {
+        // Pin the whole backlog to shard 0 with shard 1's lease parked
+        // out-of-band, so the lone active worker ends up holding BOTH
+        // shards while its peer starves — the exact precondition of the
+        // hot-shard handoff. The handoff re-sends the board token, which
+        // rings the starving worker's doorbell; the worker must take the
+        // hot shard over and the WAL arrival watch must move with it.
+        let sim = Sim::new();
+        let mut profile = AwsProfile::instant();
+        // Real receive latency so the 150-message backlog outlives a few
+        // group-commit rounds instead of vanishing in one instant poll.
+        profile.sqs.read_base = Duration::from_millis(50);
+        profile.sqs.write_base = Duration::from_millis(5);
+        let env = CloudEnv::new(&sim, profile);
+        let router = Arc::new(ShardRouter::provision(&env, 2));
+        let client = shard_client(&env, &router, 0, "pinned");
+        for i in 0..150u128 {
+            flush_one(&client, 2000 + i, &format!("hot{i}"));
+        }
+        let board = LeaseBoard::provision(&env, 2, Duration::from_secs(600));
+        let mut parked = board.acquire().expect("park shard 1's lease");
+        if parked.shard() == 0 {
+            let other = board.acquire().expect("two tokens were seeded");
+            assert!(board.release(parked));
+            parked = other;
+        }
+        assert_eq!(parked.shard(), 1);
+        let pool = DaemonPool::spawn(
+            &env,
+            ProtocolConfig::default(),
+            router.clone(),
+            board.clone(),
+            PoolConfig {
+                daemons: 2,
+                poll_interval: Duration::from_secs(5),
+                ..PoolConfig::default()
+            },
+        );
+        // One worker is now grinding shard 0; the other starves. Free
+        // shard 1 mid-backlog: the busy worker picks it up on its next
+        // round, sees a starving peer, and must hand the DEEP shard off.
+        sim.sleep(Duration::from_millis(500));
+        assert!(board.release(parked));
+        let deadline = sim.now() + Duration::from_secs(120);
+        while router.total_depth(&env) > 0 && sim.now() < deadline {
+            sim.sleep(Duration::from_millis(250));
+        }
+        assert_eq!(router.total_depth(&env), 0, "backlog must fully drain");
+        let stats = pool.stats();
+        assert!(
+            stats.handoffs >= 1,
+            "the hot-shard handoff never fired: {stats:?}"
+        );
+        assert_eq!(stats.losses, 0, "handoff is a release, not a steal");
+        // The subscription followed each lease: every shard has exactly
+        // one arrival watcher — none leaked by the giver, none missing
+        // on the taker.
+        assert_eq!(env.sqs().peek_watchers(router.wal_url(0)), 1);
+        assert_eq!(env.sqs().peek_watchers(router.wal_url(1)), 1);
+        let stats = pool.stop();
+        assert_eq!(stats.committed, 150);
+        assert_eq!(stats.unique_committed, 150);
+        assert_eq!(stats.double_commits, 0);
+        // Stopped workers tore their watches down.
+        assert_eq!(env.sqs().peek_watchers(router.wal_url(0)), 0);
+        assert_eq!(env.sqs().peek_watchers(router.wal_url(1)), 0);
     }
 
     #[test]

@@ -24,8 +24,8 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use cloudprov_cloud::{Actor, CloudEnv, UsageReport};
-use cloudprov_core::{ProtocolError, ProvenanceStore};
-use cloudprov_pass::{PNodeId, ProvenanceRecord};
+use cloudprov_core::{CommitEvent, CommitEventSink, ProtocolError, ProvenanceStore};
+use cloudprov_pass::{PNodeId, ProvenanceRecord, Uuid};
 
 use crate::planner::{self, DomainStats, Plan, PlanHistory, PlanReport, QueryKind};
 use crate::source::{
@@ -78,6 +78,32 @@ pub struct QueryEngine {
     /// Shared with pinned views ([`QueryEngine::with_plan_ref`]): a
     /// measurement taken through any view feeds every view's planner.
     history: Arc<Mutex<PlanHistory>>,
+    /// Change-feed invalidations accumulated through
+    /// [`QueryEngine::invalidation_sink`]; shared across pinned views.
+    invalidations: Arc<Mutex<Invalidations>>,
+}
+
+/// What the change feed has invalidated since the last drain: the keys a
+/// result cache layered over this engine would evict. The cache tier
+/// itself is future work — today the engine only accumulates the edits
+/// so consumers (and tests) can observe commit-to-invalidation flow.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Invalidations {
+    /// Object uuids whose lineage grew (invalidates Q.1/Q.2 answers
+    /// touching them and any ancestry walk through them).
+    pub uuids: std::collections::BTreeSet<Uuid>,
+    /// Program names with new process nodes (invalidates Q.3/Q.4
+    /// answers seeded by them).
+    pub programs: std::collections::BTreeSet<String>,
+    /// Feed events consumed since the last drain.
+    pub events: u64,
+}
+
+impl Invalidations {
+    /// True when nothing was invalidated.
+    pub fn is_empty(&self) -> bool {
+        self.uuids.is_empty() && self.programs.is_empty()
+    }
 }
 
 impl std::fmt::Debug for QueryEngine {
@@ -110,7 +136,34 @@ impl QueryEngine {
             in_batch: 20,
             force: None,
             history: Arc::new(Mutex::new(PlanHistory::default())),
+            invalidations: Arc::new(Mutex::new(Invalidations::default())),
         }
+    }
+
+    /// A [`CommitEventSink`] recording which uuids and programs each
+    /// committed transaction touched — wire it to a commit daemon (or a
+    /// subscription registry) to keep the engine informed of provenance
+    /// growth. Accumulated edits drain through
+    /// [`QueryEngine::take_invalidations`].
+    pub fn invalidation_sink(&self) -> CommitEventSink {
+        let inv = self.invalidations.clone();
+        Arc::new(move |event: CommitEvent| {
+            let mut inv = inv.lock();
+            inv.events += 1;
+            inv.uuids.extend(event.uuids.iter().copied());
+            inv.programs.extend(event.programs.iter().cloned());
+        })
+    }
+
+    /// Drains and returns everything the feed invalidated since the
+    /// last call.
+    pub fn take_invalidations(&self) -> Invalidations {
+        std::mem::take(&mut self.invalidations.lock())
+    }
+
+    /// Feed events consumed since the last drain.
+    pub fn pending_invalidations(&self) -> u64 {
+        self.invalidations.lock().events
     }
 
     /// Parallel connections for [`Mode::Parallel`] (the paper's query
@@ -154,6 +207,7 @@ impl QueryEngine {
             in_batch: self.in_batch,
             force: Some(plan),
             history: self.history.clone(),
+            invalidations: self.invalidations.clone(),
         }
     }
 
@@ -672,5 +726,47 @@ mod tests {
             .to_text();
         let bytes = engine.resolve_spill(&pointer).unwrap();
         assert!(bytes.len() > 1024);
+    }
+
+    #[test]
+    fn invalidation_sink_tracks_feed_events_end_to_end() {
+        use cloudprov_core::{FlushBatch, FlushObject, ProtocolConfig, StorageProtocol, P3};
+        use cloudprov_pass::{Attr, FlushNode, NodeKind, ProvenanceRecord};
+
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let cfg = ProtocolConfig {
+            feed: true,
+            ..ProtocolConfig::default()
+        };
+        let p3 = P3::new(&env, cfg, "wal-inval");
+        let proc_id = cloudprov_pass::PNodeId::initial(Uuid(500));
+        let proc = FlushObject::provenance_only(FlushNode {
+            id: proc_id,
+            kind: NodeKind::Process,
+            name: Some("refresher".into()),
+            records: vec![
+                ProvenanceRecord::new(proc_id, Attr::Type, "process"),
+                ProvenanceRecord::new(proc_id, Attr::Name, "refresher"),
+            ],
+            data_hash: None,
+        });
+        p3.flush(FlushBatch {
+            objects: vec![proc],
+        })
+        .unwrap();
+
+        let engine = QueryEngine::new(&env, p3.provenance_store().unwrap(), "data");
+        assert_eq!(engine.pending_invalidations(), 0);
+        let daemon = p3.commit_daemon();
+        daemon.set_event_sink(engine.invalidation_sink());
+        daemon.run_until_idle().unwrap();
+
+        assert_eq!(engine.pending_invalidations(), 1);
+        let inv = engine.take_invalidations();
+        assert!(inv.uuids.contains(&Uuid(500)));
+        assert!(inv.programs.contains("refresher"));
+        // Drained: the next read starts clean.
+        assert!(engine.take_invalidations().is_empty());
     }
 }

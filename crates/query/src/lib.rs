@@ -29,6 +29,6 @@ pub mod regen;
 pub mod source;
 
 pub use client::ProvenanceQueries;
-pub use engine::{QueryEngine, QueryMetrics, QueryOutput};
+pub use engine::{Invalidations, QueryEngine, QueryMetrics, QueryOutput};
 pub use planner::{DomainStats, Plan, PlanReport, QueryKind};
 pub use source::{GraphSource, IndexSource, Mode, OutputSet, S3ScanSource, SdbSelectSource};

@@ -105,19 +105,29 @@ impl SimState {
     /// called when no simulated thread is runnable.
     fn dispatch_one(&mut self) {
         debug_assert_eq!(self.runnable, 0, "dispatch while a thread is runnable");
-        let Reverse(ev) = self.events.pop().unwrap_or_else(|| {
-            panic!(
-                "simulation deadlock at t={}: no runnable threads and no pending \
-                 events ({} spawned threads still live; check for semaphore waits \
-                 that can never be released)",
-                self.now, self.live
-            )
-        });
-        debug_assert!(ev.at >= self.now, "event scheduled in the past");
-        self.now = ev.at;
-        ev.waiter.woken.store(true, Ordering::Relaxed);
-        self.runnable += 1;
-        ev.waiter.cv.notify_one();
+        loop {
+            let Reverse(ev) = self.events.pop().unwrap_or_else(|| {
+                panic!(
+                    "simulation deadlock at t={}: no runnable threads and no pending \
+                     events ({} spawned threads still live; check for semaphore waits \
+                     that can never be released)",
+                    self.now, self.live
+                )
+            });
+            // A waiter woken through another path (a timed semaphore wait
+            // whose permit arrived before its deadline, or vice versa)
+            // leaves its other event behind; discard such stale events
+            // without advancing the clock.
+            if ev.waiter.woken.load(Ordering::Relaxed) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event scheduled in the past");
+            self.now = ev.at;
+            ev.waiter.woken.store(true, Ordering::Relaxed);
+            self.runnable += 1;
+            ev.waiter.cv.notify_one();
+            return;
+        }
     }
 
     /// Schedules `waiter` to wake at time `at`.

@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::kernel::{SemState, Sim, SimState, Waiter};
 
@@ -117,9 +118,57 @@ impl SimSemaphore {
         SemPermit { sem: self }
     }
 
+    /// Takes one permit if one is immediately available, without blocking
+    /// or advancing virtual time.
+    pub fn try_acquire(&self) -> Option<SemPermit<'_>> {
+        let mut guard = self.slot.sim.lock();
+        if guard.sems[self.slot.idx].permits > 0 {
+            guard.sems[self.slot.idx].permits -= 1;
+            Some(SemPermit { sem: self })
+        } else {
+            None
+        }
+    }
+
+    /// Acquires one permit, giving up after `timeout` of virtual time.
+    ///
+    /// Returns `None` if the deadline fires first. This is the waiting
+    /// half of a signal with a polling fallback: a consumer parks on the
+    /// signal but is guaranteed to wake within `timeout` even if every
+    /// producer-side notification is lost.
+    pub fn acquire_timeout(&self, timeout: Duration) -> Option<SemPermit<'_>> {
+        let mut guard = self.slot.sim.lock();
+        if guard.sems[self.slot.idx].permits > 0 {
+            guard.sems[self.slot.idx].permits -= 1;
+            return Some(SemPermit { sem: self });
+        }
+        let w = Waiter::new();
+        guard.sems[self.slot.idx].queue.push_back(w.clone());
+        let at = guard.now + timeout;
+        guard.schedule(at, w.clone());
+        SimState::park(guard, &w);
+        // Woken either by the deadline event or by a release() that popped
+        // us off the queue and handed us a permit. Which one happened is
+        // visible in the queue: still queued means the deadline fired.
+        // (The loser's event is discarded as stale by the dispatcher.)
+        let mut guard = self.slot.sim.lock();
+        let queue = &mut guard.sems[self.slot.idx].queue;
+        if let Some(pos) = queue.iter().position(|q| Arc::ptr_eq(q, &w)) {
+            queue.remove(pos);
+            None
+        } else {
+            Some(SemPermit { sem: self })
+        }
+    }
+
     /// Number of currently available permits (0 while waiters queue).
     pub fn available(&self) -> usize {
         self.slot.sim.lock().sems[self.slot.idx].permits
+    }
+
+    /// True if `other` is a handle to the same underlying semaphore.
+    pub fn same(&self, other: &SimSemaphore) -> bool {
+        Arc::ptr_eq(&self.slot, &other.slot)
     }
 
     /// Adds one permit without having acquired one first, waking the
@@ -267,6 +316,60 @@ mod tests {
         }
         consumer.join();
         assert_eq!(signal.available(), 0, "forget must not return permits");
+    }
+
+    #[test]
+    fn try_acquire_takes_only_available_permits() {
+        let sim = Sim::new();
+        let sem = SimSemaphore::new(&sim, 1);
+        let p = sem.try_acquire().expect("permit available");
+        p.forget();
+        assert!(sem.try_acquire().is_none());
+        assert_eq!(sim.now().as_micros(), 0);
+    }
+
+    #[test]
+    fn acquire_timeout_expires_in_virtual_time() {
+        let sim = Sim::new();
+        let sem = SimSemaphore::new(&sim, 0);
+        assert!(sem.acquire_timeout(Duration::from_secs(3)).is_none());
+        assert_eq!(sim.now().as_secs_f64(), 3.0);
+        // The queue must be clean after a timeout: a later release banks
+        // a permit instead of waking a ghost.
+        sem.release();
+        assert_eq!(sem.available(), 1);
+    }
+
+    #[test]
+    fn acquire_timeout_wakes_on_release_before_deadline() {
+        let sim = Sim::new();
+        let sem = SimSemaphore::new(&sim, 0);
+        let producer = sim.spawn({
+            let sim = sim.clone();
+            let sem = sem.clone();
+            move || {
+                sim.sleep(Duration::from_secs(1));
+                sem.release();
+            }
+        });
+        let got = sem.acquire_timeout(Duration::from_secs(60));
+        assert_eq!(sim.now().as_secs_f64(), 1.0);
+        got.expect("woken by release, not deadline").forget();
+        producer.join();
+        // The abandoned deadline event must not fire later: sleeping past
+        // it neither wakes anyone twice nor stalls the clock.
+        sim.sleep(Duration::from_secs(120));
+        assert_eq!(sim.now().as_secs_f64(), 121.0);
+    }
+
+    #[test]
+    fn acquire_timeout_with_banked_permit_is_instant() {
+        let sim = Sim::new();
+        let sem = SimSemaphore::new(&sim, 0);
+        sem.release();
+        let got = sem.acquire_timeout(Duration::from_secs(30));
+        got.expect("banked permit").forget();
+        assert_eq!(sim.now().as_micros(), 0);
     }
 
     #[test]

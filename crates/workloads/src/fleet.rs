@@ -25,7 +25,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cloudprov_cloud::{AwsProfile, CloudEnv, PriceBook, TenantId};
-use cloudprov_core::{CouplingCheck, Protocol, ProtocolConfig, ProvenanceClient, StorageProtocol};
+use cloudprov_core::{
+    CommitEvent, CouplingCheck, Protocol, ProtocolConfig, ProvenanceClient, StorageProtocol,
+};
+use cloudprov_feed::{Predicate, Subscriptions};
 use cloudprov_fleet::{Fleet, FleetConfig, PoolStats};
 use cloudprov_fs::{LocalIoParams, PaS3fs};
 use cloudprov_pass::Uuid;
@@ -52,7 +55,12 @@ pub struct FleetParams {
     pub seed: u64,
     /// Per-shard WAL depth bound (0 disables backpressure).
     pub max_shard_depth: usize,
-    /// Commit-daemon poll interval.
+    /// Push mode: daemons ride WAL arrival notifications and the driver
+    /// rides the commit feed; `poll_interval` degrades to the fallback
+    /// cadence for lost wakeups. `false` reproduces the pure polling
+    /// plane of the earlier benchmark tables.
+    pub push: bool,
+    /// Commit-daemon poll interval (push mode: fallback cadence).
     pub poll_interval: Duration,
     /// Commit-lease TTL.
     pub lease_ttl: Duration,
@@ -71,6 +79,7 @@ impl Default for FleetParams {
             script_len: 24,
             seed: 0,
             max_shard_depth: 64,
+            push: true,
             poll_interval: Duration::from_secs(5),
             lease_ttl: Duration::from_secs(120),
             profile: AwsProfile::calibrated(Default::default()),
@@ -132,6 +141,14 @@ pub struct FleetReport {
     pub commit_p99: Duration,
     /// (logged txn, commit time) pairs behind the commit percentiles.
     pub commit_samples: usize,
+    /// Median pickup dwell: WAL-durable → the transaction's first WAL
+    /// message received by a daemon. The waiting component of commit
+    /// latency — what push delivery eliminates (service time, which
+    /// 2009-calibrated latencies put at several seconds per group, is
+    /// `commit_p50 - pickup_p50`).
+    pub pickup_p50: Duration,
+    /// 99th-percentile pickup dwell.
+    pub pickup_p99: Duration,
     /// WAL messages left after the quiesce deadline (must be 0).
     pub wal_leftover: usize,
     /// Temp objects left after commit + cleaner sweep (must be 0).
@@ -151,6 +168,18 @@ pub struct FleetReport {
     pub total_cost_usd: f64,
     /// Per-tenant attribution, tenant order.
     pub per_tenant: Vec<TenantUsage>,
+    /// Whether the run used push delivery (doorbells + commit feed).
+    pub push: bool,
+    /// Commit events the driver's feed subscription observed.
+    pub feed_events: u64,
+    /// Duplicate feed deliveries (allowed by the at-least-once contract,
+    /// reported for visibility).
+    pub feed_duplicates: u64,
+    /// Feed sequence gaps plus out-of-order deliveries (must be 0).
+    pub feed_gaps: u64,
+    /// Committed transactions that never surfaced on the feed (must be
+    /// 0 in push mode: at-least-once means *at least* once).
+    pub feed_missing: u64,
     /// Commit-plane counters (lease churn, steals, handoffs…).
     pub pool: PoolStats,
 }
@@ -189,6 +218,15 @@ impl FleetReport {
         }
         if self.client_errors > 0 {
             v.push(format!("{} clients died", self.client_errors));
+        }
+        if self.feed_gaps > 0 {
+            v.push(format!("{} feed sequence gaps", self.feed_gaps));
+        }
+        if self.feed_missing > 0 {
+            v.push(format!(
+                "{} committed transactions never reached the feed",
+                self.feed_missing
+            ));
         }
         v
     }
@@ -230,7 +268,10 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     let mut profile = params.profile.clone();
     profile.seed = params.seed;
     let env = CloudEnv::new(&sim, profile);
-    let protocol_config = ProtocolConfig::default();
+    let protocol_config = ProtocolConfig {
+        feed: params.push,
+        ..ProtocolConfig::default()
+    };
     let fleet = Fleet::provision(
         &env,
         protocol_config.clone(),
@@ -239,9 +280,20 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
             lease_ttl: params.lease_ttl,
             max_shard_depth: params.max_shard_depth,
             admission_poll: Duration::from_millis(200),
+            push: params.push,
         },
     );
     let pool = fleet.spawn_pool(params.daemons, params.poll_interval);
+    // Push mode: the driver is itself a feed consumer — an all-events
+    // subscription whose deliveries replace the blind quiesce sweep.
+    let subs = params.push.then(|| Subscriptions::new(&sim));
+    let monitor = subs.as_ref().map(|s| {
+        let sub = s
+            .subscribe(None, Predicate::All)
+            .expect("fresh registry cannot be over quota");
+        pool.set_event_sink(s.sink());
+        sub
+    });
     let t0 = sim.now();
 
     // Client phase: C simulated threads, each replaying its script in a
@@ -280,15 +332,35 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
 
     // Quiesce: wait for every shard WAL to drain (bounded — SQS itself
     // would garbage-collect at 4 days, so a healthy plane is long done).
+    // Push mode rides the change feed: each commit event wakes the
+    // driver, so the depth re-check happens at delivery granularity
+    // instead of the poll interval; a quiet interval falls back to the
+    // same cadence as polling (lost wakeups degrade, never hang).
+    let mut feed_events: Vec<CommitEvent> = Vec::new();
     let deadline = sim.now() + Duration::from_secs(24 * 3600);
     while fleet.total_depth() > 0 && sim.now() < deadline {
-        sim.sleep(params.poll_interval);
+        match &monitor {
+            Some(sub) => {
+                if let Some(ev) = sub.next_timeout(params.poll_interval) {
+                    feed_events.push(ev);
+                }
+            }
+            None => sim.sleep(params.poll_interval),
+        }
     }
     let elapsed = sim.now().saturating_duration_since(t0);
     let wal_leftover = fleet.total_depth();
     let commit_times: std::collections::BTreeMap<Uuid, SimTime> =
         pool.commit_times().into_iter().collect();
+    let pickup_times: std::collections::BTreeMap<Uuid, SimTime> =
+        pool.pickup_times().into_iter().collect();
     let pool_stats = pool.stop();
+    // Drain deliveries that raced the final depth check.
+    if let Some(sub) = &monitor {
+        while let Some(ev) = sub.try_next() {
+            feed_events.push(ev);
+        }
+    }
     // A healthy run has nothing for the cleaners; sweeping anyway keeps
     // the reclamation paths (temp objects AND ancestry-index garbage)
     // exercised at fleet scale.
@@ -318,8 +390,12 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     // Verification: outlast the consistency window, then read every
     // promised key through a plain blocking session.
     sim.sleep(env.profile().consistency.max_staleness + Duration::from_secs(1));
+    // The verifier only reads; it must not provision feed state.
     let verifier = ProvenanceClient::builder(Protocol::P3)
-        .config(protocol_config.clone())
+        .config(ProtocolConfig {
+            feed: false,
+            ..protocol_config.clone()
+        })
         .queue("fleet-verifier")
         .build(&env);
     let mut missing_durable = 0;
@@ -329,6 +405,7 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     let mut client_errors = 0;
     let mut latencies: Vec<Duration> = Vec::new();
     let mut commit_lags: Vec<Duration> = Vec::new();
+    let mut pickup_lags: Vec<Duration> = Vec::new();
     let mut logged_txns = 0;
     for o in &outcomes {
         if o.failed {
@@ -342,6 +419,9 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         for (txn, logged_at) in &o.logged {
             if let Some(committed_at) = commit_times.get(txn) {
                 commit_lags.push(committed_at.saturating_duration_since(*logged_at));
+            }
+            if let Some(seen_at) = pickup_times.get(txn) {
+                pickup_lags.push(seen_at.saturating_duration_since(*logged_at));
             }
         }
         for key in &o.durable_keys {
@@ -365,6 +445,24 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     }
     latencies.sort_unstable();
     commit_lags.sort_unstable();
+    pickup_lags.sort_unstable();
+
+    // Feed accounting: the bus's own gap/duplicate counters plus the
+    // at-least-once join — every committed transaction must have shown
+    // up on the monitor subscription at least once.
+    let (feed_duplicates, feed_gaps) = match (&subs, &monitor) {
+        (Some(s), Some(sub)) => {
+            let st = s.stats();
+            (st.duplicates, st.gaps + sub.out_of_order())
+        }
+        _ => (0, 0),
+    };
+    let feed_missing = if params.push {
+        let seen: std::collections::BTreeSet<Uuid> = feed_events.iter().map(|e| e.txn).collect();
+        commit_times.keys().filter(|t| !seen.contains(t)).count() as u64
+    } else {
+        0
+    };
 
     let secs = elapsed.as_secs_f64();
     FleetReport {
@@ -389,6 +487,8 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         commit_p50: percentile(&commit_lags, 50.0),
         commit_p99: percentile(&commit_lags, 99.0),
         commit_samples: commit_lags.len(),
+        pickup_p50: percentile(&pickup_lags, 50.0),
+        pickup_p99: percentile(&pickup_lags, 99.0),
         wal_leftover,
         temp_leftover,
         missing_durable,
@@ -398,6 +498,11 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         client_errors,
         total_cost_usd,
         per_tenant,
+        push: params.push,
+        feed_events: feed_events.len() as u64,
+        feed_duplicates,
+        feed_gaps,
+        feed_missing,
         pool: pool_stats,
     }
 }
@@ -436,6 +541,39 @@ mod tests {
             r.commit_samples as u64 == r.unique_committed,
             "every committed txn should have a matched commit latency"
         );
+        // Push mode: the driver's feed subscription saw every commit,
+        // in order, with no holes.
+        assert!(r.push);
+        assert!(
+            r.feed_events >= r.unique_committed,
+            "at-least-once: {} events for {} commits",
+            r.feed_events,
+            r.unique_committed
+        );
+        assert_eq!(r.feed_gaps, 0);
+        assert_eq!(r.feed_missing, 0);
+        // Pickup (WAL-durable -> first daemon receive) is a prefix of
+        // commit latency, so its median can never exceed the commit
+        // median.
+        assert!(
+            r.pickup_p50 <= r.commit_p50,
+            "pickup {:?} cannot exceed commit {:?}",
+            r.pickup_p50,
+            r.commit_p50
+        );
+    }
+
+    #[test]
+    fn polling_mode_still_drains_without_a_feed() {
+        let r = run_fleet(&FleetParams {
+            push: false,
+            ..small()
+        });
+        assert_eq!(r.violations(), Vec::<String>::new());
+        assert!(!r.push);
+        assert_eq!(r.feed_events, 0, "polling plane publishes no feed");
+        assert_eq!(r.pool.wakeups, 0, "no doorbells in polling mode");
+        assert!(r.committed > 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub use cloudprov_chaos as chaos;
 pub use cloudprov_cloud as cloud;
 pub use cloudprov_core as protocols;
+pub use cloudprov_feed as feed;
 pub use cloudprov_fleet as fleet;
 pub use cloudprov_fs as fs;
 pub use cloudprov_pass as pass;
