@@ -604,6 +604,41 @@ fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
     println!(
         "\n('FeedDup' is allowed by the at-least-once contract — the watermark-crash row\nis SUPPOSED to show duplicates; 'FeedMiss', 'Gaps' and 'Unpub' must be zero.)"
     );
+    // Aimed content-addressed-store schedules: kill a pipelined client
+    // at each client:cas:* step inside the speculative ancestor publish
+    // and check the publish-before-reference ordering — acked flushes
+    // all recommit, dead flushes never half-log, stranded CAS content
+    // is unreferenced garbage rather than a dangling WAL reference.
+    println!(
+        "\nAimed CAS-publish crash schedules (pipelined client killed inside the\nspeculative ancestor publish; a fresh daemon drains what it logged):"
+    );
+    println!(
+        "  {:<22} {:>4} {:>6} {:>8} {:>10} {:>9} {:>9} {:>6}   verdict",
+        "Step", "Occ", "Acked", "Backlog", "Committed", "StrndReg", "StrndDat", "Dangl"
+    );
+    for o in chaos::cas_crash_schedules() {
+        let violations = o.violations();
+        let ok = violations.is_empty();
+        all_ok &= ok;
+        println!(
+            "  {:<22} {:>4} {:>6} {:>8} {:>10} {:>9} {:>9} {:>6}   {}",
+            o.step,
+            o.occurrence,
+            o.acked_flushes,
+            o.wal_backlog,
+            o.unique_committed,
+            o.stranded_registry,
+            o.stranded_data,
+            o.dangling_ancestors,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        for v in violations {
+            println!("          violation: {v}");
+        }
+    }
+    println!(
+        "\n('StrndReg'/'StrndDat' count CAS content no acknowledged flush references —\nallowed, re-publishable garbage; the register#8 row is SUPPOSED to strand.\n'Dangl' (dangling ancestor references) and half-logged flushes must be zero.)"
+    );
     all_ok
 }
 
@@ -675,6 +710,30 @@ fn fleet_table(small: bool, seed: u64, mode: fleet::SweepMode) -> bool {
             println!("          failed check: {f}");
         }
     }
+    // Where any flush tail lives: the per-flush latency split. The
+    // admission wait is backpressure by design and deliberately NOT a
+    // component of p50/p99 above; queue dwell + delta upload compose
+    // the sampled total, so a tail here points at the guilty stage.
+    println!(
+        "\nFlush latency split (ms) — admission wait is backpressure (reported apart);\nqueue dwell + delta upload compose the flush total:"
+    );
+    println!(
+        "  {:>7} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Clients", "Shards", "Daemons", "Adm p50", "Adm p99", "Que p99", "Upl p99", "Tot p99"
+    );
+    for r in &reports {
+        println!(
+            "  {:>7} {:>7} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            r.clients,
+            r.shards,
+            r.daemons,
+            r.admission_p50.as_secs_f64() * 1e3,
+            r.admission_p99.as_secs_f64() * 1e3,
+            r.queue_p99.as_secs_f64() * 1e3,
+            r.upload_p99.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+        );
+    }
     // Push-mode latency gate, on the probe cell: the doorbell must put
     // the waiting component of commit latency (WAL-durable -> daemon
     // pickup) under a second — polling physically cannot (its dwell is
@@ -702,6 +761,29 @@ fn fleet_table(small: bool, seed: u64, mode: fleet::SweepMode) -> bool {
         );
         all_ok &= push_ok;
     }
+    // Flush-latency gate: with the content-addressed ancestor store in
+    // the flush path, a ticket settles once its *delta* is durable —
+    // CAS-covered batches resolve at submit — so the client-perceived
+    // flush p50 must sit far under the old ~830 ms upload-bound floor
+    // on every scaling cell. The probe is exempt only because it is
+    // gated separately (it measures commit latency, not throughput; its
+    // flush path is identical).
+    let mut flush_ok = true;
+    for r in reports.iter().filter(|r| !fleet::is_latency_probe(r)) {
+        let p50 = r.p50.as_secs_f64() * 1e3;
+        if p50 >= 100.0 {
+            flush_ok = false;
+            println!(
+                "flush gate: cell {}c/{}s/{}d flush p50 {:.1} ms >= 100 ms   FAIL",
+                r.clients, r.shards, r.daemons, p50
+            );
+        }
+    }
+    println!(
+        "\nFlush-latency gate: flush p50 < 100 ms on every scaling cell — {}",
+        if flush_ok { "PASS" } else { "FAIL" }
+    );
+    all_ok &= flush_ok;
     // Headline scaling claim: at the fixed shard count of the daemon
     // sweep, throughput must rise with daemon count.
     let daemon_sweep: Vec<&cloudprov_workloads::FleetReport> = {

@@ -55,6 +55,14 @@ pub use cloudprov_chaos::group_crash_schedules as group_commit_schedules;
 /// duplicates allowed and gaps forbidden.
 pub use cloudprov_chaos::notify_crash_schedules;
 
+/// The aimed content-addressed-store crash schedules (`client:cas:*`):
+/// each kills a pipelined client inside the speculative ancestor
+/// publish and checks the publish-before-reference ordering — every
+/// acknowledged flush recommits on a fresh daemon, dead flushes never
+/// half-log, and anything the crash stranded in the CAS is unreferenced
+/// garbage rather than a dangling WAL reference.
+pub use cloudprov_chaos::cas_crash_schedules;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +102,18 @@ mod tests {
     #[test]
     fn notify_schedules_all_converge() {
         for o in notify_crash_schedules() {
+            assert!(
+                o.violations().is_empty(),
+                "{}: {:?}",
+                o.step,
+                o.violations()
+            );
+        }
+    }
+
+    #[test]
+    fn cas_schedules_all_converge() {
+        for o in cas_crash_schedules() {
             assert!(
                 o.violations().is_empty(),
                 "{}: {:?}",

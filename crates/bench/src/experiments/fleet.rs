@@ -179,6 +179,8 @@ pub fn to_json(seed: u64, small: bool, reports: &[FleetReport]) -> String {
                 "\"logged_txns\": {}, \"committed\": {}, \"double_commits\": {}, ",
                 "\"client_phase_s\": {:.3}, \"elapsed_s\": {:.3}, ",
                 "\"throughput_txn_per_s\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, ",
+                "\"admission_p50_ms\": {:.3}, \"admission_p99_ms\": {:.3}, ",
+                "\"queue_p99_ms\": {:.3}, \"upload_p99_ms\": {:.3}, ",
                 "\"commit_p50_ms\": {:.3}, \"commit_p99_ms\": {:.3}, ",
                 "\"pickup_p50_ms\": {:.3}, \"pickup_p99_ms\": {:.3}, ",
                 "\"samples\": {}, \"cost_usd\": {:.6}, \"lease_acquisitions\": {}, ",
@@ -198,6 +200,10 @@ pub fn to_json(seed: u64, small: bool, reports: &[FleetReport]) -> String {
             r.throughput,
             r.p50.as_secs_f64() * 1e3,
             r.p99.as_secs_f64() * 1e3,
+            r.admission_p50.as_secs_f64() * 1e3,
+            r.admission_p99.as_secs_f64() * 1e3,
+            r.queue_p99.as_secs_f64() * 1e3,
+            r.upload_p99.as_secs_f64() * 1e3,
             r.commit_p50.as_secs_f64() * 1e3,
             r.commit_p99.as_secs_f64() * 1e3,
             r.pickup_p50.as_secs_f64() * 1e3,
@@ -267,6 +273,12 @@ mod tests {
             p50: Duration::from_millis(10),
             p99: Duration::from_millis(20),
             samples: 3,
+            admission_p50: Duration::from_millis(1),
+            admission_p99: Duration::from_millis(5),
+            queue_p50: Duration::from_millis(2),
+            queue_p99: Duration::from_millis(6),
+            upload_p50: Duration::from_millis(8),
+            upload_p99: Duration::from_millis(15),
             commit_p50: Duration::from_millis(100),
             commit_p99: Duration::from_millis(200),
             commit_samples: 3,
@@ -296,6 +308,8 @@ mod tests {
         assert!(j.contains("\"push\": true"));
         assert!(j.contains("\"feed_events\": 3"));
         assert!(j.contains("\"pickup_p50_ms\": 40.000"));
+        assert!(j.contains("\"admission_p99_ms\": 5.000"));
+        assert!(j.contains("\"upload_p99_ms\": 15.000"));
         // The perf gate's baseline parsers round-trip the writer.
         assert_eq!(baseline_throughputs(&j), vec![1.5]);
         assert!(baseline_throughputs("not json").is_empty());

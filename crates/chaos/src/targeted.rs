@@ -24,10 +24,13 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use cloudprov_cloud::{AwsProfile, Blob, CloudEnv, DEFAULT_VISIBILITY_TIMEOUT};
+use cloudprov_core::cas::canonical_encoding;
 use cloudprov_core::index::audit_index;
+use cloudprov_core::properties::{causal_report, load_all_records};
 use cloudprov_core::{
-    audit_feed, kill_at_occurrence, CommitDaemon, CouplingCheck, FlushBatch, FlushObject, Layout,
-    ProtocolConfig, ProtocolError, StorageProtocol, P3,
+    audit_feed, cas_domain, kill_at_occurrence, sha256_hex, CommitDaemon, CouplingCheck,
+    FlushBatch, FlushObject, Layout, Protocol, ProtocolConfig, ProtocolError, ProvenanceClient,
+    StorageProtocol, CAS_OBJECT_PREFIX, P3,
 };
 use cloudprov_feed::{Predicate, Subscriptions};
 use cloudprov_pass::{Attr, FlushNode, NodeKind, PNodeId, ProvenanceRecord, Uuid};
@@ -407,6 +410,229 @@ pub fn notify_crash_schedules() -> Vec<NotifyCrashOutcome> {
         .collect()
 }
 
+/// The client-side content-addressed-store crash points, aimed at the
+/// fourth of six flushes so survivors bracket the death. Each flush
+/// stages two publish units (an ancestor process, then a data-carrying
+/// file), so the occurrences land: death before the batch's first
+/// registry probe; death between the file's probe and its data upload;
+/// death at the batch's first registry put (the publish commit point);
+/// and death at the *second* registry put — after one unit fully
+/// published, the guaranteed stranded-garbage shot.
+pub const CAS_CRASH_POINTS: &[(&str, u64)] = &[
+    ("client:cas:probe", 7),
+    ("client:cas:publish", 4),
+    ("client:cas:register", 7),
+    ("client:cas:register", 8),
+];
+
+/// Verdict of one aimed CAS-publish crash schedule. The tentpole
+/// invariant: a client killed anywhere inside the speculative publish
+/// may strand *unreferenced* CAS garbage (re-publishable, harmless) but
+/// must never log a WAL transaction referencing content that is not
+/// durably published — acknowledged flushes all recommit, dead flushes
+/// contribute nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CasCrashOutcome {
+    /// The step the schedule aimed at.
+    pub step: &'static str,
+    /// Which occurrence of the step was killed.
+    pub occurrence: u64,
+    /// Whether the aimed step was actually reached (vacuous otherwise).
+    pub fired: bool,
+    /// Flushes whose `sync` barrier returned Ok before the death — the
+    /// client's durability promises.
+    pub acked_flushes: u64,
+    /// Flushes whose `sync` barrier surfaced the crash.
+    pub failed_flushes: u64,
+    /// WAL messages found when recovery started (must equal
+    /// `acked_flushes`: no dead flush may half-log a transaction).
+    pub wal_backlog: usize,
+    /// Distinct transactions the recovery daemon committed (must equal
+    /// `acked_flushes`).
+    pub unique_committed: u64,
+    /// Transactions committed more than once (must be 0).
+    pub double_commits: u64,
+    /// Acked files that read back missing or uncoupled (must be 0).
+    pub unreadable_acked: usize,
+    /// Ancestor references in the committed provenance with no matching
+    /// record — the §3 causal-ordering check (must be 0).
+    pub dangling_ancestors: usize,
+    /// CAS registry entries no acknowledged flush references (allowed —
+    /// stranded garbage, re-publishable; reported for the table).
+    pub stranded_registry: usize,
+    /// CAS data objects no acknowledged flush references (allowed).
+    pub stranded_data: usize,
+    /// WAL messages surviving recovery (must be 0).
+    pub wal_leftover: usize,
+    /// Temp objects surviving recovery (must be 0).
+    pub temp_leftover: usize,
+    /// Ancestry-index ↔ base-record disagreements (must be 0).
+    pub index_inconsistencies: usize,
+}
+
+impl CasCrashOutcome {
+    /// Hard violations; empty means the schedule converged. Stranded
+    /// CAS garbage is deliberately *not* a violation — the design trades
+    /// re-publishable garbage for never dangling a WAL reference.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if !self.fired {
+            v.push(format!(
+                "crash point {}#{} never fired — schedule is vacuous",
+                self.step, self.occurrence
+            ));
+        }
+        if self.wal_backlog as u64 != self.acked_flushes {
+            v.push(format!(
+                "{} WAL transactions for {} acked flushes — a dead flush half-logged",
+                self.wal_backlog, self.acked_flushes
+            ));
+        }
+        if self.unique_committed != self.acked_flushes {
+            v.push(format!(
+                "{} of {} acked flushes recommitted",
+                self.unique_committed, self.acked_flushes
+            ));
+        }
+        if self.double_commits > 0 {
+            v.push(format!("{} double commits", self.double_commits));
+        }
+        if self.unreadable_acked > 0 {
+            v.push(format!(
+                "{} acked objects unreadable after recovery",
+                self.unreadable_acked
+            ));
+        }
+        if self.dangling_ancestors > 0 {
+            v.push(format!(
+                "{} dangling ancestor references",
+                self.dangling_ancestors
+            ));
+        }
+        if self.wal_leftover > 0 {
+            v.push(format!("{} WAL messages left", self.wal_leftover));
+        }
+        if self.temp_leftover > 0 {
+            v.push(format!("{} temp objects left", self.temp_leftover));
+        }
+        if self.index_inconsistencies > 0 {
+            v.push(format!("{} index divergences", self.index_inconsistencies));
+        }
+        v
+    }
+}
+
+/// Runs one aimed CAS crash schedule: a pipelined CAS-enabled client
+/// flushes [`TXNS`] batches (one `sync` barrier each, so acknowledgement
+/// is per-batch), dies at the aimed `client:cas:*` occurrence, and is
+/// abandoned mid-run; after the visibility window a fresh daemon drains
+/// whatever the dead client logged, and the outcome checks the publish
+/// ordering contract — every acknowledged flush recommits, nothing a
+/// dead flush touched reached the WAL, and any stranded CAS content is
+/// unreferenced garbage rather than a broken reference.
+pub fn run_cas_crash(step: &'static str, occurrence: u64) -> CasCrashOutcome {
+    let sim = Sim::new();
+    let env = CloudEnv::new(&sim, AwsProfile::instant());
+    let queue = "wal-cas-targeted";
+    let (hook, fired) = kill_at_occurrence(step, occurrence);
+    let dying = ProvenanceClient::builder(Protocol::P3)
+        .pipelined()
+        .queue(queue)
+        .step_hook(hook)
+        .build(&env);
+    let mut acked = 0u64;
+    let mut failed = 0u64;
+    for i in 0..TXNS {
+        dying.flush_async(FlushBatch {
+            objects: file_with_ancestor(i),
+        });
+        match dying.sync() {
+            Ok(()) => acked += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    let url = format!("sqs://{queue}");
+    sim.sleep(DEFAULT_VISIBILITY_TIMEOUT + Duration::from_secs(1));
+    let wal_backlog = env.sqs().peek_depth(&url);
+    let committed_ids = Arc::new(Mutex::new(Vec::<Uuid>::new()));
+    let recovery = CommitDaemon::new(&env, ProtocolConfig::default(), &url);
+    {
+        let ids = committed_ids.clone();
+        recovery.set_commit_listener(Arc::new(move |txn| ids.lock().push(txn)));
+    }
+    recovery.run_until_idle().expect("recovery drain");
+
+    let ids = committed_ids.lock().clone();
+    let distinct: BTreeSet<Uuid> = ids.iter().copied().collect();
+    let layout = Layout::default();
+    let reader = P3::with_identity(&env, ProtocolConfig::default(), queue, "reader");
+    let mut unreadable_acked = 0;
+    for i in 0..acked as u128 {
+        match reader.read(&format!("grp/f{i}")) {
+            Ok(r) if r.coupling == CouplingCheck::Coupled => {}
+            _ => unreadable_acked += 1,
+        }
+    }
+    // The committed provenance must satisfy §3 causal ordering: no
+    // record may cite an ancestor the store does not hold.
+    let store = reader.provenance_store().expect("P3 stores provenance");
+    let records = load_all_records(&env, &store).expect("scan provenance");
+    let dangling_ancestors = causal_report(&records).dangling.len();
+    // Hashes the acknowledged flushes reference — recomputed from the
+    // same canonical encoding the client used. Anything else in the
+    // registry or under `cas/` is stranded garbage the crash left.
+    let published: BTreeSet<String> = (0..acked as u128)
+        .flat_map(|i| {
+            file_with_ancestor(i).into_iter().map(|obj| {
+                let enc = canonical_encoding(&obj).expect("schedule objects are CAS-eligible");
+                sha256_hex(enc.as_bytes())
+            })
+        })
+        .collect();
+    let stranded_registry = env
+        .sdb()
+        .peek_items(&cas_domain(&layout.domain))
+        .into_iter()
+        .filter(|(sha, _)| !published.contains(sha))
+        .count();
+    let stranded_data = env
+        .s3()
+        .list_all(&layout.data_bucket, CAS_OBJECT_PREFIX)
+        .expect("list cas prefix")
+        .into_iter()
+        .filter(|k| {
+            !published.contains(k.key.strip_prefix(CAS_OBJECT_PREFIX).unwrap_or(&k.key))
+        })
+        .count();
+    CasCrashOutcome {
+        step,
+        occurrence,
+        fired: failed > 0 && fired.load(Ordering::Relaxed),
+        acked_flushes: acked,
+        failed_flushes: failed,
+        wal_backlog,
+        unique_committed: distinct.len() as u64,
+        double_commits: (ids.len() - distinct.len()) as u64,
+        unreadable_acked,
+        dangling_ancestors,
+        stranded_registry,
+        stranded_data,
+        wal_leftover: env.sqs().peek_depth(&url),
+        temp_leftover: env
+            .s3()
+            .peek_count(&layout.data_bucket, &layout.temp_prefix),
+        index_inconsistencies: audit_index(&env, &layout).inconsistencies(),
+    }
+}
+
+/// Runs every aimed schedule in [`CAS_CRASH_POINTS`].
+pub fn cas_crash_schedules() -> Vec<CasCrashOutcome> {
+    CAS_CRASH_POINTS
+        .iter()
+        .map(|(step, occ)| run_cas_crash(step, *occ))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,5 +698,45 @@ mod tests {
     fn notify_schedules_are_deterministic() {
         let (step, occ) = NOTIFY_CRASH_POINTS[0];
         assert_eq!(run_notify_crash(step, occ), run_notify_crash(step, occ));
+    }
+
+    #[test]
+    fn every_cas_schedule_fires_and_converges() {
+        for o in cas_crash_schedules() {
+            assert!(
+                o.violations().is_empty(),
+                "{}#{}: {:?}\n{o:#?}",
+                o.step,
+                o.occurrence,
+                o.violations()
+            );
+            assert!(
+                o.acked_flushes >= 1 && o.failed_flushes >= 1,
+                "the death must land mid-run, with flushes on both sides: {o:#?}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_death_after_a_completed_publish_strands_garbage_never_a_reference() {
+        // The second register crossing of the dying batch fires only
+        // after the first succeeded, so at least one publish unit of a
+        // never-acknowledged flush is fully durable in the registry.
+        // The design's trade must be visible: that content is stranded
+        // (unreferenced, re-publishable garbage) — and nothing dangles.
+        let o = run_cas_crash("client:cas:register", 8);
+        assert!(o.violations().is_empty(), "{o:#?}");
+        assert!(
+            o.stranded_registry + o.stranded_data >= 1,
+            "a completed publish of a dead flush must strand content: {o:#?}"
+        );
+        assert_eq!(o.dangling_ancestors, 0);
+        assert_eq!(o.unique_committed, o.acked_flushes);
+    }
+
+    #[test]
+    fn cas_schedules_are_deterministic() {
+        let (step, occ) = CAS_CRASH_POINTS[1];
+        assert_eq!(run_cas_crash(step, occ), run_cas_crash(step, occ));
     }
 }

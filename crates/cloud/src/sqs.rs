@@ -67,6 +67,13 @@ struct QueueState {
     /// fault plan may drop it (`notify_drop_probability`).
     watchers: Vec<(u64, SimSemaphore)>,
     next_watch: u64,
+    /// Drain watchers (the admission-doorbell hook): every delete call
+    /// that actually removes a message rings every drain watcher's
+    /// bell. Throttled producers park on these instead of sleeping out
+    /// a poll interval; like arrival watchers, a ring is a best-effort
+    /// hint (`notify_drop_probability` may lose it) and claims nothing.
+    drain_watchers: Vec<(u64, SimSemaphore)>,
+    next_drain: u64,
 }
 
 #[derive(Default)]
@@ -159,6 +166,19 @@ impl QueueService {
             }
         }
         for (_, w) in &q.watchers {
+            if !core.draw_notify_drop() {
+                w.release();
+            }
+        }
+    }
+
+    /// Departure fan-out, called at a delete's commit point when the
+    /// queue actually shrank: rings every drain watcher's doorbell so a
+    /// producer throttled on queue depth re-checks immediately instead
+    /// of sleeping out its poll interval. Best-effort like `ring` — the
+    /// fault plan may drop a ring, and watchers keep a polling fallback.
+    fn ring_drain(core: &ServiceCore, q: &mut QueueState) {
+        for (_, w) in &q.drain_watchers {
             if !core.draw_notify_drop() {
                 w.release();
             }
@@ -405,6 +425,57 @@ impl QueueService {
             .unwrap_or(0)
     }
 
+    /// Registers `signal` as a **drain** watcher on a queue: every
+    /// subsequent delete call that actually removes a message rings it
+    /// (one `release` per shrinking delete call; a `delete_batch` is one
+    /// ring). This is the admission-doorbell hook — a producer throttled
+    /// on queue depth parks on the signal and re-checks its gate the
+    /// moment the consumer acknowledges work, instead of sleeping out a
+    /// poll interval.
+    ///
+    /// Like arrival watchers, delivery is best-effort: the fault plan's
+    /// `notify_drop_probability` silently loses rings, so a parked
+    /// producer must keep a poll-timeout fallback. Watching is
+    /// control-plane wiring inside the simulated delivery fabric, not a
+    /// billable API call. Retention expiry does not ring (it is not an
+    /// acknowledgement; expiring WAL entries must not look like
+    /// capacity).
+    ///
+    /// Returns a watch id for [`QueueService::unwatch_drain`].
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NoSuchQueue`] for unknown queue URLs.
+    pub fn watch_drain(&self, queue_url: &str, signal: SimSemaphore) -> Result<u64> {
+        let mut st = self.state.lock();
+        let q = st
+            .queues
+            .get_mut(queue_url)
+            .ok_or_else(|| CloudError::NoSuchQueue(queue_url.to_string()))?;
+        let id = q.next_drain;
+        q.next_drain += 1;
+        q.drain_watchers.push((id, signal));
+        Ok(id)
+    }
+
+    /// Removes a drain watcher. Unknown ids and queues are a no-op.
+    pub fn unwatch_drain(&self, queue_url: &str, id: u64) {
+        let mut st = self.state.lock();
+        if let Some(q) = st.queues.get_mut(queue_url) {
+            q.drain_watchers.retain(|(wid, _)| *wid != id);
+        }
+    }
+
+    /// Instrumentation: number of registered drain watchers. For tests.
+    pub fn peek_drain_watchers(&self, queue_url: &str) -> usize {
+        self.state
+            .lock()
+            .queues
+            .get(queue_url)
+            .map(|q| q.drain_watchers.len())
+            .unwrap_or(0)
+    }
+
     /// Sends up to [`BATCH_ENTRY_LIMIT`] messages in one request
     /// (`SendMessageBatch`). The whole call is metered and priced as
     /// **one** queue operation; the per-entry verdicts come back in the
@@ -506,6 +577,7 @@ impl QueueService {
             });
         }
         let state = self.state.clone();
+        let core = self.core.clone();
         let url = queue_url.to_string();
         let entries: Vec<String> = receipts.to_vec();
         let n = entries.len();
@@ -516,6 +588,7 @@ impl QueueService {
                     .queues
                     .get_mut(&url)
                     .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+                let before = q.messages.len();
                 let results = entries
                     .iter()
                     .map(|receipt| {
@@ -523,6 +596,9 @@ impl QueueService {
                         Self::delete_entry(q, id, delivery, receipt)
                     })
                     .collect();
+                if q.messages.len() < before {
+                    Self::ring_drain(&core, q);
+                }
                 Ok((results, 0))
             })
     }
@@ -615,6 +691,7 @@ impl QueueService {
     pub fn delete(&self, queue_url: &str, receipt: &str) -> Result<()> {
         let (id, delivery) = parse_receipt(receipt)?;
         let state = self.state.clone();
+        let core = self.core.clone();
         let url = queue_url.to_string();
         let receipt = receipt.to_string();
         self.core
@@ -624,7 +701,11 @@ impl QueueService {
                     .queues
                     .get_mut(&url)
                     .ok_or(CloudError::NoSuchQueue(url.clone()))?;
+                let before = q.messages.len();
                 Self::delete_entry(q, id, delivery, &receipt)?;
+                if q.messages.len() < before {
+                    Self::ring_drain(&core, q);
+                }
                 Ok(((), 0))
             })
     }
@@ -1212,6 +1293,60 @@ mod tests {
         q.send(&url, Bytes::from_static(b"d")).unwrap();
         assert_eq!(bell.available(), 2, "unwatched: no more rings");
         assert_eq!(q.peek_watchers(&url), 0);
+    }
+
+    #[test]
+    fn drain_watchers_ring_on_shrinking_deletes_only() {
+        let (sim, q) = sqs(AwsProfile::instant());
+        let url = q.create_queue("wal");
+        let bell = SimSemaphore::new(&sim, 0);
+        let id = q.watch_drain(&url, bell.clone()).unwrap();
+        for i in 0..3 {
+            q.send(&url, Bytes::from(format!("m{i}"))).unwrap();
+        }
+        assert_eq!(bell.available(), 0, "sends never ring the drain bell");
+        let mut receipts = Vec::new();
+        while receipts.len() < 3 {
+            for m in q.receive(&url, 10).unwrap() {
+                receipts.push(m.receipt);
+            }
+        }
+        q.delete(&url, &receipts[0]).unwrap();
+        assert_eq!(bell.available(), 1, "a shrinking delete rings once");
+        // Re-deleting an already-gone message succeeds but removes
+        // nothing: no ring (a no-op ack is not freed capacity).
+        q.delete(&url, &receipts[0]).unwrap();
+        assert_eq!(bell.available(), 1);
+        // A batch delete is one call and one ring.
+        let results = q.delete_batch(&url, &receipts[1..3]).unwrap();
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(bell.available(), 2);
+        q.unwatch_drain(&url, id);
+        q.send(&url, Bytes::from_static(b"again")).unwrap();
+        let m = q.receive(&url, 1).unwrap();
+        q.delete(&url, &m[0].receipt).unwrap();
+        assert_eq!(bell.available(), 2, "unwatched: no more rings");
+        assert_eq!(q.peek_drain_watchers(&url), 0);
+    }
+
+    #[test]
+    fn drain_rings_are_droppable_but_depth_still_falls() {
+        let faults = FaultHandle::new();
+        faults.set(FaultPlan {
+            notify_drop_probability: 1.0,
+            ..FaultPlan::none()
+        });
+        let (sim, q) = sqs_with_faults(AwsProfile::instant(), faults);
+        let url = q.create_queue("wal");
+        let bell = SimSemaphore::new(&sim, 0);
+        q.watch_drain(&url, bell.clone()).unwrap();
+        q.send(&url, Bytes::from_static(b"m")).unwrap();
+        let m = q.receive(&url, 1).unwrap();
+        q.delete(&url, &m[0].receipt).unwrap();
+        assert_eq!(bell.available(), 0, "every ring dropped");
+        // The delete itself still happened — a throttled producer's
+        // poll fallback will observe the drained depth.
+        assert_eq!(q.peek_depth(&url), 0);
     }
 
     #[test]

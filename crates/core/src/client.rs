@@ -53,6 +53,7 @@ use cloudprov_cloud::CloudEnv;
 use cloudprov_pass::PNodeId;
 use cloudprov_sim::{Sim, SimSemaphore, SimTime};
 
+use crate::cas::{CasFlushItem, CasRef, CasStore};
 use crate::error::{ClientError, ClientResult, ProtocolError, Result};
 use crate::layout::Layout;
 use crate::p3::{CleanerDaemon, CommitDaemon, P3};
@@ -143,6 +144,7 @@ pub struct ClientBuilder {
     identity: Option<String>,
     mode: FlushMode,
     throttle: Option<(AdmissionGate, Duration)>,
+    bell: Option<SimSemaphore>,
 }
 
 impl fmt::Debug for ClientBuilder {
@@ -154,6 +156,7 @@ impl fmt::Debug for ClientBuilder {
             .field("identity", &self.identity)
             .field("mode", &self.mode)
             .field("throttle", &self.throttle.as_ref().map(|(_, p)| p))
+            .field("bell", &self.bell.is_some())
             .finish()
     }
 }
@@ -168,6 +171,7 @@ impl ClientBuilder {
             identity: None,
             mode: FlushMode::Blocking,
             throttle: None,
+            bell: None,
         }
     }
 
@@ -271,6 +275,31 @@ impl ClientBuilder {
         self
     }
 
+    /// Installs an admission doorbell: a throttled client parks on this
+    /// semaphore (instead of sleeping a full poll interval) and re-checks
+    /// the gate whenever it rings — the fleet rings it when the commit
+    /// daemon acknowledges WAL messages on the client's shard. A lost
+    /// wakeup degrades to the `throttle` poll fallback, never a stuck
+    /// client. No effect without a throttle gate.
+    pub fn admission_bell(mut self, bell: SimSemaphore) -> Self {
+        self.bell = Some(bell);
+        self
+    }
+
+    /// Whether the pipelined P3 flush path routes eligible objects
+    /// through the fleet-wide content-addressed ancestor store (on by
+    /// default; inert for other protocols and blocking clients).
+    pub fn cas(mut self, on: bool) -> Self {
+        self.config.cas = on;
+        self
+    }
+
+    /// Capacity of the pipelined flusher's cross-batch dedupe set.
+    pub fn dedupe_cap(mut self, cap: usize) -> Self {
+        self.config.dedupe_cap = cap;
+        self
+    }
+
     /// Selects the non-blocking pipelined flush path.
     pub fn pipelined(mut self) -> Self {
         self.mode = FlushMode::Pipelined;
@@ -299,6 +328,7 @@ impl ClientBuilder {
             identity,
             mode,
             throttle,
+            bell,
         } = self;
         let mut wal_url = None;
         let mut daemon = None;
@@ -318,7 +348,12 @@ impl ClientBuilder {
         };
         let pipeline = match mode {
             FlushMode::Blocking => None,
-            FlushMode::Pipelined => Some(Pipeline::start(env.sim(), inner.clone(), config.clone())),
+            FlushMode::Pipelined => Some(Pipeline::start(
+                env,
+                inner.clone(),
+                p3_handle.clone(),
+                config.clone(),
+            )),
         };
         ProvenanceClient {
             env: env.clone(),
@@ -331,6 +366,7 @@ impl ClientBuilder {
             mode,
             pipeline,
             throttle,
+            bell,
         }
     }
 }
@@ -350,6 +386,7 @@ pub struct ProvenanceClient {
     mode: FlushMode,
     pipeline: Option<Pipeline>,
     throttle: Option<(AdmissionGate, Duration)>,
+    bell: Option<SimSemaphore>,
 }
 
 impl fmt::Debug for ProvenanceClient {
@@ -432,39 +469,78 @@ impl ProvenanceClient {
     }
 
     /// Blocks (in virtual time) until the admission gate, if any, admits
-    /// a new batch — the fleet's per-shard backpressure point.
-    fn admit(&self) {
-        if let Some((gate, poll)) = &self.throttle {
-            while !gate() {
-                self.env.sim().sleep(*poll);
+    /// a new batch — the fleet's per-shard backpressure point. With a
+    /// doorbell installed the wait parks on it (waking as soon as the
+    /// daemon drains the shard) and the poll interval is only the lost-
+    /// wakeup fallback. Returns how long admission blocked.
+    fn admit(&self) -> Duration {
+        let Some((gate, poll)) = &self.throttle else {
+            return Duration::ZERO;
+        };
+        let start = self.env.sim().now();
+        while !gate() {
+            match &self.bell {
+                Some(bell) => {
+                    if let Some(permit) = bell.acquire_timeout(*poll) {
+                        permit.forget();
+                    }
+                }
+                None => self.env.sim().sleep(*poll),
+            }
+        }
+        self.env.sim().now().saturating_duration_since(start)
+    }
+
+    /// Enqueues a batch on the background flusher and returns a ticket
+    /// that resolves when the batch's **delta** is durable: objects the
+    /// content-addressed store covers ride speculative background
+    /// publishes the ticket does not wait for (an all-eligible batch
+    /// resolves at submit), and [`ProvenanceClient::sync`] is the full
+    /// durability barrier. On a blocking-mode client this degenerates to
+    /// an inline flush returning a resolved ticket, so call sites can be
+    /// mode-agnostic.
+    ///
+    /// With a [`ClientBuilder::throttle`] gate installed, the call
+    /// blocks until the gate admits — after CAS staging, so ancestor
+    /// publishes overlap the throttle wait.
+    pub fn flush_async(&self, batch: FlushBatch) -> FlushTicket {
+        match &self.pipeline {
+            Some(p) => {
+                let refs = p.stage(&batch);
+                let admission = self.admit();
+                p.submit(batch, refs, admission)
+            }
+            None => {
+                self.admit();
+                FlushTicket::resolved(&self.env, self.inner.flush(batch))
             }
         }
     }
 
-    /// Enqueues a batch on the background flusher and returns a ticket
-    /// that resolves when the batch is durable. On a blocking-mode
-    /// client this degenerates to an inline flush returning a resolved
-    /// ticket, so call sites can be mode-agnostic.
-    ///
-    /// With a [`ClientBuilder::throttle`] gate installed, the call first
-    /// blocks until the gate admits.
-    pub fn flush_async(&self, batch: FlushBatch) -> FlushTicket {
-        self.admit();
-        match &self.pipeline {
-            Some(p) => p.submit(batch),
-            None => FlushTicket::resolved(&self.env, self.inner.flush(batch)),
-        }
-    }
-
-    /// Flush→durable latencies observed by the background flusher so far
-    /// (capped; empty on a blocking-mode client): for each submitted
-    /// batch, the virtual time from `flush`/`flush_async` enqueue to the
-    /// moment its merged upload was durable. The fleet benchmark's
-    /// p50/p99 columns aggregate these across clients.
+    /// Flush→resolve latencies observed so far (capped; empty on a
+    /// blocking-mode client): for each submitted batch, the virtual time
+    /// from `flush`/`flush_async` enqueue to the moment its ticket
+    /// resolved — immediately for batches the content-addressed store
+    /// fully covered, at merged-upload durability for batches carrying a
+    /// delta. The fleet benchmark's p50/p99 columns aggregate these
+    /// across clients.
     pub fn flush_latencies(&self) -> Vec<Duration> {
         self.pipeline
             .as_ref()
-            .map(|p| p.shared.lock().latencies.clone())
+            .map(|p| p.shared.lock().samples.iter().map(|s| s.total).collect())
+            .unwrap_or_default()
+    }
+
+    /// The per-flush latency split behind [`flush_latencies`]
+    /// (same order, same cap): admission wait, flusher-queue dwell and
+    /// upload time per sample, so the tail's composition is measurable
+    /// rather than guessed.
+    ///
+    /// [`flush_latencies`]: ProvenanceClient::flush_latencies
+    pub fn flush_breakdown(&self) -> Vec<FlushSample> {
+        self.pipeline
+            .as_ref()
+            .map(|p| p.shared.lock().samples.clone())
             .unwrap_or_default()
     }
 
@@ -514,13 +590,17 @@ impl StorageProtocol for ProvenanceClient {
     /// immediately — errors surface at the next barrier or ticket wait.
     /// Either way an installed admission gate is waited out first.
     fn flush(&self, batch: FlushBatch) -> Result<()> {
-        self.admit();
         match &self.pipeline {
             Some(p) => {
-                p.submit(batch);
+                let refs = p.stage(&batch);
+                let admission = self.admit();
+                p.submit(batch, refs, admission);
                 Ok(())
             }
-            None => self.inner.flush(batch),
+            None => {
+                self.admit();
+                self.inner.flush(batch)
+            }
         }
     }
 
@@ -571,6 +651,38 @@ pub struct PipelineStats {
     pub uploads: u64,
     /// Objects dropped because an earlier batch already persisted them.
     pub deduped_objects: u64,
+    /// Dedupe-set entries evicted oldest-first once past
+    /// `ProtocolConfig::dedupe_cap` — a nonzero count means later
+    /// identical flushes may re-upload (idempotently), never that
+    /// correctness was at risk.
+    pub dedupe_evictions: u64,
+    /// Content-addressed-store registry probes this client issued.
+    pub cas_probes: u64,
+    /// Probes that found the ancestor already published fleet-wide (the
+    /// cross-client dedupe the CAS exists for).
+    pub cas_hits: u64,
+    /// Ancestors this client published into the CAS.
+    pub cas_publishes: u64,
+}
+
+/// One flush's latency split, reported by
+/// [`ProvenanceClient::flush_breakdown`]. `total` is what
+/// [`ProvenanceClient::flush_latencies`] aggregates; `admission` is the
+/// backpressure wait *before* enqueue and is deliberately not part of
+/// `total` (the fleet reports it as its own column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushSample {
+    /// Enqueue → ticket resolve. Zero for a batch the content-addressed
+    /// store fully covered (its ticket resolves at submit).
+    pub total: Duration,
+    /// Admission-gate wait before enqueue.
+    pub admission: Duration,
+    /// Enqueue → flusher pickup (queue dwell; zero for CAS-settled
+    /// batches).
+    pub queued: Duration,
+    /// Flusher pickup → merged upload durable (zero for CAS-settled
+    /// batches).
+    pub upload: Duration,
 }
 
 /// Handle to one asynchronous flush; resolves when the batch is durable.
@@ -633,8 +745,18 @@ struct TicketState {
 }
 
 impl TicketState {
+    /// First resolution wins: a ticket settled at submit (fully
+    /// CAS-routed batch) keeps its `Ok` when the flusher later resolves
+    /// the whole merge — flusher errors for such batches surface at the
+    /// `sync`/`drain` barrier instead.
     fn resolve(&self, result: Result<()>) {
-        *self.result.lock() = Some(result);
+        {
+            let mut slot = self.result.lock();
+            if slot.is_some() {
+                return;
+            }
+            *slot = Some(result);
+        }
         if let Some(sem) = self.sem.lock().as_ref() {
             sem.release();
         }
@@ -643,9 +765,19 @@ impl TicketState {
 
 struct Job {
     batch: FlushBatch,
+    /// Per-object CAS routing decided at submit, aligned with
+    /// `batch.objects`: `Some` rides the content-addressed store, `None`
+    /// takes the legacy inline-upload path.
+    refs: Vec<Option<CasRef>>,
     ticket: Arc<TicketState>,
-    /// Virtual instant the batch was enqueued, for flush→durable latency.
+    /// Virtual instant the batch was enqueued, for flush→resolve latency.
     submitted_at: SimTime,
+    /// How long the admission gate blocked before enqueue.
+    admission: Duration,
+    /// Fully CAS-routed: the ticket resolved (and the latency sample was
+    /// recorded) at submit; the flusher must not resolve or sample it
+    /// again.
+    early: bool,
 }
 
 /// Content digest of one flush object: node id, pending records, data.
@@ -673,12 +805,6 @@ fn object_digest(obj: &crate::FlushObject) -> u64 {
     h
 }
 
-/// Cap on the cross-batch dedupe set: one entry per flushed object
-/// version, evicted oldest-first. A miss after eviction only costs a
-/// redundant (idempotent) re-upload, never correctness, so the window
-/// just needs to comfortably cover in-flight workloads.
-const DEDUPE_CAP: usize = 32_768;
-
 /// Cap on the barrier error buffer: a client driven purely through
 /// `FlushTicket::wait` (never `sync`/`drain`) must not accumulate one
 /// error per failed merge forever.
@@ -695,8 +821,8 @@ struct PipelineState {
     /// Digest (and object-store key) of the last state durably
     /// persisted per node version — the cross-batch ancestor dedupe
     /// set. A node whose pending records changed since digests
-    /// differently and is re-uploaded. Bounded to [`DEDUPE_CAP`]
-    /// entries via `persisted_order`.
+    /// differently and is re-uploaded. Bounded to
+    /// `ProtocolConfig::dedupe_cap` entries via `persisted_order`.
     persisted: BTreeMap<PNodeId, (u64, Option<String>)>,
     /// Insertion order of `persisted` keys, for oldest-first eviction.
     persisted_order: VecDeque<PNodeId>,
@@ -718,15 +844,18 @@ struct PipelineState {
     errors: VecDeque<(u64, u64, ProtocolError)>,
     /// Barrier waiters: woken when `completed` reaches their target.
     waiters: Vec<(u64, SimSemaphore)>,
-    /// Flush→durable samples (enqueue to merged-upload completion),
-    /// capped at [`LATENCY_CAP`].
-    latencies: Vec<Duration>,
+    /// Per-flush latency samples (see [`FlushSample`]), capped at
+    /// [`LATENCY_CAP`].
+    samples: Vec<FlushSample>,
+    /// Dedupe-set entries evicted past the cap (surfaced in
+    /// [`PipelineStats::dedupe_evictions`]).
+    evictions: u64,
 }
 
 impl PipelineState {
     /// Records the digests of a durably persisted merge, evicting the
-    /// oldest entries beyond [`DEDUPE_CAP`].
-    fn record_persisted(&mut self, merged_ids: BTreeMap<PNodeId, (u64, Option<String>)>) {
+    /// oldest entries beyond `cap` (`ProtocolConfig::dedupe_cap`).
+    fn record_persisted(&mut self, merged_ids: BTreeMap<PNodeId, (u64, Option<String>)>, cap: usize) {
         for (id, (digest, key)) in merged_ids {
             if let Some(k) = &key {
                 self.key_index.entry(k.clone()).or_default().push(id);
@@ -735,12 +864,13 @@ impl PipelineState {
                 self.persisted_order.push_back(id);
             }
         }
-        while self.persisted.len() > DEDUPE_CAP {
+        while self.persisted.len() > cap {
             // Skip order entries already invalidated by `delete`.
             let Some(oldest) = self.persisted_order.pop_front() else {
                 break;
             };
             if let Some((_, key)) = self.persisted.remove(&oldest) {
+                self.evictions += 1;
                 self.unindex(oldest, key.as_deref());
             }
         }
@@ -776,31 +906,58 @@ impl PipelineState {
 /// coalesced into one merged batch, preserving enqueue order (ancestors
 /// stay ahead of their descendants because `flush_closure` emits them
 /// first and earlier closes enqueue first).
+///
+/// On a P3 client with the content-addressed store enabled, `stage`
+/// fingerprints each object at submit and kicks off speculative
+/// background publishes; the flusher then ships CAS *references* for
+/// covered objects (waiting out their publishes first, so the WAL never
+/// names a hash that is not durable) and inline uploads only for the
+/// rest.
 struct Pipeline {
     sim: Sim,
     shared: Arc<Mutex<PipelineState>>,
     /// Producer/consumer signal: one release per submitted job plus one
     /// per shutdown request.
     work: SimSemaphore,
+    /// The fleet-wide content-addressed ancestor store (P3 with
+    /// `ProtocolConfig::cas` only).
+    cas: Option<CasStore>,
+    config: ProtocolConfig,
 }
 
 impl Pipeline {
-    fn start(sim: &Sim, inner: Arc<dyn StorageProtocol>, config: ProtocolConfig) -> Pipeline {
+    fn start(
+        env: &CloudEnv,
+        inner: Arc<dyn StorageProtocol>,
+        p3: Option<P3>,
+        config: ProtocolConfig,
+    ) -> Pipeline {
+        let sim = env.sim().clone();
+        // CAS routing needs the WAL's CAS-line vocabulary, so it is
+        // P3-only; other protocols (and `cas: false`) keep the legacy
+        // inline-upload path with refs all `None`.
+        let p3cas = if config.cas { p3 } else { None };
+        let cas = p3cas.as_ref().map(|_| CasStore::new(env, config.clone()));
         let shared = Arc::new(Mutex::new(PipelineState::default()));
-        let work = SimSemaphore::new(sim, 0);
+        let work = SimSemaphore::new(&sim, 0);
         {
             let shared = shared.clone();
             let work = work.clone();
+            let cas = cas.clone();
+            let config = config.clone();
             // The handle is deliberately dropped: the flusher exits on
             // shutdown (or idles, parked on `work`, costing no virtual
             // time) and is never joined.
             let sim2 = sim.clone();
-            let _flusher = sim.spawn(move || Self::run(sim2, shared, work, inner, config));
+            let _flusher =
+                sim.spawn(move || Self::run(sim2, shared, work, inner, p3cas, cas, config));
         }
         Pipeline {
-            sim: sim.clone(),
+            sim,
             shared,
             work,
+            cas,
+            config,
         }
     }
 
@@ -809,13 +966,15 @@ impl Pipeline {
         shared: Arc<Mutex<PipelineState>>,
         work: SimSemaphore,
         inner: Arc<dyn StorageProtocol>,
+        p3cas: Option<P3>,
+        cas: Option<CasStore>,
         config: ProtocolConfig,
     ) {
         loop {
             // One signal per job; extra wakeups (for jobs a previous
             // iteration already coalesced) find the queue empty.
             work.acquire().forget();
-            let (jobs, merged, merged_ids) = {
+            let (jobs, entries, wait_shas, merged_ids) = {
                 let mut st = shared.lock();
                 if st.queue.is_empty() {
                     if st.shutdown {
@@ -827,7 +986,8 @@ impl Pipeline {
                 let mut jobs: Vec<Job> = Vec::new();
                 let mut seen: BTreeMap<PNodeId, (u64, Option<String>)> = BTreeMap::new();
                 let mut merged_keys: BTreeMap<String, PNodeId> = BTreeMap::new();
-                let mut objects = Vec::new();
+                let mut entries: Vec<CasFlushItem> = Vec::new();
+                let mut wait_shas: Vec<String> = Vec::new();
                 while let Some(job) = pending.pop_front() {
                     // Never merge two *versions* of one key: the merged
                     // batch uploads in parallel, so the older version's
@@ -843,7 +1003,7 @@ impl Pipeline {
                         pending.push_front(job);
                         break;
                     }
-                    for obj in &job.batch.objects {
+                    for (obj, cref) in job.batch.objects.iter().zip(&job.refs) {
                         if let Some(k) = &obj.key {
                             merged_keys.insert(k.clone(), obj.node.id);
                         }
@@ -859,7 +1019,18 @@ impl Pipeline {
                             continue;
                         }
                         seen.insert(obj.node.id, (digest, obj.key.clone()));
-                        objects.push(obj.clone());
+                        // CAS-covered objects ship as references (their
+                        // content rides the speculative publish); the
+                        // rest ship inline, in the same interleaved
+                        // order so last-for-key election at the daemon
+                        // still sees the newest version last.
+                        match cref {
+                            Some(r) => {
+                                wait_shas.push(r.sha.clone());
+                                entries.push(CasFlushItem::Ref(r.clone()));
+                            }
+                            None => entries.push(CasFlushItem::Object(obj.clone())),
+                        }
                     }
                     jobs.push(job);
                 }
@@ -873,38 +1044,66 @@ impl Pipeline {
                     }
                     work.release();
                 }
-                if !objects.is_empty() {
+                if !entries.is_empty() {
                     st.uploads += 1;
                 }
-                (jobs, FlushBatch { objects }, seen)
+                (jobs, entries, wait_shas, seen)
             };
+            let pickup_at = sim.now();
             // Dedupe can empty the merge entirely; skip the protocol
             // call then (P3 would otherwise log a phantom empty WAL
             // transaction and every protocol would bill a wasted op).
             // The crash point models the background flusher dying with
             // batches still queued: the merge is lost, the error
             // surfaces at the next barrier or ticket wait.
-            let result = if merged.objects.is_empty() {
+            let result = if entries.is_empty() {
                 Ok(())
             } else {
-                config
-                    .step("client:flusher:flush")
-                    .and_then(|()| inner.flush(merged))
+                config.step("client:flusher:flush").and_then(|()| {
+                    // The WAL must never reference a hash whose publish
+                    // is not durable yet: wait out (or fail on) every
+                    // referenced publish before logging the delta.
+                    if let Some(cas) = &cas {
+                        for sha in &wait_shas {
+                            cas.wait(sha)?;
+                        }
+                    }
+                    match &p3cas {
+                        Some(p3) => p3.flush_with_cas(entries),
+                        None => inner.flush(FlushBatch {
+                            objects: entries
+                                .into_iter()
+                                .map(|item| match item {
+                                    CasFlushItem::Object(o) => o,
+                                    CasFlushItem::Ref(_) => {
+                                        unreachable!("CAS ref staged without a CAS store")
+                                    }
+                                })
+                                .collect(),
+                        }),
+                    }
+                })
             };
             let durable_at = sim.now();
             let mut st = shared.lock();
             match &result {
                 Ok(()) => {
-                    // Latency samples are flush→DURABLE: a failed merge
-                    // never became durable, so it contributes no sample
-                    // (it surfaces as an error at the barrier instead).
+                    // Latency samples are flush→resolve: a failed merge
+                    // never resolved Ok, so it contributes no sample (it
+                    // surfaces as an error at the barrier instead), and
+                    // early jobs sampled at submit already.
                     for job in &jobs {
-                        if st.latencies.len() < LATENCY_CAP {
-                            st.latencies
-                                .push(durable_at.saturating_duration_since(job.submitted_at));
+                        if !job.early && st.samples.len() < LATENCY_CAP {
+                            st.samples.push(FlushSample {
+                                total: durable_at.saturating_duration_since(job.submitted_at),
+                                admission: job.admission,
+                                queued: pickup_at.saturating_duration_since(job.submitted_at),
+                                upload: durable_at.saturating_duration_since(pickup_at),
+                            });
                         }
                     }
-                    st.record_persisted(merged_ids)
+                    let cap = config.dedupe_cap;
+                    st.record_persisted(merged_ids, cap)
                 }
                 Err(e) => {
                     let start = st.completed;
@@ -926,12 +1125,65 @@ impl Pipeline {
             });
             drop(st);
             for job in jobs {
+                // Idempotent: early jobs keep the Ok they resolved at
+                // submit.
                 job.ticket.resolve(result.clone());
             }
         }
     }
 
-    fn submit(&self, batch: FlushBatch) -> FlushTicket {
+    /// Routes each object of `batch` through the content-addressed
+    /// store: returns one `Option<CasRef>` per object (in order) and
+    /// kicks off speculative background publishes for first-seen
+    /// content. Runs on the submitting thread *before* admission, so
+    /// publishes overlap the backpressure wait; costs no virtual time
+    /// itself.
+    fn stage(&self, batch: &FlushBatch) -> Vec<Option<CasRef>> {
+        let Some(cas) = &self.cas else {
+            return vec![None; batch.objects.len()];
+        };
+        let mut refs = Vec::with_capacity(batch.objects.len());
+        let mut publishes = Vec::new();
+        for obj in &batch.objects {
+            match cas.stage(obj) {
+                Some((r, publish)) => {
+                    refs.push(Some(r));
+                    publishes.extend(publish);
+                }
+                None => refs.push(None),
+            }
+        }
+        if !publishes.is_empty() {
+            let cas = cas.clone();
+            let sim = self.sim.clone();
+            let concurrency = self.config.upload_concurrency;
+            // Fire-and-forget: waiters rendezvous through CasStore
+            // state, and the flusher's `wait` is the durability fence.
+            let _publisher = self.sim.spawn(move || {
+                let tasks: Vec<_> = publishes
+                    .into_iter()
+                    .map(|unit| {
+                        let cas = cas.clone();
+                        move || cas.publish(unit)
+                    })
+                    .collect();
+                sim.run_parallel(concurrency, tasks);
+            });
+        }
+        refs
+    }
+
+    fn submit(
+        &self,
+        batch: FlushBatch,
+        refs: Vec<Option<CasRef>>,
+        admission: Duration,
+    ) -> FlushTicket {
+        // A fully CAS-routed batch is already content-durable or riding
+        // in-flight publishes the flusher will fence on: its ticket
+        // settles now (the delta it would wait for is empty) and `sync`
+        // remains the barrier that surfaces any publish failure.
+        let early = refs.iter().all(Option::is_some);
         let ticket = Arc::new(TicketState {
             sim: self.sim.clone(),
             sem: Mutex::new(None),
@@ -940,13 +1192,27 @@ impl Pipeline {
         {
             let mut st = self.shared.lock();
             st.submitted += 1;
+            if early && st.samples.len() < LATENCY_CAP {
+                st.samples.push(FlushSample {
+                    total: Duration::ZERO,
+                    admission,
+                    queued: Duration::ZERO,
+                    upload: Duration::ZERO,
+                });
+            }
             st.queue.push_back(Job {
                 batch,
+                refs,
                 ticket: ticket.clone(),
                 submitted_at: self.sim.now(),
+                admission,
+                early,
             });
         }
         self.work.release();
+        if early {
+            ticket.resolve(Ok(()));
+        }
         FlushTicket { state: ticket }
     }
 
@@ -995,12 +1261,21 @@ impl Pipeline {
     }
 
     fn stats(&self) -> PipelineStats {
+        let (cas_probes, cas_hits, cas_publishes) = self
+            .cas
+            .as_ref()
+            .map(CasStore::counters)
+            .unwrap_or_default();
         let st = self.shared.lock();
         PipelineStats {
             submitted: st.submitted,
             completed: st.completed,
             uploads: st.uploads,
             deduped_objects: st.deduped,
+            dedupe_evictions: st.evictions,
+            cas_probes,
+            cas_hits,
+            cas_publishes,
         }
     }
 
@@ -1200,6 +1475,105 @@ mod tests {
             assert!(env.s3().peek_committed("data", &format!("f{i}")).is_some());
         }
         assert!(env.s3().peek_committed("data", "shared").is_some());
+    }
+
+    #[test]
+    fn cas_covered_flush_settles_at_submit() {
+        let sim = Sim::new();
+        let mut profile = AwsProfile::instant();
+        // Real cloud latencies: without the content-addressed store the
+        // ticket could not possibly resolve in zero virtual time.
+        profile.s3.write_base = Duration::from_millis(200);
+        profile.sdb.write_base = Duration::from_millis(200);
+        profile.sqs.write_base = Duration::from_millis(150);
+        let env = CloudEnv::new(&sim, profile);
+        let client = ProvenanceClient::builder(Protocol::P3)
+            .queue("wal-cas")
+            .pipelined()
+            .build(&env);
+        let t0 = sim.now();
+        let ticket = client.flush_async(FlushBatch {
+            objects: vec![file_obj(40, 1, "fast", "payload")],
+        });
+        assert!(ticket.is_done(), "fully CAS-routed batch settles at submit");
+        assert_eq!(sim.now(), t0, "submit costs no virtual time");
+        ticket.wait().unwrap();
+        // `sync` is the real durability barrier: it waits out the
+        // speculative publish and the WAL delta.
+        client.sync().unwrap();
+        assert!(sim.now() > t0, "durability still takes cloud time");
+        let stats = client.pipeline_stats().unwrap();
+        assert_eq!(stats.cas_publishes, 1);
+        assert_eq!(client.flush_latencies(), vec![Duration::ZERO]);
+        let breakdown = client.flush_breakdown();
+        assert_eq!(breakdown.len(), 1);
+        assert_eq!(breakdown[0].upload, Duration::ZERO);
+        client.drain().unwrap();
+        assert!(env.s3().peek_committed("data", "fast").is_some());
+    }
+
+    #[test]
+    fn evicted_ancestor_reuploads_ahead_of_its_descendant() {
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let client = ProvenanceClient::builder(Protocol::P3)
+            .queue("wal-evict")
+            .pipelined()
+            .dedupe_cap(1)
+            .build(&env);
+        let ancestor = file_obj(50, 1, "anc", "ancestor-bytes");
+        client
+            .flush(FlushBatch {
+                objects: vec![ancestor.clone(), file_obj(51, 1, "desc", "v1")],
+            })
+            .unwrap();
+        client.drain().unwrap();
+        let s1 = client.pipeline_stats().unwrap();
+        assert!(
+            s1.dedupe_evictions >= 1,
+            "cap 1 must evict, got {}",
+            s1.dedupe_evictions
+        );
+        // Delete the ancestor's object, then re-flush the *identical*
+        // ancestor (its dedupe entry is long evicted) together with a
+        // new descendant version in one batch. The merge must carry
+        // both — an evicted entry may cost a redundant upload, never a
+        // skipped one — with the ancestor at its ancestors-first
+        // position, so the descendant cannot ship ahead of it.
+        client.delete("anc").unwrap();
+        assert!(env.s3().peek_committed("data", "anc").is_none());
+        client
+            .flush(FlushBatch {
+                objects: vec![ancestor.clone(), file_obj(51, 2, "desc", "v2")],
+            })
+            .unwrap();
+        client.drain().unwrap();
+        let s2 = client.pipeline_stats().unwrap();
+        assert_eq!(
+            s2.uploads,
+            s1.uploads + 1,
+            "ancestor and descendant ride one merged upload"
+        );
+        assert_eq!(
+            s2.deduped_objects, s1.deduped_objects,
+            "nothing may dedupe away after the eviction"
+        );
+        // The deleted ancestor is restored from the content-addressed
+        // store — the daemon re-copies `cas/<sha>` to the final key even
+        // though it had materialized that sha before — and the
+        // descendant moved to v2.
+        assert_eq!(
+            env.s3().peek_committed("data", "anc").unwrap().blob,
+            Blob::from("ancestor-bytes")
+        );
+        assert_eq!(
+            env.s3().peek_committed("data", "desc").unwrap().blob,
+            Blob::from("v2")
+        );
+        // Fleet-wide dedupe still held: the re-flushed ancestor's
+        // content was already published, so only three publishes ever
+        // happened (anc, desc v1, desc v2).
+        assert_eq!(s2.cas_publishes, 3);
     }
 
     #[test]

@@ -64,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cas;
 mod client;
 mod error;
 pub mod feed;
@@ -75,8 +76,12 @@ mod p3;
 pub mod properties;
 mod protocol;
 
+pub use cas::{
+    cas_domain, cas_object_key, sha256_hex, CasFlushItem, CasRef, CasStore, CAS_OBJECT_PREFIX,
+};
 pub use client::{
-    AdmissionGate, ClientBuilder, FlushMode, FlushTicket, PipelineStats, Protocol, ProvenanceClient,
+    AdmissionGate, ClientBuilder, FlushMode, FlushSample, FlushTicket, PipelineStats, Protocol,
+    ProvenanceClient,
 };
 pub use error::{ClientError, ClientResult, ProtocolError, Result};
 pub use feed::{audit_feed, CommitEvent, CommitEventSink, FeedAudit, FeedWriter, StagedTouches};

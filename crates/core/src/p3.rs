@@ -59,6 +59,7 @@ use cloudprov_pass::wire;
 use cloudprov_pass::{PNodeId, ProvenanceRecord, Uuid};
 use cloudprov_sim::{SimHandle, SimTime};
 
+use crate::cas::{self, CasFlushItem};
 use crate::error::{ProtocolError, Result};
 use crate::feed::{extract_touches, CommitEventSink, FeedWriter, StagedTouches};
 use crate::layout::{object_metadata, parse_object_metadata};
@@ -171,21 +172,20 @@ impl P3 {
 
     /// Serializes a batch into WAL message bodies.
     ///
-    /// Lines are either `OBJ\t<temp>\t<final>\t<node>` (one per file) or
-    /// wire-encoded provenance records; they are packed greedily into
-    /// bodies that, with the header, stay within the 8 KB SQS limit.
+    /// Lines are object lines (`OBJ\t<temp>\t<final>\t<node>` per file,
+    /// `CAS\t<sha>\t<final>\t<node>\t<d|p>` per content-addressed
+    /// reference, in batch order) or wire-encoded provenance records;
+    /// they are packed greedily into bodies that, with the header, stay
+    /// within the 8 KB SQS limit.
     fn build_messages(
         txn: Uuid,
         tenant: Option<TenantId>,
-        files: &[(String, String, PNodeId)],
+        obj_lines: &[String],
         records: &[ProvenanceRecord],
         message_limit: usize,
     ) -> Vec<String> {
         let limit = message_limit.clamp(HEADER_ROOM + 64, MESSAGE_LIMIT) - HEADER_ROOM;
-        let mut lines: Vec<String> = Vec::new();
-        for (temp, final_key, id) in files {
-            lines.push(format!("OBJ\t{temp}\t{final_key}\t{id}\n"));
-        }
+        let mut lines: Vec<String> = obj_lines.to_vec();
         for r in records {
             lines.push(wire::encode_record(r));
         }
@@ -218,57 +218,69 @@ impl P3 {
             })
             .collect()
     }
-}
 
-impl StorageProtocol for P3 {
-    fn name(&self) -> &'static str {
-        "P3"
-    }
-
-    /// The **log phase**. Returns once everything is durably in the WAL —
-    /// the commit daemon finishes asynchronously, which is why P3's
-    /// client-side elapsed times exclude it (§5).
-    fn flush(&self, batch: FlushBatch) -> Result<()> {
+    /// The **log phase** for a mixed batch of delta objects and
+    /// content-addressed references ([`CasFlushItem`]) — the CAS-aware
+    /// generalization `flush` delegates to with all-`Object` items.
+    ///
+    /// Delta objects upload payloads to temp keys and travel as `OBJ`
+    /// lines; references travel as `CAS` lines carrying only a hash —
+    /// their content was published to the shared store before this call
+    /// (the flusher's [`CasStore::wait`](crate::CasStore::wait) barrier),
+    /// so the WAL never references content that does not exist. Object
+    /// lines are emitted in item order, preserving the closure's
+    /// ancestors-first, newest-version-last discipline across both kinds
+    /// for the daemon's last-for-key copy election.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cloud errors after retries; [`ProtocolError::Crashed`]
+    /// when the crash hook fires.
+    pub fn flush_with_cas(&self, items: Vec<CasFlushItem>) -> Result<()> {
         let sim = self.env.sim().clone();
         let txn = self.fresh_txn();
         let layout = &self.config.layout;
 
-        // 1. Store file data under temporary names (parallel).
-        let files: Vec<(String, String, PNodeId, cloudprov_cloud::Blob)> = batch
-            .objects
-            .iter()
-            .enumerate()
-            .filter_map(|(i, o)| {
-                o.key
-                    .clone()
-                    .zip(o.data.clone())
-                    .map(|(key, data)| (layout.temp_key(txn, i), key, o.node.id, data))
-            })
-            .collect();
+        // 1. Collect temp uploads and WAL object lines in item order.
+        let mut uploads: Vec<(String, cloudprov_cloud::Blob)> = Vec::new();
+        let mut obj_lines: Vec<String> = Vec::new();
+        let mut records: Vec<ProvenanceRecord> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                CasFlushItem::Object(o) => {
+                    if let (Some(key), Some(data)) = (o.key.clone(), o.data.clone()) {
+                        let temp = layout.temp_key(txn, i);
+                        obj_lines.push(format!("OBJ\t{temp}\t{key}\t{}\n", o.node.id));
+                        uploads.push((temp, data));
+                    }
+                    records.extend(o.node.records.iter().cloned());
+                }
+                CasFlushItem::Ref(r) => {
+                    obj_lines.push(format!(
+                        "CAS\t{}\t{}\t{}\t{}\n",
+                        r.sha,
+                        r.key.as_deref().unwrap_or("-"),
+                        r.id,
+                        if r.has_data { "d" } else { "p" },
+                    ));
+                }
+            }
+        }
         // 2. Build the WAL messages up front (temp keys are known before
         //    the temp PUTs complete), then run temp PUTs and WAL sends in
         //    ONE task pool: the paper's implementation sends packets in
         //    parallel — safe because ordering is reconstructed from
         //    sequence numbers and the commit daemon retries until temp
         //    objects become visible.
-        let file_meta: Vec<(String, String, PNodeId)> = files
-            .iter()
-            .map(|(t, f, id, _)| (t.clone(), f.clone(), *id))
-            .collect();
-        let records: Vec<ProvenanceRecord> = batch
-            .objects
-            .iter()
-            .flat_map(|o| o.node.records.iter().cloned())
-            .collect();
         let messages = Self::build_messages(
             txn,
             self.env.tenant(),
-            &file_meta,
+            &obj_lines,
             &records,
             self.config.wal_message_limit,
         );
         let mut tasks: Vec<Box<dyn FnOnce() -> Result<()> + Send>> = Vec::new();
-        for (temp, _, _, data) in &files {
+        for (temp, data) in &uploads {
             let (temp, data) = (temp.clone(), data.clone());
             let this = self.clone();
             tasks.push(Box::new(move || -> Result<()> {
@@ -329,6 +341,25 @@ impl StorageProtocol for P3 {
             logged.push((txn, sim.now()));
         }
         Ok(())
+    }
+}
+
+impl StorageProtocol for P3 {
+    fn name(&self) -> &'static str {
+        "P3"
+    }
+
+    /// The **log phase**. Returns once everything is durably in the WAL —
+    /// the commit daemon finishes asynchronously, which is why P3's
+    /// client-side elapsed times exclude it (§5).
+    fn flush(&self, batch: FlushBatch) -> Result<()> {
+        self.flush_with_cas(
+            batch
+                .objects
+                .into_iter()
+                .map(CasFlushItem::Object)
+                .collect(),
+        )
     }
 
     fn read(&self, key: &str) -> Result<ReadResult> {
@@ -397,6 +428,11 @@ struct ParsedTxn {
     tenant: Option<TenantId>,
     files: Vec<(String, String, PNodeId)>,
     records: Vec<ProvenanceRecord>,
+    /// CAS hashes whose registry records this member still needs
+    /// (referenced by a `CAS` line and not in this daemon's materialized
+    /// cache). Fetched in phase 0; a hash that never becomes visible
+    /// evicts the member like a stalled copy.
+    cas_shas: Vec<String>,
     receipts: Vec<String>,
 }
 
@@ -452,6 +488,31 @@ fn copy_into_place(
     Err(ProtocolError::CommitStalled(format!(
         "temp object {temp} for txn {txn} never became copyable"
     )))
+}
+
+/// Fetches one CAS hash's records from the shared registry with the same
+/// bounded visibility-retry discipline as [`copy_into_place`]: the
+/// registry is eventually consistent, and the publish happened strictly
+/// before the WAL reference, so a short wait closes the common race.
+/// `Ok(None)` — never visible within the budget, or a malformed item —
+/// evicts the referencing member (redelivery retries the whole group
+/// member); hard cloud errors propagate.
+fn fetch_cas_records(
+    env: &CloudEnv,
+    config: &ProtocolConfig,
+    sha: &str,
+) -> Result<Option<Vec<ProvenanceRecord>>> {
+    let sim = env.sim();
+    let sdb = env.sdb().with_actor(Actor::CommitDaemon);
+    let registry = cas::cas_domain(&config.layout.domain);
+    for _ in 0..config.retries.max(1) + 8 {
+        let attrs = retry(sim, config.retries, || sdb.get_attributes(&registry, sha))?;
+        if !attrs.is_empty() {
+            return Ok(cas::decode_registry_item(&attrs).map(|(_, _, _, records)| records));
+        }
+        sim.sleep(Duration::from_secs(1));
+    }
+    Ok(None)
 }
 
 /// The two write phases of one group commit, in execution order: every
@@ -563,6 +624,14 @@ pub struct CommitDaemon {
     first_seen: Mutex<BTreeMap<Uuid, SimTime>>,
     committed_count: AtomicU64,
     listener: Mutex<Option<CommitListener>>,
+    /// CAS hashes whose registry records this daemon has already written
+    /// through a committed group — their refetch is skipped (the records
+    /// are durable in the provenance domain; SimpleDB deduplicates the
+    /// identical re-put a cache-cold daemon performs). Data copies are
+    /// NEVER skipped on cache grounds: a client may delete a final key
+    /// and re-flush identical content, and the re-copy is what restores
+    /// the object.
+    materialized: Mutex<BTreeSet<String>>,
     /// Change-feed staging for this WAL stream; `Some` iff `config.feed`.
     feed: Option<FeedWriter>,
     /// Where published [`CommitEvent`]s go. Installing none is fine —
@@ -604,6 +673,7 @@ impl CommitDaemon {
             wal_url: wal_url.to_string(),
             buf: Mutex::new(BTreeMap::new()),
             committed: Mutex::new(BTreeSet::new()),
+            materialized: Mutex::new(BTreeSet::new()),
             first_seen: Mutex::new(BTreeMap::new()),
             committed_count: AtomicU64::new(0),
             listener: Mutex::new(None),
@@ -737,7 +807,13 @@ impl CommitDaemon {
     }
 
     /// Commits a group of fully-assembled transactions in five phases
-    /// whose ordering carries the §3 invariants across the grouping:
+    /// whose ordering carries the §3 invariants across the grouping
+    /// (plus a phase 0 that materializes content-addressed references:
+    /// each referenced CAS hash's registry records are fetched — once
+    /// per hash per group, in parallel — and folded into the
+    /// referencing members, whose `cas/{sha}` data objects then ride
+    /// the ordinary copy fan-out below; a member whose hash never
+    /// becomes visible evicts before any of its state is written):
     ///
     /// 1. **Copy** — every member's temp objects COPY into place, fanned
     ///    out over `commit_parallelism` connections. A member whose temp
@@ -786,6 +862,7 @@ impl CommitDaemon {
         let mut txns: Vec<ParsedTxn> = Vec::with_capacity(group.len());
         for (txn, entry) in group {
             let mut files: Vec<(String, String, PNodeId)> = Vec::new();
+            let mut cas_shas: Vec<String> = Vec::new();
             let mut record_text = String::new();
             for body in entry.parts.values() {
                 for line in body.lines() {
@@ -798,6 +875,31 @@ impl CommitDaemon {
                         };
                         if let Ok(id) = id.parse::<PNodeId>() {
                             files.push((temp.to_string(), final_key.to_string(), id));
+                        }
+                    } else if let Some(rest) = line.strip_prefix("CAS\t") {
+                        // A content-addressed reference: the published
+                        // `cas/{sha}` object joins the copy fan-out like
+                        // a temp object (at its position in line order,
+                        // preserving last-for-key election), and the
+                        // hash's registry records join the member in
+                        // phase 0.
+                        let mut it = rest.split('\t');
+                        let (Some(sha), Some(final_key), Some(id), Some(flag)) =
+                            (it.next(), it.next(), it.next(), it.next())
+                        else {
+                            continue;
+                        };
+                        if let Ok(id) = id.parse::<PNodeId>() {
+                            if flag == "d" && final_key != "-" {
+                                files.push((
+                                    cas::cas_object_key(sha),
+                                    final_key.to_string(),
+                                    id,
+                                ));
+                            }
+                            if !self.materialized.lock().contains(sha) {
+                                cas_shas.push(sha.to_string());
+                            }
                         }
                     } else {
                         record_text.push_str(line);
@@ -814,8 +916,52 @@ impl CommitDaemon {
                 tenant: entry.tenant,
                 files,
                 records,
+                cas_shas,
                 receipts: entry.receipts,
             });
+        }
+
+        // Phase 0: materialize CAS references — fetch each referenced
+        // hash's registry item (once per hash per group, fanned out in
+        // parallel) and fold its records into the referencing members.
+        // The client's flusher only logs a reference after its publish
+        // is durable, so a hash that never becomes visible within the
+        // copy-style retry budget is either registry eventual
+        // consistency that outlived the budget or a corrupt entry; the
+        // member evicts like a stalled copy and its messages redeliver.
+        let mut stalled: Vec<bool> = vec![false; txns.len()];
+        let needed: Vec<String> = {
+            let mut seen = BTreeSet::new();
+            txns.iter()
+                .flat_map(|t| t.cas_shas.iter())
+                .filter(|sha| seen.insert(sha.to_string()))
+                .cloned()
+                .collect()
+        };
+        if !needed.is_empty() {
+            let mut tasks: Vec<
+                Box<dyn FnOnce() -> Result<Option<Vec<ProvenanceRecord>>> + Send>,
+            > = Vec::new();
+            for sha in &needed {
+                let env = self.env.clone();
+                let config = self.config.clone();
+                let sha = sha.clone();
+                tasks.push(Box::new(move || fetch_cas_records(&env, &config, &sha)));
+            }
+            let mut fetched: BTreeMap<String, Vec<ProvenanceRecord>> = BTreeMap::new();
+            for (sha, r) in needed.iter().zip(sim.run_parallel(par, tasks)) {
+                if let Some(records) = r? {
+                    fetched.insert(sha.clone(), records);
+                }
+            }
+            for (ti, t) in txns.iter_mut().enumerate() {
+                for sha in &t.cas_shas {
+                    match fetched.get(sha) {
+                        Some(records) => t.records.extend(records.iter().cloned()),
+                        None => stalled[ti] = true,
+                    }
+                }
+            }
         }
 
         // Phase 1: COPY temp -> permanent, stamping uuid+version
@@ -855,6 +1001,11 @@ impl CommitDaemon {
         let mut owners: Vec<usize> = Vec::new();
         let mut tasks: Vec<Box<dyn FnOnce() -> Result<()> + Send>> = Vec::new();
         for (ti, t) in txns.iter().enumerate() {
+            if stalled[ti] {
+                // Evicted in phase 0 (unmaterializable CAS reference):
+                // none of its data commits either.
+                continue;
+            }
             let mut last_for_key: BTreeMap<&str, usize> = BTreeMap::new();
             for (fi, (_, final_key, _)) in t.files.iter().enumerate() {
                 last_for_key.insert(final_key, fi);
@@ -872,7 +1023,6 @@ impl CommitDaemon {
                 }));
             }
         }
-        let mut stalled: Vec<bool> = vec![false; txns.len()];
         for (ti, r) in owners.into_iter().zip(sim.run_parallel(par, tasks)) {
             match r {
                 Ok(()) => {}
@@ -947,6 +1097,12 @@ impl CommitDaemon {
         let mut tasks: Vec<Box<dyn FnOnce() -> Result<()> + Send>> = Vec::new();
         for &ti in &survivors {
             for (temp, _, _) in &txns[ti].files {
+                if !temp.starts_with(&layout.temp_prefix) {
+                    // A `cas/…` source is shared, fleet-wide published
+                    // content — other transactions (on other shards,
+                    // later) reference the same hash. Never GC'd here.
+                    continue;
+                }
                 let env = self.env.clone();
                 let config = self.config.clone();
                 let temp = temp.clone();
@@ -1006,6 +1162,16 @@ impl CommitDaemon {
             let mut committed = self.committed.lock();
             for &ti in &survivors {
                 committed.insert(txns[ti].txn);
+            }
+        }
+        {
+            // Survivors' CAS records are durable in the provenance
+            // domain now — this daemon need not refetch those hashes.
+            let mut materialized = self.materialized.lock();
+            for &ti in &survivors {
+                for sha in &txns[ti].cas_shas {
+                    materialized.insert(sha.clone());
+                }
             }
         }
         self.committed_count

@@ -218,6 +218,19 @@ pub struct ProtocolConfig {
     /// tables assume no feed traffic; the fleet driver and the chaos
     /// explorer turn it on.
     pub feed: bool,
+    /// Whether the pipelined P3 flush path routes eligible objects
+    /// through the fleet-wide content-addressed ancestor store
+    /// ([`crate::cas`]): content is published speculatively in the
+    /// background and the WAL carries hash references, so a
+    /// [`FlushTicket`](crate::FlushTicket) resolves on the delta alone.
+    /// On by default; inert for P1/P2, blocking clients and the
+    /// protocols as measured by the paper's tables.
+    pub cas: bool,
+    /// Capacity of the pipelined flusher's cross-batch dedupe set
+    /// (persisted node digests). Evictions beyond the cap are counted in
+    /// [`PipelineStats`](crate::PipelineStats) — an evicted ancestor is
+    /// re-uploaded, never reordered.
+    pub dedupe_cap: usize,
 }
 
 impl std::fmt::Debug for ProtocolConfig {
@@ -240,6 +253,8 @@ impl std::fmt::Debug for ProtocolConfig {
             .field("wal_batch_send", &self.wal_batch_send)
             .field("commit_parallelism", &self.commit_parallelism)
             .field("feed", &self.feed)
+            .field("cas", &self.cas)
+            .field("dedupe_cap", &self.dedupe_cap)
             .finish()
     }
 }
@@ -259,6 +274,8 @@ impl Default for ProtocolConfig {
             wal_batch_send: true,
             commit_parallelism: 16,
             feed: false,
+            cas: true,
+            dedupe_cap: 32_768,
         }
     }
 }
@@ -712,6 +729,8 @@ mod tests {
             "wal_batch_send",
             "commit_parallelism",
             "feed",
+            "cas",
+            "dedupe_cap",
         ] {
             assert!(dbg.contains(field), "Debug output drops '{field}': {dbg}");
         }

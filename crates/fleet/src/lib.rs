@@ -43,8 +43,11 @@ pub use router::ShardRouter;
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
+
 use cloudprov_cloud::{CloudEnv, TenantId};
 use cloudprov_core::{Protocol, ProtocolConfig, ProvenanceClient};
+use cloudprov_sim::SimSemaphore;
 
 /// Fleet-level tuning.
 #[derive(Clone, Copy, Debug)]
@@ -53,10 +56,14 @@ pub struct FleetConfig {
     pub shards: u32,
     /// Commit-lease TTL (also the takeover latency after daemon death).
     pub lease_ttl: Duration,
-    /// Per-shard WAL depth (messages) above which client flushes block.
-    /// Zero disables backpressure.
+    /// Per-shard WAL depth (messages) above which client flushes block —
+    /// the ceiling the adaptive admission controller enforces. Zero
+    /// disables backpressure.
     pub max_shard_depth: usize,
-    /// How often a throttled client re-checks its shard's depth.
+    /// Fallback re-check interval for a throttled client. With `push`
+    /// on, the shard's drain doorbell wakes throttled clients the moment
+    /// the daemon acknowledges WAL messages, and this interval only
+    /// covers lost rings; without push it is the polling cadence.
     pub admission_poll: Duration,
     /// Push delivery: pool workers watch their leased shard WALs and
     /// wake on arrival (see [`PoolConfig::push`]); off, they sleep the
@@ -76,6 +83,41 @@ impl Default for FleetConfig {
     }
 }
 
+/// Per-shard adaptive admission: where the old fixed throttle probed
+/// shard depth once per flush, a client that finds headroom below the
+/// bound is granted `headroom - 1` admission *credits*, and clients
+/// sharing the shard spend them on subsequent flushes without
+/// re-probing; only an exhausted credit line probes again. The fleet
+/// issues O(depth changes) depth probes instead of O(flushes), and the
+/// batch size adapts by itself: a draining shard hands out big credit
+/// lines, a congested one degenerates to probe-per-flush until the gate
+/// closes.
+#[derive(Debug)]
+struct AdmissionControl {
+    /// Depth ceiling (`FleetConfig::max_shard_depth`).
+    bound: usize,
+    credits: Mutex<usize>,
+}
+
+impl AdmissionControl {
+    /// One admission attempt: spend a credit, or probe `depth` and
+    /// refill the credit line from the observed headroom. `false` means
+    /// the shard is at its bound and the caller must park.
+    fn try_admit(&self, depth: impl FnOnce() -> usize) -> bool {
+        let mut credits = self.credits.lock();
+        if *credits > 0 {
+            *credits -= 1;
+            return true;
+        }
+        let headroom = self.bound.saturating_sub(depth());
+        if headroom == 0 {
+            return false;
+        }
+        *credits = headroom - 1;
+        true
+    }
+}
+
 /// A provisioned commit plane: router, lease board and client factory.
 #[derive(Clone, Debug)]
 pub struct Fleet {
@@ -84,6 +126,8 @@ pub struct Fleet {
     config: FleetConfig,
     router: Arc<ShardRouter>,
     board: LeaseBoard,
+    /// One credit line per shard, shared by every client of that shard.
+    admission: Arc<Vec<AdmissionControl>>,
 }
 
 impl Fleet {
@@ -95,12 +139,21 @@ impl Fleet {
     ) -> Fleet {
         let router = Arc::new(ShardRouter::provision(env, config.shards));
         let board = LeaseBoard::provision(env, config.shards, config.lease_ttl);
+        let admission = Arc::new(
+            (0..config.shards)
+                .map(|_| AdmissionControl {
+                    bound: config.max_shard_depth,
+                    credits: Mutex::new(0),
+                })
+                .collect::<Vec<_>>(),
+        );
         Fleet {
             env: env.clone(),
             protocol_config,
             config,
             router,
             board,
+            admission,
         }
     }
 
@@ -170,11 +223,27 @@ impl Fleet {
         if self.config.max_shard_depth > 0 {
             let sqs = env.sqs().clone();
             let url = self.router.wal_url(shard).to_string();
-            let bound = self.config.max_shard_depth;
+            let admission = self.admission.clone();
+            let idx = shard as usize;
             builder = builder.throttle(
-                Arc::new(move || sqs.peek_depth(&url) < bound),
+                Arc::new(move || admission[idx].try_admit(|| sqs.peek_depth(&url))),
                 self.config.admission_poll,
             );
+            if self.config.push {
+                // The admission doorbell: the daemon pool's WAL acks
+                // (delete / delete_batch on the shard queue) ring it, so
+                // a throttled client re-checks the instant capacity
+                // frees instead of sleeping out the poll interval.
+                let bell = SimSemaphore::new(self.env.sim(), 0);
+                if self
+                    .env
+                    .sqs()
+                    .watch_drain(self.router.wal_url(shard), bell.clone())
+                    .is_ok()
+                {
+                    builder = builder.admission_bell(bell);
+                }
+            }
         }
         builder.build(&env)
     }
@@ -304,6 +373,129 @@ mod tests {
             "backpressure failed: depth reached {max_seen}"
         );
         drop(client);
+    }
+
+    #[test]
+    fn shared_ancestor_across_tenants_publishes_once() {
+        // Two clients of different tenants flush batches sharing one
+        // ancestor object. The second client's probe must hit the
+        // fleet-wide content-addressed store — the shared bytes upload
+        // exactly once — and the probe itself is metered traffic billed
+        // to the probing tenant.
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let fleet = Fleet::provision(&env, ProtocolConfig::default(), FleetConfig::default());
+        let pool = fleet.spawn_pool(2, Duration::from_secs(1));
+        let a = fleet.client("tenant-a-client", Some(TenantId(0)));
+        let b = fleet.client("tenant-b-client", Some(TenantId(1)));
+        let ancestor = file_obj(4000, "shared-input", "the same reference data");
+        a.flush(FlushBatch {
+            objects: vec![ancestor.clone(), file_obj(4001, "a-out", "from-a")],
+        })
+        .unwrap();
+        a.sync().unwrap();
+        let deadline = sim.now() + Duration::from_secs(600);
+        while fleet.total_depth() > 0 && sim.now() < deadline {
+            sim.sleep(Duration::from_secs(2));
+        }
+        // Generous settle so the registry write is visible to B's probe
+        // despite SimpleDB's eventual consistency.
+        sim.sleep(Duration::from_secs(30));
+        b.flush(FlushBatch {
+            objects: vec![ancestor.clone(), file_obj(4002, "b-out", "from-b")],
+        })
+        .unwrap();
+        b.sync().unwrap();
+        while fleet.total_depth() > 0 && sim.now() < deadline {
+            sim.sleep(Duration::from_secs(2));
+        }
+        let sa = a.pipeline_stats().unwrap();
+        let sb = b.pipeline_stats().unwrap();
+        assert_eq!(sa.cas_publishes, 2, "A publishes the ancestor + its output");
+        assert_eq!(
+            sb.cas_publishes, 1,
+            "B's shared ancestor hits the store; only its own output publishes"
+        );
+        assert!(sb.cas_hits >= 1, "the hit is observable in B's counters");
+        // Three unique contents → exactly three stored CAS objects: the
+        // shared ancestor's bytes exist once, fleet-wide.
+        let cas_objects = env.s3().list_all("data", "cas/").unwrap();
+        assert_eq!(cas_objects.len(), 3);
+        // The probe rode tenant B's bill.
+        assert!(
+            env.usage()
+                .tenant_view(TenantId(1))
+                .get(Actor::Client, Service::Database, Op::DbGet)
+                .count
+                > 0
+        );
+        pool.stop();
+        for key in ["shared-input", "a-out", "b-out"] {
+            assert!(env.s3().peek_committed("data", key).is_some(), "{key}");
+        }
+    }
+
+    #[test]
+    fn drain_doorbell_wakes_throttled_client_before_the_poll_interval() {
+        // A client parked at the depth bound must resume as soon as the
+        // daemon acks WAL messages — not a poll interval later. The poll
+        // here is deliberately enormous (10 s) so a pass can only come
+        // from the doorbell.
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let poll = Duration::from_secs(10);
+        let bound = 4;
+        let fleet = Fleet::provision(
+            &env,
+            ProtocolConfig::default(),
+            FleetConfig {
+                shards: 1,
+                max_shard_depth: bound,
+                admission_poll: poll,
+                push: true,
+                ..FleetConfig::default()
+            },
+        );
+        let client = fleet.client("parked", None);
+        let url = fleet.router().wal_url(0).to_string();
+        // Fill the shard to its bound, one WAL message per transaction
+        // (the sync between flushes prevents coalescing). No pool runs,
+        // so nothing drains on its own.
+        for i in 0..bound {
+            client
+                .flush(FlushBatch {
+                    objects: vec![file_obj(700 + i as u128, &format!("fill{i}"), "x")],
+                })
+                .unwrap();
+            client.sync().unwrap();
+        }
+        assert_eq!(fleet.total_depth(), bound, "shard filled to the bound");
+        // The next flush must park: depth == bound, credits exhausted.
+        let parked = {
+            let client = fleet.client("parked-2", None);
+            let sim2 = sim.clone();
+            sim.spawn(move || {
+                let t0 = sim2.now();
+                client
+                    .flush(FlushBatch {
+                        objects: vec![file_obj(799, "late", "x")],
+                    })
+                    .unwrap();
+                client.sync().unwrap();
+                sim2.now().saturating_duration_since(t0)
+            })
+        };
+        // Let the client reach the gate and park, then act as the
+        // daemon: ack one WAL message, which rings the drain doorbell.
+        sim.sleep(Duration::from_millis(100));
+        let msgs = env.sqs().receive(&url, 1).unwrap();
+        assert_eq!(msgs.len(), 1);
+        env.sqs().delete(&url, &msgs[0].receipt).unwrap();
+        let blocked_for = parked.join();
+        assert!(
+            blocked_for < Duration::from_secs(1),
+            "doorbell must beat the 10 s poll fallback (blocked {blocked_for:?})"
+        );
     }
 
     #[test]

@@ -216,6 +216,14 @@ impl PaS3fs {
     /// through the protocol (§4.2: "On certain events, such as file close
     /// or flush, it sends both the data and the provenance to the cloud").
     ///
+    /// On a pipelined session the batch returns once enqueued, and what
+    /// the eventual flush waits on is only the batch's **delta**: the
+    /// ancestor closure is content-addressed, so ancestors the fleet's
+    /// shared store already holds ride speculative background publishes
+    /// instead of the close path. A fully-covered close settles the
+    /// moment it is submitted; the client's `sync` barrier remains the
+    /// durability promise either way.
+    ///
     /// # Errors
     ///
     /// Propagates protocol errors (crash injection, exhausted retries).

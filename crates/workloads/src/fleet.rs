@@ -26,7 +26,8 @@ use std::time::Duration;
 
 use cloudprov_cloud::{AwsProfile, CloudEnv, PriceBook, TenantId};
 use cloudprov_core::{
-    CommitEvent, CouplingCheck, Protocol, ProtocolConfig, ProvenanceClient, StorageProtocol,
+    CommitEvent, CouplingCheck, FlushSample, Protocol, ProtocolConfig, ProvenanceClient,
+    StorageProtocol,
 };
 use cloudprov_feed::{Predicate, Subscriptions};
 use cloudprov_fleet::{Fleet, FleetConfig, PoolStats};
@@ -133,6 +134,24 @@ pub struct FleetReport {
     pub p99: Duration,
     /// Latency samples behind the percentiles.
     pub samples: usize,
+    /// Median admission wait per flush (the per-shard backpressure
+    /// gate). Deliberately *not* a component of `p50`/`p99`: admission
+    /// is throttling by design, reported on its own so a tail there is
+    /// never mistaken for upload cost.
+    pub admission_p50: Duration,
+    /// 99th-percentile admission wait.
+    pub admission_p99: Duration,
+    /// Median flusher-queue dwell (submit → flusher pickup) — the part
+    /// of flush latency spent waiting behind earlier merges.
+    pub queue_p50: Duration,
+    /// 99th-percentile flusher-queue dwell.
+    pub queue_p99: Duration,
+    /// Median upload component (flusher pickup → WAL durable) — the
+    /// delta upload itself; content-addressed ancestors ride background
+    /// publishes and contribute nothing here.
+    pub upload_p50: Duration,
+    /// 99th-percentile upload component.
+    pub upload_p99: Duration,
     /// Median per-transaction commit latency: WAL-durable → committed
     /// by the daemon pool (the commit plane's own contribution, which
     /// group commit attacks; flush→durable latency is client-bound).
@@ -234,7 +253,7 @@ impl FleetReport {
 
 struct ClientOutcome {
     durable_keys: std::collections::BTreeSet<String>,
-    latencies: Vec<Duration>,
+    breakdown: Vec<FlushSample>,
     logged: Vec<(Uuid, SimTime)>,
     logged_txns: u64,
     failed: bool,
@@ -319,7 +338,7 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
                 let sync_failed = client.sync().is_err();
                 ClientOutcome {
                     durable_keys: replay.durable_keys,
-                    latencies: client.flush_latencies(),
+                    breakdown: client.flush_breakdown(),
                     logged: client.wal_logged_transactions(),
                     logged_txns: client.pipeline_stats().map(|s| s.uploads).unwrap_or(0),
                     failed: replay.died.is_some() || sync_failed,
@@ -404,6 +423,9 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     let mut durable_checked = 0;
     let mut client_errors = 0;
     let mut latencies: Vec<Duration> = Vec::new();
+    let mut admissions: Vec<Duration> = Vec::new();
+    let mut queues: Vec<Duration> = Vec::new();
+    let mut uploads: Vec<Duration> = Vec::new();
     let mut commit_lags: Vec<Duration> = Vec::new();
     let mut pickup_lags: Vec<Duration> = Vec::new();
     let mut logged_txns = 0;
@@ -412,7 +434,12 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
             client_errors += 1;
         }
         logged_txns += o.logged_txns;
-        latencies.extend_from_slice(&o.latencies);
+        for s in &o.breakdown {
+            latencies.push(s.total);
+            admissions.push(s.admission);
+            queues.push(s.queued);
+            uploads.push(s.upload);
+        }
         // Join this client's logged-at instants with the pool's
         // committed-at instants: the commit plane's per-transaction
         // latency, WAL-durable -> committed.
@@ -444,6 +471,9 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         }
     }
     latencies.sort_unstable();
+    admissions.sort_unstable();
+    queues.sort_unstable();
+    uploads.sort_unstable();
     commit_lags.sort_unstable();
     pickup_lags.sort_unstable();
 
@@ -484,6 +514,12 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         p50: percentile(&latencies, 50.0),
         p99: percentile(&latencies, 99.0),
         samples: latencies.len(),
+        admission_p50: percentile(&admissions, 50.0),
+        admission_p99: percentile(&admissions, 99.0),
+        queue_p50: percentile(&queues, 50.0),
+        queue_p99: percentile(&queues, 99.0),
+        upload_p50: percentile(&uploads, 50.0),
+        upload_p99: percentile(&uploads, 99.0),
         commit_p50: percentile(&commit_lags, 50.0),
         commit_p99: percentile(&commit_lags, 99.0),
         commit_samples: commit_lags.len(),

@@ -48,11 +48,15 @@ fn run(protocol: Protocol, mode: FlushMode, profile: AwsProfile, trace: &Trace) 
 }
 
 /// Canonical view of the data bucket: sorted `(key, fingerprint, len)`.
+/// Content-addressed store objects (`cas/<sha>`) are infrastructure the
+/// pipelined P3 path shares fleet-wide, not user-visible data; the
+/// equivalence claim is about the objects a reader can name.
 fn data_state(env: &CloudEnv) -> BTreeSet<(String, u64, u64)> {
     env.s3()
         .list_all("data", "")
         .expect("list data bucket")
         .into_iter()
+        .filter(|k| !k.key.starts_with(cloudprov::protocols::CAS_OBJECT_PREFIX))
         .map(|k| {
             let obj = env.s3().get("data", &k.key).expect("get data object");
             (k.key, obj.blob.content_fingerprint(), obj.blob.len())
