@@ -644,7 +644,9 @@ fn chaos_table(small: bool, seed_arg: Option<u64>) -> bool {
 
 /// The fleet scaling table over the sharded multi-tenant commit plane.
 /// Returns whether every cell was free of invariant violations.
-fn fleet_table(small: bool, seed: u64, mode: fleet::SweepMode) -> bool {
+/// `trace_out` writes the first cell's Chrome trace JSON (Perfetto-
+/// loadable) to the given path.
+fn fleet_table(small: bool, seed: u64, mode: fleet::SweepMode, trace_out: Option<&str>) -> bool {
     hr("Fleet: clients x shards x daemons over the sharded commit plane (throughput\n       must rise with daemons at fixed shards; zero invariant violations)");
     println!(
         "Seed {seed}; every cell replays seeded testkit scripts through pipelined,\nthrottled P3 sessions routed onto shard WALs; a lease-holding daemon pool\ncommits asynchronously as GROUPS. p50/p99 are client flush->WAL-durable;\nCp50/Cp99 are the commit plane's own WAL-durable->committed latency, and\nPk50 its waiting component (WAL-durable->daemon pickup) — the part push\ndelivery eliminates. The final row is the unsaturated latency probe."
@@ -734,6 +736,67 @@ fn fleet_table(small: bool, seed: u64, mode: fleet::SweepMode) -> bool {
             r.p99.as_secs_f64() * 1e3,
         );
     }
+    // Where the commit latency lives: the critical-path breakdown of
+    // the median-latency traced txn, per cell. Exclusive self-time per
+    // phase — dwell (WAL-durable -> daemon pickup), lease (pickup ->
+    // group formation), then the group-commit phases — telescopes to
+    // the root span, so Sum reconciles with Cp50 by construction. Feed
+    // is the post-commit publish, outside the commit window. Drop is
+    // doorbells shed by the bounded pool queue; Evict is client dedupe-
+    // set evictions (both previously unsurfaced).
+    println!(
+        "\nCommit critical path (s) — per-phase self-time of the median traced txn;\nphase sum must reconcile with Cp50 (trace gate):"
+    );
+    println!(
+        "  {:>7} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}",
+        "Clients",
+        "Shards",
+        "Daemons",
+        "Dwell",
+        "Lease",
+        "Copy",
+        "Db",
+        "Index",
+        "Ack",
+        "Untr",
+        "Sum",
+        "Cp50",
+        "Drop",
+        "Evict"
+    );
+    for r in &reports {
+        let b = r.breakdown.unwrap_or_default();
+        println!(
+            "  {:>7} {:>7} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>6} {:>6}",
+            r.clients,
+            r.shards,
+            r.daemons,
+            b.dwell.as_secs_f64(),
+            b.lease.as_secs_f64(),
+            b.copy.as_secs_f64(),
+            b.db.as_secs_f64(),
+            b.index.as_secs_f64(),
+            b.ack.as_secs_f64(),
+            b.untraced.as_secs_f64(),
+            b.commit_sum().as_secs_f64(),
+            r.commit_p50.as_secs_f64(),
+            r.pool.dropped,
+            r.dedupe_evictions,
+        );
+    }
+    // Trace gate: connectivity (zero orphan spans) and root fidelity
+    // (root duration == measured commit latency, +/- 1 sim tick) per
+    // cell. Both are also folded into violations(), so a failure here
+    // already flipped the cell's verdict above.
+    let trace_ok = reports
+        .iter()
+        .all(|r| r.trace_orphans == 0 && r.trace_root_mismatches == 0);
+    println!(
+        "\nTrace gate: zero orphan spans, every root == measured commit latency — {} ({} spans across {} cells)",
+        if trace_ok { "PASS" } else { "FAIL" },
+        reports.iter().map(|r| r.trace_spans).sum::<u64>(),
+        reports.len()
+    );
     // Push-mode latency gate, on the probe cell: the doorbell must put
     // the waiting component of commit latency (WAL-durable -> daemon
     // pickup) under a second — polling physically cannot (its dwell is
@@ -933,6 +996,20 @@ fn fleet_table(small: bool, seed: u64, mode: fleet::SweepMode) -> bool {
         Ok(()) => println!("Wrote {out_path} ({} cells).", reports.len()),
         Err(e) => println!("Could not write {out_path}: {e}"),
     }
+    // The sampled cell's full trace, in Chrome trace_event format —
+    // load it at https://ui.perfetto.dev to walk a txn's span tree.
+    if let Some(path) = trace_out {
+        match reports[0].trace_json.as_deref() {
+            Some(trace) => match std::fs::write(path, trace) {
+                Ok(()) => println!(
+                    "Wrote {path} ({} spans of the first cell; Perfetto-loadable).",
+                    reports[0].trace_spans
+                ),
+                Err(e) => println!("Could not write {path}: {e}"),
+            },
+            None => println!("No trace sampled for the first cell; {path} not written."),
+        }
+    }
     all_ok
 }
 
@@ -955,6 +1032,12 @@ fn main() {
                 std::process::exit(2);
             })
     });
+    let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--trace-out requires a file path argument");
+            std::process::exit(2);
+        })
+    });
     let fleet_mode = fleet::SweepMode {
         push: !args.iter().any(|a| a == "--polling" || a == "--no-push"),
         poll_ms,
@@ -964,9 +1047,9 @@ fn main() {
         .enumerate()
         .find(|(i, a)| {
             !a.starts_with("--")
-                && args
-                    .get(i.wrapping_sub(1))
-                    .is_none_or(|prev| prev != "--seed" && prev != "--poll-ms")
+                && args.get(i.wrapping_sub(1)).is_none_or(|prev| {
+                    prev != "--seed" && prev != "--poll-ms" && prev != "--trace-out"
+                })
         })
         .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
@@ -995,7 +1078,12 @@ fn main() {
             }
         }
         "fleet" => {
-            if !fleet_table(small, seed_arg.unwrap_or(0), fleet_mode) {
+            if !fleet_table(
+                small,
+                seed_arg.unwrap_or(0),
+                fleet_mode,
+                trace_out.as_deref(),
+            ) {
                 eprintln!(
                     "\nfleet sweep found invariant violations or lost scaling (see table above)"
                 );
@@ -1019,14 +1107,14 @@ fn main() {
                 eprintln!("\nchaos exploration found invariant violations (see table above)");
                 std::process::exit(1);
             }
-            if !fleet_table(true, 0, fleet_mode) {
+            if !fleet_table(true, 0, fleet_mode, trace_out.as_deref()) {
                 eprintln!("\nfleet sweep found invariant violations (see table above)");
                 std::process::exit(1);
             }
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|queries|fig3|fig4|umlcheck|ablations|chaos|fleet|all [--small|--smoke] [--seed N] [--polling] [--poll-ms N]"
+                "unknown experiment '{other}'; use table1|table2|table3|table4|table5|queries|fig3|fig4|umlcheck|ablations|chaos|fleet|all [--small|--smoke] [--seed N] [--polling] [--poll-ms N] [--trace-out PATH]"
             );
             std::process::exit(2);
         }

@@ -64,6 +64,7 @@ pub fn cell_params(cell: Cell, seed: u64, mode: SweepMode) -> FleetParams {
         seed,
         push: mode.push,
         profile: AwsProfile::calibrated(Default::default()),
+        trace: true,
         ..FleetParams::default()
     };
     if let Some(ms) = mode.poll_ms {
@@ -95,18 +96,29 @@ pub fn is_latency_probe(r: &FleetReport) -> bool {
     r.clients <= r.shards as usize
 }
 
-/// Runs the sweep. `small` selects the CI smoke grid.
+/// Runs the sweep. `small` selects the CI smoke grid. Every cell is
+/// traced; only the first cell exports Chrome trace JSON (the sampled
+/// cell `repro -- fleet --trace-out` writes to disk).
 pub fn sweep(small: bool, seed: u64, mode: SweepMode) -> Vec<FleetReport> {
     let grid = if small { SMOKE } else { FULL };
     grid.iter()
-        .map(|c| run_fleet(&cell_params(*c, seed, mode)))
+        .enumerate()
+        .map(|(i, c)| {
+            let mut params = cell_params(*c, seed, mode);
+            params.trace_export = i == 0;
+            run_fleet(&params)
+        })
         .collect()
 }
 
-/// Re-runs the first cell of the grid (the determinism proof).
+/// Re-runs the first cell of the grid (the determinism proof). Exports
+/// the trace so the `again == reports[0]` check also proves the trace
+/// JSON is bit-identical across runs.
 pub fn rerun_first(small: bool, seed: u64, mode: SweepMode) -> FleetReport {
     let grid = if small { SMOKE } else { FULL };
-    run_fleet(&cell_params(grid[0], seed, mode))
+    let mut params = cell_params(grid[0], seed, mode);
+    params.trace_export = true;
+    run_fleet(&params)
 }
 
 /// The seed a committed `BENCH_fleet*.json` was generated with. The
@@ -186,6 +198,12 @@ pub fn to_json(seed: u64, small: bool, reports: &[FleetReport]) -> String {
                 "\"samples\": {}, \"cost_usd\": {:.6}, \"lease_acquisitions\": {}, ",
                 "\"lease_losses\": {}, \"handoffs\": {}, \"idle_releases\": {}, ",
                 "\"push\": {}, \"wakeups\": {}, \"feed_events\": {}, \"feed_gaps\": {}, ",
+                "\"dropped\": {}, \"dedupe_evictions\": {}, ",
+                "\"trace_spans\": {}, \"trace_orphans\": {}, ",
+                "\"phase_dwell_ms\": {:.3}, \"phase_lease_ms\": {:.3}, ",
+                "\"phase_copy_ms\": {:.3}, \"phase_db_ms\": {:.3}, ",
+                "\"phase_index_ms\": {:.3}, \"phase_ack_ms\": {:.3}, ",
+                "\"phase_feed_ms\": {:.3}, ",
                 "\"violations\": [{}], \"per_tenant\": [{}]}}{}\n"
             ),
             r.clients,
@@ -218,6 +236,17 @@ pub fn to_json(seed: u64, small: bool, reports: &[FleetReport]) -> String {
             r.pool.wakeups,
             r.feed_events,
             r.feed_gaps,
+            r.pool.dropped,
+            r.dedupe_evictions,
+            r.trace_spans,
+            r.trace_orphans,
+            r.breakdown.unwrap_or_default().dwell.as_secs_f64() * 1e3,
+            r.breakdown.unwrap_or_default().lease.as_secs_f64() * 1e3,
+            r.breakdown.unwrap_or_default().copy.as_secs_f64() * 1e3,
+            r.breakdown.unwrap_or_default().db.as_secs_f64() * 1e3,
+            r.breakdown.unwrap_or_default().index.as_secs_f64() * 1e3,
+            r.breakdown.unwrap_or_default().ack.as_secs_f64() * 1e3,
+            r.breakdown.unwrap_or_default().feed.as_secs_f64() * 1e3,
             violations.join(", "),
             tenants.join(", "),
             if i + 1 == reports.len() { "" } else { "," }
@@ -298,6 +327,13 @@ mod tests {
             feed_duplicates: 0,
             feed_gaps: 0,
             feed_missing: 0,
+            dedupe_evictions: 0,
+            traced: false,
+            trace_spans: 0,
+            trace_orphans: 0,
+            trace_root_mismatches: 0,
+            breakdown: None,
+            trace_json: None,
             pool: Default::default(),
         };
         let j = to_json(42, true, &[r]);
@@ -310,6 +346,10 @@ mod tests {
         assert!(j.contains("\"pickup_p50_ms\": 40.000"));
         assert!(j.contains("\"admission_p99_ms\": 5.000"));
         assert!(j.contains("\"upload_p99_ms\": 15.000"));
+        assert!(j.contains("\"dropped\": 0"));
+        assert!(j.contains("\"dedupe_evictions\": 0"));
+        assert!(j.contains("\"trace_orphans\": 0"));
+        assert!(j.contains("\"phase_ack_ms\": 0.000"));
         // The perf gate's baseline parsers round-trip the writer.
         assert_eq!(baseline_throughputs(&j), vec![1.5]);
         assert!(baseline_throughputs("not json").is_empty());

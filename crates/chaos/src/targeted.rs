@@ -600,9 +600,7 @@ pub fn run_cas_crash(step: &'static str, occurrence: u64) -> CasCrashOutcome {
         .list_all(&layout.data_bucket, CAS_OBJECT_PREFIX)
         .expect("list cas prefix")
         .into_iter()
-        .filter(|k| {
-            !published.contains(k.key.strip_prefix(CAS_OBJECT_PREFIX).unwrap_or(&k.key))
-        })
+        .filter(|k| !published.contains(k.key.strip_prefix(CAS_OBJECT_PREFIX).unwrap_or(&k.key)))
         .count();
     CasCrashOutcome {
         step,

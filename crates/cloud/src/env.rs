@@ -2,6 +2,7 @@
 //! shared meter, a shared fault plan and the latency profile.
 
 use cloudprov_sim::Sim;
+use cloudprov_trace::Tracer;
 
 use crate::fault::FaultHandle;
 use crate::meter::{Meter, Service, TenantId, UsageReport};
@@ -36,6 +37,7 @@ pub struct CloudEnv {
     sqs: QueueService,
     meter: Meter,
     faults: FaultHandle,
+    tracer: Tracer,
     tenant: Option<TenantId>,
 }
 
@@ -52,12 +54,14 @@ impl CloudEnv {
     pub fn new(sim: &Sim, profile: AwsProfile) -> CloudEnv {
         let meter = Meter::new();
         let faults = FaultHandle::new();
+        let tracer = Tracer::new(sim);
         let s3 = ObjectStore::new(ServiceCore::new(
             sim,
             Service::ObjectStore,
             &profile,
             meter.clone(),
             faults.clone(),
+            tracer.clone(),
         ));
         let sdb = Database::new(ServiceCore::new(
             sim,
@@ -65,6 +69,7 @@ impl CloudEnv {
             &profile,
             meter.clone(),
             faults.clone(),
+            tracer.clone(),
         ));
         let sqs = QueueService::new(ServiceCore::new(
             sim,
@@ -72,6 +77,7 @@ impl CloudEnv {
             &profile,
             meter.clone(),
             faults.clone(),
+            tracer.clone(),
         ));
         CloudEnv {
             sim: sim.clone(),
@@ -81,6 +87,7 @@ impl CloudEnv {
             sqs,
             meter,
             faults,
+            tracer,
             tenant: None,
         }
     }
@@ -141,6 +148,13 @@ impl CloudEnv {
     /// The shared fault-injection handle.
     pub fn faults(&self) -> &FaultHandle {
         &self.faults
+    }
+
+    /// The shared span tracer (disabled by default; `tracer().enable(seed)`
+    /// turns on collection for the whole environment, including the
+    /// per-call leaf spans the service layer emits).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Convenience: current usage report.

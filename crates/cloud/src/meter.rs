@@ -72,6 +72,54 @@ pub enum Op {
     ChangeVisibility,
 }
 
+impl Op {
+    /// Every operation the meter can record, for completeness checks
+    /// (pricing and tracing iterate this to prove no variant is missed).
+    pub const ALL: [Op; 12] = [
+        Op::Put,
+        Op::Get,
+        Op::Head,
+        Op::Copy,
+        Op::Delete,
+        Op::List,
+        Op::DbPut,
+        Op::DbGet,
+        Op::DbSelect,
+        Op::Send,
+        Op::Receive,
+        Op::ChangeVisibility,
+    ];
+
+    /// Short API-style label (`"S3.Put"`-style span names, tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Put => "Put",
+            Op::Get => "Get",
+            Op::Head => "Head",
+            Op::Copy => "Copy",
+            Op::Delete => "Delete",
+            Op::List => "List",
+            Op::DbPut => "DbPut",
+            Op::DbGet => "DbGet",
+            Op::DbSelect => "DbSelect",
+            Op::Send => "Send",
+            Op::Receive => "Receive",
+            Op::ChangeVisibility => "ChangeVisibility",
+        }
+    }
+
+    /// The services that can legitimately record this op — the domain the
+    /// price book must cover.
+    pub fn services(self) -> &'static [Service] {
+        match self {
+            Op::Put | Op::Get | Op::Head | Op::Copy | Op::List => &[Service::ObjectStore],
+            Op::Delete => &[Service::ObjectStore, Service::Database, Service::Queue],
+            Op::DbPut | Op::DbGet | Op::DbSelect => &[Service::Database],
+            Op::Send | Op::Receive | Op::ChangeVisibility => &[Service::Queue],
+        }
+    }
+}
+
 /// Label identifying one tenant of a multi-tenant fleet. Purely an
 /// accounting dimension: the services themselves are tenant-oblivious.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

@@ -58,6 +58,59 @@ impl PriceBook {
         }
     }
 
+    /// The per-unit request price of `op` on `service`: USD per request,
+    /// except SimpleDB writes where the unit is one ≈1 KB item (box
+    /// usage). `Some(0.0)` means explicitly free (S3 DELETE); `None`
+    /// means the service does not serve that op at all — the
+    /// completeness test walks [`Op::ALL`] × [`Op::services`] to prove
+    /// no recordable combination is unpriced.
+    pub fn request_cost(&self, service: Service, op: Op) -> Option<f64> {
+        match service {
+            Service::ObjectStore => match op {
+                Op::Put | Op::Copy | Op::List => Some(self.s3_write_request),
+                Op::Get | Op::Head => Some(self.s3_read_request),
+                Op::Delete => Some(0.0),
+                _ => None,
+            },
+            Service::Database => match op {
+                Op::DbPut => Some(self.sdb_hours_per_item_write * self.sdb_machine_hour),
+                Op::DbGet | Op::DbSelect | Op::Delete => {
+                    Some(self.sdb_hours_per_read * self.sdb_machine_hour)
+                }
+                _ => None,
+            },
+            Service::Queue => match op {
+                Op::Send | Op::Receive | Op::ChangeVisibility | Op::Delete => {
+                    Some(self.sqs_request)
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Priced cost of ONE call — request charge plus transfer — using the
+    /// same conventions as [`PriceBook::cost`] (SimpleDB writes charge per
+    /// payload-KB item, batched calls are one request). Attached to leaf
+    /// op spans so a trace carries dollars alongside sim-time.
+    pub fn call_cost(
+        &self,
+        service: Service,
+        op: Op,
+        items: usize,
+        bytes_in: u64,
+        bytes_out: u64,
+    ) -> f64 {
+        let unit = self.request_cost(service, op).unwrap_or(0.0);
+        let units = if service == Service::Database && op == Op::DbPut {
+            (bytes_in as f64 / 1024.0).max(items.max(1) as f64)
+        } else {
+            1.0
+        };
+        unit * units
+            + bytes_in as f64 / 1e9 * self.transfer_in_gb
+            + bytes_out as f64 / 1e9 * self.transfer_out_gb
+    }
+
     /// Computes the total USD cost of a usage report.
     pub fn cost(&self, usage: &UsageReport) -> CostBreakdown {
         let gb = |bytes: u64| bytes as f64 / 1e9;
@@ -222,6 +275,47 @@ mod tests {
         let single_usd = book.cost(&single.report(SimTime::ZERO)).request_usd;
         let batched_usd = book.cost(&batched.report(SimTime::ZERO)).request_usd;
         assert!((single_usd / batched_usd - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_op_variant_is_priced_and_traceable() {
+        // Completeness gate: adding an `Op` variant without a price-book
+        // arm or a span label must fail here, not silently report $0 /
+        // anonymous spans.
+        let book = PriceBook::aws_2009();
+        let mut labels = std::collections::BTreeSet::new();
+        for op in Op::ALL {
+            assert!(!op.services().is_empty(), "{op:?} served by no service");
+            for &service in op.services() {
+                assert!(
+                    book.request_cost(service, op).is_some(),
+                    "{op:?} on {} has no price-book entry",
+                    service.name()
+                );
+            }
+            assert!(!op.label().is_empty(), "{op:?} has no span label");
+            assert!(
+                labels.insert(op.label()),
+                "duplicate span label {:?}",
+                op.label()
+            );
+        }
+        assert_eq!(labels.len(), Op::ALL.len());
+    }
+
+    #[test]
+    fn call_cost_matches_the_aggregate_convention() {
+        // One metered call priced directly must equal the same call priced
+        // through a usage report.
+        let m = Meter::new();
+        m.record(Actor::Client, None, Service::Database, Op::DbPut, 4096, 0);
+        let book = PriceBook::aws_2009();
+        let via_report = book.cost(&m.report(SimTime::ZERO)).total();
+        let via_call = book.call_cost(Service::Database, Op::DbPut, 1, 4096, 0);
+        assert!((via_report - via_call).abs() < 1e-12);
+        // And an op a service never serves prices as None, not zero.
+        assert_eq!(book.request_cost(Service::Queue, Op::Put), None);
+        assert_eq!(book.request_cost(Service::ObjectStore, Op::DbPut), None);
     }
 
     #[test]

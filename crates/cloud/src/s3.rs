@@ -498,6 +498,7 @@ mod tests {
             &profile,
             Meter::new(),
             FaultHandle::new(),
+            cloudprov_trace::Tracer::new(&sim),
         );
         (sim, ObjectStore::new(core))
     }

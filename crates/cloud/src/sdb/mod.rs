@@ -526,6 +526,7 @@ mod tests {
             &profile,
             Meter::new(),
             FaultHandle::new(),
+            cloudprov_trace::Tracer::new(&sim),
         );
         let d = Database::new(core);
         d.create_domain("prov");

@@ -9,11 +9,23 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use cloudprov_sim::{Sim, SimSemaphore, SimTime};
+use cloudprov_trace::{Tracer, SCOPE_CLEANER, SCOPE_CLIENT, SCOPE_COMMIT_DAEMON, SCOPE_QUERY};
 
 use crate::error::{CloudError, Result};
 use crate::fault::FaultHandle;
 use crate::meter::{Actor, Meter, Op, Service, TenantId};
+use crate::pricing::PriceBook;
 use crate::profile::{AwsProfile, ConsistencyParams, RunContext, ServiceParams};
+
+/// The tracer scope tag a metered actor's leaf spans attach under.
+pub(crate) fn actor_scope(actor: Actor) -> u8 {
+    match actor {
+        Actor::Client => SCOPE_CLIENT,
+        Actor::CommitDaemon => SCOPE_COMMIT_DAEMON,
+        Actor::CleanerDaemon => SCOPE_CLEANER,
+        Actor::Query => SCOPE_QUERY,
+    }
+}
 
 /// Per-service request engine. Every API call of every service funnels
 /// through [`ServiceCore::call`], which charges latency on the virtual
@@ -28,6 +40,7 @@ pub(crate) struct ServiceCore {
     slots: SimSemaphore,
     meter: Meter,
     faults: FaultHandle,
+    tracer: Tracer,
     rng: Mutex<SmallRng>,
 }
 
@@ -46,6 +59,7 @@ impl ServiceCore {
         profile: &AwsProfile,
         meter: Meter,
         faults: FaultHandle,
+        tracer: Tracer,
     ) -> Arc<ServiceCore> {
         let params = *profile.params(service);
         Arc::new(ServiceCore {
@@ -57,6 +71,7 @@ impl ServiceCore {
             slots: SimSemaphore::new(sim, params.server_concurrency),
             meter,
             faults,
+            tracer,
             rng: Mutex::new(SmallRng::seed_from_u64(
                 profile.seed ^ (service as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             )),
@@ -151,11 +166,16 @@ impl ServiceCore {
         let era = self.context.service_time_factor();
         let bw = self.context.bandwidth_factor();
         let jitter = self.draw_jitter();
+        // Leaf-span capture: one relaxed load when tracing is off.
+        let t0 = self.tracer.enabled().then(|| self.sim.now());
         if self.draw_failure() {
             // A failed request still costs a round trip.
             self.sim
                 .sleep(self.context.extra_rtt() + scale(self.params.read_base, era * jitter));
             self.meter.record(actor, tenant, self.service, op, 0, 0);
+            if let Some(t0) = t0 {
+                self.emit_op_span(actor, tenant, op, items, 0, 0, t0);
+            }
             return Err(CloudError::ServiceUnavailable {
                 service: self.service.name(),
             });
@@ -177,7 +197,42 @@ impl ServiceCore {
         drop(slot);
         self.meter
             .record(actor, tenant, self.service, op, bytes_in, bytes_out);
+        if let Some(t0) = t0 {
+            self.emit_op_span(actor, tenant, op, items, bytes_in, bytes_out, t0);
+        }
         result
+    }
+
+    /// Emits the leaf span for one metered call, parented to the caller's
+    /// ambient scope. Calls running outside any scope (setup traffic,
+    /// background probes) are deliberately skipped — the export holds
+    /// connected trees only.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_op_span(
+        &self,
+        actor: Actor,
+        tenant: Option<TenantId>,
+        op: Op,
+        items: usize,
+        bytes_in: u64,
+        bytes_out: u64,
+        t0: SimTime,
+    ) {
+        let tenant = tenant.map(|t| t.0);
+        let Some(parent) = self.tracer.scope(actor_scope(actor), tenant) else {
+            return;
+        };
+        let cost = PriceBook::aws_2009().call_cost(self.service, op, items, bytes_in, bytes_out);
+        self.tracer.span(
+            parent.trace,
+            Some(parent.span),
+            "op",
+            &format!("{}.{}", self.service.name(), op.label()),
+            tenant,
+            t0,
+            self.sim.now(),
+            cost,
+        );
     }
 }
 
@@ -202,6 +257,7 @@ mod tests {
             profile,
             Meter::new(),
             FaultHandle::new(),
+            Tracer::new(&sim),
         );
         (sim, c)
     }
@@ -255,7 +311,14 @@ mod tests {
             fail_probability: 1.0,
             ..FaultPlan::none()
         });
-        let c = ServiceCore::new(&sim, Service::Queue, &profile, Meter::new(), faults);
+        let c = ServiceCore::new(
+            &sim,
+            Service::Queue,
+            &profile,
+            Meter::new(),
+            faults,
+            Tracer::new(&sim),
+        );
         let err = c
             .call(Actor::Client, None, Op::Send, 0, 10, |_| Ok(((), 0)))
             .unwrap_err();

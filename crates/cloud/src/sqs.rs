@@ -751,7 +751,14 @@ mod tests {
 
     fn sqs_with_faults(profile: AwsProfile, faults: FaultHandle) -> (Sim, QueueService) {
         let sim = Sim::new();
-        let core = ServiceCore::new(&sim, Service::Queue, &profile, Meter::new(), faults);
+        let core = ServiceCore::new(
+            &sim,
+            Service::Queue,
+            &profile,
+            Meter::new(),
+            faults,
+            cloudprov_trace::Tracer::new(&sim),
+        );
         (sim, QueueService::new(core))
     }
 

@@ -121,7 +121,11 @@ pub fn canonical_encoding(obj: &FlushObject) -> Option<String> {
     text.push_str(obj.key.as_deref().unwrap_or("-"));
     match &obj.data {
         Some(d) => {
-            text.push_str(&format!("\t{:016x}\t{}\n", d.content_fingerprint(), d.len()));
+            text.push_str(&format!(
+                "\t{:016x}\t{}\n",
+                d.content_fingerprint(),
+                d.len()
+            ));
         }
         None => text.push_str("\t-\t-\n"),
     }
@@ -251,7 +255,27 @@ impl CasStore {
     /// hash's state and [`CasStore::wait`] reports it to the flusher.
     pub fn publish(&self, unit: CasPublish) {
         let sha = unit.sha.clone();
+        // Trace: one `cas:publish` root span per publish unit. CAS
+        // content is shared fleet-wide, so the span roots its own trace
+        // (id = the hash's leading bits) rather than any one txn's tree.
+        let tracer = self.env.tracer().clone();
+        let span = tracer.enabled().then(|| {
+            let trace = u128::from_str_radix(&sha[..sha.len().min(32)], 16).unwrap_or(0);
+            (tracer.alloc(trace), self.env.sim().now())
+        });
         let outcome = self.publish_inner(unit);
+        if let Some((ctx, t0)) = span {
+            tracer.emit(
+                ctx,
+                None,
+                "cas:publish",
+                &format!("cas {}", &sha[..sha.len().min(8)]),
+                None,
+                t0,
+                self.env.sim().now(),
+                0.0,
+            );
+        }
         let mut st = self.state.lock();
         let prev = st.insert(
             sha,
@@ -365,7 +389,12 @@ impl CasStore {
 /// input. Returns `None` on a malformed item.
 pub fn decode_registry_item(
     attrs: &[(String, String)],
-) -> Option<(PNodeId, Option<String>, bool, Vec<cloudprov_pass::ProvenanceRecord>)> {
+) -> Option<(
+    PNodeId,
+    Option<String>,
+    bool,
+    Vec<cloudprov_pass::ProvenanceRecord>,
+)> {
     let mut id = None;
     let mut key = None;
     let mut has_data = false;

@@ -855,7 +855,11 @@ struct PipelineState {
 impl PipelineState {
     /// Records the digests of a durably persisted merge, evicting the
     /// oldest entries beyond `cap` (`ProtocolConfig::dedupe_cap`).
-    fn record_persisted(&mut self, merged_ids: BTreeMap<PNodeId, (u64, Option<String>)>, cap: usize) {
+    fn record_persisted(
+        &mut self,
+        merged_ids: BTreeMap<PNodeId, (u64, Option<String>)>,
+        cap: usize,
+    ) {
         for (id, (digest, key)) in merged_ids {
             if let Some(k) = &key {
                 self.key_index.entry(k.clone()).or_default().push(id);

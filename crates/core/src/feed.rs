@@ -327,6 +327,21 @@ impl FeedWriter {
             if st.pending.is_empty() {
                 return Ok(0);
             }
+            // Trace: the publish pass becomes one `feed` span per
+            // published transaction (outside its root's commit window —
+            // the feed is post-commit by construction).
+            let tracer = self.env.tracer();
+            let t_publish = self.env.sim().now();
+            let publish_txns: Vec<Uuid> = if tracer.enabled() {
+                let mut seen = std::collections::BTreeSet::new();
+                st.pending
+                    .iter()
+                    .map(|e| e.txn)
+                    .filter(|t| seen.insert(*t))
+                    .collect()
+            } else {
+                Vec::new()
+            };
             self.config.step("p3:notify:publish")?;
             let high = st.pending.last().map(|e| e.seq).unwrap_or(st.watermark);
             if let Some(sink) = sink {
@@ -351,6 +366,21 @@ impl FeedWriter {
                 )
             })?;
             st.watermark = high;
+            let t_done = self.env.sim().now();
+            for txn in publish_txns {
+                if let Some(root) = tracer.root_ctx(txn.0) {
+                    tracer.span(
+                        txn.0,
+                        Some(root.span),
+                        "feed",
+                        "feed",
+                        None,
+                        t_publish,
+                        t_done,
+                        0.0,
+                    );
+                }
+            }
             Ok(published)
         })
     }

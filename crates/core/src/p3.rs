@@ -58,6 +58,7 @@ use cloudprov_cloud::{
 use cloudprov_pass::wire;
 use cloudprov_pass::{PNodeId, ProvenanceRecord, Uuid};
 use cloudprov_sim::{SimHandle, SimTime};
+use cloudprov_trace::{SpanContext, Tracer, SCOPE_CLIENT, SCOPE_COMMIT_DAEMON};
 
 use crate::cas::{self, CasFlushItem};
 use crate::error::{ProtocolError, Result};
@@ -180,6 +181,7 @@ impl P3 {
     fn build_messages(
         txn: Uuid,
         tenant: Option<TenantId>,
+        ctx: Option<SpanContext>,
         obj_lines: &[String],
         records: &[ProvenanceRecord],
         message_limit: usize,
@@ -207,15 +209,28 @@ impl P3 {
         }
         let total = bodies.len();
         // A tenant-attributed client stamps its tenant as an optional
-        // fifth header field so daemon-side change-feed events can carry
-        // the originating tenant; four-field headers parse unchanged.
+        // header field so daemon-side change-feed events can carry the
+        // originating tenant, and a tracing client appends its root
+        // span context (`ctx:…`) the same way — the propagation seam
+        // that connects the client's trace tree to the daemon's commit
+        // phases. Both fields are optional and self-describing (numeric
+        // vs `ctx:`-prefixed), so shorter headers parse unchanged.
+        let extra = {
+            let mut s = String::new();
+            if let Some(t) = tenant {
+                s.push('\t');
+                s.push_str(&t.0.to_string());
+            }
+            if let Some(c) = ctx {
+                s.push('\t');
+                s.push_str(&c.encode());
+            }
+            s
+        };
         bodies
             .into_iter()
             .enumerate()
-            .map(|(seq, body)| match tenant {
-                Some(t) => format!("TXN\t{txn}\t{seq}\t{total}\t{}\n{body}", t.0),
-                None => format!("TXN\t{txn}\t{seq}\t{total}\n{body}"),
-            })
+            .map(|(seq, body)| format!("TXN\t{txn}\t{seq}\t{total}{extra}\n{body}"))
             .collect()
     }
 
@@ -240,6 +255,24 @@ impl P3 {
         let sim = self.env.sim().clone();
         let txn = self.fresh_txn();
         let layout = &self.config.layout;
+
+        // Trace: open this transaction's lifecycle root (trace id = txn
+        // id) and a `flush` child covering the log phase. The guard's
+        // scope makes every metered client op inside the fan-out a leaf
+        // span, and the root context rides the WAL header to the daemon.
+        let tracer = self.env.tracer();
+        let tenant_tag = self.env.tenant().map(|t| t.0);
+        let root = tracer.open_txn(txn.0, tenant_tag);
+        let flush_guard = root.and_then(|r| {
+            tracer.phase(
+                txn.0,
+                r.span,
+                "flush",
+                tenant_tag,
+                Some((SCOPE_CLIENT, tenant_tag)),
+                sim.now(),
+            )
+        });
 
         // 1. Collect temp uploads and WAL object lines in item order.
         let mut uploads: Vec<(String, cloudprov_cloud::Blob)> = Vec::new();
@@ -275,6 +308,7 @@ impl P3 {
         let messages = Self::build_messages(
             txn,
             self.env.tenant(),
+            root,
             &obj_lines,
             &records,
             self.config.wal_message_limit,
@@ -336,9 +370,17 @@ impl P3 {
         sim.run_parallel(self.config.upload_concurrency, tasks)
             .into_iter()
             .collect::<Result<Vec<_>>>()?;
+        let now = sim.now();
+        // WAL-durable: the root span's start instant. (On the error
+        // path above the guard's drop still emitted the flush span, so
+        // even a crashed log phase leaves a connected tree.)
+        tracer.mark_logged(txn.0, now);
+        if let Some(g) = flush_guard {
+            g.finish(now);
+        }
         let mut logged = self.logged.lock();
         if logged.len() < TXN_LOG_CAP {
-            logged.push((txn, sim.now()));
+            logged.push((txn, now));
         }
         Ok(())
     }
@@ -418,6 +460,7 @@ impl StorageProtocol for P3 {
 struct TxnBuf {
     total: Option<usize>,
     tenant: Option<TenantId>,
+    ctx: Option<SpanContext>,
     parts: BTreeMap<usize, String>,
     receipts: Vec<String>,
 }
@@ -426,6 +469,9 @@ struct TxnBuf {
 struct ParsedTxn {
     txn: Uuid,
     tenant: Option<TenantId>,
+    /// Root span context carried in the WAL header, when the logging
+    /// client was tracing.
+    ctx: Option<SpanContext>,
     files: Vec<(String, String, PNodeId)>,
     records: Vec<ProvenanceRecord>,
     /// CAS hashes whose registry records this member still needs
@@ -749,7 +795,7 @@ impl CommitDaemon {
             let mut buf = self.buf.lock();
             for m in msgs {
                 let body = String::from_utf8_lossy(&m.body).to_string();
-                let Some((txn, seq, total, tenant, rest)) = parse_header(&body) else {
+                let Some((txn, seq, total, tenant, ctx, rest)) = parse_header(&body) else {
                     // Garbage message: queue it for the batched drop.
                     drops.push(m.receipt);
                     continue;
@@ -764,15 +810,20 @@ impl CommitDaemon {
                         .lock()
                         .entry(txn)
                         .or_insert_with(|| self.env.sim().now());
+                    // Trace: pickup instant (first mark wins across
+                    // daemons, matching the pool's earliest-wins merge).
+                    self.env.tracer().mark_pickup(txn.0, self.env.sim().now());
                     TxnBuf {
                         total: None,
                         tenant: None,
+                        ctx: None,
                         parts: BTreeMap::new(),
                         receipts: Vec::new(),
                     }
                 });
                 entry.total = Some(total);
                 entry.tenant = entry.tenant.or(tenant);
+                entry.ctx = entry.ctx.or(ctx);
                 entry.parts.insert(seq, rest);
                 entry.receipts.push(m.receipt);
                 if entry.parts.len() == total && !ready.contains(&txn) {
@@ -843,6 +894,8 @@ impl CommitDaemon {
             return Ok(GroupOutcome::default());
         }
         let sim = self.env.sim();
+        let tracer = self.env.tracer().clone();
+        let t_group = sim.now();
         let s3 = self.env.s3().with_actor(Actor::CommitDaemon);
         let sdb = self.env.sdb().with_actor(Actor::CommitDaemon);
         let layout = &self.config.layout;
@@ -891,11 +944,7 @@ impl CommitDaemon {
                         };
                         if let Ok(id) = id.parse::<PNodeId>() {
                             if flag == "d" && final_key != "-" {
-                                files.push((
-                                    cas::cas_object_key(sha),
-                                    final_key.to_string(),
-                                    id,
-                                ));
+                                files.push((cas::cas_object_key(sha), final_key.to_string(), id));
                             }
                             if !self.materialized.lock().contains(sha) {
                                 cas_shas.push(sha.to_string());
@@ -914,12 +963,32 @@ impl CommitDaemon {
             txns.push(ParsedTxn {
                 txn,
                 tenant: entry.tenant,
+                ctx: entry.ctx,
                 files,
                 records,
                 cas_shas,
                 receipts: entry.receipts,
             });
         }
+
+        // Trace: resolve each member's root (header context, or the
+        // shared tracer's record when the client ran in-process), mark
+        // group entry, and elect a lead root to parent the phase spans.
+        // Non-lead traced members get identical phase spans under their
+        // own roots, so every member's root-to-leaf walk is complete.
+        let roots: Vec<Option<SpanContext>> = txns
+            .iter()
+            .map(|t| {
+                let ctx = t.ctx.or_else(|| tracer.root_ctx(t.txn.0));
+                if let Some(c) = ctx {
+                    tracer.register_root(c, t.tenant.map(|x| x.0));
+                    tracer.mark_group_start(c.trace, t_group);
+                }
+                ctx
+            })
+            .collect();
+        let lead = roots.iter().flatten().next().copied();
+        let member_tenants: Vec<Option<u32>> = txns.iter().map(|t| t.tenant.map(|x| x.0)).collect();
 
         // Phase 0: materialize CAS references — fetch each referenced
         // hash's registry item (once per hash per group, fanned out in
@@ -929,6 +998,18 @@ impl CommitDaemon {
         // copy-style retry budget is either registry eventual
         // consistency that outlived the budget or a corrupt entry; the
         // member evicts like a stalled copy and its messages redeliver.
+        // The `copy` phase span covers phases 0–1 (CAS materialization
+        // + data copies); its scope parents the daemon's metered ops.
+        let g_copy = lead.and_then(|l| {
+            tracer.phase(
+                l.trace,
+                l.span,
+                "copy",
+                None,
+                Some((SCOPE_COMMIT_DAEMON, None)),
+                t_group,
+            )
+        });
         let mut stalled: Vec<bool> = vec![false; txns.len()];
         let needed: Vec<String> = {
             let mut seen = BTreeSet::new();
@@ -939,9 +1020,7 @@ impl CommitDaemon {
                 .collect()
         };
         if !needed.is_empty() {
-            let mut tasks: Vec<
-                Box<dyn FnOnce() -> Result<Option<Vec<ProvenanceRecord>>> + Send>,
-            > = Vec::new();
+            let mut tasks: Vec<CasFetchTask> = Vec::new();
             for sha in &needed {
                 let env = self.env.clone();
                 let config = self.config.clone();
@@ -1034,6 +1113,40 @@ impl CommitDaemon {
         }
         let survivors: Vec<usize> = (0..txns.len()).filter(|ti| !stalled[*ti]).collect();
 
+        let t_copy_end = sim.now();
+        if let Some(g) = g_copy {
+            g.finish(t_copy_end);
+        }
+        emit_member_phase_spans(
+            &tracer,
+            &roots,
+            lead,
+            &member_tenants,
+            "copy",
+            t_group,
+            t_copy_end,
+        );
+        for (ti, s) in stalled.iter().enumerate() {
+            if *s {
+                if let Some(r) = roots[ti] {
+                    // Evicted members' roots never close; annotate so the
+                    // open trace explains itself.
+                    tracer.event(r, "evicted", t_copy_end);
+                }
+            }
+        }
+        // The `db` phase span covers value spills + base-item chunks.
+        let g_db = lead.and_then(|l| {
+            tracer.phase(
+                l.trace,
+                l.span,
+                "db",
+                None,
+                Some((SCOPE_COMMIT_DAEMON, None)),
+                t_copy_end,
+            )
+        });
+
         // Phases 2+3: spill oversized values, then pack every survivor's
         // base items — and the cross-transaction-merged index items —
         // into full chunks, written in parallel with a hard barrier
@@ -1085,12 +1198,60 @@ impl CommitDaemon {
             &plan.base_chunks,
             "p3:commit:group:db",
         )?;
+        let t_db_end = sim.now();
+        if let Some(g) = g_db {
+            g.finish(t_db_end);
+        }
+        emit_member_phase_spans(
+            &tracer,
+            &roots,
+            lead,
+            &member_tenants,
+            "db",
+            t_copy_end,
+            t_db_end,
+        );
+        let g_index = lead.and_then(|l| {
+            tracer.phase(
+                l.trace,
+                l.span,
+                "index",
+                None,
+                Some((SCOPE_COMMIT_DAEMON, None)),
+                t_db_end,
+            )
+        });
         self.write_chunks(
             &sdb,
             &crate::index::index_domain(&layout.domain),
             &plan.index_chunks,
             "p3:commit:group:index",
         )?;
+        let t_index_end = sim.now();
+        if let Some(g) = g_index {
+            g.finish(t_index_end);
+        }
+        emit_member_phase_spans(
+            &tracer,
+            &roots,
+            lead,
+            &member_tenants,
+            "index",
+            t_db_end,
+            t_index_end,
+        );
+        // The `ack` phase span covers the commit tail: temp GC, feed
+        // staging, and the WAL acknowledgement batches.
+        let g_ack = lead.and_then(|l| {
+            tracer.phase(
+                l.trace,
+                l.span,
+                "ack",
+                None,
+                Some((SCOPE_COMMIT_DAEMON, None)),
+                t_index_end,
+            )
+        });
 
         // Phase 4: delete the survivors' temp objects. S3 has no batch
         // delete in 2009, so the amortization is the parallel fan-out.
@@ -1157,6 +1318,29 @@ impl CommitDaemon {
         sim.run_parallel(par, tasks)
             .into_iter()
             .collect::<Result<Vec<_>>>()?;
+
+        // Committed instant. Nothing below advances the virtual clock
+        // before the commit listener observes the group, so closing each
+        // survivor's root HERE makes root duration exactly equal the
+        // measured WAL-durable -> committed latency.
+        let t_committed = sim.now();
+        if let Some(g) = g_ack {
+            g.finish(t_committed);
+        }
+        emit_member_phase_spans(
+            &tracer,
+            &roots,
+            lead,
+            &member_tenants,
+            "ack",
+            t_index_end,
+            t_committed,
+        );
+        for &ti in &survivors {
+            if let Some(r) = roots[ti] {
+                tracer.close_txn(r.trace, t_committed);
+            }
+        }
 
         {
             let mut committed = self.committed.lock();
@@ -1261,7 +1445,19 @@ impl CommitDaemon {
     }
 }
 
-fn parse_header(body: &str) -> Option<(Uuid, usize, usize, Option<TenantId>, String)> {
+/// One CAS-blob fetch, boxed for `Sim::run_parallel`.
+type CasFetchTask = Box<dyn FnOnce() -> Result<Option<Vec<ProvenanceRecord>>> + Send>;
+
+type ParsedHeader = (
+    Uuid,
+    usize,
+    usize,
+    Option<TenantId>,
+    Option<SpanContext>,
+    String,
+);
+
+fn parse_header(body: &str) -> Option<ParsedHeader> {
     let (header, rest) = body.split_once('\n')?;
     let mut it = header.split('\t');
     if it.next()? != "TXN" {
@@ -1270,9 +1466,52 @@ fn parse_header(body: &str) -> Option<(Uuid, usize, usize, Option<TenantId>, Str
     let txn: Uuid = it.next()?.parse().ok()?;
     let seq: usize = it.next()?.parse().ok()?;
     let total: usize = it.next()?.parse().ok()?;
-    // Optional fifth field: the logging client's tenant.
-    let tenant = it.next().and_then(|t| t.parse().ok()).map(TenantId);
-    Some((txn, seq, total, tenant, rest.to_string()))
+    // Optional trailing fields, self-describing so old headers parse
+    // unchanged: a numeric field is the logging client's tenant, a
+    // `ctx:`-prefixed field is its trace context.
+    let mut tenant = None;
+    let mut ctx = None;
+    for field in it {
+        if let Some(c) = SpanContext::decode(field) {
+            ctx = Some(c);
+        } else if let Ok(t) = field.parse() {
+            tenant = Some(TenantId(t));
+        }
+    }
+    Some((txn, seq, total, tenant, ctx, rest.to_string()))
+}
+
+/// Mirrors one group-commit phase span onto every traced non-lead
+/// member's root, so each member's trace tree carries the full phase
+/// sequence (the lead's copy is emitted by its [`cloudprov_trace::PhaseGuard`]).
+fn emit_member_phase_spans(
+    tracer: &Tracer,
+    roots: &[Option<SpanContext>],
+    lead: Option<SpanContext>,
+    tenants: &[Option<u32>],
+    kind: &'static str,
+    t_start: SimTime,
+    t_end: SimTime,
+) {
+    if !tracer.enabled() {
+        return;
+    }
+    for (root, tenant) in roots.iter().zip(tenants) {
+        let Some(root) = root else { continue };
+        if Some(*root) == lead {
+            continue;
+        }
+        tracer.span(
+            root.trace,
+            Some(root.span),
+            kind,
+            kind,
+            *tenant,
+            t_start,
+            t_end,
+            0.0,
+        );
+    }
 }
 
 /// Handle to a running background daemon.
@@ -1743,7 +1982,7 @@ mod tests {
         let records: Vec<_> = (0..2000)
             .map(|i| ProvenanceRecord::new(id, Attr::Custom(format!("a{i}")), "z".repeat(50)))
             .collect();
-        let msgs = P3::build_messages(Uuid(1), None, &[], &records, MESSAGE_LIMIT);
+        let msgs = P3::build_messages(Uuid(1), None, None, &[], &records, MESSAGE_LIMIT);
         assert!(msgs.len() > 10);
         for m in &msgs {
             assert!(m.len() <= MESSAGE_LIMIT, "message of {} bytes", m.len());
@@ -2271,6 +2510,125 @@ mod tests {
         assert_eq!(evs.len(), 2, "republished after the lost watermark");
         assert_eq!(evs[0].seq, evs[1].seq, "a duplicate, not a gap");
         assert_eq!(evs[0].txn, evs[1].txn);
+    }
+
+    #[test]
+    fn wal_headers_parse_with_and_without_trailing_fields() {
+        // The trailing header fields are self-describing, so pre-tenant
+        // and pre-trace WAL messages (and any mix) all still parse.
+        let uuid = format!("{}", Uuid(0xabc));
+        let bare = format!("TXN\t{uuid}\t0\t2\nbody");
+        let (txn, seq, total, tenant, ctx, rest) = parse_header(&bare).unwrap();
+        assert_eq!((txn, seq, total), (Uuid(0xabc), 0, 2));
+        assert_eq!((tenant, ctx), (None, None));
+        assert_eq!(rest, "body");
+
+        let tenant_only = format!("TXN\t{uuid}\t1\t2\t7\nbody");
+        let (_, _, _, tenant, ctx, _) = parse_header(&tenant_only).unwrap();
+        assert_eq!(tenant, Some(TenantId(7)));
+        assert_eq!(ctx, None);
+
+        let span = SpanContext {
+            trace: 0xabc,
+            span: 5,
+        };
+        let ctx_only = format!("TXN\t{uuid}\t0\t2\t{}\nbody", span.encode());
+        let (_, _, _, tenant, ctx, _) = parse_header(&ctx_only).unwrap();
+        assert_eq!(tenant, None);
+        assert_eq!(ctx, Some(span));
+
+        let both = format!("TXN\t{uuid}\t0\t2\t7\t{}\nbody", span.encode());
+        let (_, _, _, tenant, ctx, _) = parse_header(&both).unwrap();
+        assert_eq!(tenant, Some(TenantId(7)));
+        assert_eq!(ctx, Some(span));
+
+        // And the writer round-trips through the parser.
+        let records = vec![ProvenanceRecord::new(
+            PNodeId::initial(Uuid(0xabc)),
+            Attr::Type,
+            "file",
+        )];
+        let msgs = P3::build_messages(
+            Uuid(0xabc),
+            Some(TenantId(3)),
+            Some(span),
+            &[],
+            &records,
+            8192,
+        );
+        let (txn, _, _, tenant, ctx, _) = parse_header(&msgs[0]).unwrap();
+        assert_eq!(txn, Uuid(0xabc));
+        assert_eq!(tenant, Some(TenantId(3)));
+        assert_eq!(ctx, Some(span));
+    }
+
+    #[test]
+    fn trace_survives_a_mid_commit_steal() {
+        // Daemon A picks the traced txn up and dies mid-commit (db
+        // phase); after the visibility timeout a second daemon receives
+        // the same WAL messages and recommits. The span context rides
+        // the redelivered message, so the takeover still lands under
+        // the original root: one connected tree, zero orphans, and the
+        // root span's duration is the txn's true (steal-inflated)
+        // commit latency.
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        env.tracer().enable(7);
+        let p3 = P3::new(&env, ProtocolConfig::default(), "wal-steal-trace");
+        p3.flush(FlushBatch {
+            objects: vec![file_obj(600, 1, "stolen", "payload")],
+        })
+        .unwrap();
+
+        let dying_cfg = ProtocolConfig {
+            step_hook: Some(kill_at_occurrence("p3:commit:group:db", 1)),
+            ..ProtocolConfig::default()
+        };
+        let dying = CommitDaemon::new(&env, dying_cfg, "sqs://wal-steal-trace");
+        assert!(dying.run_until_idle().is_err(), "daemon A dies mid-commit");
+        sim.sleep(cloudprov_cloud::DEFAULT_VISIBILITY_TIMEOUT + Duration::from_secs(1));
+
+        let recovery = CommitDaemon::new(&env, ProtocolConfig::default(), "sqs://wal-steal-trace");
+        let committed_ids = Arc::new(Mutex::new(Vec::<Uuid>::new()));
+        recovery.set_commit_listener({
+            let ids = committed_ids.clone();
+            Arc::new(move |txn| ids.lock().push(txn))
+        });
+        recovery.run_until_idle().unwrap();
+        let ids = committed_ids.lock().clone();
+        assert_eq!(ids.len(), 1, "the stolen txn commits exactly once");
+        let txn = ids[0];
+
+        let tracer = env.tracer();
+        let st = tracer.stats();
+        assert_eq!(st.orphans, 0, "the steal must not sever the tree: {st:?}");
+        assert_eq!(st.open_roots, 0, "the stolen txn's root closed");
+        let (logged, committed) = tracer.root_interval(txn.0).expect("root recorded");
+        assert!(committed > logged);
+        // Both attempts left phase spans on the SAME trace: daemon A's
+        // aborted db phase plus daemon B's completed one.
+        let db_spans = tracer
+            .spans()
+            .iter()
+            .filter(|s| s.trace == txn.0 && s.kind == "db")
+            .count();
+        assert!(
+            db_spans >= 2,
+            "both daemons' db phases on one trace, got {db_spans}"
+        );
+        // The critical path still telescopes to the root window, with
+        // the visibility-timeout wait showing up inside the breakdown
+        // rather than leaking out of it.
+        let b = tracer.critical_path(txn.0).expect("committed txn");
+        assert_eq!(
+            b.commit_sum(),
+            committed.saturating_duration_since(logged),
+            "breakdown must reconcile with the root window: {b:?}"
+        );
+        assert!(
+            b.commit_sum() >= cloudprov_cloud::DEFAULT_VISIBILITY_TIMEOUT,
+            "the steal's redelivery wait is part of the txn's latency"
+        );
     }
 
     #[test]

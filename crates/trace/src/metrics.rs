@@ -1,0 +1,225 @@
+//! The shared metrics registry: named counters and mergeable latency
+//! histograms with ONE percentile implementation.
+//!
+//! Every percentile the workspace reports goes through [`percentile`]
+//! (sorted-slice nearest-rank), so a table and its JSON can never
+//! disagree by a rounding convention. Histograms keep the exact samples
+//! (the sample counts involved are bounded by the runs that produce
+//! them) alongside fixed log2-microsecond bucket counts so two runs'
+//! histograms can be merged without re-sorting semantics questions.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Sorted-slice percentile, nearest-rank convention: the value at rank
+/// `ceil(p/100 * n)` (1-based), clamped into the slice. `p = 50` of four
+/// samples is the second; an empty slice reports zero.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Fixed bucket count: log2 of the sample's microseconds, so the buckets
+/// cover 1 µs .. ~584 thousand years without configuration.
+pub const BUCKETS: usize = 64;
+
+fn bucket_of(d: Duration) -> usize {
+    let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+    if us == 0 {
+        0
+    } else {
+        (us.ilog2() as usize + 1).min(BUCKETS - 1)
+    }
+}
+
+/// A latency histogram: exact samples (for nearest-rank percentiles)
+/// plus fixed log2-µs bucket counts (mergeable, shape-comparable).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    samples: Vec<Duration>,
+    buckets: [u64; BUCKETS],
+    sorted: bool,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            samples: Vec::new(),
+            buckets: [0; BUCKETS],
+            sorted: true,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.buckets[bucket_of(d)] += 1;
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Folds another histogram's samples and buckets into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.sorted = self.samples.is_empty();
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The log2-µs bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Nearest-rank percentile over the recorded samples (sorts lazily).
+    pub fn percentile(&mut self, p: f64) -> Duration {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        percentile(&self.samples, p)
+    }
+}
+
+/// Named counters and histograms for one run. Names are free-form
+/// dotted paths (`"flush.total"`, `"pool.dropped"`); reading a name
+/// that was never written reports zero, so report construction needs
+/// no existence dance.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if delta > 0 {
+            *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Current value of a named counter (zero when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into a named histogram.
+    pub fn record(&mut self, name: &str, d: Duration) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(d);
+    }
+
+    /// Nearest-rank percentile of a named histogram (zero when empty).
+    pub fn percentile(&mut self, name: &str, p: f64) -> Duration {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.percentile(p),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Sample count of a named histogram.
+    pub fn count(&self, name: &str) -> usize {
+        self.histograms.get(name).map_or(0, Histogram::count)
+    }
+
+    /// Folds another registry (counters add, histograms merge).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, delta) in &other.counters {
+            self.add(name, *delta);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn percentile_matches_the_historic_nearest_rank_convention() {
+        // The exact convention the fleet driver always used — committed
+        // BENCH baselines depend on it not shifting.
+        let sorted: Vec<Duration> = (1..=10).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50.0), ms(5));
+        assert_eq!(percentile(&sorted, 99.0), ms(10));
+        assert_eq!(percentile(&sorted, 0.0), ms(1));
+        assert_eq!(percentile(&sorted, 100.0), ms(10));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        assert_eq!(percentile(&[ms(7)], 99.0), ms(7));
+    }
+
+    #[test]
+    fn histogram_percentiles_match_the_free_function() {
+        let mut h = Histogram::default();
+        for n in [9, 3, 1, 7, 5] {
+            h.record(ms(n));
+        }
+        let mut sorted: Vec<Duration> = [1, 3, 5, 7, 9].into_iter().map(ms).collect();
+        sorted.sort_unstable();
+        assert_eq!(h.percentile(50.0), percentile(&sorted, 50.0));
+        assert_eq!(h.percentile(99.0), percentile(&sorted, 99.0));
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_micros_and_merge_adds() {
+        let mut a = Histogram::default();
+        a.record(Duration::from_micros(0)); // bucket 0
+        a.record(Duration::from_micros(1)); // bucket 1
+        a.record(Duration::from_micros(3)); // bucket 2
+        let mut b = Histogram::default();
+        b.record(Duration::from_micros(3));
+        b.record(Duration::from_secs(1)); // 1e6 µs -> bucket 20
+        a.merge(&b);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[1], 1);
+        assert_eq!(a.buckets()[2], 2);
+        assert_eq!(a.buckets()[20], 1);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.percentile(100.0), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn registry_reads_zero_for_unknown_names() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("nope"), 0);
+        assert_eq!(r.count("nope"), 0);
+        assert_eq!(r.percentile("nope", 50.0), Duration::ZERO);
+        r.add("a", 2);
+        r.add("a", 3);
+        r.record("lat", ms(4));
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.percentile("lat", 50.0), ms(4));
+        let mut other = Registry::new();
+        other.add("a", 1);
+        other.record("lat", ms(8));
+        r.merge(&other);
+        assert_eq!(r.counter("a"), 6);
+        assert_eq!(r.count("lat"), 2);
+        assert_eq!(r.percentile("lat", 99.0), ms(8));
+    }
+}

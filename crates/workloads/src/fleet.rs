@@ -35,6 +35,8 @@ use cloudprov_fs::{LocalIoParams, PaS3fs};
 use cloudprov_pass::Uuid;
 use cloudprov_sim::Sim;
 use cloudprov_sim::SimTime;
+use cloudprov_trace::metrics::Registry;
+use cloudprov_trace::Breakdown;
 
 use crate::testkit::{random_script, replay_fs_prefixed};
 
@@ -68,6 +70,16 @@ pub struct FleetParams {
     /// Cloud latency/consistency profile (the run context's calibrated
     /// profile for benchmark tables, `instant` for unit tests).
     pub profile: AwsProfile,
+    /// Enable causal span tracing: every committed transaction yields a
+    /// connected trace tree on the virtual clock, and the report gains
+    /// the per-phase commit-latency breakdown plus the trace gates.
+    /// Adds no virtual time, so traced and untraced runs measure
+    /// identically.
+    pub trace: bool,
+    /// Additionally render the collected spans as Chrome `trace_event`
+    /// JSON into [`FleetReport::trace_json`] (Perfetto-loadable).
+    /// Requires `trace`.
+    pub trace_export: bool,
 }
 
 impl Default for FleetParams {
@@ -84,6 +96,8 @@ impl Default for FleetParams {
             poll_interval: Duration::from_secs(5),
             lease_ttl: Duration::from_secs(120),
             profile: AwsProfile::calibrated(Default::default()),
+            trace: false,
+            trace_export: false,
         }
     }
 }
@@ -199,6 +213,27 @@ pub struct FleetReport {
     /// Committed transactions that never surfaced on the feed (must be
     /// 0 in push mode: at-least-once means *at least* once).
     pub feed_missing: u64,
+    /// Objects clients' pipelines dropped because an earlier batch
+    /// already persisted them (dedupe-set evictions, summed).
+    pub dedupe_evictions: u64,
+    /// Whether the run collected spans (`params.trace`).
+    pub traced: bool,
+    /// Spans collected (0 when untraced).
+    pub trace_spans: u64,
+    /// Spans whose parent is unknown — a broken propagation seam (must
+    /// be 0 on a traced run).
+    pub trace_orphans: u64,
+    /// Traced transactions whose root-span duration disagreed with the
+    /// measured WAL-durable→committed latency by more than one sim tick
+    /// (must be 0 on a traced run).
+    pub trace_root_mismatches: u64,
+    /// Exclusive per-phase attribution of the commit-p50 transaction's
+    /// latency (traced runs with at least one commit). Its phase sum
+    /// reconciles with `commit_p50` exactly.
+    pub breakdown: Option<Breakdown>,
+    /// Chrome `trace_event` JSON of the whole run's spans
+    /// (`params.trace_export`); byte-identical across equal seeds.
+    pub trace_json: Option<String>,
     /// Commit-plane counters (lease churn, steals, handoffs…).
     pub pool: PoolStats,
 }
@@ -247,6 +282,31 @@ impl FleetReport {
                 self.feed_missing
             ));
         }
+        if self.traced {
+            if self.trace_orphans > 0 {
+                v.push(format!("{} orphan spans", self.trace_orphans));
+            }
+            if self.trace_root_mismatches > 0 {
+                v.push(format!(
+                    "{} trace roots disagree with measured commit latency",
+                    self.trace_root_mismatches
+                ));
+            }
+            match &self.breakdown {
+                None if self.unique_committed > 0 => {
+                    v.push("traced run with commits but no breakdown".to_string());
+                }
+                Some(b) => {
+                    let (sum, p50) = (b.commit_sum(), self.commit_p50);
+                    if sum.abs_diff(p50) > Duration::from_micros(1) {
+                        v.push(format!(
+                            "phase sum {sum:?} does not reconcile with commit p50 {p50:?}"
+                        ));
+                    }
+                }
+                None => {}
+            }
+        }
         v
     }
 }
@@ -256,6 +316,7 @@ struct ClientOutcome {
     breakdown: Vec<FlushSample>,
     logged: Vec<(Uuid, SimTime)>,
     logged_txns: u64,
+    dedupe_evictions: u64,
     failed: bool,
 }
 
@@ -271,15 +332,6 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Sorted-slice percentile (nearest-rank).
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
 /// Drives one complete fleet run. Pure function of `params` — the same
 /// parameters (including the seed) reproduce the identical report.
 pub fn run_fleet(params: &FleetParams) -> FleetReport {
@@ -287,6 +339,11 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     let mut profile = params.profile.clone();
     profile.seed = params.seed;
     let env = CloudEnv::new(&sim, profile);
+    if params.trace {
+        // The tracer never sleeps or draws randomness, so a traced run's
+        // virtual timeline is identical to an untraced one.
+        env.tracer().enable(params.seed);
+    }
     let protocol_config = ProtocolConfig {
         feed: params.push,
         ..ProtocolConfig::default()
@@ -336,11 +393,13 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
                 );
                 let replay = replay_fs_prefixed(&fs, &script, &format!("/{name}"));
                 let sync_failed = client.sync().is_err();
+                let stats = client.pipeline_stats();
                 ClientOutcome {
                     durable_keys: replay.durable_keys,
                     breakdown: client.flush_breakdown(),
                     logged: client.wal_logged_transactions(),
-                    logged_txns: client.pipeline_stats().map(|s| s.uploads).unwrap_or(0),
+                    logged_txns: stats.as_ref().map(|s| s.uploads).unwrap_or(0),
+                    dedupe_evictions: stats.map(|s| s.dedupe_evictions).unwrap_or(0),
                     failed: replay.died.is_some() || sync_failed,
                 }
             })
@@ -422,33 +481,51 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
     let mut failed_checks: Vec<String> = Vec::new();
     let mut durable_checked = 0;
     let mut client_errors = 0;
-    let mut latencies: Vec<Duration> = Vec::new();
-    let mut admissions: Vec<Duration> = Vec::new();
-    let mut queues: Vec<Duration> = Vec::new();
-    let mut uploads: Vec<Duration> = Vec::new();
-    let mut commit_lags: Vec<Duration> = Vec::new();
-    let mut pickup_lags: Vec<Duration> = Vec::new();
+    // All run percentiles live in ONE metrics registry — one sorting
+    // and rounding convention for the table, the JSON and the gates.
+    let mut reg = Registry::new();
+    // (commit latency, txn) pairs: the registry carries the percentiles,
+    // the pairs identify the p50 transaction for the phase breakdown.
+    let mut commit_pairs: Vec<(Duration, Uuid)> = Vec::new();
+    let mut trace_root_mismatches = 0u64;
     let mut logged_txns = 0;
     for o in &outcomes {
         if o.failed {
             client_errors += 1;
         }
         logged_txns += o.logged_txns;
+        reg.add("client.dedupe_evictions", o.dedupe_evictions);
         for s in &o.breakdown {
-            latencies.push(s.total);
-            admissions.push(s.admission);
-            queues.push(s.queued);
-            uploads.push(s.upload);
+            reg.record("flush.total", s.total);
+            reg.record("flush.admission", s.admission);
+            reg.record("flush.queue", s.queued);
+            reg.record("flush.upload", s.upload);
         }
         // Join this client's logged-at instants with the pool's
         // committed-at instants: the commit plane's per-transaction
         // latency, WAL-durable -> committed.
         for (txn, logged_at) in &o.logged {
             if let Some(committed_at) = commit_times.get(txn) {
-                commit_lags.push(committed_at.saturating_duration_since(*logged_at));
+                let lag = committed_at.saturating_duration_since(*logged_at);
+                reg.record("commit.latency", lag);
+                commit_pairs.push((lag, *txn));
+                if params.trace {
+                    // Gate: the trace tree's root must BE this measured
+                    // latency, to the sim tick.
+                    let ok = env.tracer().root_interval(txn.0).is_some_and(|(s, e)| {
+                        let got = e.saturating_duration_since(s);
+                        got.abs_diff(lag) <= Duration::from_micros(1)
+                    });
+                    if !ok {
+                        trace_root_mismatches += 1;
+                    }
+                }
             }
             if let Some(seen_at) = pickup_times.get(txn) {
-                pickup_lags.push(seen_at.saturating_duration_since(*logged_at));
+                reg.record(
+                    "commit.pickup",
+                    seen_at.saturating_duration_since(*logged_at),
+                );
             }
         }
         for key in &o.durable_keys {
@@ -470,12 +547,20 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
             }
         }
     }
-    latencies.sort_unstable();
-    admissions.sort_unstable();
-    queues.sort_unstable();
-    uploads.sort_unstable();
-    commit_lags.sort_unstable();
-    pickup_lags.sort_unstable();
+    // The commit-p50 transaction's critical path: sort the (latency,
+    // txn) pairs and take the registry's nearest-rank median element —
+    // its trace-tree walk attributes exactly `commit_p50` across the
+    // phases.
+    let breakdown = if params.trace && !commit_pairs.is_empty() {
+        commit_pairs.sort_unstable();
+        let rank =
+            ((0.5 * commit_pairs.len() as f64).ceil() as usize).clamp(1, commit_pairs.len()) - 1;
+        env.tracer().critical_path(commit_pairs[rank].1 .0)
+    } else {
+        None
+    };
+    let trace_stats = params.trace.then(|| env.tracer().stats());
+    let trace_json = (params.trace && params.trace_export).then(|| env.tracer().chrome_trace());
 
     // Feed accounting: the bus's own gap/duplicate counters plus the
     // at-least-once join — every committed transaction must have shown
@@ -511,20 +596,20 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         } else {
             0.0
         },
-        p50: percentile(&latencies, 50.0),
-        p99: percentile(&latencies, 99.0),
-        samples: latencies.len(),
-        admission_p50: percentile(&admissions, 50.0),
-        admission_p99: percentile(&admissions, 99.0),
-        queue_p50: percentile(&queues, 50.0),
-        queue_p99: percentile(&queues, 99.0),
-        upload_p50: percentile(&uploads, 50.0),
-        upload_p99: percentile(&uploads, 99.0),
-        commit_p50: percentile(&commit_lags, 50.0),
-        commit_p99: percentile(&commit_lags, 99.0),
-        commit_samples: commit_lags.len(),
-        pickup_p50: percentile(&pickup_lags, 50.0),
-        pickup_p99: percentile(&pickup_lags, 99.0),
+        p50: reg.percentile("flush.total", 50.0),
+        p99: reg.percentile("flush.total", 99.0),
+        samples: reg.count("flush.total"),
+        admission_p50: reg.percentile("flush.admission", 50.0),
+        admission_p99: reg.percentile("flush.admission", 99.0),
+        queue_p50: reg.percentile("flush.queue", 50.0),
+        queue_p99: reg.percentile("flush.queue", 99.0),
+        upload_p50: reg.percentile("flush.upload", 50.0),
+        upload_p99: reg.percentile("flush.upload", 99.0),
+        commit_p50: reg.percentile("commit.latency", 50.0),
+        commit_p99: reg.percentile("commit.latency", 99.0),
+        commit_samples: reg.count("commit.latency"),
+        pickup_p50: reg.percentile("commit.pickup", 50.0),
+        pickup_p99: reg.percentile("commit.pickup", 99.0),
         wal_leftover,
         temp_leftover,
         missing_durable,
@@ -539,6 +624,13 @@ pub fn run_fleet(params: &FleetParams) -> FleetReport {
         feed_duplicates,
         feed_gaps,
         feed_missing,
+        dedupe_evictions: reg.counter("client.dedupe_evictions"),
+        traced: params.trace,
+        trace_spans: trace_stats.map(|s| s.spans).unwrap_or(0),
+        trace_orphans: trace_stats.map(|s| s.orphans).unwrap_or(0),
+        trace_root_mismatches,
+        breakdown,
+        trace_json,
         pool: pool_stats,
     }
 }
@@ -619,6 +711,52 @@ mod tests {
         assert_eq!(a, b, "same params + seed must reproduce bit-identically");
         let c = run_fleet(&FleetParams { seed: 8, ..small() });
         assert_ne!(a, c, "a different seed should shift the run");
+    }
+
+    #[test]
+    fn traced_runs_reconcile_and_reproduce() {
+        let params = FleetParams {
+            trace: true,
+            trace_export: true,
+            ..small()
+        };
+        let r = run_fleet(&params);
+        assert_eq!(r.violations(), Vec::<String>::new());
+        assert!(r.traced);
+        assert!(r.trace_spans > 0, "a traced run must record spans");
+        assert_eq!(r.trace_orphans, 0, "every span must reach a txn root");
+        assert_eq!(
+            r.trace_root_mismatches, 0,
+            "root spans must agree with measured commit latency"
+        );
+        let b = r.breakdown.expect("committed txns imply a breakdown");
+        assert!(
+            b.commit_sum().abs_diff(r.commit_p50) <= Duration::from_micros(1),
+            "phase sum {:?} must reconcile with commit p50 {:?}",
+            b.commit_sum(),
+            r.commit_p50
+        );
+        let json = r.trace_json.as_ref().expect("export requested");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Tracing must not perturb the sim: same seed, same trace bytes.
+        let again = run_fleet(&params);
+        assert_eq!(r, again, "traced runs must reproduce bit-identically");
+        // And an untraced run of the same seed must agree on every
+        // latency figure (tracing is observation, not interference).
+        // The bill is allowed to creep by the span-context attribute
+        // bytes riding the WAL messages — those bill like any payload.
+        let untraced = run_fleet(&small());
+        assert_eq!(r.commit_p50, untraced.commit_p50);
+        assert_eq!(r.p99, untraced.p99);
+        assert_eq!(r.committed, untraced.committed);
+        assert!(
+            r.total_cost_usd >= untraced.total_cost_usd
+                && r.total_cost_usd - untraced.total_cost_usd < 1e-5,
+            "context bytes may only nudge the bill upward: {} vs {}",
+            r.total_cost_usd,
+            untraced.total_cost_usd
+        );
     }
 
     #[test]

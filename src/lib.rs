@@ -40,6 +40,7 @@ pub use cloudprov_fs as fs;
 pub use cloudprov_pass as pass;
 pub use cloudprov_query as query;
 pub use cloudprov_sim as sim;
+pub use cloudprov_trace as trace;
 pub use cloudprov_workloads as workloads;
 
 pub use cloudprov_core::{
