@@ -18,7 +18,9 @@ use cloudprov_cloud::{Era, Machine, RunContext};
 use cloudprov_core::index::audit_index;
 use cloudprov_core::{Layout, ProtocolConfig, StorageProtocol};
 use cloudprov_query::{Mode, Plan, QueryEngine, QueryKind, QueryMetrics};
-use cloudprov_workloads::{blast, collect, BlastParams, OfflineRun};
+use cloudprov_workloads::{
+    blast, collect, run_readserve, BlastParams, OfflineRun, ReadServeParams, ReadServeReport,
+};
 
 use crate::common::{Rig, Which};
 use crate::uploader::upload;
@@ -333,6 +335,57 @@ pub fn queries_report(params: BlastParams) -> QueriesReport {
     }
 }
 
+/// The concurrent read-serving benchmark: hundreds of query tenants
+/// over the shared [`AncestryCache`](cloudprov_query::AncestryCache)
+/// while a live fleet keeps committing — the cached-path half of the
+/// `repro -- queries` gate.
+pub fn concurrent_report(small: bool, seed: u64) -> ReadServeReport {
+    let params = if small {
+        ReadServeParams::smoke(seed)
+    } else {
+        ReadServeParams {
+            seed,
+            ..ReadServeParams::default()
+        }
+    };
+    run_readserve(&params)
+}
+
+/// Seed a committed `BENCH_queries*.json` was produced with — the
+/// regression gate only compares like seeds. Substring-parsed like the
+/// fleet baselines (offline workspace, no serde).
+pub fn baseline_seed(json: &str) -> Option<u64> {
+    json.split("\"seed\":")
+        .nth(1)?
+        .split(',')
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Cached-path speedup recorded in a committed `BENCH_queries*.json`.
+pub fn baseline_cached_speedup(json: &str) -> Option<f64> {
+    json.split("\"cached_speedup\":")
+        .nth(1)?
+        .split(',')
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Warm (cache-hit) p50 in microseconds from a committed baseline.
+pub fn baseline_warm_p50_us(json: &str) -> Option<f64> {
+    json.split("\"warm_p50_us\":")
+        .nth(1)?
+        .split(',')
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
 fn json_escape_free(s: &str) -> String {
     s.chars().filter(|c| *c != '"' && *c != '\\').collect()
 }
@@ -340,12 +393,51 @@ fn json_escape_free(s: &str) -> String {
 /// Machine-readable dump — the `BENCH_queries.json` trajectory file.
 /// Hand-rolled JSON: the workspace is offline and serde is not among the
 /// vendored crates.
-pub fn to_json(small: bool, report: &QueriesReport) -> String {
+pub fn to_json(
+    small: bool,
+    seed: u64,
+    report: &QueriesReport,
+    concurrent: &ReadServeReport,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"bench\": \"queries\",\n  \"smoke\": {small},\n  \"index_consistent\": {},\n  \"index_entries\": {},\n  \"speedup_q3_q4_ops\": {:.3},\n",
+        "  \"bench\": \"queries\",\n  \"seed\": {seed},\n  \"smoke\": {small},\n  \"index_consistent\": {},\n  \"index_entries\": {},\n  \"speedup_q3_q4_ops\": {:.3},\n",
         report.index_consistent, report.index_entries, report.speedup
+    ));
+    let c = concurrent;
+    out.push_str(&format!(
+        concat!(
+            "  \"concurrent\": {{\n",
+            "    \"query_tenants\": {}, \"writers\": {}, \"rounds\": {}, \"queries\": {},\n",
+            "    \"hits\": {}, \"misses\": {}, \"bypasses\": {}, \"evictions\": {},\n",
+            "    \"invalidations\": {}, \"installs\": {}, \"hit_rate\": {:.4},\n",
+            "    \"warm_p50_us\": {:.1}, \"warm_p99_us\": {:.1},\n",
+            "    \"cold_p50_us\": {:.1}, \"cold_p99_us\": {:.1},\n",
+            "    \"cached_speedup\": {:.3}, \"verified\": {}, \"stale_results\": {},\n",
+            "    \"verify_retries\": {}, \"query_throughput\": {:.4}\n",
+            "  }},\n"
+        ),
+        c.query_tenants,
+        c.writers,
+        c.rounds,
+        c.queries,
+        c.cache.hits,
+        c.cache.misses,
+        c.cache.bypasses,
+        c.cache.evictions,
+        c.cache.invalidations,
+        c.cache.installs,
+        c.hit_rate,
+        c.warm_p50.as_secs_f64() * 1e6,
+        c.warm_p99.as_secs_f64() * 1e6,
+        c.cold_p50.as_secs_f64() * 1e6,
+        c.cold_p99.as_secs_f64() * 1e6,
+        c.cached_speedup,
+        c.verified,
+        c.stale_results,
+        c.verify_retries,
+        c.query_throughput,
     ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in report.rows.iter().enumerate() {
@@ -444,8 +536,39 @@ mod tests {
             "{:?}",
             report.violations(1.0)
         );
-        let json = to_json(true, &report);
+        let conc = run_readserve(&tiny_concurrent());
+        let json = to_json(true, 42, &report, &conc);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The substring baselines round-trip out of our own emission.
+        assert_eq!(baseline_seed(&json), Some(42));
+        let speedup = baseline_cached_speedup(&json).expect("speedup recorded");
+        assert!((speedup - conc.cached_speedup).abs() < 1e-3);
+        assert!(baseline_warm_p50_us(&json).is_some());
+        assert_eq!(baseline_seed("not json"), None);
+        assert_eq!(baseline_cached_speedup("not json"), None);
+    }
+
+    fn tiny_concurrent() -> ReadServeParams {
+        ReadServeParams {
+            query_tenants: 6,
+            queries_per_tenant: 2,
+            writers: 2,
+            programs: 2,
+            rounds: 1,
+            shards: 2,
+            daemons: 1,
+            seed: 1,
+            profile: cloudprov_cloud::AwsProfile::instant(),
+            ..ReadServeParams::default()
+        }
+    }
+
+    #[test]
+    fn concurrent_smoke_serves_warm_and_stays_truthful() {
+        let r = run_readserve(&tiny_concurrent());
+        assert_eq!(r.violations(), Vec::<String>::new(), "{r:?}");
+        assert!(r.cache.hits > 0);
+        assert_eq!(r.stale_results, 0);
     }
 }

@@ -90,6 +90,13 @@ fn event_item_name(stream: &str, seq: u64, txn: Uuid) -> String {
 /// Extracts the uuids and program names a record set touches — the same
 /// name rules as the ancestry index's program seeds (plain text, within
 /// the attribute limit, not a spill pointer).
+///
+/// Touched uuids cover both record subjects and `Input` cross-reference
+/// targets: the ancestry index keys its reverse-edge items by the
+/// *ancestor* (the xref target), so a commit changes `rev_` pages for
+/// nodes that never appear as a subject in the transaction. Consumers
+/// that invalidate by uuid (the read-tier ancestry cache) rely on the
+/// event naming every node whose index pages the commit may have grown.
 pub fn extract_touches(records: &[ProvenanceRecord]) -> (Vec<Uuid>, Vec<String>) {
     let mut uuids: Vec<Uuid> = Vec::new();
     let mut programs: Vec<String> = Vec::new();
@@ -97,6 +104,13 @@ pub fn extract_touches(records: &[ProvenanceRecord]) -> (Vec<Uuid>, Vec<String>)
     for r in records {
         if !uuids.contains(&r.subject.uuid) {
             uuids.push(r.subject.uuid);
+        }
+        if r.attr == Attr::Input {
+            if let Some(target) = r.value.as_xref() {
+                if !uuids.contains(&target.uuid) {
+                    uuids.push(target.uuid);
+                }
+            }
         }
         if r.attr == Attr::Type {
             let k = match r.value.to_text().as_str() {
@@ -583,15 +597,20 @@ mod tests {
     fn extract_touches_finds_uuids_and_programs() {
         let p = PNodeId::initial(Uuid(1));
         let f = PNodeId::initial(Uuid(2));
+        // An ancestor referenced by xref only — never a subject in this
+        // transaction. Its rev_ index pages still change, so the event
+        // must name it.
+        let elder = PNodeId::initial(Uuid(7));
         let records = vec![
             ProvenanceRecord::new(p, Attr::Type, "process"),
             ProvenanceRecord::new(p, Attr::Name, "sort"),
             ProvenanceRecord::new(f, Attr::Type, "file"),
             ProvenanceRecord::new(f, Attr::Name, "/out"),
             ProvenanceRecord::new(f, Attr::Input, p),
+            ProvenanceRecord::new(p, Attr::Input, elder),
         ];
         let (uuids, programs) = extract_touches(&records);
-        assert_eq!(uuids, vec![Uuid(1), Uuid(2)]);
+        assert_eq!(uuids, vec![Uuid(1), Uuid(2), Uuid(7)]);
         assert_eq!(
             programs,
             vec!["sort".to_string()],

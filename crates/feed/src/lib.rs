@@ -254,6 +254,17 @@ impl Subscriptions {
         Arc::new(move |event: CommitEvent| this.publish(event))
     }
 
+    /// This registry's sink fanned in with additional consumers (a
+    /// read-tier cache's invalidation sink, a tracing tap): the daemon
+    /// pool takes exactly one sink, so co-subscribers must share one.
+    /// Every sink sees every event, in the same order, on the
+    /// publisher's thread.
+    pub fn sink_with(&self, others: Vec<CommitEventSink>) -> CommitEventSink {
+        let mut sinks = vec![self.sink()];
+        sinks.extend(others);
+        fanout(sinks)
+    }
+
     /// Current bus-level accounting.
     pub fn stats(&self) -> FeedStats {
         self.inner.lock().stats
@@ -270,6 +281,18 @@ impl Subscriptions {
                 .iter()
                 .all(|s| s.out_of_order.load(Ordering::Relaxed) == 0)
     }
+}
+
+/// Fans one event stream out to several sinks, preserving order: each
+/// event is delivered to every sink, in `sinks` order, before the next
+/// event is accepted. This is how a subscription registry and a
+/// read-tier cache share the single sink slot a daemon pool offers.
+pub fn fanout(sinks: Vec<CommitEventSink>) -> CommitEventSink {
+    Arc::new(move |event: CommitEvent| {
+        for sink in &sinks {
+            sink(event.clone());
+        }
+    })
 }
 
 /// One live predicate subscription. Dropping it unsubscribes and frees
@@ -347,6 +370,25 @@ mod tests {
             uuids: vec![Uuid(txn)],
             programs: vec![format!("prog{txn}")],
         }
+    }
+
+    #[test]
+    fn fanout_delivers_every_event_to_every_sink_in_order() {
+        let sim = Sim::new();
+        let subs = Subscriptions::new(&sim);
+        let sub = subs.subscribe(None, Predicate::All).unwrap();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let tap = {
+            let seen = seen.clone();
+            Arc::new(move |ev: CommitEvent| seen.lock().push(ev.seq)) as CommitEventSink
+        };
+        let sink = subs.sink_with(vec![tap]);
+        for seq in 1..=3 {
+            sink(event("wal-a", seq, seq as u128));
+        }
+        assert_eq!(*seen.lock(), vec![1, 2, 3], "tap saw the stream in order");
+        assert_eq!(sub.backlog(), 3, "registry delivery unaffected");
+        assert!(subs.gap_free());
     }
 
     #[test]

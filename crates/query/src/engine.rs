@@ -16,20 +16,27 @@
 //! **SimpleDB layout** (P2/P3) Q.3/Q.4 become selective SELECTs (the
 //! order-of-magnitude gap of Table 5); with a P3 **ancestry index** the
 //! planner routes Q.3 to one seed lookup and Q.4 to a bounded walk over
-//! materialized reverse edges.
+//! materialized reverse edges; with a feed-coherent
+//! [`AncestryCache`](crate::AncestryCache) attached
+//! ([`QueryEngine::with_cache`]) warm Q.3/Q.4 are served from memory
+//! without a single store op.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use cloudprov_cloud::{Actor, CloudEnv, UsageReport};
+use cloudprov_cloud::{Actor, CloudEnv, TenantId, UsageReport};
 use cloudprov_core::{CommitEvent, CommitEventSink, ProtocolError, ProvenanceStore};
 use cloudprov_pass::{PNodeId, ProvenanceRecord, Uuid};
 
-use crate::planner::{self, DomainStats, Plan, PlanHistory, PlanReport, QueryKind};
+use crate::cache::AncestryCache;
+use crate::planner::{
+    self, CacheOutcome, CacheState, DomainStats, Plan, PlanHistory, PlanReport, QueryKind,
+};
 use crate::source::{
-    local, object_link, resolve_spill, GraphSource, IndexSource, Mode, S3ScanSource,
+    local, object_link, resolve_spill, GraphSource, IndexSource, Mode, OutputSet, S3ScanSource,
     SdbSelectSource,
 };
 
@@ -81,12 +88,21 @@ pub struct QueryEngine {
     /// Change-feed invalidations accumulated through
     /// [`QueryEngine::invalidation_sink`]; shared across pinned views.
     invalidations: Arc<Mutex<Invalidations>>,
+    /// The shared read-tier cache, when attached
+    /// ([`QueryEngine::with_cache`]); the planner offers `Plan::Cached`
+    /// only while it is usable.
+    cache: Option<Arc<AncestryCache>>,
+    /// Tenant whose meter line this engine's queries are measured from
+    /// ([`QueryEngine::with_tenant`]); also the quota owner of cache
+    /// entries this engine hydrates.
+    tenant: Option<TenantId>,
 }
 
 /// What the change feed has invalidated since the last drain: the keys a
-/// result cache layered over this engine would evict. The cache tier
-/// itself is future work — today the engine only accumulates the edits
-/// so consumers (and tests) can observe commit-to-invalidation flow.
+/// result cache layered over this engine would evict. The
+/// [`AncestryCache`] consumes the same events directly (with sequence
+/// accounting); this accumulator remains so consumers and tests can
+/// observe raw commit-to-invalidation flow.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Invalidations {
     /// Object uuids whose lineage grew (invalidates Q.1/Q.2 answers
@@ -137,7 +153,27 @@ impl QueryEngine {
             force: None,
             history: Arc::new(Mutex::new(PlanHistory::default())),
             invalidations: Arc::new(Mutex::new(Invalidations::default())),
+            cache: None,
+            tenant: None,
         }
+    }
+
+    /// Attaches the shared read-tier cache: Q.3/Q.4 gain the `Cached`
+    /// plan while the cache is usable (attached to a gap-free feed).
+    pub fn with_cache(mut self, cache: Arc<AncestryCache>) -> QueryEngine {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Scopes this engine to `tenant`: cloud calls are attributed to (and
+    /// metrics measured from) the tenant's meter line — so concurrent
+    /// engines on other sim threads cannot contaminate each other's
+    /// [`QueryMetrics`] — and cache entries it hydrates are charged to
+    /// the tenant's quota.
+    pub fn with_tenant(mut self, tenant: TenantId) -> QueryEngine {
+        self.env = self.env.for_tenant(tenant);
+        self.tenant = Some(tenant);
+        self
     }
 
     /// A [`CommitEventSink`] recording which uuids and programs each
@@ -208,6 +244,8 @@ impl QueryEngine {
             force: Some(plan),
             history: self.history.clone(),
             invalidations: self.invalidations.clone(),
+            cache: self.cache.clone(),
+            tenant: self.tenant,
         }
     }
 
@@ -221,7 +259,9 @@ impl QueryEngine {
         self.in_batch
     }
 
-    /// The plans this store's layout supports.
+    /// The plans this store's layout supports. `Cached` appears only
+    /// with an index to hydrate from and a usable (attached, gap-free)
+    /// cache — a lapsed feed drops the plan entirely: fail closed.
     pub fn available_plans(&self) -> Vec<Plan> {
         match &self.store {
             ProvenanceStore::S3Objects { .. } => vec![Plan::S3Scan],
@@ -229,6 +269,9 @@ impl QueryEngine {
                 let mut v = vec![Plan::SdbSelect];
                 if index_domain.is_some() {
                     v.push(Plan::Index);
+                    if self.cache.as_ref().is_some_and(|c| c.usable()) {
+                        v.push(Plan::Cached);
+                    }
                 }
                 v
             }
@@ -257,15 +300,47 @@ impl QueryEngine {
         }
     }
 
-    /// What the planner would pick for `query` right now.
+    /// What the planner would pick for `query` right now. Without a
+    /// specific program to probe, a usable cache is assumed cold (the
+    /// conservative state); the query entry points probe the actual
+    /// warmness per program.
     pub fn plan_for(&self, query: QueryKind) -> PlanReport {
+        let state = if self.cache.as_ref().is_some_and(|c| c.usable()) {
+            CacheState::Cold
+        } else {
+            CacheState::Uncached
+        };
+        self.plan_with_state(query, state)
+    }
+
+    fn plan_with_state(&self, query: QueryKind, state: CacheState) -> PlanReport {
         planner::choose(
             query,
             &self.available_plans(),
             &self.stats(),
             &self.history.lock(),
             self.force,
+            state,
         )
+    }
+
+    /// Plans a cacheable query (Q.3/Q.4) by probing the cache for
+    /// `program`. Returns the report and, when the cache was in play but
+    /// unusable, the `Bypass` outcome to attach after execution.
+    fn plan_query(&self, query: QueryKind, program: &str) -> (PlanReport, Option<CacheOutcome>) {
+        match &self.cache {
+            Some(c) => match c.probe(query, program) {
+                Some(state) => (self.plan_with_state(query, state), None),
+                None => {
+                    c.note_bypass();
+                    (
+                        self.plan_with_state(query, CacheState::Uncached),
+                        Some(CacheOutcome::Bypass),
+                    )
+                }
+            },
+            None => (self.plan_with_state(query, CacheState::Uncached), None),
+        }
     }
 
     fn scan_source(&self) -> S3ScanSource {
@@ -304,7 +379,9 @@ impl QueryEngine {
         match plan {
             Plan::S3Scan => Box::new(self.scan_source()),
             Plan::SdbSelect => Box::new(self.select_source()),
-            Plan::Index => Box::new(self.index_source()),
+            // The cache hydrates from the index; as a trait-object
+            // source it IS the index.
+            Plan::Index | Plan::Cached => Box::new(self.index_source()),
         }
     }
 
@@ -317,11 +394,23 @@ impl QueryEngine {
         }
     }
 
+    /// Op/byte totals this engine's queries are measured from: the
+    /// tenant's own meter line when scoped ([`QueryEngine::with_tenant`])
+    /// — immune to concurrent engines on other sim threads — else the
+    /// global query-actor totals.
+    fn metered_totals(&self) -> (u64, u64) {
+        let u = self.env.usage();
+        match self.tenant {
+            Some(t) => (u.tenant_ops_total(t), u.tenant_bytes_total(t)),
+            None => usage_totals(&u),
+        }
+    }
+
     fn measure<R>(&self, f: impl FnOnce() -> Result<R>) -> Result<(R, QueryMetrics)> {
         let t0 = self.env.sim().now();
-        let (ops0, bytes0) = usage_totals(&self.env.usage());
+        let (ops0, bytes0) = self.metered_totals();
         let r = f()?;
-        let (ops1, bytes1) = usage_totals(&self.env.usage());
+        let (ops1, bytes1) = self.metered_totals();
         Ok((
             r,
             QueryMetrics {
@@ -332,14 +421,26 @@ impl QueryEngine {
         ))
     }
 
+    /// Stamps the cache outcome into the report and records the measured
+    /// bill under the cache state that actually materialized — a hit is
+    /// a `Warm` row, a hydration a `Cold` row, and every plain store
+    /// path an `Uncached` row — so no run can pin the planner across
+    /// states ([`PlanHistory`]).
     fn record_history(
         &self,
         query: QueryKind,
-        plan: PlanReport,
+        mut plan: PlanReport,
+        outcome: Option<CacheOutcome>,
         metrics: QueryMetrics,
     ) -> PlanReport {
+        plan.cache = outcome;
         if let Some(p) = plan.plan {
-            self.history.lock().record(query, p, metrics.ops);
+            let state = match (p, outcome) {
+                (Plan::Cached, Some(CacheOutcome::Hit)) => CacheState::Warm,
+                (Plan::Cached, _) => CacheState::Cold,
+                _ => CacheState::Uncached,
+            };
+            self.history.lock().record(query, p, state, metrics.ops);
         }
         plan
     }
@@ -357,7 +458,7 @@ impl QueryEngine {
             nodes: local::subjects(&records),
             records,
             metrics,
-            plan: self.record_history(QueryKind::Q1, plan, metrics),
+            plan: self.record_history(QueryKind::Q1, plan, None, metrics),
         })
     }
 
@@ -381,7 +482,7 @@ impl QueryEngine {
             nodes: local::subjects(&records),
             records,
             metrics,
-            plan: self.record_history(QueryKind::Q2, plan, metrics),
+            plan: self.record_history(QueryKind::Q2, plan, None, metrics),
         })
     }
 
@@ -391,7 +492,7 @@ impl QueryEngine {
     ///
     /// Propagates cloud errors.
     pub fn q3_outputs_of(&self, program: &str, mode: Mode) -> Result<QueryOutput> {
-        let plan = self.plan_for(QueryKind::Q3);
+        let (plan, mut outcome) = self.plan_query(QueryKind::Q3, program);
         let chosen = plan.plan.expect("planner always picks");
         let (out, metrics) = self.measure(|| match chosen {
             // No indexes: scan everything, filter locally (§5.3: "In S3,
@@ -407,12 +508,17 @@ impl QueryEngine {
                 let procs = source.processes_named(program, mode)?;
                 source.direct_outputs(&procs, mode)
             }
+            Plan::Cached => {
+                let (set, oc) = self.q3_cached(program, mode)?;
+                outcome = Some(oc);
+                Ok(set)
+            }
         })?;
         Ok(QueryOutput {
             nodes: out.nodes,
             records: out.records,
             metrics,
-            plan: self.record_history(QueryKind::Q3, plan, metrics),
+            plan: self.record_history(QueryKind::Q3, plan, outcome, metrics),
         })
     }
 
@@ -424,7 +530,7 @@ impl QueryEngine {
     ///
     /// Propagates cloud errors.
     pub fn q4_descendants_of(&self, program: &str, mode: Mode) -> Result<QueryOutput> {
-        let plan = self.plan_for(QueryKind::Q4);
+        let (plan, mut outcome) = self.plan_query(QueryKind::Q4, program);
         let chosen = plan.plan.expect("planner always picks");
         let (nodes, metrics) = self.measure(|| match chosen {
             // One scan, then the traversal is local.
@@ -438,13 +544,93 @@ impl QueryEngine {
                 let procs = source.processes_named(program, mode)?;
                 source.descendants_of(&procs, mode)
             }
+            Plan::Cached => {
+                let (nodes, oc) = self.q4_cached(program, mode)?;
+                outcome = Some(oc);
+                Ok(nodes)
+            }
         })?;
         Ok(QueryOutput {
             records: Vec::new(),
             nodes,
             metrics,
-            plan: self.record_history(QueryKind::Q4, plan, metrics),
+            plan: self.record_history(QueryKind::Q4, plan, outcome, metrics),
         })
+    }
+
+    /// Q.3 through the read tier: served from memory on a hit; on a miss
+    /// the answer is computed from a *fresh* index fetch (authoritative
+    /// for this query) and the fetched pages are installed — guarded by
+    /// their fetch-start instant so a racing invalidation wins.
+    fn q3_cached(&self, program: &str, mode: Mode) -> Result<(OutputSet, CacheOutcome)> {
+        let cache = self.cache.as_ref().expect("cached plan without a cache");
+        if let Some(nodes) = cache.serve_q3(program) {
+            return Ok((
+                OutputSet {
+                    nodes,
+                    records: Vec::new(),
+                },
+                CacheOutcome::Hit,
+            ));
+        }
+        let idx = self.index_source();
+        let seeds = self.cached_seeds(cache, &idx, program, mode)?;
+        let t0 = self.env.sim().now();
+        let adj = idx.adjacency()?;
+        let mut nodes: BTreeSet<PNodeId> = BTreeSet::new();
+        for p in &seeds {
+            for dep in adj.out.get(p).map(Vec::as_slice).unwrap_or(&[]) {
+                if adj.files.contains(dep) {
+                    nodes.insert(*dep);
+                }
+            }
+        }
+        cache.install_adjacency(self.tenant, &adj, &seeds, t0);
+        Ok((
+            OutputSet {
+                nodes: nodes.into_iter().collect(),
+                records: Vec::new(),
+            },
+            CacheOutcome::Miss,
+        ))
+    }
+
+    /// Q.4 through the read tier; see [`QueryEngine::q3_cached`]. The
+    /// walked frontier (seeds + every reached node) is passed as the
+    /// touched set so leaves get explicit empty pages — the walk can go
+    /// fully warm.
+    fn q4_cached(&self, program: &str, mode: Mode) -> Result<(Vec<PNodeId>, CacheOutcome)> {
+        let cache = self.cache.as_ref().expect("cached plan without a cache");
+        if let Some(nodes) = cache.serve_q4(program) {
+            return Ok((nodes, CacheOutcome::Hit));
+        }
+        let idx = self.index_source();
+        let seeds = self.cached_seeds(cache, &idx, program, mode)?;
+        let t0 = self.env.sim().now();
+        let adj = idx.adjacency()?;
+        let nodes = local::walk(&seeds, |n| adj.out.get(&n).cloned().unwrap_or_default());
+        let mut touched = seeds.clone();
+        touched.extend(nodes.iter().copied());
+        cache.install_adjacency(self.tenant, &adj, &touched, t0);
+        Ok((nodes, CacheOutcome::Miss))
+    }
+
+    /// Seed lookup through the cache, hydrating (and installing) from
+    /// the index on miss.
+    fn cached_seeds(
+        &self,
+        cache: &Arc<AncestryCache>,
+        idx: &IndexSource,
+        program: &str,
+        mode: Mode,
+    ) -> Result<Vec<PNodeId>> {
+        if let Some(seeds) = cache.seeds_of(program) {
+            return Ok(seeds);
+        }
+        let t0 = self.env.sim().now();
+        let seeds = idx.processes_named(program, mode)?;
+        cache.install_seeds(self.tenant, program, &seeds, t0);
+        Ok(seeds)
     }
 
     /// Fetches the full records of identified nodes (hydration after an
@@ -726,6 +912,200 @@ mod tests {
             .to_text();
         let bytes = engine.resolve_spill(&pointer).unwrap();
         assert!(bytes.len() > 1024);
+    }
+
+    #[test]
+    fn warm_cache_serves_q3_q4_from_memory_with_zero_ops() {
+        use crate::cache::{AncestryCache, CacheConfig};
+        use crate::planner::CacheOutcome;
+
+        let (sim, _env, engine) = seeded("P3");
+        let cache = Arc::new(AncestryCache::new(&sim, CacheConfig::default()));
+        cache.attach();
+        let engine = engine.with_cache(cache.clone());
+        for program in ["blast", "parser"] {
+            // Cold: the planner still routes through the cache (tie with
+            // the index) so it hydrates, paying the store once.
+            let cold = engine.q3_outputs_of(program, Mode::Sequential).unwrap();
+            assert_eq!(cold.plan.plan, Some(Plan::Cached), "{program}");
+            assert_eq!(cold.plan.cache, Some(CacheOutcome::Miss), "{program}");
+            assert!(cold.metrics.ops > 0, "{program}: hydration pays the store");
+            // Warm: zero store ops, zero elapsed virtual time, identical
+            // result set — and the same for Q.4.
+            let warm = engine.q3_outputs_of(program, Mode::Sequential).unwrap();
+            assert_eq!(warm.plan.cache, Some(CacheOutcome::Hit), "{program}");
+            assert_eq!(warm.metrics.ops, 0, "{program}");
+            assert_eq!(warm.metrics.elapsed, Duration::ZERO, "{program}");
+            assert_eq!(warm.nodes, cold.nodes, "{program}");
+            let q4_cold = engine.q4_descendants_of(program, Mode::Sequential).unwrap();
+            // Pages are shared across programs: blast's Q.4 walk already
+            // installed reverse pages for every node parser's walk
+            // visits, so once parser's seeds are resident (its Q.3
+            // hydration) parser's first Q.4 is served warm.
+            let expect = if program == "blast" {
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::Hit
+            };
+            assert_eq!(q4_cold.plan.cache, Some(expect), "{program}");
+            let q4_warm = engine.q4_descendants_of(program, Mode::Sequential).unwrap();
+            assert_eq!(q4_warm.plan.cache, Some(CacheOutcome::Hit), "{program}");
+            assert_eq!(q4_warm.metrics.ops, 0, "{program}");
+            assert_eq!(q4_warm.nodes, q4_cold.nodes, "{program}");
+            // Every cached result set equals the uncached plan's.
+            let idx = engine.with_plan_ref(Plan::Index);
+            assert_eq!(
+                warm.nodes,
+                idx.q3_outputs_of(program, Mode::Sequential).unwrap().nodes,
+                "{program} Q.3 cached == index"
+            );
+            assert_eq!(
+                q4_warm.nodes,
+                idx.q4_descendants_of(program, Mode::Sequential)
+                    .unwrap()
+                    .nodes,
+                "{program} Q.4 cached == index"
+            );
+        }
+        let stats = cache.stats();
+        // blast: warm Q.3 + warm Q.4; parser: warm Q.3 + shared-page
+        // first Q.4 + warm Q.4.
+        assert_eq!(stats.hits, 5);
+        assert!(stats.installs > 0);
+    }
+
+    #[test]
+    fn pinned_index_measurements_do_not_unseat_the_warm_cache() {
+        // Satellite: the planner's measured-cost memory is per-(query,
+        // plan, cache-state). A cold cached hydration (expensive) and a
+        // pinned index run must not stop a warm round from planning
+        // Cached.
+        use crate::cache::{AncestryCache, CacheConfig};
+        use crate::planner::CacheOutcome;
+
+        let (sim, _env, engine) = seeded("P3");
+        let cache = Arc::new(AncestryCache::new(&sim, CacheConfig::default()));
+        cache.attach();
+        let engine = engine.with_cache(cache.clone());
+        // Cold hydration records a (Q4, Cached, Cold) bill.
+        let cold = engine.q4_descendants_of("blast", Mode::Sequential).unwrap();
+        assert_eq!(cold.plan.cache, Some(CacheOutcome::Miss));
+        // A pinned index run records under (Q4, Index, Uncached).
+        engine
+            .with_plan_ref(Plan::Index)
+            .q4_descendants_of("blast", Mode::Sequential)
+            .unwrap();
+        // The warm round still plans Cached at cost 0.
+        let warm = engine.q4_descendants_of("blast", Mode::Sequential).unwrap();
+        assert_eq!(warm.plan.plan, Some(Plan::Cached));
+        assert_eq!(warm.plan.cache, Some(CacheOutcome::Hit));
+        assert_eq!(warm.metrics.ops, 0);
+    }
+
+    #[test]
+    fn gapped_subscription_forces_bypass_and_results_stay_truthful() {
+        use crate::cache::{AncestryCache, CacheConfig};
+        use crate::planner::CacheOutcome;
+        use cloudprov_pass::ProvGraph;
+
+        let (sim, _env, engine) = seeded("P3");
+        let cache = Arc::new(AncestryCache::new(&sim, CacheConfig::default()));
+        cache.attach();
+        let engine = engine.with_cache(cache.clone());
+        // Prime it warm.
+        engine.q4_descendants_of("blast", Mode::Sequential).unwrap();
+        // Deliver a gapped sequence: 1 then 3. The cache must poison.
+        for seq in [1, 3] {
+            cache.on_event(&CommitEvent {
+                stream: "wal-x".into(),
+                seq,
+                txn: Uuid(seq as u128),
+                tenant: None,
+                uuids: Vec::new(),
+                programs: Vec::new(),
+            });
+        }
+        assert!(!cache.usable());
+        // Every subsequent query bypasses — served by an uncached plan,
+        // reported as such, and equal to the ground-truth ProvGraph.
+        let out = engine.q4_descendants_of("blast", Mode::Sequential).unwrap();
+        assert_ne!(out.plan.plan, Some(Plan::Cached), "fail closed");
+        assert_eq!(out.plan.cache, Some(CacheOutcome::Bypass));
+        let raw = engine.graph_source().all_records(Mode::Sequential).unwrap();
+        let graph = ProvGraph::from_records(raw.iter());
+        let procs = local::processes_named(&raw, "blast");
+        let truth: BTreeSet<PNodeId> = procs.iter().flat_map(|p| graph.descendants(*p)).collect();
+        let got: BTreeSet<PNodeId> = out.nodes.iter().copied().collect();
+        assert_eq!(got, truth, "bypassed Q.4 equals the ProvGraph");
+        let q3 = engine.q3_outputs_of("blast", Mode::Sequential).unwrap();
+        assert_eq!(q3.plan.cache, Some(CacheOutcome::Bypass));
+        let (truth_q3, _) = local::direct_outputs(&raw, &procs);
+        assert_eq!(q3.nodes, truth_q3, "bypassed Q.3 equals the records");
+        assert!(cache.stats().bypasses >= 2);
+    }
+
+    #[test]
+    fn feed_invalidation_keeps_cached_results_fresh_end_to_end() {
+        use crate::cache::{AncestryCache, CacheConfig};
+        use crate::planner::CacheOutcome;
+        use cloudprov_core::{FlushBatch, FlushObject, ProtocolConfig, StorageProtocol, P3};
+        use cloudprov_pass::{Attr, FlushNode, NodeKind};
+
+        let sim = Sim::new();
+        let env = CloudEnv::new(&sim, AwsProfile::instant());
+        let cfg = ProtocolConfig {
+            feed: true,
+            ..ProtocolConfig::default()
+        };
+        let p3 = P3::new(&env, cfg, "wal-cache");
+        let flush_proc = |uuid: u128, name: &str, input: Option<cloudprov_pass::PNodeId>| {
+            let id = cloudprov_pass::PNodeId::initial(Uuid(uuid));
+            let mut records = vec![
+                ProvenanceRecord::new(id, Attr::Type, "process"),
+                ProvenanceRecord::new(id, Attr::Name, name),
+            ];
+            if let Some(from) = input {
+                records.push(ProvenanceRecord::new(id, Attr::Input, from));
+            }
+            p3.flush(FlushBatch {
+                objects: vec![FlushObject::provenance_only(FlushNode {
+                    id,
+                    kind: NodeKind::Process,
+                    name: Some(name.into()),
+                    records,
+                    data_hash: None,
+                })],
+            })
+            .unwrap();
+            id
+        };
+        let root = flush_proc(600, "root", None);
+        let daemon = p3.commit_daemon();
+        let cache = Arc::new(AncestryCache::new(&sim, CacheConfig::default()));
+        daemon.set_event_sink(cache.sink());
+        cache.attach();
+        daemon.run_until_idle().unwrap();
+
+        let engine = QueryEngine::new(&env, p3.provenance_store().unwrap(), "data")
+            .with_cache(cache.clone());
+        // Hydrate then go warm: root has no descendants yet.
+        let cold = engine.q4_descendants_of("root", Mode::Sequential).unwrap();
+        assert_eq!(cold.plan.cache, Some(CacheOutcome::Miss));
+        assert!(cold.nodes.is_empty());
+        let warm = engine.q4_descendants_of("root", Mode::Sequential).unwrap();
+        assert_eq!(warm.plan.cache, Some(CacheOutcome::Hit));
+        // A new commit grows root's lineage; the daemon publishes the
+        // event, which must invalidate the cached (empty) answer — the
+        // xref-target uuid names root even though root wrote no records.
+        sim.sleep(Duration::from_millis(10));
+        let child = flush_proc(601, "child", Some(root));
+        daemon.run_until_idle().unwrap();
+        let after = engine.q4_descendants_of("root", Mode::Sequential).unwrap();
+        assert_eq!(after.plan.cache, Some(CacheOutcome::Miss), "invalidated");
+        assert_eq!(after.nodes, vec![child], "fresh lineage served");
+        let rewarm = engine.q4_descendants_of("root", Mode::Sequential).unwrap();
+        assert_eq!(rewarm.plan.cache, Some(CacheOutcome::Hit));
+        assert_eq!(rewarm.nodes, vec![child]);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 mod client;
 mod engine;
 pub mod hints;
@@ -28,7 +29,8 @@ pub mod planner;
 pub mod regen;
 pub mod source;
 
+pub use cache::{AncestryCache, CacheConfig, CacheStats};
 pub use client::ProvenanceQueries;
 pub use engine::{Invalidations, QueryEngine, QueryMetrics, QueryOutput};
-pub use planner::{DomainStats, Plan, PlanReport, QueryKind};
+pub use planner::{CacheOutcome, CacheState, DomainStats, Plan, PlanReport, QueryKind};
 pub use source::{GraphSource, IndexSource, Mode, OutputSet, S3ScanSource, SdbSelectSource};

@@ -23,8 +23,16 @@ use std::fmt;
 use cloudprov_cloud::SELECT_PAGE_ITEMS;
 
 /// An access path through the read layers.
+///
+/// `Cached` is declared first on purpose: [`choose`] sorts candidates
+/// and keeps the first strictly-cheaper plan, so on a cost tie the
+/// memory-resident cache wins — that is what lets a cold cache hydrate
+/// (its cold estimate equals the index estimate) instead of being
+/// starved by the index path forever.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Plan {
+    /// Memory-resident ancestry cache (hydrates from the index on miss).
+    Cached,
     /// Full scan of P1's provenance objects + local evaluation.
     S3Scan,
     /// Selective SELECTs (frontier expansion for Q.4) against SimpleDB.
@@ -37,9 +45,61 @@ impl Plan {
     /// Short name for tables.
     pub fn name(self) -> &'static str {
         match self {
+            Plan::Cached => "cached",
             Plan::S3Scan => "scan",
             Plan::SdbSelect => "select",
             Plan::Index => "index",
+        }
+    }
+}
+
+/// The cache's relationship to one planning round. Part of the history
+/// key so a cold hydration's measured cost can never pin the planner
+/// away from (or onto) the warm path: cold and warm runs are different
+/// rows, and plain store paths always live under `Uncached`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheState {
+    /// No usable cache in play (also the key for every non-cached plan).
+    Uncached,
+    /// Cache usable but this query's entries are absent — a run would
+    /// pay the store to hydrate.
+    Cold,
+    /// Cache holds everything this query needs — a run pays zero store
+    /// ops.
+    Warm,
+}
+
+impl CacheState {
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheState::Uncached => "uncached",
+            CacheState::Cold => "cold",
+            CacheState::Warm => "warm",
+        }
+    }
+}
+
+/// How the cache actually served one executed query, reported in
+/// [`PlanReport::cache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheOutcome {
+    /// Served entirely from memory — zero store ops.
+    Hit,
+    /// Hydrated from the store (and installed for the next query).
+    Miss,
+    /// Cache attached but unusable (detached, feed gap, or non-cacheable
+    /// query) — the uncached plan served the result.
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
         }
     }
 }
@@ -83,6 +143,8 @@ pub struct PlanReport {
     pub cost: u64,
     /// One line of planner reasoning.
     pub reason: String,
+    /// How the ancestry cache served this query, when one was in play.
+    pub cache: Option<CacheOutcome>,
 }
 
 impl PlanReport {
@@ -91,26 +153,30 @@ impl PlanReport {
             plan: Some(plan),
             cost,
             reason: reason.into(),
+            cache: None,
         }
     }
 }
 
-/// Observed op counts per (query, plan) — the meter history feeding the
-/// planner.
+/// Observed op counts per (query, plan, cache-state) — the meter history
+/// feeding the planner. The cache state is part of the key so a cold
+/// cached run (which pays the store to hydrate) and a warm cached run
+/// (which pays nothing) never overwrite each other, and neither ever
+/// shadows a pinned `with_plan_ref` measurement of a plain store path.
 #[derive(Clone, Debug, Default)]
 pub struct PlanHistory {
-    observed: BTreeMap<(QueryKind, Plan), u64>,
+    observed: BTreeMap<(QueryKind, Plan, CacheState), u64>,
 }
 
 impl PlanHistory {
     /// Records what the meter charged for one execution.
-    pub fn record(&mut self, query: QueryKind, plan: Plan, ops: u64) {
-        self.observed.insert((query, plan), ops);
+    pub fn record(&mut self, query: QueryKind, plan: Plan, state: CacheState, ops: u64) {
+        self.observed.insert((query, plan, state), ops);
     }
 
-    /// The last measured op count, if this pair ever ran.
-    pub fn measured(&self, query: QueryKind, plan: Plan) -> Option<u64> {
-        self.observed.get(&(query, plan)).copied()
+    /// The last measured op count, if this triple ever ran.
+    pub fn measured(&self, query: QueryKind, plan: Plan, state: CacheState) -> Option<u64> {
+        self.observed.get(&(query, plan, state)).copied()
     }
 }
 
@@ -126,16 +192,19 @@ fn pages(items: usize) -> u64 {
 /// * SELECT point queries pay one seed SELECT plus one per estimated
 ///   process (process density assumed 1/64 of items when unprobed), and
 ///   Q.4 adds a frontier round per estimated depth;
-/// * the index pays one seed lookup plus the adjacency pages.
-pub fn estimate(query: QueryKind, plan: Plan, stats: &DomainStats) -> u64 {
+/// * the index pays one seed lookup plus the adjacency pages;
+/// * the cache pays nothing warm and the index's bill cold (it hydrates
+///   through the same lookups), so a cold cache ties the index and wins
+///   the tie by declaration order — hydrating on first use.
+pub fn estimate(query: QueryKind, plan: Plan, stats: &DomainStats, state: CacheState) -> u64 {
     let est_procs = (stats.main_items / 64).max(1) as u64;
     match (query, plan) {
         (_, Plan::S3Scan) => match query {
             QueryKind::Q2 => 2,
             _ => 1 + stats.prov_objects as u64,
         },
-        (QueryKind::Q1, Plan::SdbSelect | Plan::Index) => pages(stats.main_items),
-        (QueryKind::Q2, Plan::SdbSelect | Plan::Index) => 2,
+        (QueryKind::Q1, Plan::SdbSelect | Plan::Index | Plan::Cached) => pages(stats.main_items),
+        (QueryKind::Q2, Plan::SdbSelect | Plan::Index | Plan::Cached) => 2,
         (QueryKind::Q3, Plan::SdbSelect) => 1 + est_procs,
         (QueryKind::Q4, Plan::SdbSelect) => {
             // Seed select + per-round IN batches over an assumed depth-4
@@ -143,7 +212,8 @@ pub fn estimate(query: QueryKind, plan: Plan, stats: &DomainStats) -> u64 {
             let frontier = (stats.main_items as u64 / 4).max(1);
             1 + est_procs.div_ceil(20) + frontier.div_ceil(20)
         }
-        (QueryKind::Q3 | QueryKind::Q4, Plan::Index) => 1 + pages(stats.index_items),
+        (QueryKind::Q3 | QueryKind::Q4, Plan::Cached) if state == CacheState::Warm => 0,
+        (QueryKind::Q3 | QueryKind::Q4, Plan::Index | Plan::Cached) => 1 + pages(stats.index_items),
     }
 }
 
@@ -153,17 +223,25 @@ pub fn estimate(query: QueryKind, plan: Plan, stats: &DomainStats) -> u64 {
 /// the first filter); `force` pins the choice when the caller wants a
 /// specific path measured (benchmarks comparing paths). Q.1/Q.2 have no
 /// index path — the index stores structure, not records — so `Index`
-/// degrades to `SdbSelect` for them.
+/// (and `Cached`, which fronts it) degrades to `SdbSelect` for them.
+/// `cache_state` is the probed state of the ancestry cache for this
+/// query; non-cached plans are always costed under
+/// [`CacheState::Uncached`].
 pub fn choose(
     query: QueryKind,
     available: &[Plan],
     stats: &DomainStats,
     history: &PlanHistory,
     force: Option<Plan>,
+    cache_state: CacheState,
 ) -> PlanReport {
     let degrade = |p: Plan| match (query, p) {
-        (QueryKind::Q1 | QueryKind::Q2, Plan::Index) => Plan::SdbSelect,
+        (QueryKind::Q1 | QueryKind::Q2, Plan::Index | Plan::Cached) => Plan::SdbSelect,
         _ => p,
+    };
+    let state_for = |p: Plan| match p {
+        Plan::Cached => cache_state,
+        _ => CacheState::Uncached,
     };
     let candidates: Vec<Plan> = {
         let mut c: Vec<Plan> = available.iter().map(|p| degrade(*p)).collect();
@@ -175,17 +253,34 @@ pub fn choose(
     if let Some(f) = force {
         let f = degrade(f);
         if candidates.contains(&f) {
-            return PlanReport::chosen(f, estimate(query, f, stats), "forced by caller");
+            return PlanReport::chosen(
+                f,
+                estimate(query, f, stats, state_for(f)),
+                "forced by caller",
+            );
         }
     }
     if candidates.len() == 1 {
         let p = candidates[0];
-        return PlanReport::chosen(p, estimate(query, p, stats), "only path for this layout");
+        return PlanReport::chosen(
+            p,
+            estimate(query, p, stats, state_for(p)),
+            "only path for this layout",
+        );
     }
     let cost_of = |p: Plan| -> (u64, bool) {
-        match history.measured(query, p) {
+        // A cold cache is always costed by estimate, never by measured
+        // history: hydration pays the whole adjacency up front as an
+        // investment amortized by later warm hits, and letting that bill
+        // stand as the cold path's per-query cost would pin the planner
+        // off the cache for every not-yet-hydrated program — the mirror
+        // image of the warm-pinning bug the per-state keying fixes.
+        if p == Plan::Cached && cache_state == CacheState::Cold {
+            return (estimate(query, p, stats, CacheState::Cold), false);
+        }
+        match history.measured(query, p, state_for(p)) {
             Some(ops) => (ops, true),
-            None => (estimate(query, p, stats), false),
+            None => (estimate(query, p, stats, state_for(p)), false),
         }
     };
     let mut best: Option<(Plan, u64, bool)> = None;
@@ -231,6 +326,7 @@ mod tests {
             &stats(100, 0, 0),
             &PlanHistory::default(),
             None,
+            CacheState::Uncached,
         );
         assert_eq!(r.plan, Some(Plan::S3Scan));
         assert!(r.reason.contains("only path"));
@@ -246,9 +342,10 @@ mod tests {
                 &s,
                 &PlanHistory::default(),
                 None,
+                CacheState::Uncached,
             );
             assert_eq!(r.plan, Some(Plan::Index), "{q:?}");
-            assert!(r.cost < estimate(q, Plan::SdbSelect, &s));
+            assert!(r.cost < estimate(q, Plan::SdbSelect, &s, CacheState::Uncached));
         }
     }
 
@@ -256,14 +353,17 @@ mod tests {
     fn q1_q2_degrade_index_to_select() {
         let s = stats(0, 100, 80);
         for q in [QueryKind::Q1, QueryKind::Q2] {
-            let r = choose(
-                q,
-                &[Plan::SdbSelect, Plan::Index],
-                &s,
-                &PlanHistory::default(),
-                Some(Plan::Index),
-            );
-            assert_eq!(r.plan, Some(Plan::SdbSelect), "{q:?}");
+            for p in [Plan::Index, Plan::Cached] {
+                let r = choose(
+                    q,
+                    &[Plan::SdbSelect, Plan::Index, Plan::Cached],
+                    &s,
+                    &PlanHistory::default(),
+                    Some(p),
+                    CacheState::Warm,
+                );
+                assert_eq!(r.plan, Some(Plan::SdbSelect), "{q:?} forced {p:?}");
+            }
         }
     }
 
@@ -273,9 +373,16 @@ mod tests {
         let mut h = PlanHistory::default();
         // Index "measured" terrible, select measured great: planner must
         // flip to select despite estimates favoring the index.
-        h.record(QueryKind::Q4, Plan::Index, 500);
-        h.record(QueryKind::Q4, Plan::SdbSelect, 3);
-        let r = choose(QueryKind::Q4, &[Plan::SdbSelect, Plan::Index], &s, &h, None);
+        h.record(QueryKind::Q4, Plan::Index, CacheState::Uncached, 500);
+        h.record(QueryKind::Q4, Plan::SdbSelect, CacheState::Uncached, 3);
+        let r = choose(
+            QueryKind::Q4,
+            &[Plan::SdbSelect, Plan::Index],
+            &s,
+            &h,
+            None,
+            CacheState::Uncached,
+        );
         assert_eq!(r.plan, Some(Plan::SdbSelect));
         assert_eq!(r.cost, 3);
         assert!(r.reason.contains("measured"));
@@ -290,6 +397,7 @@ mod tests {
             &s,
             &PlanHistory::default(),
             Some(Plan::Index),
+            CacheState::Uncached,
         );
         assert_eq!(r.plan, Some(Plan::Index));
         assert_eq!(r.reason, "forced by caller");
@@ -300,7 +408,83 @@ mod tests {
             &s,
             &PlanHistory::default(),
             Some(Plan::Index),
+            CacheState::Uncached,
         );
         assert_eq!(r.plan, Some(Plan::S3Scan));
+    }
+
+    #[test]
+    fn cold_cache_ties_index_and_wins_the_tie() {
+        // A cold cache estimates exactly the index's bill; declaration
+        // order breaks the tie toward Cached so it can hydrate.
+        let s = stats(0, 2000, 1500);
+        for q in [QueryKind::Q3, QueryKind::Q4] {
+            let r = choose(
+                q,
+                &[Plan::SdbSelect, Plan::Index, Plan::Cached],
+                &s,
+                &PlanHistory::default(),
+                None,
+                CacheState::Cold,
+            );
+            assert_eq!(r.plan, Some(Plan::Cached), "{q:?}");
+            assert_eq!(r.cost, estimate(q, Plan::Index, &s, CacheState::Uncached));
+        }
+    }
+
+    #[test]
+    fn warm_cache_estimates_zero_and_wins_outright() {
+        let s = stats(0, 2000, 1500);
+        let r = choose(
+            QueryKind::Q4,
+            &[Plan::SdbSelect, Plan::Index, Plan::Cached],
+            &s,
+            &PlanHistory::default(),
+            None,
+            CacheState::Warm,
+        );
+        assert_eq!(r.plan, Some(Plan::Cached));
+        assert_eq!(r.cost, 0);
+    }
+
+    #[test]
+    fn cold_cached_measurement_cannot_pin_the_planner_for_warm_runs() {
+        // A cold hydration measured an expensive store bill. That row is
+        // keyed (Q4, Cached, Cold) — a warm planning round must not see
+        // it, and an uncached pinned index measurement must live under
+        // its own key too.
+        let s = stats(0, 2000, 1500);
+        let mut h = PlanHistory::default();
+        h.record(QueryKind::Q4, Plan::Cached, CacheState::Cold, 400);
+        h.record(QueryKind::Q4, Plan::Index, CacheState::Uncached, 10);
+        let warm = choose(
+            QueryKind::Q4,
+            &[Plan::SdbSelect, Plan::Index, Plan::Cached],
+            &s,
+            &h,
+            None,
+            CacheState::Warm,
+        );
+        assert_eq!(warm.plan, Some(Plan::Cached), "warm run ignores cold bill");
+        assert_eq!(warm.cost, 0);
+        // A cold round ignores it too: hydration is an investment
+        // amortized by later hits, so the cold cache is costed by its
+        // estimate (tying the index) — the measured 400 must not pin
+        // not-yet-hydrated programs onto the bare index forever.
+        let cold = choose(
+            QueryKind::Q4,
+            &[Plan::SdbSelect, Plan::Index, Plan::Cached],
+            &s,
+            &h,
+            None,
+            CacheState::Cold,
+        );
+        assert_eq!(cold.plan, Some(Plan::Cached), "cold bill cannot pin");
+        assert!(cold.cost <= estimate(QueryKind::Q4, Plan::Cached, &s, CacheState::Cold));
+        assert_eq!(
+            h.measured(QueryKind::Q4, Plan::Cached, CacheState::Warm),
+            None,
+            "warm row untouched by cold/uncached records"
+        );
     }
 }

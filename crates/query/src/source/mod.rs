@@ -29,7 +29,7 @@ mod index;
 mod scan;
 mod select;
 
-pub use index::IndexSource;
+pub use index::{IndexSource, RevAdjacency};
 pub use scan::S3ScanSource;
 pub use select::SdbSelectSource;
 

@@ -326,7 +326,7 @@ struct ClientOutcome {
 /// client index with γ-like constants (that exact bug once made three
 /// fleet clients draw identical node uuids). Mixing through the
 /// finalizer scatters the seeds far apart on the orbit.
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)

@@ -23,6 +23,7 @@ pub mod fleet;
 pub mod linux_compile;
 pub mod nightly;
 pub mod offline;
+pub mod readserve;
 pub mod testkit;
 pub mod trace;
 
@@ -33,5 +34,6 @@ pub use fleet::{run_fleet, FleetParams, FleetReport, TenantUsage};
 pub use linux_compile::linux_compile_provenance;
 pub use nightly::{nightly, NightlyParams};
 pub use offline::{collect, OfflineFile, OfflineRun};
+pub use readserve::{run_readserve, ReadServeParams, ReadServeReport};
 pub use testkit::{random_script, replay_fs_prefixed, FsReplay, ScriptEvent};
 pub use trace::{synthetic_env, Trace, TraceEvent, TraceStats};
